@@ -1,0 +1,258 @@
+package ascendperf
+
+// Ablation benchmarks: quantify how much each modelled architectural
+// mechanism contributes to the effects the paper's analysis reasons
+// about. Each benchmark toggles or sweeps one mechanism and reports the
+// resulting time shifts as metrics.
+
+import (
+	"testing"
+
+	"ascendperf/internal/core"
+	"ascendperf/internal/hw"
+	"ascendperf/internal/kernels"
+	"ascendperf/internal/multicore"
+	"ascendperf/internal/sim"
+)
+
+// mustTime builds and simulates, returning total time in us.
+func mustTime(b *testing.B, chip *hw.Chip, k kernels.Kernel, opts kernels.Options, simOpts sim.Options) float64 {
+	b.Helper()
+	prog, err := k.Build(chip, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := sim.RunOpts(chip, prog, simOpts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p.TotalTime / 1000
+}
+
+// BenchmarkAblation_SpatialDependencies toggles hazard modelling: the
+// whole RSD story depends on it — without spatial dependencies the
+// unoptimized Add_ReLU pipelines almost as well as the optimized one.
+func BenchmarkAblation_SpatialDependencies(b *testing.B) {
+	chip := TrainingChip()
+	k := kernels.NewAddReLU()
+	var with, without float64
+	for i := 0; i < b.N; i++ {
+		with = mustTime(b, chip, k, k.Baseline(), sim.Options{})
+		without = mustTime(b, chip, k, k.Baseline(), sim.Options{DisableHazards: true})
+	}
+	b.ReportMetric(with, "with-hazards-us")
+	b.ReportMetric(without, "without-hazards-us")
+	b.ReportMetric(with/without, "hazard-cost-x")
+	if with <= without {
+		b.Fatal("hazard modelling should slow the spatially dependent baseline")
+	}
+}
+
+// BenchmarkAblation_DispatchLatency sweeps the front-end dispatch cost:
+// the AIS effect scales with it.
+func BenchmarkAblation_DispatchLatency(b *testing.B) {
+	k := kernels.NewDepthwise()
+	pre := kernels.Apply(kernels.Apply(k.Baseline(), kernels.RUS), kernels.PP)
+	for i := 0; i < b.N; i++ {
+		for _, lat := range []float64{0, 25, 50} {
+			chip := TrainingChip()
+			chip.DispatchLatency = lat
+			before := mustTime(b, chip, k, pre, sim.Options{})
+			after := mustTime(b, chip, k, kernels.Apply(pre, kernels.AIS), sim.Options{})
+			gain := before / after
+			switch lat {
+			case 0:
+				b.ReportMetric(gain, "AIS-gain-at-0ns")
+			case 25:
+				b.ReportMetric(gain, "AIS-gain-at-25ns")
+			case 50:
+				b.ReportMetric(gain, "AIS-gain-at-50ns")
+			}
+		}
+	}
+}
+
+// BenchmarkAblation_TransferSetup sweeps the per-transfer setup cost:
+// the ITG effect scales with it.
+func BenchmarkAblation_TransferSetup(b *testing.B) {
+	k := kernels.NewFullyConnection()
+	for i := 0; i < b.N; i++ {
+		for _, setup := range []float64{0, 500, 1000, 2000} {
+			chip := TrainingChip()
+			chip.TransferSetup = setup
+			before := mustTime(b, chip, k, k.Baseline(), sim.Options{})
+			after := mustTime(b, chip, k, kernels.Apply(k.Baseline(), kernels.ITG), sim.Options{})
+			gain := before / after
+			switch setup {
+			case 0:
+				b.ReportMetric(gain, "ITG-gain-at-0ns")
+			case 500:
+				b.ReportMetric(gain, "ITG-gain-at-500ns")
+			case 1000:
+				b.ReportMetric(gain, "ITG-gain-at-1000ns")
+			case 2000:
+				b.ReportMetric(gain, "ITG-gain-at-2000ns")
+			}
+		}
+	}
+}
+
+// BenchmarkAblation_ComputeIssue sweeps the per-instruction issue cost:
+// the AIP effect scales with it.
+func BenchmarkAblation_ComputeIssue(b *testing.B) {
+	k := kernels.NewAvgPool()
+	for i := 0; i < b.N; i++ {
+		for _, issue := range []float64{10, 50, 100} {
+			chip := TrainingChip()
+			chip.ComputeIssue = issue
+			before := mustTime(b, chip, k, k.Baseline(), sim.Options{})
+			after := mustTime(b, chip, k, kernels.Apply(k.Baseline(), kernels.AIP), sim.Options{})
+			gain := before / after
+			switch issue {
+			case 10:
+				b.ReportMetric(gain, "AIP-gain-at-10ns")
+			case 50:
+				b.ReportMetric(gain, "AIP-gain-at-50ns")
+			case 100:
+				b.ReportMetric(gain, "AIP-gain-at-100ns")
+			}
+		}
+	}
+}
+
+// BenchmarkAblation_UBBanking measures the cost of Unified Buffer bank
+// conflicts (the paper's deferred hardware detail) on the optimized
+// Add_ReLU, whose separated input/output buffers are disjoint in bytes
+// but can alias in banks.
+func BenchmarkAblation_UBBanking(b *testing.B) {
+	k := kernels.NewAddReLU()
+	opts := kernels.FullyOptimized(k)
+	var plain, banked float64
+	for i := 0; i < b.N; i++ {
+		chip := TrainingChip()
+		plain = mustTime(b, chip, k, opts, sim.Options{})
+		chip.UBBanks = 8
+		chip.UBBankWidth = 1 << 10
+		banked = mustTime(b, chip, k, opts, sim.Options{})
+	}
+	b.ReportMetric(plain, "unbanked-us")
+	b.ReportMetric(banked, "banked-us")
+	b.ReportMetric(banked/plain, "bank-conflict-cost-x")
+}
+
+// BenchmarkAblation_Thresholds compares classification under the
+// conventional thresholds against thresholds lowered to 0.5: the naive
+// threshold choice flips underutilized operators into "bound", hiding
+// the optimization headroom the paper's deployment thresholds expose.
+func BenchmarkAblation_Thresholds(b *testing.B) {
+	chip := TrainingChip()
+	var conventional, loose int
+	for i := 0; i < b.N; i++ {
+		conventional, loose = 0, 0
+		for _, k := range kernels.Table1Kernels() {
+			prog, err := k.Build(chip, k.Baseline())
+			if err != nil {
+				b.Fatal(err)
+			}
+			p, err := sim.RunOpts(chip, prog, sim.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if a := core.Analyze(p, chip, core.DefaultThresholds()); a.Cause == core.CauseComputeBound || a.Cause == core.CauseMTEBound {
+				conventional++
+			}
+			lo := core.Thresholds{DefaultUtilBound: 0.5, TimeRatio: 0.8}
+			if a := core.Analyze(p, chip, lo); a.Cause == core.CauseComputeBound || a.Cause == core.CauseMTEBound {
+				loose++
+			}
+		}
+	}
+	b.ReportMetric(float64(conventional), "bound-ops-default-th")
+	b.ReportMetric(float64(loose), "bound-ops-0.5-th")
+	if loose <= conventional {
+		b.Fatal("lowering thresholds should classify more operators as bound")
+	}
+}
+
+// BenchmarkExtension_MulticoreScaling runs the whole-chip strong-scaling
+// extension: a GM-bound elementwise operator saturates the shared GM
+// links almost immediately, while a compute-dominated GEMM keeps
+// scaling — the chip-level form of the paper's bandwidth-wall insight.
+func BenchmarkExtension_MulticoreScaling(b *testing.B) {
+	chip := TrainingChip()
+	ew := kernels.NewLayerNorm()
+	gemm := kernels.NewMatMul()
+	gemm.Steps = 24
+	gemm.CubeOpsPerStep = 128 << 20
+	gemm.EpilogueOpsPerStep = 0
+	var ewCurve, gemmCurve []multicore.ScalePoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		ewCurve, err = multicore.ScalingCurve(chip, ew, kernels.FullyOptimized(ew), 16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gemmCurve, err = multicore.ScalingCurve(chip, gemm, gemm.Baseline(), 16)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, p := range ewCurve {
+		if p.Cores == 8 {
+			b.ReportMetric(p.Speedup, "gm-bound-x-at-8-cores")
+		}
+	}
+	for _, p := range gemmCurve {
+		if p.Cores == 8 {
+			b.ReportMetric(p.Speedup, "compute-bound-x-at-8-cores")
+		}
+	}
+}
+
+// BenchmarkExtension_TaskAllocation quantifies the straggler cost of an
+// uneven work split across cores.
+func BenchmarkExtension_TaskAllocation(b *testing.B) {
+	chip := TrainingChip()
+	k := kernels.NewLayerNorm()
+	var balanced, skewed *multicore.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		balanced, err = multicore.Run(chip, k, k.Baseline(), 4, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		skewed, err = multicore.Run(chip, k, k.Baseline(), 4, []float64{4, 1, 1, 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(balanced.Makespan/1000, "balanced-us")
+	b.ReportMetric(skewed.Makespan/1000, "skewed-us")
+	b.ReportMetric(skewed.Makespan/balanced.Makespan, "straggler-cost-x")
+}
+
+// BenchmarkAblation_QueueDepth sweeps the instruction-queue depth: deep
+// queues decouple the in-order front end from execution; shallow queues
+// stall dispatch behind slow heads (head-of-line blocking), inflating
+// every kernel.
+func BenchmarkAblation_QueueDepth(b *testing.B) {
+	k := kernels.NewDepthwise()
+	opts := kernels.FullyOptimized(k)
+	for i := 0; i < b.N; i++ {
+		for _, depth := range []int{0, 1, 2, 8} {
+			chip := TrainingChip()
+			chip.QueueDepth = depth
+			t := mustTime(b, chip, k, opts, sim.Options{})
+			switch depth {
+			case 0:
+				b.ReportMetric(t, "unbounded-us")
+			case 1:
+				b.ReportMetric(t, "depth1-us")
+			case 2:
+				b.ReportMetric(t, "depth2-us")
+			case 8:
+				b.ReportMetric(t, "depth8-us")
+			}
+		}
+	}
+}

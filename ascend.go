@@ -1,0 +1,333 @@
+// Package ascendperf is a performance analysis and optimization toolkit
+// for the (simulated) Ascend AICore architecture, reproducing "Squeezing
+// Operator Performance Potential for the Ascend Architecture" (ASPLOS
+// 2025).
+//
+// The package is a facade over the internal subsystems:
+//
+//   - a hardware model of the AICore (compute units, buffers, transfer
+//     paths, MTE engines) with training- and inference-chip presets;
+//   - a discrete-event simulator executing operator instruction streams
+//     with the AICore's queue semantics;
+//   - a profiling layer extracting the metrics hardware profiling
+//     provides (bytes per path, operations per precision, component
+//     active time);
+//   - the paper's component-based roofline model with utilization
+//     decomposition and bottleneck classification;
+//   - an operator library with the case-study kernels and the
+//     optimization strategies of Section 5;
+//   - the Table 2 model workloads and the end-to-end runner;
+//   - SVG/ASCII visualization.
+//
+// Typical use:
+//
+//	chip := ascendperf.TrainingChip()
+//	a, prof, err := ascendperf.AnalyzeOperator(chip, ascendperf.NewAddReLU())
+//	...
+//	res, err := ascendperf.OptimizeOperator(chip, ascendperf.NewAddReLU())
+//	fmt.Println(res.Summary())
+package ascendperf
+
+import (
+	"ascendperf/internal/core"
+	"ascendperf/internal/critpath"
+	"ascendperf/internal/hw"
+	"ascendperf/internal/isa"
+	"ascendperf/internal/kernels"
+	"ascendperf/internal/model"
+	"ascendperf/internal/multicore"
+	"ascendperf/internal/opt"
+	"ascendperf/internal/profile"
+	"ascendperf/internal/sim"
+	"ascendperf/internal/sweep"
+	"ascendperf/internal/viz"
+)
+
+// Core types re-exported from the internal packages. They are aliases,
+// so values flow freely between the facade and the subsystem APIs.
+type (
+	// Chip is a complete AICore hardware specification.
+	Chip = hw.Chip
+	// Component is a hardware engine with its own instruction queue.
+	Component = hw.Component
+	// Unit is one of the three compute units.
+	Unit = hw.Unit
+	// Precision is a numeric precision supported by a compute unit.
+	Precision = hw.Precision
+	// Path is a directed transfer link between memory levels.
+	Path = hw.Path
+
+	// Program is an operator instruction stream.
+	Program = isa.Program
+
+	// Profile holds the measured execution metrics of one operator run.
+	Profile = profile.Profile
+
+	// Analysis is a component-based roofline analysis result.
+	Analysis = core.Analysis
+	// ComponentStats holds one component's roofline metrics.
+	ComponentStats = core.ComponentStats
+	// Cause is a classified bottleneck cause.
+	Cause = core.Cause
+	// Thresholds configure bottleneck classification.
+	Thresholds = core.Thresholds
+
+	// Kernel is one operator implementation.
+	Kernel = kernels.Kernel
+	// Options selects a kernel's implementation techniques.
+	Options = kernels.Options
+	// Strategy is one of the paper's optimization strategies.
+	Strategy = kernels.Strategy
+
+	// OptimizeResult is the outcome of the iterative optimization loop.
+	OptimizeResult = opt.Result
+
+	// Model is one Table 2 workload.
+	Model = model.Model
+	// ModelResult is the outcome of running or optimizing a model.
+	ModelResult = model.RunResult
+	// Framework is a deep-learning front-end.
+	Framework = model.Framework
+
+	// RooflineChart is a renderable roofline visualization.
+	RooflineChart = viz.RooflineChart
+
+	// Builder assembles instruction programs for custom operators.
+	Builder = kernels.Builder
+	// Region is a byte range within one memory buffer.
+	Region = isa.Region
+)
+
+// Bottleneck causes.
+const (
+	ComputeBound            = core.CauseComputeBound
+	MTEBound                = core.CauseMTEBound
+	InsufficientParallelism = core.CauseInsufficientParallelism
+	InefficientMTE          = core.CauseInefficientMTE
+	InefficientCompute      = core.CauseInefficientCompute
+)
+
+// Optimization strategies (Section 5).
+const (
+	RSD = kernels.RSD // Reducing Spatial Dependency
+	MRT = kernels.MRT // Minimizing Redundant Transfer
+	AIS = kernels.AIS // Adjusting Instruction Sequence
+	RUS = kernels.RUS // Removing Unnecessary Synchronization
+	PP  = kernels.PP  // Ping-pong Policy
+	ITG = kernels.ITG // Increasing Transfer Granularity
+	AIP = kernels.AIP // Adjusting Instruction Parameter
+	OP  = kernels.OP  // Operator Fusion
+	TT  = kernels.TT  // Transfer Transformation
+	EA  = kernels.EA  // Enhanced Algorithm
+	LC  = kernels.LC  // Low-precision Calculation
+	CT  = kernels.CT  // Computation Transformation
+)
+
+// Hardware identifiers for custom-operator construction.
+const (
+	// Compute units.
+	Cube   = hw.Cube
+	Vector = hw.Vector
+	Scalar = hw.Scalar
+	// Precisions.
+	INT8  = hw.INT8
+	FP16  = hw.FP16
+	FP32  = hw.FP32
+	FP64  = hw.FP64
+	INT32 = hw.INT32
+	// Memory levels.
+	GM  = hw.GM
+	L1  = hw.L1
+	UB  = hw.UB
+	L0A = hw.L0A
+	L0B = hw.L0B
+	L0C = hw.L0C
+	// Components.
+	CompCube   = hw.CompCube
+	CompVector = hw.CompVector
+	CompScalar = hw.CompScalar
+	CompMTEGM  = hw.CompMTEGM
+	CompMTEL1  = hw.CompMTEL1
+	CompMTEUB  = hw.CompMTEUB
+)
+
+// Transfer paths for custom-operator construction.
+var (
+	PathGMToL1  = hw.PathGMToL1
+	PathGMToUB  = hw.PathGMToUB
+	PathGMToL0A = hw.PathGMToL0A
+	PathGMToL0B = hw.PathGMToL0B
+	PathL1ToL0A = hw.PathL1ToL0A
+	PathL1ToL0B = hw.PathL1ToL0B
+	PathUBToGM  = hw.PathUBToGM
+	PathUBToL1  = hw.PathUBToL1
+)
+
+// NewBuilder returns a program builder for hand-written operators.
+func NewBuilder(chip *Chip, name string) *Builder { return kernels.NewBuilder(chip, name) }
+
+// TrainingChip returns the Ascend training-chip preset.
+func TrainingChip() *Chip { return hw.TrainingChip() }
+
+// InferenceChip returns the Ascend inference-chip preset.
+func InferenceChip() *Chip { return hw.InferenceChip() }
+
+// TPUStyleChip returns a TPU-v5-style DSA preset, demonstrating that the
+// component-based roofline extends beyond Ascend (paper Section 7).
+func TPUStyleChip() *Chip { return hw.TPUStyleChip() }
+
+// DefaultThresholds returns the deployment classification thresholds.
+func DefaultThresholds() Thresholds { return core.DefaultThresholds() }
+
+// Operator constructors at their case-study shapes.
+var (
+	NewAddReLU         = kernels.NewAddReLU
+	NewDepthwise       = kernels.NewDepthwise
+	NewAvgPool         = kernels.NewAvgPool
+	NewMul             = kernels.NewMul
+	NewAdd             = kernels.NewAdd
+	NewAddN            = kernels.NewAddN
+	NewRealDiv         = kernels.NewRealDiv
+	NewCast            = kernels.NewCast
+	NewDropoutDoMask   = kernels.NewDropoutDoMask
+	NewGeLU            = kernels.NewGeLU
+	NewConv2D          = kernels.NewConv2D
+	NewMatMul          = kernels.NewMatMul
+	NewBatchMatMul     = kernels.NewBatchMatMul
+	NewFullyConnection = kernels.NewFullyConnection
+	NewTransData       = kernels.NewTransData
+	NewSoftmax         = kernels.NewSoftmax
+	NewLayerNorm       = kernels.NewLayerNorm
+)
+
+// Operators returns every operator kernel keyed by name.
+func Operators() map[string]Kernel { return kernels.Registry() }
+
+// Apply returns opts with the strategy applied.
+func Apply(opts Options, s Strategy) Options { return kernels.Apply(opts, s) }
+
+// Simulate executes a program on the chip and returns its profile.
+func Simulate(chip *Chip, prog *Program) (*Profile, error) {
+	return sim.Run(chip, prog)
+}
+
+// Profiles builds a kernel at the given options and simulates it.
+func Profiles(chip *Chip, k Kernel, opts Options) (*Profile, error) {
+	prog, err := k.Build(chip, opts)
+	if err != nil {
+		return nil, err
+	}
+	return sim.Run(chip, prog)
+}
+
+// Analyze runs component-based roofline analysis on a profile with the
+// default thresholds.
+func Analyze(p *Profile, chip *Chip) *Analysis {
+	return core.Analyze(p, chip, core.DefaultThresholds())
+}
+
+// Delta compares two analyses across an optimization iteration.
+type Delta = core.Delta
+
+// Diff compares two analyses of the same operator (before and after an
+// optimization) and reports per-component movement and verdict shifts.
+func Diff(before, after *Analysis) *Delta { return core.Diff(before, after) }
+
+// AnalyzeOperator builds, simulates and analyzes a kernel at its shipped
+// baseline.
+func AnalyzeOperator(chip *Chip, k Kernel) (*Analysis, *Profile, error) {
+	p, err := Profiles(chip, k, k.Baseline())
+	if err != nil {
+		return nil, nil, err
+	}
+	return Analyze(p, chip), p, nil
+}
+
+// OptimizeOperator runs the analysis-optimization loop on a kernel.
+func OptimizeOperator(chip *Chip, k Kernel) (*OptimizeResult, error) {
+	return opt.New(chip).Optimize(k)
+}
+
+// Tunable is a kernel with a sweepable tile size.
+type Tunable = kernels.Tunable
+
+// TileTuning is the outcome of a tile-size sweep.
+type TileTuning = opt.TileTuning
+
+// TuneOperatorTile sweeps a tunable kernel's tile size at the given
+// options and returns the best configuration found.
+func TuneOperatorTile(chip *Chip, k Tunable, opts Options) (*TileTuning, error) {
+	return opt.New(chip).TuneTile(k, opts)
+}
+
+// PipelineResult is the outcome of the full optimization pipeline.
+type PipelineResult = opt.PipelineResult
+
+// OptimizeOperatorFully runs the whole pipeline on a kernel: the
+// cause-driven strategy loop, tile tuning and the IR-level passes.
+func OptimizeOperatorFully(chip *Chip, k Kernel) (*PipelineResult, error) {
+	return opt.New(chip).FullPipeline(k)
+}
+
+// Partitionable is a kernel whose work splits across AICores.
+type Partitionable = multicore.Partitionable
+
+// MulticoreResult is a whole-chip execution of one operator.
+type MulticoreResult = multicore.Result
+
+// RunMulticore executes the kernel partitioned over cores; nil shares
+// means an even split. Cores share the GM links.
+func RunMulticore(chip *Chip, k Partitionable, opts Options, cores int, shares []float64) (*MulticoreResult, error) {
+	return multicore.Run(chip, k, opts, cores, shares)
+}
+
+// SweepResult is a shape-sweep study of one operator.
+type SweepResult = sweep.Result
+
+// ShapeSweep traces an operator's bottleneck classification across work
+// scales: the operator-level mechanism behind the small-vs-large model
+// split of the paper's Fig. 14a.
+func ShapeSweep(chip *Chip, k Partitionable, opts Options, scales []float64) (*SweepResult, error) {
+	return sweep.Run(chip, k, opts, scales)
+}
+
+// Models returns the Table 2 workloads in table order.
+func Models() []*Model { return model.All() }
+
+// RunModel profiles and classifies a model's operators at their shipped
+// baselines.
+func RunModel(chip *Chip, m *Model) (*ModelResult, error) {
+	return model.NewRunner(chip).Run(m)
+}
+
+// OptimizeModel runs the advisor-driven optimization on every operator
+// of a model.
+func OptimizeModel(chip *Chip, m *Model) (*ModelResult, error) {
+	return model.NewRunner(chip).Optimize(m)
+}
+
+// OptimizeModelTop optimizes only the n longest-running operator types,
+// the paper's prioritization rule.
+func OptimizeModelTop(chip *Chip, m *Model, n int) (*ModelResult, error) {
+	return model.NewRunner(chip).OptimizeTop(m, n)
+}
+
+// Roofline builds the renderable roofline chart for an analysis.
+func Roofline(a *Analysis) *RooflineChart { return viz.BuildChart(a) }
+
+// HTMLReport bundles an analysis (plus optional timeline and critical
+// path) into a self-contained HTML document.
+type HTMLReport = viz.HTMLReport
+
+// Timeline renders an ASCII pipeline timeline of a profile.
+func Timeline(p *Profile, width int) string { return viz.Timeline(p, width) }
+
+// CriticalPath is a critical-path decomposition of a schedule.
+type CriticalPath = critpath.Analysis
+
+// ComputeCriticalPath reconstructs the chain of binding constraints that
+// determines a schedule's makespan — the mechanized form of the paper's
+// "inspect the pipeline status" diagnosis step.
+func ComputeCriticalPath(chip *Chip, prog *Program, p *Profile) (*CriticalPath, error) {
+	return critpath.Compute(chip, prog, p)
+}

@@ -1,0 +1,114 @@
+package ascendperf
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFacadeAnalyzeOperator(t *testing.T) {
+	chip := TrainingChip()
+	a, p, err := AnalyzeOperator(chip, NewAddReLU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cause != InsufficientParallelism {
+		t.Errorf("cause = %s, want Insufficient Parallelism", a.Cause)
+	}
+	if p.TotalTime <= 0 {
+		t.Error("no total time")
+	}
+}
+
+func TestFacadeOptimizeOperator(t *testing.T) {
+	res, err := OptimizeOperator(TrainingChip(), NewAvgPool())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Speedup() < 3 {
+		t.Errorf("avgpool speedup = %.2f", res.Speedup())
+	}
+	if got := res.Applied(); len(got) != 1 || got[0] != AIP {
+		t.Errorf("applied = %v", got)
+	}
+}
+
+func TestFacadeModels(t *testing.T) {
+	ms := Models()
+	if len(ms) != 11 {
+		t.Fatalf("models = %d", len(ms))
+	}
+	res, err := RunModel(TrainingChip(), ms[6]) // DeepFM: quick
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BaselineComputeTime <= 0 {
+		t.Error("no compute time")
+	}
+}
+
+func TestFacadeOptimizeModelTop(t *testing.T) {
+	res, err := OptimizeModelTop(TrainingChip(), Models()[6], 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ComputeSpeedup() < 1 {
+		t.Error("no improvement")
+	}
+}
+
+func TestFacadeRooflineAndTimeline(t *testing.T) {
+	chip := TrainingChip()
+	a, p, err := AnalyzeOperator(chip, NewDepthwise())
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg := Roofline(a).SVG()
+	if !strings.Contains(svg, "<svg") {
+		t.Error("bad svg")
+	}
+	tl := Timeline(p, 80)
+	if !strings.Contains(tl, "MTE-GM") {
+		t.Error("bad timeline")
+	}
+}
+
+func TestFacadeOperatorsRegistry(t *testing.T) {
+	ops := Operators()
+	if len(ops) < 17 {
+		t.Errorf("operators = %d", len(ops))
+	}
+	if ops["add_relu"] == nil {
+		t.Error("missing add_relu")
+	}
+}
+
+func TestFacadeApply(t *testing.T) {
+	var o Options
+	o = Apply(o, RSD)
+	if !o.SeparateOutputBuffer {
+		t.Error("Apply RSD")
+	}
+}
+
+func TestFacadeSimulate(t *testing.T) {
+	chip := InferenceChip()
+	k := NewMul()
+	prog, err := k.Build(chip, k.Baseline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Simulate(chip, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFacadeThresholds(t *testing.T) {
+	th := DefaultThresholds()
+	if th.TimeRatio != 0.80 {
+		t.Error("default time ratio")
+	}
+}

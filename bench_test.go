@@ -1,0 +1,258 @@
+package ascendperf
+
+// The benchmark harness regenerates every table and figure of the
+// paper's evaluation. One benchmark per table/figure; each logs the
+// regenerated rows (with the paper's reported values alongside) and
+// reports the headline quantities as custom metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the whole evaluation. internal/experiments holds the
+// shared implementations; cmd/ascendbench prints the same reports as a
+// standalone tool.
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"ascendperf/internal/core"
+	"ascendperf/internal/experiments"
+	"ascendperf/internal/model"
+)
+
+// logOnce arranges for each benchmark's report to be printed a single
+// time even though the body runs b.N times.
+var logOnce sync.Map
+
+func logReport(b *testing.B, key, report string) {
+	b.Helper()
+	if _, loaded := logOnce.LoadOrStore(key, true); !loaded {
+		b.Log("\n" + report)
+	}
+}
+
+// BenchmarkFig2_ClassicRooflines regenerates the Fig. 2 baselines: the
+// DRAM roofline and the hierarchical roofline.
+func BenchmarkFig2_ClassicRooflines(b *testing.B) {
+	var report string
+	for i := 0; i < b.N; i++ {
+		report = experiments.Fig2()
+	}
+	logReport(b, "fig2", report)
+}
+
+// BenchmarkFig3a_NaiveTransferError regenerates the Fig. 3a scenario:
+// the naive roofline reports 67%/33% per-path utilization under MTE-GM
+// contention where the component model correctly reports 100% (bound).
+func BenchmarkFig3a_NaiveTransferError(b *testing.B) {
+	var res experiments.Fig3Result
+	var report string
+	for i := 0; i < b.N; i++ {
+		res, report = experiments.Fig3()
+	}
+	logReport(b, "fig3a", report)
+	b.ReportMetric(res.TransferNaiveA, "naive-utilA")
+	b.ReportMetric(res.TransferNaiveB, "naive-utilB")
+	b.ReportMetric(res.TransferComponent, "component-util")
+	if math.Abs(res.TransferComponent-1.0) > 1e-6 {
+		b.Fatalf("component model should report full utilization, got %v", res.TransferComponent)
+	}
+}
+
+// BenchmarkFig3b_NaiveMixedPrecisionError regenerates Fig. 3b: the
+// mixed-precision misdiagnosis.
+func BenchmarkFig3b_NaiveMixedPrecisionError(b *testing.B) {
+	var res experiments.Fig3Result
+	for i := 0; i < b.N; i++ {
+		res, _ = experiments.Fig3()
+	}
+	b.ReportMetric(res.PrecNaiveFP16, "naive-utilFP16")
+	b.ReportMetric(res.PrecNaiveINT8, "naive-utilINT8")
+	b.ReportMetric(res.PrecComponent, "component-util")
+	if res.PrecCause != core.CauseComputeBound {
+		b.Fatalf("component model verdict = %s, want Compute Bound", res.PrecCause)
+	}
+}
+
+// BenchmarkFig4_MatMulTimeline regenerates the staged MatMul execution
+// timeline across MTEs and the Cube.
+func BenchmarkFig4_MatMulTimeline(b *testing.B) {
+	var report string
+	for i := 0; i < b.N; i++ {
+		report = experiments.Fig4()
+	}
+	logReport(b, "fig4", report)
+}
+
+// BenchmarkFig6_ComponentRoofline regenerates the component-based
+// roofline chart with its pruned combination set.
+func BenchmarkFig6_ComponentRoofline(b *testing.B) {
+	var svg, report string
+	for i := 0; i < b.N; i++ {
+		svg, report = experiments.Fig6()
+	}
+	logReport(b, "fig6", report)
+	b.ReportMetric(float64(len(svg)), "svg-bytes")
+}
+
+// BenchmarkFig7_AddReLUIterations regenerates the Add_ReLU optimization
+// iterations (Fig. 7a-c) and reports the utilization trail.
+func BenchmarkFig7_AddReLUIterations(b *testing.B) {
+	var rows []experiments.IterationRow
+	var report string
+	for i := 0; i < b.N; i++ {
+		rows, report = experiments.Fig7()
+	}
+	logReport(b, "fig7", report)
+	if len(rows) != 3 {
+		b.Fatal("expected 3 iterations")
+	}
+	b.ReportMetric(rows[0].MaxUtil, "util-baseline")
+	b.ReportMetric(rows[1].MaxUtil, "util-RSD")
+	b.ReportMetric(rows[2].MaxUtil, "util-MRT")
+	b.ReportMetric(rows[0].TimeUS/rows[2].TimeUS, "speedup")
+}
+
+// BenchmarkFig12_DepthwiseAIS regenerates the instruction-sequence
+// adjustment demonstration.
+func BenchmarkFig12_DepthwiseAIS(b *testing.B) {
+	var report string
+	for i := 0; i < b.N; i++ {
+		report = experiments.Fig12()
+	}
+	logReport(b, "fig12", report)
+}
+
+// BenchmarkTable1_OperatorOptimizations regenerates Table 1: the eight
+// MobileNetV3 operators, their bottlenecks, applied strategies and
+// speedups.
+func BenchmarkTable1_OperatorOptimizations(b *testing.B) {
+	var rows []experiments.Table1Row
+	var report string
+	for i := 0; i < b.N; i++ {
+		rows, report = experiments.Table1()
+	}
+	logReport(b, "table1", report)
+	for _, r := range rows {
+		b.ReportMetric(r.Speedup, r.Operator+"-x")
+	}
+}
+
+// BenchmarkTable2_WorkloadSpec regenerates the workload specification.
+func BenchmarkTable2_WorkloadSpec(b *testing.B) {
+	var report string
+	for i := 0; i < b.N; i++ {
+		report = experiments.Table2()
+	}
+	logReport(b, "table2", report)
+}
+
+// BenchmarkSection5_CaseStudies regenerates the Section 5 case-study
+// operator times.
+func BenchmarkSection5_CaseStudies(b *testing.B) {
+	var rows []experiments.CaseStudyRow
+	var report string
+	for i := 0; i < b.N; i++ {
+		rows, report = experiments.CaseStudies()
+	}
+	logReport(b, "sec5", report)
+	for _, r := range rows {
+		b.ReportMetric(r.BaselineUS/r.OptimizedUS, r.Operator+"-x")
+	}
+}
+
+// BenchmarkFig13a_BottleneckDistribution regenerates the end-to-end
+// bottleneck distributions of the PanGu-alpha and MobileNetV3 case
+// studies.
+func BenchmarkFig13a_BottleneckDistribution(b *testing.B) {
+	var res experiments.Fig13Result
+	var report string
+	for i := 0; i < b.N; i++ {
+		res, report = experiments.Fig13()
+	}
+	logReport(b, "fig13", report)
+	b.ReportMetric(res.PanGu.BaselineDistribution.Share(core.CauseInsufficientParallelism), "pangu-IP-before")
+	b.ReportMetric(res.PanGu.OptimizedDistribution.Share(core.CauseInsufficientParallelism), "pangu-IP-after")
+	b.ReportMetric(res.MobileNetV3.BaselineDistribution.Share(core.CauseInsufficientParallelism), "m3-IP-before")
+}
+
+// BenchmarkFig13b_EndToEndTimes regenerates the end-to-end times and
+// speedups of the two case studies.
+func BenchmarkFig13b_EndToEndTimes(b *testing.B) {
+	var res experiments.Fig13Result
+	for i := 0; i < b.N; i++ {
+		res, _ = experiments.Fig13()
+	}
+	b.ReportMetric(res.PanGu.ComputeSpeedup(), "pangu-compute-x")
+	b.ReportMetric(res.PanGu.OverallSpeedup(), "pangu-overall-x")
+	b.ReportMetric(res.MobileNetV3.OverallSpeedup(), "m3-overall-x")
+}
+
+// BenchmarkFig14a_TrainingBottlenecks regenerates the per-model training
+// bottleneck distributions.
+func BenchmarkFig14a_TrainingBottlenecks(b *testing.B) {
+	var dists map[string]model.Distribution
+	var report string
+	for i := 0; i < b.N; i++ {
+		dists, report = experiments.Fig14a()
+	}
+	logReport(b, "fig14a", report)
+	b.ReportMetric(dists["Llama 2"].Share(core.CauseMTEBound), "llama2-MB")
+	b.ReportMetric(dists["MobileNetV3"].Share(core.CauseInsufficientParallelism), "m3-IP")
+}
+
+// BenchmarkFig14b_FrameworkInvariance regenerates the per-framework
+// distributions.
+func BenchmarkFig14b_FrameworkInvariance(b *testing.B) {
+	var dists map[model.Framework]model.Distribution
+	var report string
+	for i := 0; i < b.N; i++ {
+		dists, report = experiments.Fig14b()
+	}
+	logReport(b, "fig14b", report)
+	// The maximum per-cause deviation across frameworks.
+	var maxDev float64
+	ref := dists[model.MindSpore]
+	for _, d := range dists {
+		for _, c := range core.Causes() {
+			if dev := math.Abs(d.Share(c) - ref.Share(c)); dev > maxDev {
+				maxDev = dev
+			}
+		}
+	}
+	b.ReportMetric(maxDev, "max-deviation")
+}
+
+// BenchmarkFig14c_TrainingVsInference regenerates the training-versus-
+// inference comparison.
+func BenchmarkFig14c_TrainingVsInference(b *testing.B) {
+	var report string
+	for i := 0; i < b.N; i++ {
+		report = experiments.Fig14c()
+	}
+	logReport(b, "fig14c", report)
+}
+
+// BenchmarkFig15_ModelSpeedups regenerates the per-model computation and
+// overall speedups.
+func BenchmarkFig15_ModelSpeedups(b *testing.B) {
+	var rows []experiments.Fig15Row
+	var report string
+	for i := 0; i < b.N; i++ {
+		rows, report = experiments.Fig15()
+	}
+	logReport(b, "fig15", report)
+	minC, maxC := math.Inf(1), 0.0
+	minO, maxO := math.Inf(1), 0.0
+	for _, r := range rows {
+		minC = math.Min(minC, r.ComputeSpeedup)
+		maxC = math.Max(maxC, r.ComputeSpeedup)
+		minO = math.Min(minO, r.OverallSpeedup)
+		maxO = math.Max(maxO, r.OverallSpeedup)
+	}
+	b.ReportMetric(minC, "compute-x-min")
+	b.ReportMetric(maxC, "compute-x-max")
+	b.ReportMetric(minO, "overall-x-min")
+	b.ReportMetric(maxO, "overall-x-max")
+}

@@ -1,0 +1,86 @@
+// Command ascendbench regenerates the paper's evaluation tables and
+// figures as text reports, with the paper's reported values printed
+// alongside the measured ones.
+//
+// Usage:
+//
+//	ascendbench                 # everything
+//	ascendbench -exp fig7       # one experiment
+//	ascendbench -exp list       # list experiment ids
+//	ascendbench -svg fig6.svg   # also write the Fig. 6 roofline SVG
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ascendperf/internal/experiments"
+)
+
+var runners = []struct {
+	id  string
+	run func() string
+}{
+	{"fig2", experiments.Fig2},
+	{"fig3", func() string { _, s := experiments.Fig3(); return s }},
+	{"fig4", experiments.Fig4},
+	{"fig6", func() string { _, s := experiments.Fig6(); return s }},
+	{"fig7", func() string { _, s := experiments.Fig7(); return s }},
+	{"fig12", experiments.Fig12},
+	{"table1", func() string { _, s := experiments.Table1(); return s }},
+	{"sec5", func() string { _, s := experiments.CaseStudies(); return s }},
+	{"table2", experiments.Table2},
+	{"fig13", func() string { _, s := experiments.Fig13(); return s }},
+	{"fig14a", func() string { _, s := experiments.Fig14a(); return s }},
+	{"fig14b", func() string { _, s := experiments.Fig14b(); return s }},
+	{"fig14c", experiments.Fig14c},
+	{"fig15", func() string { _, s := experiments.Fig15(); return s }},
+	{"ext-ert", experiments.ExtERT},
+	{"ext-multicore", experiments.ExtMulticore},
+	{"ext-queuedepth", experiments.ExtQueueDepth},
+	{"ext-shapesweep", experiments.ExtShapeSweep},
+	{"ext-pipeline", func() string { _, s := experiments.ExtPipeline(); return s }},
+}
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment id (or 'all', 'list')")
+		svgPath = flag.String("svg", "", "write the Fig. 6 roofline chart as SVG to this path")
+	)
+	flag.Parse()
+	if err := run(*exp, *svgPath); err != nil {
+		fmt.Fprintln(os.Stderr, "ascendbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp, svgPath string) error {
+	if svgPath != "" {
+		svg, _ := experiments.Fig6()
+		if err := os.WriteFile(svgPath, []byte(svg), 0o644); err != nil {
+			return err
+		}
+		fmt.Println("wrote", svgPath)
+	}
+	switch exp {
+	case "list":
+		for _, r := range runners {
+			fmt.Println(r.id)
+		}
+		return nil
+	case "all":
+		fmt.Print(experiments.All())
+		fmt.Println()
+		fmt.Print(experiments.AllExtensions())
+		return nil
+	default:
+		for _, r := range runners {
+			if r.id == exp {
+				fmt.Print(r.run())
+				return nil
+			}
+		}
+		return fmt.Errorf("unknown experiment %q (use -exp list)", exp)
+	}
+}

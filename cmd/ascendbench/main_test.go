@@ -1,0 +1,42 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleExperiments(t *testing.T) {
+	for _, id := range []string{"fig2", "fig3", "fig7", "table2"} {
+		if err := run(id, ""); err != nil {
+			t.Errorf("%s: %v", id, err)
+		}
+	}
+}
+
+func TestRunList(t *testing.T) {
+	if err := run("list", ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSVG(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "fig6.svg")
+	if err := run("fig6", out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "<svg") {
+		t.Error("not an SVG")
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if err := run("fig99", ""); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}

@@ -1,0 +1,58 @@
+// Command ascendert empirically characterizes a chip preset's achievable
+// ceilings by running generated microbenchmarks — the toolkit's
+// equivalent of the Empirical Roofline Toolkit: per-path achieved
+// bandwidth against transfer granularity and per-precision achieved rate
+// against work per instruction.
+//
+// Usage:
+//
+//	ascendert [-chip training|inference|tpu] [-thresholds]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"ascendperf/internal/cliutil"
+	"ascendperf/internal/ert"
+	"ascendperf/internal/hw"
+)
+
+func main() {
+	var (
+		chipName   = flag.String("chip", "training", "chip preset: training, inference or tpu")
+		thresholds = flag.Bool("thresholds", false, "also print measurement-derived bound thresholds")
+	)
+	flag.Parse()
+	if err := run(*chipName, *thresholds); err != nil {
+		fmt.Fprintln(os.Stderr, "ascendert:", err)
+		os.Exit(1)
+	}
+}
+
+func run(chipName string, thresholds bool) error {
+	chip, err := cliutil.ChipByName(chipName)
+	if err != nil {
+		return err
+	}
+	rep, err := ert.Run(chip, ert.Options{})
+	if err != nil {
+		return err
+	}
+	fmt.Print(rep.Format())
+	if thresholds {
+		th := rep.EmpiricalThresholds(chip)
+		comps := make([]hw.Component, 0, len(th))
+		for c := range th {
+			comps = append(comps, c)
+		}
+		sort.Slice(comps, func(i, j int) bool { return comps[i] < comps[j] })
+		fmt.Println("measurement-derived bound thresholds:")
+		for _, c := range comps {
+			fmt.Printf("  %-8s %.2f\n", c, th[c])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,17 @@
+package main
+
+import "testing"
+
+func TestRunAllChips(t *testing.T) {
+	for _, chip := range []string{"training", "inference", "tpu"} {
+		if err := run(chip, true); err != nil {
+			t.Errorf("%s: %v", chip, err)
+		}
+	}
+}
+
+func TestRunUnknownChip(t *testing.T) {
+	if err := run("quantum", false); err == nil {
+		t.Error("unknown chip accepted")
+	}
+}

@@ -1,0 +1,201 @@
+// Command ascendopt runs the analysis-optimization loop of the paper's
+// Fig. 5 workflow on one operator or a whole model workload, printing the
+// iteration history and the resulting bottleneck shift.
+//
+// Usage:
+//
+//	ascendopt -op depthwise [-chip training|inference] [-tune] [-passes]
+//	ascendopt -model PanGu-alpha [-top 10]
+//	ascendopt -workload my-model.json
+//
+// With neither flag it lists operators and models.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"ascendperf/internal/cliutil"
+	"ascendperf/internal/hw"
+	"ascendperf/internal/isa"
+	"ascendperf/internal/kernels"
+	"ascendperf/internal/model"
+	"ascendperf/internal/opt"
+	"ascendperf/internal/passes"
+	"ascendperf/internal/sim"
+	"ascendperf/internal/viz"
+)
+
+// isaProgram shortens signatures in this file.
+type isaProgram = isa.Program
+
+// runPasses applies the program-level transformations to the operator's
+// baseline instruction stream and reports the effect of each stage.
+func runPasses(chip *hw.Chip, k kernels.Kernel) error {
+	prog, err := k.Build(chip, k.Baseline())
+	if err != nil {
+		return err
+	}
+	report := func(p *isaProgram) (float64, error) {
+		prof, err := sim.RunOpts(chip, p, sim.Options{KeepSpans: true})
+		if err != nil {
+			return 0, err
+		}
+		if err := passes.CheckOrdering(chip, p, prof); err != nil {
+			return 0, err
+		}
+		return prof.TotalTime, nil
+	}
+	t0, err := report(prog)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-28s %10.3f us (%d instrs, %d barriers, %d flags)\n",
+		prog.Name, t0/1000, prog.Len(), prog.Stat().Barriers, prog.Stat().Syncs)
+
+	minSync, err := passes.MinimalSync(chip, prog)
+	if err != nil {
+		return err
+	}
+	t1, err := report(minSync)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-28s %10.3f us (%d instrs, %d barriers, %d flags)\n",
+		minSync.Name, t1/1000, minSync.Len(), minSync.Stat().Barriers, minSync.Stat().Syncs)
+
+	hoisted, err := passes.HoistLoads(chip, minSync, 0)
+	if err != nil {
+		return err
+	}
+	t2, err := report(hoisted)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-28s %10.3f us\n", hoisted.Name, t2/1000)
+	fmt.Printf("pass pipeline speedup: %.2fx\n", t0/t2)
+	return nil
+}
+
+func main() {
+	var (
+		opName    = flag.String("op", "", "operator to optimize")
+		modelName = flag.String("model", "", "model workload to optimize")
+		chipName  = flag.String("chip", "training", "chip preset: training or inference")
+		top       = flag.Int("top", 0, "optimize only the N longest-running operator types (0 = all)")
+		tune      = flag.Bool("tune", false, "also sweep the operator's tile size after strategy optimization")
+		usePasses = flag.Bool("passes", false, "apply the program-level passes (minimal sync, load hoisting) to the operator's baseline instead of rebuilding it")
+		workload  = flag.String("workload", "", "optimize a custom workload file instead of a named model")
+		htmlPath  = flag.String("html", "", "with -model/-workload: write a self-contained HTML report")
+		pipeline  = flag.Bool("pipeline", false, "run the full pipeline: strategies, tile tuning, program passes")
+	)
+	flag.Parse()
+	if err := run(*opName, *modelName, *workload, *chipName, *top, *tune, *usePasses, *pipeline, *htmlPath); err != nil {
+		fmt.Fprintln(os.Stderr, "ascendopt:", err)
+		os.Exit(1)
+	}
+}
+
+func run(opName, modelName, workloadPath, chipName string, top int, tune, usePasses, pipeline bool, htmlPath string) error {
+	chip, err := cliutil.ChipByName(chipName)
+	if err != nil {
+		return err
+	}
+
+	switch {
+	case opName != "":
+		k := kernels.Registry()[opName]
+		if k == nil {
+			return fmt.Errorf("unknown operator %q", opName)
+		}
+		if usePasses {
+			return runPasses(chip, k)
+		}
+		o := opt.New(chip)
+		if pipeline {
+			res, err := o.FullPipeline(k)
+			if err != nil {
+				return err
+			}
+			fmt.Print(res.Summary())
+			return nil
+		}
+		res, err := o.Optimize(k)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Summary())
+		if tune {
+			tk, ok := k.(kernels.Tunable)
+			if !ok {
+				return fmt.Errorf("operator %q has no tunable tile size", opName)
+			}
+			tr, err := o.TuneTile(tk, res.FinalOptions)
+			if err != nil {
+				return err
+			}
+			fmt.Print(tr.Summary())
+		}
+		return nil
+
+	case modelName != "" || workloadPath != "":
+		var m *model.Model
+		if workloadPath != "" {
+			f, err := os.Open(workloadPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			m, err = model.ReadWorkload(f)
+			if err != nil {
+				return err
+			}
+		} else {
+			m, err = cliutil.ModelByName(modelName)
+			if err != nil {
+				return err
+			}
+		}
+		r := model.NewRunner(chip)
+		var res *model.RunResult
+		var err error
+		if top > 0 {
+			res, err = r.OptimizeTop(m, top)
+		} else {
+			res, err = r.Optimize(m)
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Report())
+		if htmlPath != "" {
+			rep := &viz.ModelHTMLReport{
+				Title:  fmt.Sprintf("%s on %s", m.Name, chip.Name),
+				Result: res,
+			}
+			if err := os.WriteFile(htmlPath, []byte(rep.Render()), 0o644); err != nil {
+				return err
+			}
+			fmt.Println("wrote", htmlPath)
+		}
+		return nil
+
+	default:
+		names := make([]string, 0)
+		for n := range kernels.Registry() {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Println("operators:")
+		for _, n := range names {
+			fmt.Println("  " + n)
+		}
+		fmt.Println("models:")
+		for _, m := range model.All() {
+			fmt.Printf("  %s (%s, %s)\n", m.Name, m.Type, m.Params)
+		}
+		return nil
+	}
+}

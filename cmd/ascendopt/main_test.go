@@ -1,0 +1,83 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunOperator(t *testing.T) {
+	if err := run("avgpool", "", "", "training", 0, false, false, false, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunModel(t *testing.T) {
+	if err := run("", "DeepFM", "", "training", 2, false, false, false, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunListing(t *testing.T) {
+	if err := run("", "", "", "inference", 0, false, false, false, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTune(t *testing.T) {
+	if err := run("mul", "", "", "training", 0, true, false, false, ""); err != nil {
+		t.Fatal(err)
+	}
+	// AvgPool is not Tunable: -tune must error cleanly.
+	if err := run("avgpool", "", "", "training", 0, true, false, false, ""); err == nil {
+		t.Error("untunable operator accepted for -tune")
+	}
+}
+
+func TestRunPasses(t *testing.T) {
+	if err := run("depthwise", "", "", "training", 0, false, true, false, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWorkloadFile(t *testing.T) {
+	if err := run("", "", "../../examples/workloads/transformer.json", "training", 0, false, false, false, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", "", "missing.json", "training", 0, false, false, false, ""); err == nil {
+		t.Error("missing workload accepted")
+	}
+}
+
+func TestRunModelHTML(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "m.html")
+	if err := run("", "DeepFM", "", "training", 2, false, false, false, out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "</html>") {
+		t.Error("incomplete model HTML")
+	}
+}
+
+func TestRunPipeline(t *testing.T) {
+	if err := run("cast", "", "", "training", 0, false, false, true, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("nope", "", "", "training", 0, false, false, false, ""); err == nil {
+		t.Error("unknown operator accepted")
+	}
+	if err := run("", "NopeNet", "", "training", 0, false, false, false, ""); err == nil {
+		t.Error("unknown model accepted")
+	}
+	if err := run("avgpool", "", "", "quantum", 0, false, false, false, ""); err == nil {
+		t.Error("unknown chip accepted")
+	}
+}

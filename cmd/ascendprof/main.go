@@ -1,0 +1,295 @@
+// Command ascendprof profiles one operator on the simulated AICore and
+// prints its component-based roofline analysis: the msprof-equivalent of
+// the toolkit.
+//
+// Usage:
+//
+//	ascendprof -op add_relu [-chip training|inference|tpu] [-optimized]
+//	           [-timeline] [-naive] [-critpath] [-trace out.json]
+//	           [-csv out.csv] [-disasm] [-save profile.json]
+//	           [-html report.html]
+//	ascendprof -analyze profile.json [-diff other.json] [-chip ...]
+//	ascendprof -asm program.txt [-chip ...]
+//
+// With no -op it lists the available operators.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"ascendperf/internal/cliutil"
+	"ascendperf/internal/core"
+	"ascendperf/internal/critpath"
+	"ascendperf/internal/hw"
+	"ascendperf/internal/isa"
+	"ascendperf/internal/kernels"
+	"ascendperf/internal/multicore"
+	"ascendperf/internal/profile"
+	"ascendperf/internal/sim"
+	"ascendperf/internal/sweep"
+	"ascendperf/internal/viz"
+)
+
+func main() {
+	var (
+		opName    = flag.String("op", "", "operator name (empty lists all)")
+		chipName  = flag.String("chip", "training", "chip preset (training, inference, tpu) or a chip-spec JSON file")
+		dumpChip  = flag.String("dumpchip", "", "write the selected chip specification as JSON and exit")
+		optimized = flag.Bool("optimized", false, "build the fully optimized variant instead of the shipped baseline")
+		timeline  = flag.Bool("timeline", false, "print the ASCII pipeline timeline")
+		naive     = flag.Bool("naive", false, "also print the naive per-pair roofline for comparison")
+		tracePath = flag.String("trace", "", "write a Chrome trace-event JSON file")
+		csvPath   = flag.String("csv", "", "write the span timeline as CSV")
+		disasm    = flag.Bool("disasm", false, "print the generated instruction stream")
+		critPath  = flag.Bool("critpath", false, "print the critical-path decomposition")
+		savePath  = flag.String("save", "", "write the raw profile as JSON for offline analysis")
+		htmlPath  = flag.String("html", "", "write a self-contained HTML report")
+		asmPath   = flag.String("asm", "", "profile a hand-written program file (Disassemble format) instead of a library operator")
+		sweepStr  = flag.String("sweep", "", "comma-separated work scales: print a shape sweep instead of a single profile (e.g. 0.25,1,4)")
+		loadPath  = flag.String("analyze", "", "analyze a previously saved profile JSON instead of simulating")
+		diffPath  = flag.String("diff", "", "with -analyze: compare against a second saved profile")
+	)
+	flag.Parse()
+	if *dumpChip != "" {
+		if err := writeChipSpec(*chipName, *dumpChip); err != nil {
+			fmt.Fprintln(os.Stderr, "ascendprof:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *loadPath != "" {
+		if err := analyzeSaved(*loadPath, *diffPath, *chipName); err != nil {
+			fmt.Fprintln(os.Stderr, "ascendprof:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *sweepStr != "" {
+		if err := runSweep(*opName, *chipName, *optimized, *sweepStr); err != nil {
+			fmt.Fprintln(os.Stderr, "ascendprof:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(*opName, *asmPath, *chipName, *optimized, *timeline, *naive, *tracePath, *csvPath, *disasm, *critPath, *savePath, *htmlPath); err != nil {
+		fmt.Fprintln(os.Stderr, "ascendprof:", err)
+		os.Exit(1)
+	}
+}
+
+// runSweep prints a shape sweep of the operator.
+func runSweep(opName, chipName string, optimized bool, scalesStr string) error {
+	chip, err := chipByName(chipName)
+	if err != nil {
+		return err
+	}
+	k := kernels.Registry()[opName]
+	if k == nil {
+		return fmt.Errorf("unknown operator %q", opName)
+	}
+	pk, ok := k.(multicore.Partitionable)
+	if !ok {
+		return fmt.Errorf("operator %q has no sweepable work units", opName)
+	}
+	var scales []float64
+	for _, part := range strings.Split(scalesStr, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return fmt.Errorf("bad scale %q", part)
+		}
+		scales = append(scales, v)
+	}
+	opts := k.Baseline()
+	if optimized {
+		opts = kernels.FullyOptimized(k)
+	}
+	res, err := sweep.Run(chip, pk, opts, scales)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Format())
+	return nil
+}
+
+// writeChipSpec dumps a chip preset as an editable JSON spec.
+func writeChipSpec(chipName, outPath string) error {
+	chip, err := chipByName(chipName)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := chip.WriteJSON(f); err != nil {
+		return err
+	}
+	fmt.Println("wrote", outPath)
+	return nil
+}
+
+// analyzeSaved re-analyzes a stored profile offline, the decoupled
+// workflow of collecting on one machine and analyzing on another. With a
+// diff path it compares two saved profiles across an optimization
+// iteration.
+func analyzeSaved(path, diffPath, chipName string) error {
+	chip, err := chipByName(chipName)
+	if err != nil {
+		return err
+	}
+	load := func(path string) (*profile.Profile, error) {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return profile.ReadJSON(f)
+	}
+	p, err := load(path)
+	if err != nil {
+		return err
+	}
+	a := core.Analyze(p, chip, core.DefaultThresholds())
+	if diffPath == "" {
+		fmt.Print(p.Summary())
+		fmt.Print(a.Report())
+		return nil
+	}
+	q, err := load(diffPath)
+	if err != nil {
+		return err
+	}
+	b := core.Analyze(q, chip, core.DefaultThresholds())
+	fmt.Print(core.Diff(a, b).Report())
+	return nil
+}
+
+// chipByName resolves a preset name or loads a chip-specification file.
+func chipByName(name string) (*hw.Chip, error) {
+	return cliutil.ChipByName(name)
+}
+
+func run(opName, asmPath, chipName string, optimized, timeline, naive bool, tracePath, csvPath string, disasm, critPath bool, savePath, htmlPath string) error {
+	reg := kernels.Registry()
+	if opName == "" && asmPath == "" {
+		names := make([]string, 0, len(reg))
+		for n := range reg {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Println("available operators:")
+		for _, n := range names {
+			fmt.Println("  " + n)
+		}
+		return nil
+	}
+	chip, err := chipByName(chipName)
+	if err != nil {
+		return err
+	}
+	var prog *isa.Program
+	if asmPath != "" {
+		f, err := os.Open(asmPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		prog, err = isa.Parse(asmPath, f)
+		if err != nil {
+			return err
+		}
+		if err := prog.Validate(chip); err != nil {
+			return err
+		}
+	} else {
+		k := reg[opName]
+		if k == nil {
+			return fmt.Errorf("unknown operator %q (run without -op to list)", opName)
+		}
+		opts := k.Baseline()
+		if optimized {
+			opts = kernels.FullyOptimized(k)
+		}
+		prog, err = k.Build(chip, opts)
+		if err != nil {
+			return err
+		}
+	}
+	if disasm {
+		fmt.Print(prog.Disassemble())
+	}
+	p, err := sim.Run(chip, prog)
+	if err != nil {
+		return err
+	}
+	fmt.Print(p.Summary())
+	a := core.Analyze(p, chip, core.DefaultThresholds())
+	fmt.Print(a.Report())
+	if naive {
+		fmt.Print(core.NaiveAnalyze(p, chip).Report())
+	}
+	if timeline {
+		fmt.Print(viz.Timeline(p, 120))
+	}
+	if critPath {
+		cp, err := critpath.Compute(chip, prog, p)
+		if err != nil {
+			return err
+		}
+		fmt.Print(cp.Report())
+	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := p.WriteChromeTrace(f); err != nil {
+			return err
+		}
+		fmt.Println("wrote", tracePath)
+	}
+	if csvPath != "" {
+		f, err := os.Create(csvPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := p.WriteCSV(f); err != nil {
+			return err
+		}
+		fmt.Println("wrote", csvPath)
+	}
+	if savePath != "" {
+		f, err := os.Create(savePath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := p.WriteJSON(f); err != nil {
+			return err
+		}
+		fmt.Println("wrote", savePath)
+	}
+	if htmlPath != "" {
+		cp, err := critpath.Compute(chip, prog, p)
+		if err != nil {
+			return err
+		}
+		rep := &viz.HTMLReport{
+			Title:    fmt.Sprintf("%s on %s", prog.Name, chip.Name),
+			Analysis: a, Profile: p, CritPath: cp,
+		}
+		if err := os.WriteFile(htmlPath, []byte(rep.Render()), 0o644); err != nil {
+			return err
+		}
+		fmt.Println("wrote", htmlPath)
+	}
+	return nil
+}

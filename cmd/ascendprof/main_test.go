@@ -1,0 +1,126 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunListsOperators(t *testing.T) {
+	if err := run("", "", "training", false, false, false, "", "", false, false, "", ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFullFeatureSet(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "t.json")
+	csv := filepath.Join(dir, "t.csv")
+	if err := run("add_relu", "", "training", true, true, true, trace, csv, true, true, "", ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunInferenceChip(t *testing.T) {
+	if err := run("avgpool", "", "inference", false, false, false, "", "", false, false, "", ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHTMLReportFlag(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "r.html")
+	if err := run("depthwise", "", "training", false, false, false, "", "", false, false, "", out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "</html>") {
+		t.Error("incomplete HTML report")
+	}
+}
+
+func TestSaveAndAnalyze(t *testing.T) {
+	dir := t.TempDir()
+	saved := filepath.Join(dir, "p.json")
+	if err := run("mul", "", "training", false, false, false, "", "", false, false, saved, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := analyzeSaved(saved, "", "training"); err != nil {
+		t.Fatal(err)
+	}
+	if err := analyzeSaved(filepath.Join(dir, "missing.json"), "", "training"); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := analyzeSaved(saved, "", "quantum"); err == nil {
+		t.Error("unknown chip accepted")
+	}
+
+	// Diff mode: compare baseline against the optimized variant.
+	opt := filepath.Join(dir, "opt.json")
+	if err := run("mul", "", "training", true, false, false, "", "", false, false, opt, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := analyzeSaved(saved, opt, "training"); err != nil {
+		t.Fatal(err)
+	}
+	if err := analyzeSaved(saved, filepath.Join(dir, "missing.json"), "training"); err == nil {
+		t.Error("missing diff file accepted")
+	}
+}
+
+func TestCustomChipFile(t *testing.T) {
+	dir := t.TempDir()
+	spec := filepath.Join(dir, "chip.json")
+	if err := writeChipSpec("training", spec); err != nil {
+		t.Fatal(err)
+	}
+	// The spec file now works anywhere a preset name does.
+	if err := run("mul", "", spec, false, false, false, "", "", false, false, "", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeChipSpec("quantum", spec); err == nil {
+		t.Error("unknown preset accepted for dump")
+	}
+}
+
+func TestRunHandWrittenProgram(t *testing.T) {
+	dir := t.TempDir()
+	asm := filepath.Join(dir, "p.txt")
+	src := "copy GM->UB bytes=4096\nset_flag MTE-GM->Vector ev=0\nwait_flag MTE-GM->Vector ev=0\nVector.FP16 ops=2048 repeat=1\n"
+	if err := os.WriteFile(asm, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", asm, "training", false, true, false, "", "", false, true, "", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", filepath.Join(dir, "missing.txt"), "training", false, false, false, "", "", false, false, "", ""); err == nil {
+		t.Error("missing asm accepted")
+	}
+}
+
+func TestRunSweep(t *testing.T) {
+	if err := runSweep("add", "training", true, "0.5,1,2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := runSweep("nope", "training", false, "1"); err == nil {
+		t.Error("unknown operator accepted")
+	}
+	if err := runSweep("add", "training", false, "x"); err == nil {
+		t.Error("bad scale accepted")
+	}
+	if err := runSweep("add", "quantum", false, "1"); err == nil {
+		t.Error("unknown chip accepted")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("nope", "", "training", false, false, false, "", "", false, false, "", ""); err == nil {
+		t.Error("unknown operator accepted")
+	}
+	if err := run("add_relu", "", "quantum", false, false, false, "", "", false, false, "", ""); err == nil {
+		t.Error("unknown chip accepted")
+	}
+}

@@ -1,0 +1,69 @@
+// Command ascendviz renders the component-based roofline of an operator
+// (Fig. 6/7 style) as an SVG document.
+//
+// Usage:
+//
+//	ascendviz -op depthwise [-chip training|inference] [-optimized] [-o roofline.svg]
+//
+// Without -o the SVG is written to stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ascendperf/internal/cliutil"
+	"ascendperf/internal/core"
+	"ascendperf/internal/kernels"
+	"ascendperf/internal/sim"
+	"ascendperf/internal/viz"
+)
+
+func main() {
+	var (
+		opName    = flag.String("op", "add_relu", "operator name")
+		chipName  = flag.String("chip", "training", "chip preset: training or inference")
+		optimized = flag.Bool("optimized", false, "render the optimized variant")
+		outPath   = flag.String("o", "", "output path (default stdout)")
+	)
+	flag.Parse()
+	if err := run(*opName, *chipName, *optimized, *outPath); err != nil {
+		fmt.Fprintln(os.Stderr, "ascendviz:", err)
+		os.Exit(1)
+	}
+}
+
+func run(opName, chipName string, optimized bool, outPath string) error {
+	k := kernels.Registry()[opName]
+	if k == nil {
+		return fmt.Errorf("unknown operator %q", opName)
+	}
+	chip, err := cliutil.ChipByName(chipName)
+	if err != nil {
+		return err
+	}
+	opts := k.Baseline()
+	if optimized {
+		opts = kernels.FullyOptimized(k)
+	}
+	prog, err := k.Build(chip, opts)
+	if err != nil {
+		return err
+	}
+	p, err := sim.Run(chip, prog)
+	if err != nil {
+		return err
+	}
+	a := core.Analyze(p, chip, core.DefaultThresholds())
+	svg := viz.BuildChart(a).SVG()
+	if outPath == "" {
+		fmt.Print(svg)
+		return nil
+	}
+	if err := os.WriteFile(outPath, []byte(svg), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote", outPath)
+	return nil
+}

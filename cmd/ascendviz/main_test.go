@@ -1,0 +1,31 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunToFile(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "r.svg")
+	if err := run("depthwise", "training", true, out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "</svg>") {
+		t.Error("incomplete SVG")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("nope", "training", false, ""); err == nil {
+		t.Error("unknown operator accepted")
+	}
+	if err := run("mul", "quantum", false, ""); err == nil {
+		t.Error("unknown chip accepted")
+	}
+}

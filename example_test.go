@@ -1,0 +1,87 @@
+package ascendperf_test
+
+// Documentation examples with pinned output: the simulator is
+// deterministic, so these double as end-to-end regression anchors for
+// the numbers the README quotes.
+
+import (
+	"fmt"
+	"log"
+
+	"ascendperf"
+)
+
+// ExampleAnalyzeOperator classifies the shipped Add_ReLU implementation:
+// insufficient parallelism, exactly the paper's Section 5.1 starting
+// point.
+func ExampleAnalyzeOperator() {
+	chip := ascendperf.TrainingChip()
+	a, _, err := ascendperf.AnalyzeOperator(chip, ascendperf.NewAddReLU())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s\n", a.Cause)
+	fmt.Printf("max utilization %.2f%% (%s)\n", 100*a.MaxUtil, a.MaxUtilComp)
+	// Output:
+	// Insufficient Parallelism
+	// max utilization 51.61% (MTE-UB)
+}
+
+// ExampleOptimizeOperator runs the analysis-optimization loop on the
+// AvgPool case study: the advisor identifies inefficient compute and
+// applies the instruction-parameter fix.
+func ExampleOptimizeOperator() {
+	chip := ascendperf.TrainingChip()
+	res, err := ascendperf.OptimizeOperator(chip, ascendperf.NewAvgPool())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("baseline cause: %s\n", res.InitialAnalysis.Cause)
+	fmt.Printf("applied: %v\n", res.Applied())
+	fmt.Printf("speedup: %.2fx\n", res.Speedup())
+	// Output:
+	// baseline cause: Inefficient Compute
+	// applied: [AIP]
+	// speedup: 5.85x
+}
+
+// ExampleDiff compares the Add_ReLU analyses across its optimization:
+// the bottleneck shifts from insufficient parallelism to the MTE-UB
+// hardware wall.
+func ExampleDiff() {
+	chip := ascendperf.TrainingChip()
+	k := ascendperf.NewAddReLU()
+	before, _, err := ascendperf.AnalyzeOperator(chip, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := ascendperf.OptimizeOperator(chip, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	after := ascendperf.Analyze(res.FinalProfile, chip)
+	d := ascendperf.Diff(before, after)
+	fmt.Printf("%s -> %s (shifted: %v)\n", d.CauseBefore, d.CauseAfter, d.Shifted())
+	// Output:
+	// Insufficient Parallelism -> MTE Bound (shifted: true)
+}
+
+// ExampleApply shows strategy application on an options value.
+func ExampleApply() {
+	var o ascendperf.Options
+	o = ascendperf.Apply(o, ascendperf.RSD)
+	o = ascendperf.Apply(o, ascendperf.MRT)
+	fmt.Println(o.SeparateOutputBuffer, o.HoistInvariantTransfers)
+	// Output:
+	// true true
+}
+
+// ExampleChip_BankOf demonstrates the optional UB banking model.
+func ExampleChip_BankOf() {
+	chip := ascendperf.TrainingChip()
+	chip.UBBanks = 4
+	chip.UBBankWidth = 1 << 10
+	fmt.Println(chip.BankOf(0), chip.BankOf(1024), chip.BankOf(4096))
+	// Output:
+	// 0 1 0
+}

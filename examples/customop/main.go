@@ -1,0 +1,84 @@
+// Custom operator: write a new kernel against the public API, profile
+// it, and read its roofline. The operator is a fused scale-and-store
+// (y = a*x) over 256K FP16 elements, deliberately written with two
+// classic defects — a shared input/output buffer and a pipe_barrier
+// after every tile — so the analysis has something to find.
+//
+//	go run ./examples/customop
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ascendperf"
+)
+
+// scaleKernel implements ascendperf.Kernel.
+type scaleKernel struct{}
+
+func (scaleKernel) Name() string { return "scale" }
+
+// Baseline returns the defective implementation; the Options fields are
+// consulted by Build below.
+func (scaleKernel) Baseline() ascendperf.Options { return ascendperf.Options{} }
+
+// Supported lists what Build knows how to apply.
+func (scaleKernel) Supported() []ascendperf.Strategy {
+	return []ascendperf.Strategy{ascendperf.RSD, ascendperf.RUS}
+}
+
+func (k scaleKernel) Build(chip *ascendperf.Chip, opts ascendperf.Options) (*ascendperf.Program, error) {
+	const (
+		elems     = 256 << 10
+		tileElems = 32 << 10
+		tileBytes = tileElems * 2
+		tiles     = elems / tileElems
+	)
+	b := ascendperf.NewBuilder(chip, "scale")
+	ubIn := b.Alloc(ascendperf.UB, tileBytes)
+	ubOut := ubIn // defect: in-place (spatial dependency with write-back)
+	if opts.SeparateOutputBuffer {
+		ubOut = b.Alloc(ascendperf.UB, tileBytes)
+	}
+	evIn := b.NewEvent(ascendperf.CompMTEGM, ascendperf.CompVector)
+	evOut := b.NewEvent(ascendperf.CompVector, ascendperf.CompMTEUB)
+	for t := int64(0); t < tiles; t++ {
+		b.Copy(ascendperf.PathGMToUB,
+			ascendperf.Region{Level: ascendperf.GM, Off: t * tileBytes, Size: tileBytes},
+			ubIn, "load")
+		b.Set(ascendperf.CompMTEGM, ascendperf.CompVector, evIn)
+		b.Wait(ascendperf.CompMTEGM, ascendperf.CompVector, evIn)
+		b.Compute(ascendperf.Vector, ascendperf.FP16, tileElems, 1,
+			[]ascendperf.Region{ubIn}, []ascendperf.Region{ubOut}, "scale")
+		b.Set(ascendperf.CompVector, ascendperf.CompMTEUB, evOut)
+		b.Wait(ascendperf.CompVector, ascendperf.CompMTEUB, evOut)
+		b.Copy(ascendperf.PathUBToGM,
+			ubOut,
+			ascendperf.Region{Level: ascendperf.GM, Off: 1<<30 + t*tileBytes, Size: tileBytes},
+			"store")
+		if !opts.MinimalSync {
+			b.Barrier() // defect: full fence between tiles
+		}
+	}
+	return b.Program()
+}
+
+func main() {
+	chip := ascendperf.TrainingChip()
+
+	// Analyze the defective baseline.
+	a, _, err := ascendperf.AnalyzeOperator(chip, scaleKernel{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(a.Report())
+
+	// The optimization loop finds both defects.
+	res, err := ascendperf.OptimizeOperator(chip, scaleKernel{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(res.Summary())
+}

@@ -1,0 +1,70 @@
+// Diagnose: the full toolkit on one slow operator. The component-based
+// roofline says WHICH component limits the operator; the critical path
+// says WHY; the optimizer and the tile tuner fix it; the diff confirms
+// the bottleneck shifted to the hardware wall; and everything lands in
+// a self-contained HTML report.
+//
+//	go run ./examples/diagnose
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"ascendperf"
+)
+
+func main() {
+	chip := ascendperf.TrainingChip()
+	k := ascendperf.NewCast() // a format-conversion operator, shipped slow
+
+	// 1. Classify.
+	before, profBefore, err := ascendperf.AnalyzeOperator(chip, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(before.Report())
+
+	// 2. Explain: what chain of waits produces this makespan?
+	prog, err := k.Build(chip, k.Baseline())
+	if err != nil {
+		log.Fatal(err)
+	}
+	cp, err := ascendperf.ComputeCriticalPath(chip, prog, profBefore)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(cp.Report())
+
+	// 3. Fix: strategies first, then the tile-size sweep on top.
+	res, err := ascendperf.OptimizeOperator(chip, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(res.Summary())
+	tuned, err := ascendperf.TuneOperatorTile(chip, k, res.FinalOptions)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(tuned.Summary())
+
+	// 4. Confirm: diff the analyses across the whole effort.
+	after := ascendperf.Analyze(res.FinalProfile, chip)
+	fmt.Println()
+	fmt.Print(ascendperf.Diff(before, after).Report())
+
+	// 5. Ship the report.
+	doc := (&ascendperf.HTMLReport{
+		Title:    "cast — diagnosis",
+		Analysis: before,
+		Profile:  profBefore,
+		CritPath: cp,
+	}).Render()
+	if err := os.WriteFile("cast-diagnosis.html", []byte(doc), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nwrote cast-diagnosis.html")
+}

@@ -1,0 +1,121 @@
+// Extending the component-based roofline to another DSA (paper Section
+// 7): a TPU-v5-style chip has the same component structure — Matrix
+// Multiply, Vector and Scalar units, plus transfer engines — with one
+// signature feature: the matrix unit's two input feeds have wildly
+// different bandwidths (wide Unified-Buffer activations, narrow Weight
+// FIFO). The analysis applies unchanged and pinpoints the Weight FIFO
+// the moment a kernel streams weights through it.
+//
+//	go run ./examples/dsaextension
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ascendperf"
+)
+
+// mxuKernel is a matrix-multiply microkernel for the TPU-style chip.
+// With streamWeights=false it is weight-stationary (weights loaded once,
+// activations streamed); with streamWeights=true every step pushes a
+// fresh weight tile through the narrow Weight FIFO.
+type mxuKernel struct {
+	streamWeights bool
+}
+
+func (k mxuKernel) Name() string {
+	if k.streamWeights {
+		return "mxu-weight-streaming"
+	}
+	return "mxu-weight-stationary"
+}
+
+func (mxuKernel) Baseline() ascendperf.Options     { return ascendperf.Options{} }
+func (mxuKernel) Supported() []ascendperf.Strategy { return nil }
+
+func (k mxuKernel) Build(chip *ascendperf.Chip, _ ascendperf.Options) (*ascendperf.Program, error) {
+	const (
+		steps    = 24
+		actBytes = 64 << 10
+		wBytes   = 32 << 10
+		cubeOps  = 16 << 20
+		outBytes = 32 << 10
+	)
+	b := ascendperf.NewBuilder(chip, k.Name())
+	l1Act := b.Alloc(ascendperf.L1, actBytes)
+	// Weights reside in the large on-chip buffer: either one tile
+	// (stationary) or every step's tile (streamed through the FIFO).
+	wResident := int64(wBytes)
+	if k.streamWeights {
+		wResident = steps * wBytes
+	}
+	l1W := b.Alloc(ascendperf.L1, wResident)
+	l0a := b.Alloc(ascendperf.L0A, actBytes)
+	// Double-buffer the FIFO window so the next weight tile streams in
+	// while the MXU consumes the current one.
+	l0b := [2]ascendperf.Region{b.Alloc(ascendperf.L0B, wBytes), b.Alloc(ascendperf.L0B, wBytes)}
+	l0c := b.Alloc(ascendperf.L0C, outBytes)
+	ubOut := b.Alloc(ascendperf.UB, outBytes)
+
+	evAct := b.NewEvent(ascendperf.CompMTEGM, ascendperf.CompMTEL1)
+	evW := b.NewEvent(ascendperf.CompMTEGM, ascendperf.CompMTEL1)
+	evFeed := b.NewEvent(ascendperf.CompMTEL1, ascendperf.CompCube)
+	evDrain := b.NewEvent(ascendperf.CompCube, ascendperf.CompVector)
+	evOut := b.NewEvent(ascendperf.CompVector, ascendperf.CompMTEUB)
+
+	// Pre-stage all resident weights in one bulk HBM transfer.
+	b.Copy(ascendperf.PathGMToL1,
+		ascendperf.Region{Level: ascendperf.GM, Off: 1 << 32, Size: wResident},
+		l1W, "prestage-w")
+	b.Set(ascendperf.CompMTEGM, ascendperf.CompMTEL1, evW)
+	b.Wait(ascendperf.CompMTEGM, ascendperf.CompMTEL1, evW)
+	if !k.streamWeights {
+		b.Copy(ascendperf.PathL1ToL0B, l1W, l0b[0], "weight-fifo")
+	}
+	for step := int64(0); step < steps; step++ {
+		b.Copy(ascendperf.PathGMToL1,
+			ascendperf.Region{Level: ascendperf.GM, Off: step * actBytes, Size: actBytes},
+			l1Act, "load-act")
+		b.Set(ascendperf.CompMTEGM, ascendperf.CompMTEL1, evAct)
+		b.Wait(ascendperf.CompMTEGM, ascendperf.CompMTEL1, evAct)
+		if k.streamWeights {
+			// Push this step's weight tile through the narrow FIFO.
+			b.Copy(ascendperf.PathL1ToL0B,
+				ascendperf.Region{Level: ascendperf.L1, Off: l1W.Off + step*wBytes, Size: wBytes},
+				l0b[step%2], "weight-fifo")
+		}
+		b.Copy(ascendperf.PathL1ToL0A, l1Act, l0a, "ub-feed")
+		b.Set(ascendperf.CompMTEL1, ascendperf.CompCube, evFeed)
+		b.Wait(ascendperf.CompMTEL1, ascendperf.CompCube, evFeed)
+		b.Compute(ascendperf.Cube, ascendperf.FP16, cubeOps, 1,
+			[]ascendperf.Region{l0a, l0b[step%2]}, []ascendperf.Region{l0c}, "mxu")
+		b.Set(ascendperf.CompCube, ascendperf.CompVector, evDrain)
+		b.Wait(ascendperf.CompCube, ascendperf.CompVector, evDrain)
+		b.Compute(ascendperf.Vector, ascendperf.FP16, outBytes/2, 1,
+			[]ascendperf.Region{l0c}, []ascendperf.Region{ubOut}, "drain")
+		b.Set(ascendperf.CompVector, ascendperf.CompMTEUB, evOut)
+		b.Wait(ascendperf.CompVector, ascendperf.CompMTEUB, evOut)
+		b.Copy(ascendperf.PathUBToGM,
+			ubOut,
+			ascendperf.Region{Level: ascendperf.GM, Off: 1<<33 + step*outBytes, Size: outBytes},
+			"store")
+	}
+	return b.Program()
+}
+
+func main() {
+	chip := ascendperf.TPUStyleChip()
+	for _, k := range []mxuKernel{{streamWeights: false}, {streamWeights: true}} {
+		a, _, err := ascendperf.AnalyzeOperator(chip, k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(a.Report())
+		fmt.Println()
+	}
+	fmt.Println("Streaming weights shifts the busiest component from MTE-GM (HBM) to")
+	fmt.Println("MTE-L1 — the Weight FIFO — which the component-based roofline points")
+	fmt.Println("at directly, exactly as it points at Ascend's MTEs. The methodology")
+	fmt.Println("carries over to other DSAs unchanged (paper Section 7).")
+}

@@ -1,0 +1,3 @@
+module ascendperf
+
+go 1.22

@@ -1,0 +1,41 @@
+// Package cliutil holds the small helpers shared by the command-line
+// tools: chip resolution (preset name or spec file) and model lookup.
+package cliutil
+
+import (
+	"fmt"
+	"os"
+
+	"ascendperf/internal/hw"
+	"ascendperf/internal/model"
+)
+
+// ChipByName resolves a chip preset name (training, inference, tpu) or,
+// when the argument names a readable file, loads it as a chip
+// specification JSON. Every command accepts both forms.
+func ChipByName(name string) (*hw.Chip, error) {
+	switch name {
+	case "training":
+		return hw.TrainingChip(), nil
+	case "inference":
+		return hw.InferenceChip(), nil
+	case "tpu":
+		return hw.TPUStyleChip(), nil
+	}
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, fmt.Errorf("unknown chip %q (not a preset or a readable spec file)", name)
+	}
+	defer f.Close()
+	return hw.ReadChipJSON(f)
+}
+
+// ModelByName finds a Table 2 workload by its name.
+func ModelByName(name string) (*model.Model, error) {
+	for _, m := range model.All() {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown model %q", name)
+}

@@ -1,0 +1,58 @@
+package cliutil
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ascendperf/internal/hw"
+)
+
+func TestChipByNamePresets(t *testing.T) {
+	for name, want := range map[string]string{
+		"training": "ascend-training", "inference": "ascend-inference", "tpu": "tpu-style",
+	} {
+		chip, err := ChipByName(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if chip.Name != want {
+			t.Errorf("%s resolved to %s", name, chip.Name)
+		}
+	}
+}
+
+func TestChipByNameSpecFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "chip.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hw.TrainingChip().WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	chip, err := ChipByName(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chip.Name != "ascend-training" {
+		t.Errorf("loaded chip name = %s", chip.Name)
+	}
+	if _, err := ChipByName("no-such-preset-or-file"); err == nil {
+		t.Error("bogus chip accepted")
+	}
+}
+
+func TestModelByName(t *testing.T) {
+	m, err := ModelByName("PanGu-alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Params != "100B" {
+		t.Errorf("params = %s", m.Params)
+	}
+	if _, err := ModelByName("SkyNet"); err == nil {
+		t.Error("unknown model accepted")
+	}
+}

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// This file implements the classic models the paper positions the
+// component-based roofline against (Section 2.3, Figure 2): the original
+// DRAM roofline of Williams et al. and the hierarchical roofline used by
+// Intel Advisor and Nsight Compute. They operate on simple kernel
+// descriptors rather than full profiles, exactly as the originals do.
+
+// DRAMRoofline is the classic single-ceiling roofline: one peak arithmetic
+// rate and one DRAM bandwidth.
+type DRAMRoofline struct {
+	// PeakFlops is the arithmetic ceiling in op/ns.
+	PeakFlops float64
+	// PeakBandwidth is the DRAM bandwidth ceiling in B/ns.
+	PeakBandwidth float64
+}
+
+// Attainable returns the roofline ceiling at arithmetic intensity ai
+// (op/byte): min(PeakFlops, ai * PeakBandwidth).
+func (r DRAMRoofline) Attainable(ai float64) float64 {
+	return math.Min(r.PeakFlops, ai*r.PeakBandwidth)
+}
+
+// Ridge returns the ridge-point intensity where the bandwidth ceiling
+// meets the arithmetic ceiling.
+func (r DRAMRoofline) Ridge() float64 {
+	if r.PeakBandwidth <= 0 {
+		return math.Inf(1)
+	}
+	return r.PeakFlops / r.PeakBandwidth
+}
+
+// KernelPoint is one measured kernel on a classic roofline.
+type KernelPoint struct {
+	Name string
+	// Flops and Bytes are the kernel's totals; Time its duration in ns.
+	Flops float64
+	Bytes float64
+	Time  float64
+}
+
+// Intensity returns flops per byte.
+func (k KernelPoint) Intensity() float64 {
+	if k.Bytes <= 0 {
+		return math.Inf(1)
+	}
+	return k.Flops / k.Bytes
+}
+
+// Perf returns achieved op/ns.
+func (k KernelPoint) Perf() float64 {
+	if k.Time <= 0 {
+		return 0
+	}
+	return k.Flops / k.Time
+}
+
+// Region is the classic roofline verdict for a kernel.
+type Region int
+
+const (
+	// MemoryBound: the kernel sits left of the ridge point.
+	MemoryBound Region = iota
+	// ComputeBoundRegion: the kernel sits right of the ridge point.
+	ComputeBoundRegion
+)
+
+// String names the region.
+func (r Region) String() string {
+	if r == MemoryBound {
+		return "memory-bound"
+	}
+	return "compute-bound"
+}
+
+// Classify places the kernel left (memory bound) or right (compute bound)
+// of the ridge point.
+func (r DRAMRoofline) Classify(k KernelPoint) Region {
+	if k.Intensity() < r.Ridge() {
+		return MemoryBound
+	}
+	return ComputeBoundRegion
+}
+
+// Utilization returns the kernel's achieved fraction of its attainable
+// ceiling.
+func (r DRAMRoofline) Utilization(k KernelPoint) float64 {
+	att := r.Attainable(k.Intensity())
+	if att <= 0 {
+		return 0
+	}
+	return k.Perf() / att
+}
+
+// HierarchicalRoofline extends the DRAM roofline with one bandwidth
+// ceiling per memory level and one arithmetic ceiling per precision or
+// functional unit, as in hierarchical GPU rooflines.
+type HierarchicalRoofline struct {
+	// ArithCeilings maps a ceiling label (e.g. "FP32", "TensorCore") to
+	// its peak op/ns.
+	ArithCeilings map[string]float64
+	// BandwidthCeilings maps a memory level label (e.g. "DRAM", "L2",
+	// "L1") to its bandwidth B/ns.
+	BandwidthCeilings map[string]float64
+}
+
+// HierarchicalKernel is a kernel measured against every memory level.
+type HierarchicalKernel struct {
+	Name  string
+	Flops float64
+	// LevelBytes is the data volume moved at each memory level.
+	LevelBytes map[string]float64
+	Time       float64
+}
+
+// LevelVerdict is the per-level assessment of a hierarchical kernel.
+type LevelVerdict struct {
+	Level string
+	// Intensity is flops / level bytes.
+	Intensity float64
+	// BandwidthUtil is the achieved fraction of the level's bandwidth.
+	BandwidthUtil float64
+}
+
+// AnalyzeLevels computes the per-level verdicts, highest utilization
+// first. The top entry is the candidate bottleneck level.
+func (h HierarchicalRoofline) AnalyzeLevels(k HierarchicalKernel) []LevelVerdict {
+	var out []LevelVerdict
+	for level, bytes := range k.LevelBytes {
+		bw, ok := h.BandwidthCeilings[level]
+		if !ok || bw <= 0 || k.Time <= 0 || bytes <= 0 {
+			continue
+		}
+		out = append(out, LevelVerdict{
+			Level:         level,
+			Intensity:     k.Flops / bytes,
+			BandwidthUtil: bytes / k.Time / bw,
+		})
+	}
+	// Highest utilization first; stable tiebreak by label.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0; j-- {
+			a, b := out[j-1], out[j]
+			if b.BandwidthUtil > a.BandwidthUtil ||
+				(b.BandwidthUtil == a.BandwidthUtil && b.Level < a.Level) {
+				out[j-1], out[j] = b, a
+			} else {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Report renders the hierarchical analysis.
+func (h HierarchicalRoofline) Report(k HierarchicalKernel) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "hierarchical roofline: %s (%.0f flops, %.3f us)\n", k.Name, k.Flops, k.Time/1000)
+	for _, v := range h.AnalyzeLevels(k) {
+		fmt.Fprintf(&b, "  %-6s intensity %8.3f  bandwidth util %6.2f%%\n",
+			v.Level, v.Intensity, 100*v.BandwidthUtil)
+	}
+	return b.String()
+}

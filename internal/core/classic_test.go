@@ -1,0 +1,136 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestDRAMRooflineAttainable(t *testing.T) {
+	r := DRAMRoofline{PeakFlops: 100, PeakBandwidth: 10}
+	if got := r.Ridge(); !approx(got, 10) {
+		t.Errorf("ridge = %v, want 10", got)
+	}
+	// Left of the ridge: bandwidth ceiling.
+	if got := r.Attainable(5); !approx(got, 50) {
+		t.Errorf("attainable(5) = %v, want 50", got)
+	}
+	// Right of the ridge: arithmetic ceiling.
+	if got := r.Attainable(20); !approx(got, 100) {
+		t.Errorf("attainable(20) = %v, want 100", got)
+	}
+	// Exactly at the ridge both ceilings agree.
+	if got := r.Attainable(10); !approx(got, 100) {
+		t.Errorf("attainable(ridge) = %v, want 100", got)
+	}
+}
+
+func TestDRAMClassify(t *testing.T) {
+	r := DRAMRoofline{PeakFlops: 100, PeakBandwidth: 10}
+	mem := KernelPoint{Name: "stream", Flops: 1000, Bytes: 1000, Time: 100}
+	if r.Classify(mem) != MemoryBound {
+		t.Error("low-intensity kernel should be memory bound")
+	}
+	comp := KernelPoint{Name: "gemm", Flops: 100000, Bytes: 1000, Time: 1500}
+	if r.Classify(comp) != ComputeBoundRegion {
+		t.Error("high-intensity kernel should be compute bound")
+	}
+	if MemoryBound.String() != "memory-bound" || ComputeBoundRegion.String() != "compute-bound" {
+		t.Error("region names")
+	}
+}
+
+func TestDRAMUtilization(t *testing.T) {
+	r := DRAMRoofline{PeakFlops: 100, PeakBandwidth: 10}
+	// Intensity 1 -> attainable 10 op/ns; achieved 5 op/ns -> 50%.
+	k := KernelPoint{Name: "half", Flops: 500, Bytes: 500, Time: 100}
+	if got := r.Utilization(k); !approx(got, 0.5) {
+		t.Errorf("utilization = %v, want 0.5", got)
+	}
+}
+
+// Property: attainable performance never exceeds either ceiling and is
+// monotone in intensity.
+func TestDRAMRooflineProperties(t *testing.T) {
+	f := func(pf, bw uint8, ai1, ai2 uint16) bool {
+		r := DRAMRoofline{PeakFlops: float64(pf) + 1, PeakBandwidth: float64(bw) + 1}
+		a1 := float64(ai1) / 16
+		a2 := float64(ai2) / 16
+		v1, v2 := r.Attainable(a1), r.Attainable(a2)
+		if v1 > r.PeakFlops+1e-9 || v1 > a1*r.PeakBandwidth+1e-9 {
+			return false
+		}
+		if a1 <= a2 && v1 > v2+1e-9 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKernelPointEdgeCases(t *testing.T) {
+	zeroBytes := KernelPoint{Flops: 10, Bytes: 0, Time: 1}
+	if !math.IsInf(zeroBytes.Intensity(), 1) {
+		t.Error("zero bytes must give infinite intensity")
+	}
+	zeroTime := KernelPoint{Flops: 10, Bytes: 10, Time: 0}
+	if zeroTime.Perf() != 0 {
+		t.Error("zero time must give zero perf")
+	}
+	zeroBW := DRAMRoofline{PeakFlops: 10, PeakBandwidth: 0}
+	if !math.IsInf(zeroBW.Ridge(), 1) {
+		t.Error("zero bandwidth must give infinite ridge")
+	}
+}
+
+func TestHierarchicalAnalyzeLevels(t *testing.T) {
+	h := HierarchicalRoofline{
+		ArithCeilings: map[string]float64{"FP32": 100, "FP16": 200},
+		BandwidthCeilings: map[string]float64{
+			"DRAM": 10, "L2": 40, "L1": 160,
+		},
+	}
+	k := HierarchicalKernel{
+		Name:  "conv",
+		Flops: 8000,
+		LevelBytes: map[string]float64{
+			"DRAM": 900,  // util 0.9 at T=100
+			"L2":   2000, // util 0.5
+			"L1":   4000, // util 0.25
+		},
+		Time: 100,
+	}
+	out := h.AnalyzeLevels(k)
+	if len(out) != 3 {
+		t.Fatalf("levels = %d, want 3", len(out))
+	}
+	if out[0].Level != "DRAM" || !approx(out[0].BandwidthUtil, 0.9) {
+		t.Errorf("top level = %+v, want DRAM at 0.9", out[0])
+	}
+	if out[1].Level != "L2" || out[2].Level != "L1" {
+		t.Errorf("ordering wrong: %+v", out)
+	}
+	if !approx(out[0].Intensity, 8000.0/900) {
+		t.Errorf("DRAM intensity = %v", out[0].Intensity)
+	}
+	rep := h.Report(k)
+	if !strings.Contains(rep, "DRAM") || !strings.Contains(rep, "conv") {
+		t.Errorf("report missing content:\n%s", rep)
+	}
+}
+
+func TestHierarchicalSkipsUnknownLevels(t *testing.T) {
+	h := HierarchicalRoofline{BandwidthCeilings: map[string]float64{"DRAM": 10}}
+	k := HierarchicalKernel{
+		Flops:      100,
+		LevelBytes: map[string]float64{"DRAM": 100, "HBM3": 50},
+		Time:       10,
+	}
+	out := h.AnalyzeLevels(k)
+	if len(out) != 1 || out[0].Level != "DRAM" {
+		t.Errorf("unknown levels must be skipped: %+v", out)
+	}
+}

@@ -1,0 +1,423 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ascendperf/internal/hw"
+	"ascendperf/internal/profile"
+)
+
+// WorkItem is one constituent of a component's workload: a precision for
+// compute components, a transfer path for MTEs.
+type WorkItem struct {
+	// Label names the item ("FP16", "GM->UB").
+	Label string
+	// Work is the item's operation count (compute) or byte count (MTE).
+	Work float64
+	// Peak is the item's peak rate: op/ns or B/ns.
+	Peak float64
+	// BusyTime is the execution time spent on this item (T_prec in
+	// Eq. 8), when the profile provides it.
+	BusyTime float64
+	// Efficiency is the item's execution efficiency E_item =
+	// Work/(BusyTime*Peak) (Eq. 8), or 0 when BusyTime is unknown. Per
+	// the paper's Insight 2, the component efficiency is the
+	// busy-time-weighted average of these (Eq. 9).
+	Efficiency float64
+}
+
+// ComponentStats holds the roofline metrics of one component for one
+// operator execution.
+type ComponentStats struct {
+	Comp hw.Component
+
+	// Work is the total work of the component: operations for compute
+	// units, bytes for MTEs.
+	Work float64
+
+	// Items break the work down per precision or per path, heaviest
+	// first. The heaviest item is the most likely culprit when the
+	// component is inefficient (Section 4.2).
+	Items []WorkItem
+
+	// BusyTime is the component's execution (active) time, ns.
+	BusyTime float64
+
+	// IdealTime is Σ_item Work_item / Peak_item: the minimum time the
+	// component needs for its work (Eq. 3).
+	IdealTime float64
+
+	// Actual is the component's achieved rate W/T_total (Eq. 1).
+	Actual float64
+
+	// Ideal is the operator-aware ideal rate W/T_ideal: the work-weighted
+	// harmonic mean of the item peaks (Eq. 4).
+	Ideal float64
+
+	// Utilization is Actual/Ideal (Eq. 5).
+	Utilization float64
+
+	// Efficiency is the execution efficiency E = IdealTime/BusyTime:
+	// the component's achieved rate while active relative to its ideal
+	// rate (Eq. 6, left factor).
+	Efficiency float64
+
+	// TimeRatio is R = BusyTime/T_total (Eq. 6, right factor).
+	TimeRatio float64
+}
+
+// DominantItem returns the work item contributing the most work, or a
+// zero WorkItem if the component did no work.
+func (s *ComponentStats) DominantItem() WorkItem {
+	if len(s.Items) == 0 {
+		return WorkItem{}
+	}
+	return s.Items[0]
+}
+
+// Thresholds configures bottleneck classification.
+type Thresholds struct {
+	// UtilBound is the practical utilization ceiling per component;
+	// reaching it classifies the operator as bound by that component.
+	UtilBound map[hw.Component]float64
+
+	// DefaultUtilBound applies to components absent from UtilBound.
+	DefaultUtilBound float64
+
+	// TimeRatio is R_threshold: if every component's time ratio is below
+	// it, the operator suffers insufficient parallelism.
+	TimeRatio float64
+}
+
+// DefaultThresholds returns the deployment thresholds used throughout the
+// evaluation. Components that serve fine-grained vector workloads (the
+// Vector unit and MTE-UB, which move small blocks with frequent transfer
+// requirements, Section 5.1) get a lower practical ceiling.
+func DefaultThresholds() Thresholds {
+	return Thresholds{
+		UtilBound: map[hw.Component]float64{
+			hw.CompVector: 0.60,
+			hw.CompMTEUB:  0.60,
+		},
+		DefaultUtilBound: 0.80,
+		TimeRatio:        0.80,
+	}
+}
+
+// BoundThreshold returns the utilization ceiling for the component.
+func (t Thresholds) BoundThreshold(c hw.Component) float64 {
+	if v, ok := t.UtilBound[c]; ok {
+		return v
+	}
+	return t.DefaultUtilBound
+}
+
+// Cause is the classified root cause of an operator's performance.
+type Cause int
+
+const (
+	// CauseIdle means the operator did no measurable work.
+	CauseIdle Cause = iota
+	// CauseComputeBound: a compute unit reached its practical ceiling.
+	CauseComputeBound
+	// CauseMTEBound: an MTE reached its practical bandwidth ceiling.
+	CauseMTEBound
+	// CauseInsufficientParallelism: no component is bound and all have
+	// low time ratios; components execute nearly serially.
+	CauseInsufficientParallelism
+	// CauseInefficientMTE: an MTE is active most of the time but far
+	// from its ideal bandwidth (e.g. overly small transfer granularity).
+	CauseInefficientMTE
+	// CauseInefficientCompute: a compute unit is active most of the time
+	// but far from its ideal rate (e.g. poor instruction parameters).
+	CauseInefficientCompute
+)
+
+// String returns the abbreviation used in the paper's figures.
+func (c Cause) String() string {
+	switch c {
+	case CauseIdle:
+		return "Idle"
+	case CauseComputeBound:
+		return "Compute Bound"
+	case CauseMTEBound:
+		return "MTE Bound"
+	case CauseInsufficientParallelism:
+		return "Insufficient Parallelism"
+	case CauseInefficientMTE:
+		return "Inefficient MTE"
+	case CauseInefficientCompute:
+		return "Inefficient Compute"
+	default:
+		return fmt.Sprintf("Cause(%d)", int(c))
+	}
+}
+
+// Abbrev returns the two-letter code used in Figure 13/14 legends.
+func (c Cause) Abbrev() string {
+	switch c {
+	case CauseComputeBound:
+		return "CB"
+	case CauseMTEBound:
+		return "MB"
+	case CauseInsufficientParallelism:
+		return "IP"
+	case CauseInefficientMTE:
+		return "IM"
+	case CauseInefficientCompute:
+		return "IC"
+	default:
+		return "--"
+	}
+}
+
+// Causes lists the five bottleneck causes in figure order.
+func Causes() []Cause {
+	return []Cause{
+		CauseComputeBound, CauseMTEBound,
+		CauseInsufficientParallelism, CauseInefficientMTE, CauseInefficientCompute,
+	}
+}
+
+// Analysis is the result of component-based roofline analysis of one
+// operator execution.
+type Analysis struct {
+	// Name is the analyzed program's name.
+	Name string
+
+	// TotalTime is the operator makespan, ns.
+	TotalTime float64
+
+	// Components holds per-component roofline statistics for every
+	// component that did work, in canonical order.
+	Components []ComponentStats
+
+	// Cause is the classified bottleneck cause.
+	Cause Cause
+
+	// Bound is the bounding component when Cause is CauseComputeBound or
+	// CauseMTEBound; Culprit is the inefficient component when Cause is
+	// CauseInefficientMTE or CauseInefficientCompute.
+	Bound   hw.Component
+	Culprit hw.Component
+
+	// MaxUtil is the highest component utilization and MaxUtilComp the
+	// component achieving it — the paper's headline "MTE_utilization".
+	MaxUtil     float64
+	MaxUtilComp hw.Component
+
+	// MaxRatio is the highest component time ratio and MaxRatioComp the
+	// component achieving it — the paper's "component_time_ratio".
+	MaxRatio     float64
+	MaxRatioComp hw.Component
+}
+
+// Headroom estimates the speed-of-light speedup still available: the
+// operator cannot finish faster than its most-loaded component's ideal
+// time (Eq. 3), so TotalTime divided by that bound caps what software
+// optimization can still deliver. A headroom near 1.0 means the operator
+// has hit the hardware wall (the paper's "upper limit of software
+// optimization"); a large headroom quantifies the remaining room.
+func (a *Analysis) Headroom() float64 {
+	var bound float64
+	for _, st := range a.Components {
+		if st.IdealTime > bound {
+			bound = st.IdealTime
+		}
+	}
+	if bound <= 0 {
+		return 0
+	}
+	return a.TotalTime / bound
+}
+
+// ComponentByName returns the stats of a specific component, if present.
+func (a *Analysis) ComponentByName(c hw.Component) (ComponentStats, bool) {
+	for i := range a.Components {
+		if a.Components[i].Comp == c {
+			return a.Components[i], true
+		}
+	}
+	return ComponentStats{}, false
+}
+
+// Analyze runs component-based roofline analysis over a profile using the
+// given chip specification and thresholds.
+func Analyze(p *profile.Profile, chip *hw.Chip, th Thresholds) *Analysis {
+	a := &Analysis{Name: p.Name, TotalTime: p.TotalTime}
+	if p.TotalTime <= 0 {
+		a.Cause = CauseIdle
+		return a
+	}
+	for _, c := range hw.Components() {
+		var items []WorkItem
+		if c.IsCompute() {
+			u := c.Unit()
+			for _, up := range chip.UnitPrecs(u) {
+				if n := p.PrecOps[up]; n > 0 {
+					items = append(items, newWorkItem(
+						up.Prec.String(), float64(n),
+						chip.Compute[up].Peak, p.PrecBusy[up]))
+				}
+			}
+		} else {
+			for _, path := range chip.PathsOf(c) {
+				if b := p.PathBytes[path]; b > 0 {
+					items = append(items, newWorkItem(
+						path.String(), float64(b),
+						chip.Paths[path].Bandwidth, p.PathBusy[path]))
+				}
+			}
+		}
+		if len(items) == 0 {
+			continue
+		}
+		st := newComponentStats(c, items, p.Busy[c], p.TotalTime)
+		a.Components = append(a.Components, st)
+		if st.Utilization > a.MaxUtil {
+			a.MaxUtil = st.Utilization
+			a.MaxUtilComp = c
+		}
+		if st.TimeRatio > a.MaxRatio {
+			a.MaxRatio = st.TimeRatio
+			a.MaxRatioComp = c
+		}
+	}
+	classify(a, th)
+	return a
+}
+
+// newWorkItem fills the Eq. 8 per-item efficiency when the busy time is
+// known.
+func newWorkItem(label string, work, peak, busy float64) WorkItem {
+	it := WorkItem{Label: label, Work: work, Peak: peak, BusyTime: busy}
+	if busy > 0 && peak > 0 {
+		it.Efficiency = work / (busy * peak)
+	}
+	return it
+}
+
+// newComponentStats computes the Eq. 1-6 metrics for one component.
+func newComponentStats(c hw.Component, items []WorkItem, busy, total float64) ComponentStats {
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].Work != items[j].Work {
+			return items[i].Work > items[j].Work
+		}
+		return items[i].Label < items[j].Label
+	})
+	var work, idealTime float64
+	for _, it := range items {
+		work += it.Work
+		idealTime += it.Work / it.Peak
+	}
+	st := ComponentStats{
+		Comp:      c,
+		Work:      work,
+		Items:     items,
+		BusyTime:  busy,
+		IdealTime: idealTime,
+	}
+	if total > 0 {
+		st.Actual = work / total
+		st.TimeRatio = busy / total
+	}
+	if idealTime > 0 {
+		st.Ideal = work / idealTime
+		st.Utilization = st.Actual / st.Ideal // = idealTime / total
+	}
+	if busy > 0 {
+		st.Efficiency = idealTime / busy
+	}
+	return st
+}
+
+// classify assigns the bottleneck cause (Section 4.2).
+func classify(a *Analysis, th Thresholds) {
+	if len(a.Components) == 0 {
+		a.Cause = CauseIdle
+		return
+	}
+
+	// Component bound: some component's utilization reaches its
+	// practical ceiling. Among bound components pick the one with the
+	// highest utilization relative to its threshold.
+	boundIdx := -1
+	boundScore := 0.0
+	for i := range a.Components {
+		st := &a.Components[i]
+		t := th.BoundThreshold(st.Comp)
+		if t <= 0 {
+			continue
+		}
+		if score := st.Utilization / t; st.Utilization >= t && score > boundScore {
+			boundScore = score
+			boundIdx = i
+		}
+	}
+	if boundIdx >= 0 {
+		st := &a.Components[boundIdx]
+		a.Bound = st.Comp
+		if st.Comp.IsCompute() {
+			a.Cause = CauseComputeBound
+		} else {
+			a.Cause = CauseMTEBound
+		}
+		return
+	}
+
+	// Insufficient parallelism: every time ratio below the threshold
+	// means components execute nearly serially.
+	if a.MaxRatio < th.TimeRatio {
+		a.Cause = CauseInsufficientParallelism
+		return
+	}
+
+	// Otherwise the high-time-ratio component must be inefficient.
+	a.Culprit = a.MaxRatioComp
+	if a.Culprit.IsCompute() {
+		a.Cause = CauseInefficientCompute
+	} else {
+		a.Cause = CauseInefficientMTE
+	}
+}
+
+// Report renders a human-readable analysis table.
+func (a *Analysis) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "component-based roofline: %s  (total %.3f us)\n", a.Name, a.TotalTime/1000)
+	fmt.Fprintf(&b, "%-8s %12s %12s %12s %8s %8s %8s  %s\n",
+		"comp", "work", "actual", "ideal", "util", "eff", "ratio", "dominant")
+	for _, st := range a.Components {
+		dom := st.DominantItem()
+		fmt.Fprintf(&b, "%-8s %12.0f %12.3f %12.3f %7.2f%% %7.2f%% %7.2f%%  %s (%.0f)\n",
+			st.Comp, st.Work, st.Actual, st.Ideal,
+			100*st.Utilization, 100*st.Efficiency, 100*st.TimeRatio,
+			dom.Label, dom.Work)
+		// Per-item breakdown (Eq. 8) when more than one item is active:
+		// the heaviest, least-efficient item is the diagnosis target.
+		if len(st.Items) > 1 {
+			for _, it := range st.Items {
+				fmt.Fprintf(&b, "  . %-10s %12.0f work", it.Label, it.Work)
+				if it.BusyTime > 0 {
+					fmt.Fprintf(&b, "  eff %6.2f%%  busy %.3f us", 100*it.Efficiency, it.BusyTime/1000)
+				}
+				b.WriteString("\n")
+			}
+		}
+	}
+	fmt.Fprintf(&b, "cause: %s", a.Cause)
+	switch a.Cause {
+	case CauseComputeBound, CauseMTEBound:
+		fmt.Fprintf(&b, " (%s)", a.Bound)
+	case CauseInefficientMTE, CauseInefficientCompute:
+		fmt.Fprintf(&b, " (%s)", a.Culprit)
+	}
+	fmt.Fprintf(&b, "; max utilization %.2f%% (%s), max time ratio %.2f%% (%s)\n",
+		100*a.MaxUtil, a.MaxUtilComp, 100*a.MaxRatio, a.MaxRatioComp)
+	if h := a.Headroom(); h > 0 {
+		fmt.Fprintf(&b, "speed-of-light headroom: %.2fx (most-loaded component ideal time vs total)\n", h)
+	}
+	return b.String()
+}

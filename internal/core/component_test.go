@@ -1,0 +1,373 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"ascendperf/internal/hw"
+	"ascendperf/internal/profile"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+// mteGMContention builds the paper's Fig. 3a scenario as a profile:
+// matrix A (2x the size of B) over GM->L0A and B over GM->L0B, executed
+// sequentially within MTE-GM, which stays fully occupied.
+func mteGMContention(chip *hw.Chip) *profile.Profile {
+	bw := chip.Paths[hw.PathGMToL0A].Bandwidth // equal for L0A/L0B
+	sizeB := 24000.0
+	sizeA := 2 * sizeB
+	total := (sizeA + sizeB) / bw
+	p := profile.New("fig3a")
+	p.TotalTime = total
+	p.Busy[hw.CompMTEGM] = total
+	p.InstrCount[hw.CompMTEGM] = 2
+	p.PathBytes[hw.PathGMToL0A] = int64(sizeA)
+	p.PathBytes[hw.PathGMToL0B] = int64(sizeB)
+	return p
+}
+
+// cubeMixedPrecision builds Fig. 3b: equal operand counts of INT8 and
+// FP16 on the Cube, executed back to back at their respective peaks.
+func cubeMixedPrecision(chip *hw.Chip) *profile.Profile {
+	p8, _ := chip.PeakOf(hw.Cube, hw.INT8)
+	p16, _ := chip.PeakOf(hw.Cube, hw.FP16)
+	n := 1 << 20
+	total := float64(n)/p8 + float64(n)/p16
+	p := profile.New("fig3b")
+	p.TotalTime = total
+	p.Busy[hw.CompCube] = total
+	p.InstrCount[hw.CompCube] = 2
+	p.PrecOps[hw.UnitPrec{Unit: hw.Cube, Prec: hw.INT8}] = int64(n)
+	p.PrecOps[hw.UnitPrec{Unit: hw.Cube, Prec: hw.FP16}] = int64(n)
+	return p
+}
+
+// TestFig3aComponentModelCorrect: the component-based model recognizes
+// the fully occupied MTE-GM as 100% utilized (MTE bound), where the naive
+// model reports 67%/33% per-path underutilization.
+func TestFig3aComponentModelCorrect(t *testing.T) {
+	chip := hw.TrainingChip()
+	p := mteGMContention(chip)
+
+	a := Analyze(p, chip, DefaultThresholds())
+	st, ok := a.ComponentByName(hw.CompMTEGM)
+	if !ok {
+		t.Fatal("MTE-GM missing from analysis")
+	}
+	if !approx(st.Utilization, 1.0) {
+		t.Errorf("component utilization = %v, want 1.0", st.Utilization)
+	}
+	if a.Cause != CauseMTEBound || a.Bound != hw.CompMTEGM {
+		t.Errorf("cause = %s (%s), want MTE Bound (MTE-GM)", a.Cause, a.Bound)
+	}
+
+	na := NaiveAnalyze(p, chip)
+	// The naive model must report the documented wrong answer: the L0A
+	// transfer at 2/3 utilization, the L0B transfer at 1/3.
+	var gotA, gotB float64
+	for _, pt := range na.Points {
+		switch pt.Path {
+		case hw.PathGMToL0A:
+			gotA = pt.TransferUtil
+		case hw.PathGMToL0B:
+			gotB = pt.TransferUtil
+		}
+	}
+	// No compute in the profile, so points are empty; use the direct
+	// utilization computation instead.
+	if len(na.Points) != 0 {
+		t.Fatalf("expected no naive points without compute, got %d", len(na.Points))
+	}
+	gotA = float64(p.PathBytes[hw.PathGMToL0A]) / p.TotalTime / chip.Paths[hw.PathGMToL0A].Bandwidth
+	gotB = float64(p.PathBytes[hw.PathGMToL0B]) / p.TotalTime / chip.Paths[hw.PathGMToL0B].Bandwidth
+	if !approx(gotA, 2.0/3.0) || !approx(gotB, 1.0/3.0) {
+		t.Errorf("naive per-path utils = %v, %v, want 2/3 and 1/3", gotA, gotB)
+	}
+}
+
+// TestFig3bComponentModelCorrect: for sequential mixed precision the
+// operator-aware ideal matches the actual rate (100% utilization), while
+// naive per-precision utilizations read 67%/33%.
+func TestFig3bComponentModelCorrect(t *testing.T) {
+	chip := hw.TrainingChip()
+	p := cubeMixedPrecision(chip)
+
+	a := Analyze(p, chip, DefaultThresholds())
+	st, ok := a.ComponentByName(hw.CompCube)
+	if !ok {
+		t.Fatal("Cube missing from analysis")
+	}
+	if !approx(st.Utilization, 1.0) {
+		t.Errorf("cube utilization = %v, want 1.0", st.Utilization)
+	}
+	if a.Cause != CauseComputeBound || a.Bound != hw.CompCube {
+		t.Errorf("cause = %s, want Compute Bound (Cube)", a.Cause)
+	}
+
+	// Actual rate must be 2/3 of the INT8 peak (paper Section 4.2).
+	p8, _ := chip.PeakOf(hw.Cube, hw.INT8)
+	if !approx(st.Actual, 2.0/3.0*p8) {
+		t.Errorf("actual = %v, want %v", st.Actual, 2.0/3.0*p8)
+	}
+	// The operator-aware ideal equals the actual; the naive "maximum"
+	// ideal (INT8 peak) and "average" ideal overestimate it.
+	if !approx(st.Ideal, st.Actual) {
+		t.Errorf("ideal %v != actual %v", st.Ideal, st.Actual)
+	}
+	maxIdeal := p8
+	p16, _ := chip.PeakOf(hw.Cube, hw.FP16)
+	avgIdeal := (p8 + p16) / 2
+	if st.Ideal >= maxIdeal || st.Ideal >= avgIdeal {
+		t.Errorf("operator-aware ideal %v should undercut max %v and avg %v", st.Ideal, maxIdeal, avgIdeal)
+	}
+
+	// Naive per-precision utilizations: FP16 at 2/3, INT8 at 1/3.
+	u16 := float64(p.PrecOps[hw.UnitPrec{Unit: hw.Cube, Prec: hw.FP16}]) / p.TotalTime / p16
+	u8 := float64(p.PrecOps[hw.UnitPrec{Unit: hw.Cube, Prec: hw.INT8}]) / p.TotalTime / p8
+	if !approx(u16, 2.0/3.0) || !approx(u8, 1.0/3.0) {
+		t.Errorf("naive per-precision utils = %v, %v, want 2/3 and 1/3", u16, u8)
+	}
+}
+
+// TestHarmonicMeanIdeal verifies Eq. 4 directly on a two-item component.
+func TestHarmonicMeanIdeal(t *testing.T) {
+	items := []WorkItem{
+		{Label: "a", Work: 300, Peak: 3},
+		{Label: "b", Work: 100, Peak: 1},
+	}
+	st := newComponentStats(hw.CompCube, items, 200, 400)
+	// T_ideal = 300/3 + 100/1 = 200; ideal = 400/200 = 2.
+	if !approx(st.IdealTime, 200) {
+		t.Errorf("ideal time = %v, want 200", st.IdealTime)
+	}
+	if !approx(st.Ideal, 2) {
+		t.Errorf("ideal = %v, want 2", st.Ideal)
+	}
+	// busy = 200, total = 400: E = 200/200 = 1, R = 0.5, U = 0.5.
+	if !approx(st.Efficiency, 1) || !approx(st.TimeRatio, 0.5) || !approx(st.Utilization, 0.5) {
+		t.Errorf("E=%v R=%v U=%v, want 1, 0.5, 0.5", st.Efficiency, st.TimeRatio, st.Utilization)
+	}
+}
+
+// TestIdealBetweenMinAndMax: property check that the harmonic-mean ideal
+// always lies between the slowest and fastest item peak, and that for a
+// single item it equals the peak.
+func TestIdealBetweenMinAndMax(t *testing.T) {
+	f := func(w1, w2 uint16, p1, p2 uint8) bool {
+		work1, work2 := float64(w1)+1, float64(w2)+1
+		peak1, peak2 := float64(p1)+1, float64(p2)+1
+		items := []WorkItem{
+			{Label: "x", Work: work1, Peak: peak1},
+			{Label: "y", Work: work2, Peak: peak2},
+		}
+		st := newComponentStats(hw.CompVector, items, 1, 1)
+		lo, hi := math.Min(peak1, peak2), math.Max(peak1, peak2)
+		if st.Ideal < lo-1e-9 || st.Ideal > hi+1e-9 {
+			return false
+		}
+		single := newComponentStats(hw.CompVector, []WorkItem{{Label: "x", Work: work1, Peak: peak1}}, 1, 1)
+		return approx(single.Ideal, peak1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestUtilizationDecomposition: U = E * R exactly (Eq. 6), on arbitrary
+// inputs.
+func TestUtilizationDecomposition(t *testing.T) {
+	f := func(w uint16, pk, busyFrac uint8) bool {
+		work := float64(w) + 1
+		peak := float64(pk) + 1
+		total := 1000.0
+		busy := total * (float64(busyFrac%100) + 1) / 100
+		st := newComponentStats(hw.CompMTEGM,
+			[]WorkItem{{Label: "p", Work: work, Peak: peak}}, busy, total)
+		return math.Abs(st.Utilization-st.Efficiency*st.TimeRatio) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDominantItemOrdering(t *testing.T) {
+	items := []WorkItem{
+		{Label: "small", Work: 10, Peak: 1},
+		{Label: "big", Work: 1000, Peak: 1},
+		{Label: "mid", Work: 100, Peak: 1},
+	}
+	st := newComponentStats(hw.CompMTEGM, items, 1, 1)
+	if st.DominantItem().Label != "big" {
+		t.Errorf("dominant = %s, want big", st.DominantItem().Label)
+	}
+	if st.Items[1].Label != "mid" || st.Items[2].Label != "small" {
+		t.Errorf("items not sorted by work: %+v", st.Items)
+	}
+	empty := ComponentStats{}
+	if empty.DominantItem() != (WorkItem{}) {
+		t.Error("empty component must have zero dominant item")
+	}
+}
+
+func TestClassifyInsufficientParallelism(t *testing.T) {
+	chip := hw.TrainingChip()
+	p := profile.New("ip")
+	p.TotalTime = 1000
+	// Two components, each active 40% of the time at full efficiency:
+	// utilization 0.4 < thresholds, ratios 0.4 < 0.8.
+	p.Busy[hw.CompVector] = 400
+	p.Busy[hw.CompMTEGM] = 400
+	p.PrecOps[hw.UnitPrec{Unit: hw.Vector, Prec: hw.FP16}] = int64(400 * chip.Compute[hw.UnitPrec{Unit: hw.Vector, Prec: hw.FP16}].Peak)
+	p.PathBytes[hw.PathGMToUB] = int64(400 * chip.Paths[hw.PathGMToUB].Bandwidth)
+	a := Analyze(p, chip, DefaultThresholds())
+	if a.Cause != CauseInsufficientParallelism {
+		t.Errorf("cause = %s, want Insufficient Parallelism", a.Cause)
+	}
+}
+
+func TestClassifyInefficientMTE(t *testing.T) {
+	chip := hw.TrainingChip()
+	p := profile.New("im")
+	p.TotalTime = 1000
+	// MTE-GM active 95% of the time but moving few bytes (low
+	// efficiency); Vector barely active.
+	p.Busy[hw.CompMTEGM] = 950
+	p.Busy[hw.CompVector] = 100
+	p.PathBytes[hw.PathGMToUB] = int64(0.3 * 950 * chip.Paths[hw.PathGMToUB].Bandwidth)
+	p.PrecOps[hw.UnitPrec{Unit: hw.Vector, Prec: hw.FP16}] = 100
+	a := Analyze(p, chip, DefaultThresholds())
+	if a.Cause != CauseInefficientMTE || a.Culprit != hw.CompMTEGM {
+		t.Errorf("cause = %s (%s), want Inefficient MTE (MTE-GM)", a.Cause, a.Culprit)
+	}
+}
+
+func TestClassifyInefficientCompute(t *testing.T) {
+	chip := hw.TrainingChip()
+	p := profile.New("ic")
+	p.TotalTime = 1000
+	// Vector active 84% of the time at ~16% efficiency (the AvgPool
+	// case), MTE lightly used.
+	peak := chip.Compute[hw.UnitPrec{Unit: hw.Vector, Prec: hw.FP16}].Peak
+	p.Busy[hw.CompVector] = 840
+	p.PrecOps[hw.UnitPrec{Unit: hw.Vector, Prec: hw.FP16}] = int64(0.16 * 840 * peak)
+	p.Busy[hw.CompMTEGM] = 200
+	p.PathBytes[hw.PathGMToUB] = int64(0.5 * 200 * chip.Paths[hw.PathGMToUB].Bandwidth)
+	a := Analyze(p, chip, DefaultThresholds())
+	if a.Cause != CauseInefficientCompute || a.Culprit != hw.CompVector {
+		t.Errorf("cause = %s (%s), want Inefficient Compute (Vector)", a.Cause, a.Culprit)
+	}
+}
+
+func TestClassifyIdle(t *testing.T) {
+	chip := hw.TrainingChip()
+	a := Analyze(profile.New("empty"), chip, DefaultThresholds())
+	if a.Cause != CauseIdle {
+		t.Errorf("cause = %s, want Idle", a.Cause)
+	}
+	p := profile.New("no-work")
+	p.TotalTime = 100
+	a = Analyze(p, chip, DefaultThresholds())
+	if a.Cause != CauseIdle {
+		t.Errorf("cause = %s, want Idle for no components", a.Cause)
+	}
+}
+
+// TestClassificationTotal: classification always lands in exactly one of
+// the five causes (or idle), for random component stats.
+func TestClassificationTotal(t *testing.T) {
+	chip := hw.TrainingChip()
+	f := func(busyV, busyM uint8, opsScale, bytesScale uint16) bool {
+		p := profile.New("random")
+		p.TotalTime = 1000
+		p.Busy[hw.CompVector] = float64(busyV%101) * 10
+		p.Busy[hw.CompMTEGM] = float64(busyM%101) * 10
+		p.PrecOps[hw.UnitPrec{Unit: hw.Vector, Prec: hw.FP16}] = int64(opsScale) + 1
+		p.PathBytes[hw.PathGMToUB] = int64(bytesScale) + 1
+		a := Analyze(p, chip, DefaultThresholds())
+		switch a.Cause {
+		case CauseComputeBound, CauseMTEBound, CauseInsufficientParallelism,
+			CauseInefficientMTE, CauseInefficientCompute:
+			return true
+		}
+		return false
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestThresholdDefaults(t *testing.T) {
+	th := DefaultThresholds()
+	if th.BoundThreshold(hw.CompVector) != 0.60 {
+		t.Error("vector threshold should be 0.60")
+	}
+	if th.BoundThreshold(hw.CompMTEUB) != 0.60 {
+		t.Error("MTE-UB threshold should be 0.60")
+	}
+	if th.BoundThreshold(hw.CompCube) != 0.80 {
+		t.Error("cube threshold should default to 0.80")
+	}
+	if th.BoundThreshold(hw.CompMTEGM) != 0.80 {
+		t.Error("MTE-GM threshold should default to 0.80")
+	}
+}
+
+func TestCauseStrings(t *testing.T) {
+	want := map[Cause][2]string{
+		CauseComputeBound:            {"Compute Bound", "CB"},
+		CauseMTEBound:                {"MTE Bound", "MB"},
+		CauseInsufficientParallelism: {"Insufficient Parallelism", "IP"},
+		CauseInefficientMTE:          {"Inefficient MTE", "IM"},
+		CauseInefficientCompute:      {"Inefficient Compute", "IC"},
+		CauseIdle:                    {"Idle", "--"},
+	}
+	for c, w := range want {
+		if c.String() != w[0] || c.Abbrev() != w[1] {
+			t.Errorf("%d: got (%s, %s), want %v", int(c), c.String(), c.Abbrev(), w)
+		}
+	}
+	if len(Causes()) != 5 {
+		t.Error("Causes() must list the five bottleneck causes")
+	}
+}
+
+func TestReportMentionsCauseAndComponents(t *testing.T) {
+	chip := hw.TrainingChip()
+	a := Analyze(mteGMContention(chip), chip, DefaultThresholds())
+	r := a.Report()
+	for _, want := range []string{"MTE Bound", "MTE-GM", "GM->L0A"} {
+		if !strings.Contains(r, want) {
+			t.Errorf("report missing %q:\n%s", want, r)
+		}
+	}
+}
+
+// TestHeadroom: the speed-of-light bound is total/max(ideal time); a
+// fully bound component gives headroom 1.
+func TestHeadroom(t *testing.T) {
+	chip := hw.TrainingChip()
+	a := Analyze(mteGMContention(chip), chip, DefaultThresholds())
+	if h := a.Headroom(); math.Abs(h-1.0) > 1e-9 {
+		t.Errorf("fully contended MTE-GM headroom = %v, want 1.0", h)
+	}
+
+	// Halving the work at the same total time doubles the headroom.
+	p := mteGMContention(chip)
+	p.PathBytes[hw.PathGMToL0A] /= 2
+	p.PathBytes[hw.PathGMToL0B] /= 2
+	a2 := Analyze(p, chip, DefaultThresholds())
+	if h := a2.Headroom(); math.Abs(h-2.0) > 1e-9 {
+		t.Errorf("half-work headroom = %v, want 2.0", h)
+	}
+
+	// Idle analysis: zero headroom.
+	if (&Analysis{}).Headroom() != 0 {
+		t.Error("empty analysis should have zero headroom")
+	}
+	if !strings.Contains(a.Report(), "headroom") {
+		t.Error("report should state the headroom")
+	}
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"ascendperf/internal/hw"
+)
+
+// ComponentDelta is the per-component change between two analyses.
+type ComponentDelta struct {
+	Comp hw.Component
+	// Before/After utilization; zero when the component is absent on
+	// that side.
+	UtilBefore, UtilAfter float64
+	// Before/After time ratio.
+	RatioBefore, RatioAfter float64
+}
+
+// Delta compares two analyses of the same operator across an
+// optimization iteration — the comparison the paper's case studies walk
+// through between Fig. 7's panels.
+type Delta struct {
+	// Name identifies the operator.
+	Name string
+	// TimeBefore and TimeAfter are the operator times, ns.
+	TimeBefore, TimeAfter float64
+	// CauseBefore and CauseAfter are the classified verdicts.
+	CauseBefore, CauseAfter Cause
+	// Components holds per-component movement for every component active
+	// on either side, canonical order.
+	Components []ComponentDelta
+}
+
+// Speedup returns TimeBefore/TimeAfter.
+func (d *Delta) Speedup() float64 {
+	if d.TimeAfter <= 0 {
+		return 0
+	}
+	return d.TimeBefore / d.TimeAfter
+}
+
+// Shifted reports whether the bottleneck classification changed — the
+// paper's recurring observation that fixing one bottleneck exposes the
+// next.
+func (d *Delta) Shifted() bool { return d.CauseBefore != d.CauseAfter }
+
+// Diff compares two analyses.
+func Diff(before, after *Analysis) *Delta {
+	d := &Delta{
+		Name:        before.Name,
+		TimeBefore:  before.TotalTime,
+		TimeAfter:   after.TotalTime,
+		CauseBefore: before.Cause,
+		CauseAfter:  after.Cause,
+	}
+	for _, c := range hw.Components() {
+		b, okB := before.ComponentByName(c)
+		a, okA := after.ComponentByName(c)
+		if !okB && !okA {
+			continue
+		}
+		d.Components = append(d.Components, ComponentDelta{
+			Comp:        c,
+			UtilBefore:  b.Utilization,
+			UtilAfter:   a.Utilization,
+			RatioBefore: b.TimeRatio,
+			RatioAfter:  a.TimeRatio,
+		})
+	}
+	return d
+}
+
+// Report renders the comparison.
+func (d *Delta) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "diff %s: %.3f -> %.3f us (%.2fx)\n",
+		d.Name, d.TimeBefore/1000, d.TimeAfter/1000, d.Speedup())
+	fmt.Fprintf(&b, "  verdict: %s -> %s", d.CauseBefore, d.CauseAfter)
+	if d.Shifted() {
+		b.WriteString("  [bottleneck shifted]")
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "  %-8s %18s %18s\n", "comp", "utilization", "time ratio")
+	for _, cd := range d.Components {
+		fmt.Fprintf(&b, "  %-8s %7.2f%% -> %6.2f%% %7.2f%% -> %6.2f%%\n",
+			cd.Comp, 100*cd.UtilBefore, 100*cd.UtilAfter,
+			100*cd.RatioBefore, 100*cd.RatioAfter)
+	}
+	return b.String()
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"ascendperf/internal/hw"
+	"ascendperf/internal/profile"
+)
+
+func addReluLike(name string, total, busyGM, busyUB float64) *Analysis {
+	chip := hw.TrainingChip()
+	p := profile.New(name)
+	p.TotalTime = total
+	p.Busy[hw.CompMTEGM] = busyGM
+	p.Busy[hw.CompMTEUB] = busyUB
+	p.PathBytes[hw.PathGMToUB] = int64(0.67 * busyGM * chip.Paths[hw.PathGMToUB].Bandwidth)
+	p.PathBytes[hw.PathUBToGM] = int64(0.80 * busyUB * chip.Paths[hw.PathUBToGM].Bandwidth)
+	return Analyze(p, chip, DefaultThresholds())
+}
+
+func TestDiffDetectsShift(t *testing.T) {
+	before := addReluLike("op", 1000, 500, 550) // low ratios: IP
+	after := addReluLike("op", 700, 500, 600)   // UB ratio 86%, util 0.8*0.857 > 0.6: MB
+	d := Diff(before, after)
+	if !d.Shifted() {
+		t.Fatalf("expected a verdict shift: %s -> %s", d.CauseBefore, d.CauseAfter)
+	}
+	if d.CauseBefore != CauseInsufficientParallelism || d.CauseAfter != CauseMTEBound {
+		t.Errorf("verdicts = %s -> %s", d.CauseBefore, d.CauseAfter)
+	}
+	if d.Speedup() < 1.4 || d.Speedup() > 1.45 {
+		t.Errorf("speedup = %.3f", d.Speedup())
+	}
+	rep := d.Report()
+	for _, want := range []string{"bottleneck shifted", "MTE-GM", "MTE-UB", "1.43x"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+func TestDiffSameVerdict(t *testing.T) {
+	a := addReluLike("op", 1000, 500, 550)
+	d := Diff(a, a)
+	if d.Shifted() {
+		t.Error("identical analyses should not shift")
+	}
+	if d.Speedup() != 1 {
+		t.Errorf("speedup = %v", d.Speedup())
+	}
+	if strings.Contains(d.Report(), "shifted") {
+		t.Error("report should not claim a shift")
+	}
+}
+
+func TestDiffCoversUnionOfComponents(t *testing.T) {
+	chip := hw.TrainingChip()
+	onlyGM := profile.New("a")
+	onlyGM.TotalTime = 100
+	onlyGM.Busy[hw.CompMTEGM] = 50
+	onlyGM.PathBytes[hw.PathGMToUB] = 100
+	a := Analyze(onlyGM, chip, DefaultThresholds())
+
+	onlyUB := profile.New("a")
+	onlyUB.TotalTime = 100
+	onlyUB.Busy[hw.CompMTEUB] = 50
+	onlyUB.PathBytes[hw.PathUBToGM] = 100
+	b := Analyze(onlyUB, chip, DefaultThresholds())
+
+	d := Diff(a, b)
+	if len(d.Components) != 2 {
+		t.Fatalf("components = %d, want union of 2", len(d.Components))
+	}
+	if d.Components[0].UtilAfter != 0 {
+		t.Error("absent-after component should show zero after")
+	}
+	if d.Components[1].UtilBefore != 0 {
+		t.Error("absent-before component should show zero before")
+	}
+}
+
+func TestDiffZeroAfter(t *testing.T) {
+	a := addReluLike("op", 1000, 500, 500)
+	b := *a
+	b.TotalTime = 0
+	if Diff(a, &b).Speedup() != 0 {
+		t.Error("zero after time must yield zero speedup")
+	}
+}

@@ -1,0 +1,31 @@
+// Package core implements the component-based roofline model of
+// "Squeezing Operator Performance Potential for the Ascend Architecture"
+// (ASPLOS 2025, Section 4), together with the baseline models it is
+// compared against (the classic DRAM roofline, the hierarchical roofline,
+// and the naive per-pair Ascend roofline with its documented failure
+// modes).
+//
+// The model treats each hardware engine with a physical instruction queue
+// — Cube, Vector, Scalar, MTE-GM, MTE-L1, MTE-UB — as a single
+// "component". For every component the analysis derives:
+//
+//   - Actual performance  A = W / T_total            (Eq. 1)
+//   - Ideal performance   I = W / T_ideal            (Eq. 2)
+//     where T_ideal = Σ_item W_item / P_item         (Eq. 3)
+//     making I the work-weighted harmonic mean of the per-item peaks
+//     (per-precision peaks for compute units, per-path bandwidths for
+//     MTEs)                                          (Eq. 4)
+//   - Utilization         U = A / I                  (Eq. 5)
+//   - Decomposition       U = E · R                  (Eq. 6)
+//     with efficiency E = W / (T_comp · I) and time ratio
+//     R = T_comp / T_total.
+//
+// Classification then assigns exactly one bottleneck cause:
+//
+//   - Component bound (Compute Bound or MTE Bound) when some component's
+//     utilization reaches its practical threshold;
+//   - Insufficient Parallelism when no component is bound and every
+//     component's time ratio is below the time-ratio threshold;
+//   - Inefficient MTE / Inefficient Compute otherwise: the component with
+//     the highest time ratio is active most of the time yet inefficient.
+package core

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"ascendperf/internal/hw"
+	"ascendperf/internal/profile"
+)
+
+// NaivePoint is one performance point of the naive Ascend roofline: a
+// (precision-compute unit, transfer path) pair treated independently, the
+// way a hierarchical GPU roofline would be extended to Ascend. The model
+// assumes every transfer and every precision runs in parallel for the
+// whole operator duration, which is exactly what the MTE serialization
+// and mixed-precision serialization break (Section 2.3, Issues 2-3).
+type NaivePoint struct {
+	// UnitPrec and Path form the compared pair.
+	UnitPrec hw.UnitPrec
+	Path     hw.Path
+
+	// Intensity is ops per byte for the pair.
+	Intensity float64
+
+	// Perf is the achieved rate ops/T_total.
+	Perf float64
+
+	// ComputeUtil is (ops/T_total) / peak for the precision in isolation.
+	ComputeUtil float64
+
+	// TransferUtil is (bytes/T_total) / bandwidth for the path in
+	// isolation — the quantity the naive model gets wrong under MTE
+	// contention.
+	TransferUtil float64
+
+	// Attainable is min(peak, Intensity*bandwidth): the naive roofline
+	// ceiling at this point's intensity.
+	Attainable float64
+}
+
+// NaiveAnalysis is the naive roofline over every active pair.
+type NaiveAnalysis struct {
+	Name   string
+	Points []NaivePoint
+
+	// Combinations is the total pair count the naive model would have to
+	// visualize for the full chip, active or not (the paper counts 180:
+	// 9 precision-compute units x 20 transfers).
+	Combinations int
+}
+
+// NaiveAnalyze builds the naive per-pair roofline from a profile. A point
+// is emitted for every (active precision, active path) pair.
+func NaiveAnalyze(p *profile.Profile, chip *hw.Chip) *NaiveAnalysis {
+	na := &NaiveAnalysis{
+		Name:         p.Name,
+		Combinations: NaiveCombinations(chip),
+	}
+	if p.TotalTime <= 0 {
+		return na
+	}
+	for _, u := range []hw.Unit{hw.Cube, hw.Vector, hw.Scalar} {
+		for _, up := range chip.UnitPrecs(u) {
+			ops := p.PrecOps[up]
+			if ops == 0 {
+				continue
+			}
+			for _, path := range hw.AllPaths() {
+				bytes := p.PathBytes[path]
+				if bytes == 0 {
+					continue
+				}
+				spec := chip.Paths[path]
+				peak := chip.Compute[up].Peak
+				pt := NaivePoint{
+					UnitPrec:     up,
+					Path:         path,
+					Intensity:    float64(ops) / float64(bytes),
+					Perf:         float64(ops) / p.TotalTime,
+					ComputeUtil:  float64(ops) / p.TotalTime / peak,
+					TransferUtil: float64(bytes) / p.TotalTime / spec.Bandwidth,
+				}
+				pt.Attainable = peak
+				if bw := pt.Intensity * spec.Bandwidth; bw < pt.Attainable {
+					pt.Attainable = bw
+				}
+				na.Points = append(na.Points, pt)
+			}
+		}
+	}
+	return na
+}
+
+// NaiveCombinations counts the roofline pairs a naive model must consider
+// for the chip: every precision-compute unit against every transfer,
+// MTE-scheduled and direct alike.
+func NaiveCombinations(chip *hw.Chip) int {
+	precs := 0
+	for _, u := range []hw.Unit{hw.Cube, hw.Vector, hw.Scalar} {
+		precs += len(chip.UnitPrecs(u))
+	}
+	transfers := len(chip.Paths) + len(hw.DirectTransfers())
+	return precs * transfers
+}
+
+// MaxTransferUtil returns the highest per-path transfer utilization the
+// naive model reports for the given engine's paths — the number that
+// misleadingly stays below 100% under intra-MTE contention.
+func (na *NaiveAnalysis) MaxTransferUtil(chip *hw.Chip, engine hw.Component) float64 {
+	var m float64
+	seen := map[hw.Path]bool{}
+	for _, pt := range na.Points {
+		if seen[pt.Path] {
+			continue
+		}
+		if e, ok := chip.EngineOf(pt.Path); ok && e == engine {
+			seen[pt.Path] = true
+			if pt.TransferUtil > m {
+				m = pt.TransferUtil
+			}
+		}
+	}
+	return m
+}
+
+// Report renders the naive point cloud.
+func (na *NaiveAnalysis) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "naive roofline: %s  (%d points shown of %d possible combinations)\n",
+		na.Name, len(na.Points), na.Combinations)
+	fmt.Fprintf(&b, "%-12s %-10s %10s %10s %10s %10s\n",
+		"unit-prec", "path", "intensity", "perf", "comp-util", "xfer-util")
+	for _, pt := range na.Points {
+		fmt.Fprintf(&b, "%-12s %-10s %10.3f %10.3f %9.2f%% %9.2f%%\n",
+			pt.UnitPrec, pt.Path, pt.Intensity, pt.Perf,
+			100*pt.ComputeUtil, 100*pt.TransferUtil)
+	}
+	return b.String()
+}

@@ -1,0 +1,61 @@
+package core
+
+import "ascendperf/internal/hw"
+
+// Combo is a (compute unit, MTE) pair remaining after pruning: the
+// combinations worth plotting in the component-based roofline (Fig. 6).
+type Combo struct {
+	Unit hw.Unit
+	MTE  hw.Component
+}
+
+// impossibleCombos lists the (MTE, unit) pairs with no data-flow
+// relationship: MTE-L1 only feeds the Cube's L0 buffers, so comparing it
+// with Vector or Scalar computation is meaningless (Section 4.3).
+var impossibleCombos = map[Combo]bool{
+	{Unit: hw.Vector, MTE: hw.CompMTEL1}: true,
+	{Unit: hw.Scalar, MTE: hw.CompMTEL1}: true,
+}
+
+// PrunedCombos returns the combinations that survive pruning, in
+// deterministic order. For the canonical chip this is 7: 3 units x 3 MTEs
+// minus the two impossible pairs.
+func PrunedCombos() []Combo {
+	var out []Combo
+	for _, u := range []hw.Unit{hw.Cube, hw.Vector, hw.Scalar} {
+		for _, m := range []hw.Component{hw.CompMTEGM, hw.CompMTEL1, hw.CompMTEUB} {
+			c := Combo{Unit: u, MTE: m}
+			if !impossibleCombos[c] {
+				out = append(out, c)
+			}
+		}
+	}
+	return out
+}
+
+// CombinationCounts summarizes how the component abstraction and pruning
+// collapse the analysis space (Section 4.3): from the naive model's
+// precision x transfer pairs, through component abstraction (compute
+// units x memory components), down to the pruned combination set.
+type CombinationCounts struct {
+	// Naive is precision-compute units x all transfers (180 for the
+	// canonical chip: 9 x 20).
+	Naive int
+	// AfterAbstraction is compute units x memory components, where the
+	// memory components are the 3 MTEs plus the direct transfers
+	// (45 for the canonical chip: 3 x 15).
+	AfterAbstraction int
+	// AfterPruning drops non-MTE memory components and impossible pairs
+	// (7 for the canonical chip).
+	AfterPruning int
+}
+
+// CountCombinations computes the collapse for a chip.
+func CountCombinations(chip *hw.Chip) CombinationCounts {
+	memComponents := 3 + len(hw.DirectTransfers()) // 3 MTEs + direct transfers
+	return CombinationCounts{
+		Naive:            NaiveCombinations(chip),
+		AfterAbstraction: hw.NumUnits * memComponents,
+		AfterPruning:     len(PrunedCombos()),
+	}
+}

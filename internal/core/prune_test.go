@@ -1,0 +1,121 @@
+package core
+
+import (
+	"testing"
+
+	"ascendperf/internal/hw"
+	"ascendperf/internal/profile"
+)
+
+// TestCombinationCollapse verifies the paper's Section 4.3 arithmetic:
+// 180 naive combinations -> 45 after component abstraction -> 7 after
+// pruning.
+func TestCombinationCollapse(t *testing.T) {
+	chip := hw.TrainingChip()
+	c := CountCombinations(chip)
+	if c.Naive != 180 {
+		t.Errorf("naive combinations = %d, want 180", c.Naive)
+	}
+	if c.AfterAbstraction != 45 {
+		t.Errorf("after abstraction = %d, want 45", c.AfterAbstraction)
+	}
+	if c.AfterPruning != 7 {
+		t.Errorf("after pruning = %d, want 7", c.AfterPruning)
+	}
+}
+
+func TestPrunedCombosContent(t *testing.T) {
+	combos := PrunedCombos()
+	if len(combos) != 7 {
+		t.Fatalf("combos = %d, want 7", len(combos))
+	}
+	seen := map[Combo]bool{}
+	for _, c := range combos {
+		if seen[c] {
+			t.Errorf("duplicate combo %+v", c)
+		}
+		seen[c] = true
+	}
+	// The impossible pairs must be absent.
+	if seen[Combo{Unit: hw.Vector, MTE: hw.CompMTEL1}] {
+		t.Error("(Vector, MTE-L1) must be pruned")
+	}
+	if seen[Combo{Unit: hw.Scalar, MTE: hw.CompMTEL1}] {
+		t.Error("(Scalar, MTE-L1) must be pruned")
+	}
+	// Cube pairs with all three MTEs.
+	for _, m := range []hw.Component{hw.CompMTEGM, hw.CompMTEL1, hw.CompMTEUB} {
+		if !seen[Combo{Unit: hw.Cube, MTE: m}] {
+			t.Errorf("(Cube, %s) missing", m)
+		}
+	}
+}
+
+func TestNaiveCombinationsCountsTransfers(t *testing.T) {
+	chip := hw.TrainingChip()
+	// 9 precision-compute units x (8 MTE paths + 12 direct) = 180.
+	if got := NaiveCombinations(chip); got != 180 {
+		t.Errorf("naive combinations = %d, want 180", got)
+	}
+	if got := len(hw.AllPaths()); got != 8 {
+		t.Errorf("MTE paths = %d, want 8", got)
+	}
+	if got := len(hw.DirectTransfers()); got != 12 {
+		t.Errorf("direct transfers = %d, want 12", got)
+	}
+}
+
+func TestNaiveAnalyzePointCloud(t *testing.T) {
+	chip := hw.TrainingChip()
+	p := profile.New("cloud")
+	p.TotalTime = 1000
+	p.PrecOps[hw.UnitPrec{Unit: hw.Vector, Prec: hw.FP16}] = 100000
+	p.PrecOps[hw.UnitPrec{Unit: hw.Cube, Prec: hw.FP16}] = 500000
+	p.PathBytes[hw.PathGMToUB] = 20000
+	p.PathBytes[hw.PathUBToGM] = 10000
+	na := NaiveAnalyze(p, chip)
+	// 2 active precisions x 2 active paths = 4 points.
+	if len(na.Points) != 4 {
+		t.Fatalf("points = %d, want 4", len(na.Points))
+	}
+	for _, pt := range na.Points {
+		if pt.Intensity <= 0 || pt.Perf <= 0 {
+			t.Errorf("degenerate point %+v", pt)
+		}
+		if pt.Attainable <= 0 {
+			t.Errorf("attainable missing for %+v", pt)
+		}
+	}
+	if na.Combinations != 180 {
+		t.Errorf("combinations = %d, want 180", na.Combinations)
+	}
+	rep := na.Report()
+	if len(rep) == 0 {
+		t.Error("empty naive report")
+	}
+}
+
+func TestNaiveMaxTransferUtil(t *testing.T) {
+	chip := hw.TrainingChip()
+	p := profile.New("util")
+	p.TotalTime = 1000
+	p.PrecOps[hw.UnitPrec{Unit: hw.Vector, Prec: hw.FP16}] = 1000
+	p.PathBytes[hw.PathGMToUB] = int64(0.5 * 1000 * chip.Paths[hw.PathGMToUB].Bandwidth)
+	p.PathBytes[hw.PathGMToL1] = int64(0.25 * 1000 * chip.Paths[hw.PathGMToL1].Bandwidth)
+	na := NaiveAnalyze(p, chip)
+	got := na.MaxTransferUtil(chip, hw.CompMTEGM)
+	if got < 0.49 || got > 0.51 {
+		t.Errorf("max transfer util = %v, want ~0.5", got)
+	}
+	if na.MaxTransferUtil(chip, hw.CompMTEUB) != 0 {
+		t.Error("MTE-UB has no transfers, util must be 0")
+	}
+}
+
+func TestNaiveEmptyProfile(t *testing.T) {
+	chip := hw.TrainingChip()
+	na := NaiveAnalyze(profile.New("empty"), chip)
+	if len(na.Points) != 0 {
+		t.Error("empty profile must produce no points")
+	}
+}

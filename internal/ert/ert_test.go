@@ -1,0 +1,195 @@
+package ert
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"ascendperf/internal/hw"
+)
+
+func runReport(t *testing.T) *Report {
+	t.Helper()
+	rep, err := Run(hw.TrainingChip(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestSweepsCoverEverything(t *testing.T) {
+	rep := runReport(t)
+	if len(rep.Paths) != len(hw.AllPaths()) {
+		t.Errorf("paths swept = %d, want %d", len(rep.Paths), len(hw.AllPaths()))
+	}
+	if len(rep.Computes) != 9 {
+		t.Errorf("compute units swept = %d, want 9", len(rep.Computes))
+	}
+}
+
+// TestAchievedNeverExceedsSpec: no microbenchmark can beat the datasheet.
+func TestAchievedNeverExceedsSpec(t *testing.T) {
+	rep := runReport(t)
+	for _, p := range rep.Paths {
+		if p.EmpiricalPeak > p.SpecBandwidth+1e-9 {
+			t.Errorf("%s: empirical %.2f exceeds spec %.2f", p.Path, p.EmpiricalPeak, p.SpecBandwidth)
+		}
+	}
+	for _, c := range rep.Computes {
+		if c.EmpiricalPeak > c.SpecPeak+1e-9 {
+			t.Errorf("%s: empirical %.2f exceeds spec %.2f", c.UnitPrec, c.EmpiricalPeak, c.SpecPeak)
+		}
+	}
+}
+
+// TestEfficiencyMonotone: larger granularity never reduces achieved
+// bandwidth (setup amortizes monotonically).
+func TestEfficiencyMonotone(t *testing.T) {
+	rep := runReport(t)
+	for _, p := range rep.Paths {
+		for i := 1; i < len(p.Samples); i++ {
+			if p.Samples[i].Achieved < p.Samples[i-1].Achieved-1e-9 {
+				t.Errorf("%s: achieved bandwidth not monotone at %d bytes", p.Path, p.Samples[i].Size)
+			}
+		}
+	}
+	for _, c := range rep.Computes {
+		for i := 1; i < len(c.Samples); i++ {
+			if c.Samples[i].Achieved < c.Samples[i-1].Achieved-1e-9 {
+				t.Errorf("%s: achieved rate not monotone at %d ops", c.UnitPrec, c.Samples[i].Size)
+			}
+		}
+	}
+}
+
+// TestHalfPointMatchesAnalyticModel: with duration = setup + size/bw,
+// 50% efficiency is reached exactly at size = setup*bw; the measured
+// half-point must be the first swept power of two at or above it.
+func TestHalfPointMatchesAnalyticModel(t *testing.T) {
+	chip := hw.TrainingChip()
+	rep := runReport(t)
+	for _, p := range rep.Paths {
+		analytic := chip.TransferSetup * p.SpecBandwidth
+		if p.HalfPoint == 0 {
+			// Only legitimate if the largest swept size is below the
+			// analytic half point.
+			last := p.Samples[len(p.Samples)-1]
+			if float64(last.Size) >= analytic {
+				t.Errorf("%s: half point not found despite sweeping past %.0f bytes", p.Path, analytic)
+			}
+			continue
+		}
+		if float64(p.HalfPoint) < analytic {
+			t.Errorf("%s: half point %d below analytic %.0f", p.Path, p.HalfPoint, analytic)
+		}
+		if float64(p.HalfPoint) >= 2*analytic && p.HalfPoint != p.Samples[0].Size {
+			t.Errorf("%s: half point %d not the first size past analytic %.0f", p.Path, p.HalfPoint, analytic)
+		}
+	}
+}
+
+// TestThirtyKBBelowUBGMThreshold reproduces the paper's ITG observation:
+// a 30 KB UB->GM transfer is far below the full-bandwidth threshold.
+func TestThirtyKBBelowUBGMThreshold(t *testing.T) {
+	rep := runReport(t)
+	for _, p := range rep.Paths {
+		if p.Path != hw.PathUBToGM {
+			continue
+		}
+		if p.NinetyPoint != 0 && p.NinetyPoint <= 30<<10 {
+			t.Errorf("UB->GM 90%% threshold %d <= 30KB; paper expects 30KB to be far below it", p.NinetyPoint)
+		}
+		// Find the sample bracketing 30 KB and check its efficiency is
+		// well below 90%.
+		for _, s := range p.Samples {
+			if s.Size == 32<<10 && s.Efficiency > 0.85 {
+				t.Errorf("32KB UB->GM efficiency %.2f too high", s.Efficiency)
+			}
+		}
+	}
+}
+
+func TestEmpiricalThresholds(t *testing.T) {
+	chip := hw.TrainingChip()
+	rep := runReport(t)
+	th := rep.EmpiricalThresholds(chip)
+	for _, c := range []hw.Component{
+		hw.CompCube, hw.CompVector, hw.CompScalar,
+		hw.CompMTEGM, hw.CompMTEL1, hw.CompMTEUB,
+	} {
+		v := th[c]
+		if v <= 0 || v > 1+1e-9 {
+			t.Errorf("%s threshold = %v out of (0,1]", c, v)
+		}
+	}
+	// MTE-L1 paths are very fast (512 B/ns): even the largest swept
+	// granularity stays setup-dominated, so its empirical ceiling must
+	// be visibly below 1.
+	if th[hw.CompMTEL1] > 0.95 {
+		t.Errorf("MTE-L1 empirical ceiling %.2f suspiciously close to spec", th[hw.CompMTEL1])
+	}
+}
+
+func TestFormatReport(t *testing.T) {
+	rep := runReport(t)
+	s := rep.Format()
+	for _, want := range []string{
+		"empirical roofline characterization", "GM->UB", "FP16-Cube",
+		"50%-point", "90%-point",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestOptionDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.MinSize != 1<<10 || o.MaxSize != 256<<10 || o.MinOps != 64 || o.MaxOps != 4<<20 || o.Repeats != 16 {
+		t.Errorf("defaults wrong: %+v", o)
+	}
+	custom := Options{MinSize: 2048, MaxSize: 4096, MinOps: 128, MaxOps: 256, Repeats: 2}.withDefaults()
+	if custom.MinSize != 2048 || custom.Repeats != 2 {
+		t.Error("custom options overridden")
+	}
+}
+
+func TestSweepRespectsBufferCapacity(t *testing.T) {
+	rep, err := Run(hw.TrainingChip(), Options{MaxSize: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chip := hw.TrainingChip()
+	for _, p := range rep.Paths {
+		maxAllowed := chip.BufferSize[p.Path.Src]
+		if c := chip.BufferSize[p.Path.Dst]; c < maxAllowed {
+			maxAllowed = c
+		}
+		for _, s := range p.Samples {
+			if s.Size > maxAllowed {
+				t.Errorf("%s: swept %d bytes beyond buffer capacity %d", p.Path, s.Size, maxAllowed)
+			}
+		}
+	}
+}
+
+// TestCubeNeedsHugeInstructionsForPeak: the Cube's issue overhead means
+// tiny mads achieve a sliver of peak — the quantitative basis for AIP.
+func TestCubeNeedsHugeInstructionsForPeak(t *testing.T) {
+	rep := runReport(t)
+	for _, c := range rep.Computes {
+		if c.UnitPrec != (hw.UnitPrec{Unit: hw.Cube, Prec: hw.FP16}) {
+			continue
+		}
+		first := c.Samples[0]
+		if first.Efficiency > 0.01 {
+			t.Errorf("64-op cube instruction efficiency %.4f unexpectedly high", first.Efficiency)
+		}
+		if c.NinetyPoint == 0 {
+			t.Error("cube 90% point never reached in sweep")
+		}
+		if math.Abs(c.EmpiricalPeak/c.SpecPeak-1) > 0.15 {
+			t.Errorf("cube empirical peak %.1f too far from spec %.1f", c.EmpiricalPeak, c.SpecPeak)
+		}
+	}
+}

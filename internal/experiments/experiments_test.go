@@ -1,0 +1,333 @@
+package experiments
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"ascendperf/internal/core"
+	"ascendperf/internal/hw"
+	"ascendperf/internal/isa"
+	"ascendperf/internal/kernels"
+	"ascendperf/internal/model"
+)
+
+func TestFig2MentionsBothModels(t *testing.T) {
+	s := Fig2()
+	for _, want := range []string{"DRAM roofline", "hierarchical roofline", "memory-bound", "compute-bound", "ridge"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("fig2 missing %q", want)
+		}
+	}
+}
+
+// TestFig3ExactValues pins the documented failure-mode arithmetic: the
+// naive model must report exactly 2/3 and 1/3, the component model
+// exactly 1.0 with the bound verdicts.
+func TestFig3ExactValues(t *testing.T) {
+	res, s := Fig3()
+	approx := func(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+	if !approx(res.TransferNaiveA, 2.0/3.0) || !approx(res.TransferNaiveB, 1.0/3.0) {
+		t.Errorf("naive transfer utils = %v, %v", res.TransferNaiveA, res.TransferNaiveB)
+	}
+	if !approx(res.TransferComponent, 1.0) {
+		t.Errorf("component transfer util = %v", res.TransferComponent)
+	}
+	if res.TransferCause != core.CauseMTEBound {
+		t.Errorf("transfer cause = %s", res.TransferCause)
+	}
+	if !approx(res.PrecNaiveFP16, 2.0/3.0) || !approx(res.PrecNaiveINT8, 1.0/3.0) {
+		t.Errorf("naive precision utils = %v, %v", res.PrecNaiveFP16, res.PrecNaiveINT8)
+	}
+	if !approx(res.PrecComponent, 1.0) {
+		t.Errorf("component precision util = %v", res.PrecComponent)
+	}
+	if res.PrecCause != core.CauseComputeBound {
+		t.Errorf("precision cause = %s", res.PrecCause)
+	}
+	if !strings.Contains(s, "naive 180 -> abstraction 45 -> pruned 7") {
+		t.Error("combination collapse missing from report")
+	}
+}
+
+func TestFig4TimelineShowsAllComponents(t *testing.T) {
+	s := Fig4()
+	for _, want := range []string{"Cube", "MTE-GM", "MTE-L1", "MTE-UB"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("fig4 missing %q", want)
+		}
+	}
+}
+
+func TestFig6AllSevenPoints(t *testing.T) {
+	svg, s := Fig6()
+	if !strings.Contains(s, "7 points of max 7") {
+		t.Errorf("fig6 should plot all 7 pruned combinations:\n%s", s)
+	}
+	if !strings.HasPrefix(svg, "<svg") {
+		t.Error("fig6 svg malformed")
+	}
+	if strings.Count(svg, "<circle") != 7 {
+		t.Errorf("fig6 circles = %d, want 7", strings.Count(svg, "<circle"))
+	}
+}
+
+// TestFig7Shape pins the Add_ReLU workflow shape: IP -> MTE-UB bound ->
+// MTE-UB bound with monotone utilization growth and time decrease, and
+// the +RSD/+MRT utilizations within 2 points of the paper's.
+func TestFig7Shape(t *testing.T) {
+	rows, _ := Fig7()
+	if len(rows) != 3 {
+		t.Fatal("want 3 iterations")
+	}
+	if rows[0].Cause != core.CauseInsufficientParallelism {
+		t.Errorf("baseline cause = %s", rows[0].Cause)
+	}
+	for _, i := range []int{1, 2} {
+		if rows[i].Cause != core.CauseMTEBound {
+			t.Errorf("iteration %d cause = %s, want MTE Bound", i, rows[i].Cause)
+		}
+	}
+	if !(rows[0].MaxUtil < rows[1].MaxUtil && rows[1].MaxUtil < rows[2].MaxUtil) {
+		t.Errorf("utilizations not increasing: %v %v %v", rows[0].MaxUtil, rows[1].MaxUtil, rows[2].MaxUtil)
+	}
+	if !(rows[0].TimeUS > rows[1].TimeUS && rows[1].TimeUS > rows[2].TimeUS) {
+		t.Errorf("times not decreasing: %v %v %v", rows[0].TimeUS, rows[1].TimeUS, rows[2].TimeUS)
+	}
+	if math.Abs(rows[1].MaxUtil-0.6624) > 0.02 {
+		t.Errorf("+RSD util = %.4f, paper 0.6624", rows[1].MaxUtil)
+	}
+	if math.Abs(rows[2].MaxUtil-0.7052) > 0.02 {
+		t.Errorf("+MRT util = %.4f, paper 0.7052", rows[2].MaxUtil)
+	}
+}
+
+func TestFig12AISClosesGaps(t *testing.T) {
+	s := Fig12()
+	if !strings.Contains(s, "-> 0 (0.00 us idle)") {
+		t.Errorf("AIS should eliminate MTE-GM waiting intervals:\n%s", s)
+	}
+}
+
+// TestTable1Shape pins every operator's bottleneck class and sanity-
+// bounds the speedups.
+func TestTable1Shape(t *testing.T) {
+	rows, _ := Table1()
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d, want 8", len(rows))
+	}
+	wantCause := map[string]core.Cause{
+		"add_relu":        core.CauseInsufficientParallelism,
+		"depthwise":       core.CauseInsufficientParallelism,
+		"avgpool":         core.CauseInefficientCompute,
+		"mul":             core.CauseInsufficientParallelism,
+		"conv2d":          core.CauseInsufficientParallelism,
+		"fullyconnection": core.CauseInefficientMTE,
+		"matmul":          core.CauseMTEBound,
+		"gelu":            core.CauseComputeBound,
+	}
+	var maxName string
+	var maxX float64
+	for _, r := range rows {
+		if r.Cause != wantCause[r.Operator] {
+			t.Errorf("%s cause = %s, want %s", r.Operator, r.Cause, wantCause[r.Operator])
+		}
+		if r.Speedup < 1.0 {
+			t.Errorf("%s speedup = %.2f < 1", r.Operator, r.Speedup)
+		}
+		if len(r.Strategies) == 0 {
+			t.Errorf("%s applied no strategies", r.Operator)
+		}
+		if r.PaperSpeedup == 0 {
+			t.Errorf("%s missing paper speedup", r.Operator)
+		}
+		if r.Speedup > maxX {
+			maxX, maxName = r.Speedup, r.Operator
+		}
+	}
+	// AvgPool is the biggest winner in both the paper and here.
+	if maxName != "avgpool" {
+		t.Errorf("largest speedup is %s, want avgpool", maxName)
+	}
+}
+
+func TestCaseStudiesAvgPoolNearPaper(t *testing.T) {
+	rows, _ := CaseStudies()
+	for _, r := range rows {
+		if r.OptimizedUS >= r.BaselineUS {
+			t.Errorf("%s did not improve", r.Operator)
+		}
+		if r.AppliedCount == 0 {
+			t.Errorf("%s applied nothing", r.Operator)
+		}
+		if r.Operator == "avgpool" {
+			x := r.BaselineUS / r.OptimizedUS
+			if x < 3.5 || x > 6.5 {
+				t.Errorf("avgpool speedup = %.2f, paper reports 4.31", x)
+			}
+		}
+	}
+}
+
+func TestTable2ListsAllModels(t *testing.T) {
+	s := Table2()
+	for _, m := range model.All() {
+		if !strings.Contains(s, m.Name) {
+			t.Errorf("table2 missing %s", m.Name)
+		}
+	}
+}
+
+func TestFig13Invariants(t *testing.T) {
+	res, s := Fig13()
+	// IP drops, MTE-related rises, for both case studies.
+	for _, r := range []*model.RunResult{res.PanGu, res.MobileNetV3} {
+		ipB := r.BaselineDistribution.Share(core.CauseInsufficientParallelism)
+		ipA := r.OptimizedDistribution.Share(core.CauseInsufficientParallelism)
+		if ipA >= ipB {
+			t.Errorf("%s: IP did not drop (%.3f -> %.3f)", r.Model.Name, ipB, ipA)
+		}
+		if r.ComputeSpeedup() <= 1 || r.OverallSpeedup() <= 1 {
+			t.Errorf("%s: no speedup", r.Model.Name)
+		}
+		if r.OverallSpeedup() >= r.ComputeSpeedup() {
+			t.Errorf("%s: overall should trail compute", r.Model.Name)
+		}
+	}
+	if !strings.Contains(s, "paper IP 61.48%") {
+		t.Error("report should quote the paper's numbers")
+	}
+}
+
+func TestFig14aLlamaIsTheOutlier(t *testing.T) {
+	dists, _ := Fig14a()
+	if len(dists) != 11 {
+		t.Fatalf("models = %d", len(dists))
+	}
+	llamaIP := dists["Llama 2"].Share(core.CauseInsufficientParallelism)
+	for name, d := range dists {
+		if name == "Llama 2" {
+			continue
+		}
+		ip := d.Share(core.CauseInsufficientParallelism)
+		if ip <= llamaIP {
+			t.Errorf("%s IP share %.3f not above Llama 2's %.3f", name, ip, llamaIP)
+		}
+	}
+	// Llama 2 is dominated by MTE Bound.
+	if mb := dists["Llama 2"].Share(core.CauseMTEBound); mb < 0.5 {
+		t.Errorf("Llama 2 MB share = %.3f, want > 0.5", mb)
+	}
+}
+
+func TestFig14bInvariance(t *testing.T) {
+	dists, _ := Fig14b()
+	ref := dists[model.MindSpore]
+	for fw, d := range dists {
+		for _, c := range core.Causes() {
+			if dev := math.Abs(d.Share(c) - ref.Share(c)); dev > 0.05 {
+				t.Errorf("%s deviates %.3f on %s", fw, dev, c)
+			}
+		}
+	}
+}
+
+func TestFig14cReportsBothChips(t *testing.T) {
+	s := Fig14c()
+	if !strings.Contains(s, "training:") || !strings.Contains(s, "inference:") {
+		t.Error("fig14c missing chip rows")
+	}
+	for _, m := range []string{"GPT2", "MobileNetV3", "ResNet50", "VGG16"} {
+		if !strings.Contains(s, m) {
+			t.Errorf("fig14c missing %s", m)
+		}
+	}
+}
+
+// TestFig15Ranges: all speedups > 1, within the paper's envelope, and
+// overall < compute for every model.
+func TestFig15Ranges(t *testing.T) {
+	rows, _ := Fig15()
+	if len(rows) != 11 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.ComputeSpeedup <= 1 || r.ComputeSpeedup > 2.70 {
+			t.Errorf("%s compute speedup %.2f outside (1, 2.70]", r.Model, r.ComputeSpeedup)
+		}
+		if r.OverallSpeedup <= 1 || r.OverallSpeedup > 2.15 {
+			t.Errorf("%s overall speedup %.2f outside (1, 2.15]", r.Model, r.OverallSpeedup)
+		}
+		if r.OverallSpeedup >= r.ComputeSpeedup {
+			t.Errorf("%s overall %.2f >= compute %.2f", r.Model, r.OverallSpeedup, r.ComputeSpeedup)
+		}
+	}
+}
+
+func TestAllConcatenatesEverything(t *testing.T) {
+	s := All()
+	for _, want := range []string{
+		"Figure 2a", "Figure 3a", "Figure 4", "Figure 6", "Figure 7",
+		"Figure 12", "Table 1", "Section 5 case studies", "Table 2",
+		"Figure 13a", "Figure 13b", "Figure 14a", "Figure 14b",
+		"Figure 14c", "Figure 15",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("All() missing %q", want)
+		}
+	}
+}
+
+func TestKernelByNamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unknown kernel")
+		}
+	}()
+	kernelByName("no-such-operator")
+}
+
+func TestMustProfilePanicsOnBadKernel(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	chip := hw.TrainingChip()
+	mustProfile(chip, badKernel{}, kernels.Options{})
+}
+
+// badKernel always fails to build.
+type badKernel struct{}
+
+func (badKernel) Name() string                  { return "bad" }
+func (badKernel) Baseline() kernels.Options     { return kernels.Options{} }
+func (badKernel) Supported() []kernels.Strategy { return nil }
+func (badKernel) Build(*hw.Chip, kernels.Options) (*isa.Program, error) {
+	return nil, errors.New("bad kernel")
+}
+
+func TestExtensions(t *testing.T) {
+	s := AllExtensions()
+	for _, want := range []string{
+		"empirical roofline characterization", "strong scaling",
+		"queue depth", "optimization pipeline", "bottleneck class vs shape",
+	} {
+		if !strings.Contains(strings.ToLower(s), strings.ToLower(want)) {
+			t.Errorf("extensions missing %q", want)
+		}
+	}
+	rows, _ := ExtPipeline()
+	if len(rows) != 8 {
+		t.Fatalf("pipeline rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Speedup < 1 {
+			t.Errorf("%s pipeline speedup %.2f < 1", r.Operator, r.Speedup)
+		}
+		if r.FinalUS > r.BaselineUS {
+			t.Errorf("%s pipeline regressed", r.Operator)
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"ascendperf/internal/ert"
+	"ascendperf/internal/hw"
+	"ascendperf/internal/kernels"
+	"ascendperf/internal/multicore"
+	"ascendperf/internal/sim"
+	"ascendperf/internal/sweep"
+)
+
+// The extension experiments go beyond the paper's tables and figures:
+// empirical ceiling characterization, whole-chip scaling, queue-depth
+// sensitivity and the fully automated optimization pipeline.
+
+// ExtERT characterizes the training chip's achievable ceilings.
+func ExtERT() string {
+	rep, err := ert.Run(hw.TrainingChip(), ert.Options{})
+	if err != nil {
+		panic(err)
+	}
+	var b strings.Builder
+	b.WriteString("Extension — empirical roofline characterization (training chip)\n")
+	b.WriteString(indent(rep.Format(), "  "))
+	return b.String()
+}
+
+// ExtMulticore produces strong-scaling curves for a GM-bound and a
+// compute-bound operator on the shared-GM whole-chip model.
+func ExtMulticore() string {
+	chip := hw.TrainingChip()
+	var b strings.Builder
+	b.WriteString("Extension — whole-chip strong scaling (GM links shared across cores)\n")
+
+	ew := kernels.NewLayerNorm()
+	gemm := kernels.NewMatMul()
+	gemm.Steps = 24
+	gemm.CubeOpsPerStep = 128 << 20
+	gemm.EpilogueOpsPerStep = 0
+	for _, tc := range []struct {
+		label string
+		k     multicore.Partitionable
+		opts  kernels.Options
+	}{
+		{"layernorm (GM-bound)", ew, kernels.FullyOptimized(ew)},
+		{"gemm (compute-bound)", gemm, gemm.Baseline()},
+	} {
+		curve, err := multicore.ScalingCurve(chip, tc.k, tc.opts, 16)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Fprintf(&b, "  %-22s", tc.label)
+		for _, p := range curve {
+			fmt.Fprintf(&b, "  %2d cores %5.2fx", p.Cores, p.Speedup)
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("  (the GM-bound operator hits the shared-bandwidth wall immediately;\n")
+	b.WriteString("   the compute-bound GEMM keeps scaling — the chip-level form of the\n")
+	b.WriteString("   paper's PanGu bandwidth insight)\n")
+	return b.String()
+}
+
+// ExtQueueDepth sweeps the instruction-queue depth on the optimized
+// depthwise kernel.
+func ExtQueueDepth() string {
+	var b strings.Builder
+	b.WriteString("Extension — instruction-queue depth sensitivity (optimized depthwise)\n")
+	k := kernels.NewDepthwise()
+	opts := kernels.FullyOptimized(k)
+	for _, depth := range []int{1, 2, 4, 8, 0} {
+		chip := hw.TrainingChip()
+		chip.QueueDepth = depth
+		prog, err := k.Build(chip, opts)
+		if err != nil {
+			panic(err)
+		}
+		p, err := sim.RunOpts(chip, prog, sim.Options{})
+		if err != nil {
+			panic(err)
+		}
+		label := fmt.Sprintf("depth %d", depth)
+		if depth == 0 {
+			label = "unbounded"
+		}
+		fmt.Fprintf(&b, "  %-10s %10.3f us\n", label, p.TotalTime/1000)
+	}
+	b.WriteString("  (a depth of 2 already decouples the in-order front end; depth 1\n")
+	b.WriteString("   serializes dispatch behind every slow queue head)\n")
+	return b.String()
+}
+
+// ExtPipelineRow is one full-pipeline outcome.
+type ExtPipelineRow struct {
+	Operator                                   string
+	BaselineUS, StrategiesUS, TunedUS, FinalUS float64
+	Speedup                                    float64
+}
+
+// ExtPipeline runs the automated optimization pipeline (strategy loop,
+// tile tuning, IR passes) on the Table 1 operators.
+func ExtPipeline() ([]ExtPipelineRow, string) {
+	o := optNew()
+	var rows []ExtPipelineRow
+	var b strings.Builder
+	b.WriteString("Extension — full optimization pipeline (strategies + tile tuning + IR passes)\n")
+	fmt.Fprintf(&b, "  %-16s %10s %10s %10s %10s %8s\n",
+		"operator", "base us", "strat us", "tuned us", "final us", "speedup")
+	for _, k := range kernels.Table1Kernels() {
+		res, err := o.FullPipeline(k)
+		if err != nil {
+			panic(err)
+		}
+		row := ExtPipelineRow{
+			Operator: k.Name(), BaselineUS: res.BaselineTime / 1000,
+			StrategiesUS: res.AfterStrategies / 1000, TunedUS: res.AfterTuning / 1000,
+			FinalUS: res.AfterPasses / 1000, Speedup: res.Speedup(),
+		}
+		rows = append(rows, row)
+		fmt.Fprintf(&b, "  %-16s %10.2f %10.2f %10.2f %10.2f %7.2fx\n",
+			row.Operator, row.BaselineUS, row.StrategiesUS, row.TunedUS, row.FinalUS, row.Speedup)
+	}
+	return rows, b.String()
+}
+
+// ExtShapeSweep traces one operator's classification across tensor
+// sizes: ramp-dominated insufficient parallelism at small shapes, then a
+// component bound at the hardware wall — the operator-level mechanism
+// behind Fig. 14a's small-vs-large model split.
+func ExtShapeSweep() string {
+	chip := hw.TrainingChip()
+	k := kernels.NewAdd()
+	k.TileElems = 56 << 10
+	opts := kernels.Options{SeparateOutputBuffer: true}
+	res, err := sweep.Run(chip, k, opts, []float64{0.1, 0.25, 0.5, 1, 2, 4, 8})
+	if err != nil {
+		panic(err)
+	}
+	var b strings.Builder
+	b.WriteString("Extension — bottleneck class vs shape (residual add, RSD applied)\n")
+	b.WriteString(indent(res.Format(), "  "))
+	return b.String()
+}
+
+// AllExtensions runs every extension experiment.
+func AllExtensions() string {
+	out := ExtERT() + "\n"
+	out += ExtMulticore() + "\n"
+	out += ExtQueueDepth() + "\n"
+	out += ExtShapeSweep() + "\n"
+	_, p := ExtPipeline()
+	out += p
+	return out
+}

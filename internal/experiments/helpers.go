@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"ascendperf/internal/hw"
+	"ascendperf/internal/kernels"
+	"ascendperf/internal/opt"
+)
+
+// optNew returns the default optimizer for the training chip.
+func optNew() *opt.Optimizer { return opt.New(hw.TrainingChip()) }
+
+// kernelByName fetches a registry kernel and panics if absent (experiment
+// inputs are fixed).
+func kernelByName(name string) kernels.Kernel {
+	k := kernels.Registry()[name]
+	if k == nil {
+		panic("experiments: unknown kernel " + name)
+	}
+	return k
+}
+
+// All runs every experiment and returns the concatenated report, in
+// paper order. The SVG of Fig. 6 is omitted from the text (see Fig6).
+func All() string {
+	out := Fig2() + "\n"
+	_, s3 := Fig3()
+	out += s3 + "\n"
+	out += Fig4() + "\n"
+	_, s6 := Fig6()
+	out += s6 + "\n"
+	_, s7 := Fig7()
+	out += s7 + "\n"
+	out += Fig12() + "\n"
+	_, t1 := Table1()
+	out += t1 + "\n"
+	_, cs := CaseStudies()
+	out += cs + "\n"
+	out += Table2() + "\n"
+	_, s13 := Fig13()
+	out += s13 + "\n"
+	_, s14a := Fig14a()
+	out += s14a + "\n"
+	_, s14b := Fig14b()
+	out += s14b + "\n"
+	out += Fig14c() + "\n"
+	_, s15 := Fig15()
+	out += s15
+	return out
+}

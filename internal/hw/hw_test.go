@@ -1,0 +1,287 @@
+package hw
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestStringNames(t *testing.T) {
+	cases := []struct {
+		got, want string
+	}{
+		{Cube.String(), "Cube"},
+		{Vector.String(), "Vector"},
+		{Scalar.String(), "Scalar"},
+		{INT8.String(), "INT8"},
+		{FP16.String(), "FP16"},
+		{FP32.String(), "FP32"},
+		{FP64.String(), "FP64"},
+		{INT32.String(), "INT32"},
+		{GM.String(), "GM"},
+		{L1.String(), "L1"},
+		{UB.String(), "UB"},
+		{L0A.String(), "L0A"},
+		{L0B.String(), "L0B"},
+		{L0C.String(), "L0C"},
+		{CompCube.String(), "Cube"},
+		{CompMTEGM.String(), "MTE-GM"},
+		{CompMTEL1.String(), "MTE-L1"},
+		{CompMTEUB.String(), "MTE-UB"},
+		{PathGMToL1.String(), "GM->L1"},
+		{UnitPrec{Cube, FP16}.String(), "FP16-Cube"},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("got %q, want %q", c.got, c.want)
+		}
+	}
+}
+
+func TestUnknownStrings(t *testing.T) {
+	if Unit(99).String() != "Unit(99)" {
+		t.Errorf("unknown unit string: %s", Unit(99))
+	}
+	if Precision(99).String() != "Precision(99)" {
+		t.Errorf("unknown precision string: %s", Precision(99))
+	}
+	if Level(99).String() != "Level(99)" {
+		t.Errorf("unknown level string: %s", Level(99))
+	}
+	if Component(99).String() != "Component(99)" {
+		t.Errorf("unknown component string: %s", Component(99))
+	}
+}
+
+func TestPrecisionBytes(t *testing.T) {
+	want := map[Precision]int64{INT8: 1, FP16: 2, FP32: 4, INT32: 4, FP64: 8}
+	for p, b := range want {
+		if got := p.Bytes(); got != b {
+			t.Errorf("%s.Bytes() = %d, want %d", p, got, b)
+		}
+	}
+	if Precision(99).Bytes() != 0 {
+		t.Error("unknown precision should have 0 bytes")
+	}
+}
+
+func TestComponentKind(t *testing.T) {
+	for _, c := range Components() {
+		if c.IsMTE() == c.IsCompute() {
+			t.Errorf("%s must be exactly one of MTE/compute", c)
+		}
+	}
+	if !CompMTEGM.IsMTE() || CompMTEGM.IsCompute() {
+		t.Error("MTE-GM misclassified")
+	}
+	if !CompCube.IsCompute() {
+		t.Error("Cube misclassified")
+	}
+}
+
+func TestComponentUnitRoundTrip(t *testing.T) {
+	for _, u := range []Unit{Cube, Vector, Scalar} {
+		if got := ComponentOf(u).Unit(); got != u {
+			t.Errorf("round trip %s -> %s", u, got)
+		}
+	}
+}
+
+func TestComponentUnitPanicsOnMTE(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for MTE.Unit()")
+		}
+	}()
+	_ = CompMTEGM.Unit()
+}
+
+func TestPresetsValidate(t *testing.T) {
+	for _, chip := range []*Chip{TrainingChip(), InferenceChip()} {
+		if err := chip.Validate(); err != nil {
+			t.Errorf("%s: %v", chip.Name, err)
+		}
+	}
+}
+
+// TestNinePrecisionComputeUnits checks the paper's count: the AICore has
+// nine precision-compute units (2 Cube + 3 Vector + 4 Scalar).
+func TestNinePrecisionComputeUnits(t *testing.T) {
+	chip := TrainingChip()
+	total := 0
+	for _, u := range []Unit{Cube, Vector, Scalar} {
+		total += len(chip.UnitPrecs(u))
+	}
+	if total != 9 {
+		t.Errorf("precision-compute units = %d, want 9", total)
+	}
+	if n := len(chip.UnitPrecs(Cube)); n != 2 {
+		t.Errorf("Cube precisions = %d, want 2", n)
+	}
+	if n := len(chip.UnitPrecs(Vector)); n != 3 {
+		t.Errorf("Vector precisions = %d, want 3", n)
+	}
+	if n := len(chip.UnitPrecs(Scalar)); n != 4 {
+		t.Errorf("Scalar precisions = %d, want 4", n)
+	}
+}
+
+// TestInt8TwiceFP16 checks the structural relationship used by the paper's
+// Fig. 3b scenario on both presets.
+func TestInt8TwiceFP16(t *testing.T) {
+	for _, chip := range []*Chip{TrainingChip(), InferenceChip()} {
+		i8, ok := chip.PeakOf(Cube, INT8)
+		if !ok {
+			t.Fatalf("%s: no INT8 cube", chip.Name)
+		}
+		f16, ok := chip.PeakOf(Cube, FP16)
+		if !ok {
+			t.Fatalf("%s: no FP16 cube", chip.Name)
+		}
+		if i8 != 2*f16 {
+			t.Errorf("%s: INT8 peak %v != 2x FP16 peak %v", chip.Name, i8, f16)
+		}
+	}
+}
+
+// TestAsymmetricL0Bandwidth checks L1->L0A is provisioned faster than
+// L1->L0B (paper Section 2.1).
+func TestAsymmetricL0Bandwidth(t *testing.T) {
+	for _, chip := range []*Chip{TrainingChip(), InferenceChip()} {
+		a := chip.Paths[PathL1ToL0A].Bandwidth
+		b := chip.Paths[PathL1ToL0B].Bandwidth
+		if a <= b {
+			t.Errorf("%s: L1->L0A bw %v not greater than L1->L0B bw %v", chip.Name, a, b)
+		}
+	}
+}
+
+func TestEngineAssignment(t *testing.T) {
+	chip := TrainingChip()
+	wantEngines := map[Path]Component{
+		PathGMToL1:  CompMTEGM,
+		PathGMToUB:  CompMTEGM,
+		PathGMToL0A: CompMTEGM,
+		PathGMToL0B: CompMTEGM,
+		PathL1ToL0A: CompMTEL1,
+		PathL1ToL0B: CompMTEL1,
+		PathUBToGM:  CompMTEUB,
+		PathUBToL1:  CompMTEUB,
+	}
+	for p, want := range wantEngines {
+		got, ok := chip.EngineOf(p)
+		if !ok {
+			t.Errorf("path %s missing", p)
+			continue
+		}
+		if got != want {
+			t.Errorf("path %s engine = %s, want %s", p, got, want)
+		}
+	}
+	if _, ok := chip.EngineOf(Path{L0C, GM}); ok {
+		t.Error("illegal path L0C->GM should have no engine")
+	}
+}
+
+func TestPathsOfCoverAllPaths(t *testing.T) {
+	chip := TrainingChip()
+	seen := map[Path]bool{}
+	for _, e := range []Component{CompMTEGM, CompMTEL1, CompMTEUB} {
+		for _, p := range chip.PathsOf(e) {
+			if seen[p] {
+				t.Errorf("path %s assigned to two engines", p)
+			}
+			seen[p] = true
+		}
+	}
+	if len(seen) != len(chip.Paths) {
+		t.Errorf("PathsOf covered %d paths, chip has %d", len(seen), len(chip.Paths))
+	}
+	if len(AllPaths()) != len(chip.Paths) {
+		t.Errorf("AllPaths() length %d != chip paths %d", len(AllPaths()), len(chip.Paths))
+	}
+}
+
+func TestMaxPeakAndBandwidth(t *testing.T) {
+	chip := TrainingChip()
+	if got := chip.MaxPeak(Cube); got != 16384 {
+		t.Errorf("MaxPeak(Cube) = %v, want 16384", got)
+	}
+	if got := chip.MaxPeak(Vector); got != 256 {
+		t.Errorf("MaxPeak(Vector) = %v, want 256", got)
+	}
+	if got := chip.MaxBandwidth(CompMTEGM); got != 32 {
+		t.Errorf("MaxBandwidth(MTE-GM) = %v, want 32", got)
+	}
+	if got := chip.MaxBandwidth(CompCube); got != 0 {
+		t.Errorf("MaxBandwidth(non-MTE) = %v, want 0", got)
+	}
+}
+
+func TestValidateRejectsBadChips(t *testing.T) {
+	base := TrainingChip()
+
+	noName := *base
+	noName.Name = ""
+	if noName.Validate() == nil {
+		t.Error("expected error for empty name")
+	}
+
+	badPeak := *base
+	badPeak.Compute = map[UnitPrec]PrecSpec{{Cube, FP16}: {Peak: -1}}
+	if badPeak.Validate() == nil {
+		t.Error("expected error for negative peak")
+	}
+
+	badPath := *base
+	badPath.Paths = map[Path]PathSpec{PathGMToL1: {Bandwidth: 0, Engine: CompMTEGM}}
+	if badPath.Validate() == nil {
+		t.Error("expected error for zero bandwidth")
+	}
+
+	badEngine := *base
+	badEngine.Paths = map[Path]PathSpec{PathGMToL1: {Bandwidth: 1, Engine: CompCube}}
+	if badEngine.Validate() == nil {
+		t.Error("expected error for non-MTE engine")
+	}
+
+	noBuf := *base
+	noBuf.BufferSize = map[Level]int64{}
+	if noBuf.Validate() == nil {
+		t.Error("expected error for missing buffers")
+	}
+
+	negOverhead := *base
+	negOverhead.DispatchLatency = -1
+	if negOverhead.Validate() == nil {
+		t.Error("expected error for negative dispatch latency")
+	}
+
+	noCompute := *base
+	noCompute.Compute = nil
+	if noCompute.Validate() == nil {
+		t.Error("expected error for no compute units")
+	}
+}
+
+// TestUnitPrecsDeterministic verifies stable ordering via quick-check of
+// repeated calls.
+func TestUnitPrecsDeterministic(t *testing.T) {
+	chip := TrainingChip()
+	f := func(n uint8) bool {
+		u := Unit(int(n) % NumUnits)
+		a := chip.UnitPrecs(u)
+		b := chip.UnitPrecs(u)
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

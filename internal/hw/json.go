@@ -1,0 +1,145 @@
+package hw
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Chip specifications serialize to JSON so downstream users can model
+// their own DSA variants without writing Go — the configuration analogue
+// of the built-in presets. The schema uses the canonical names from this
+// package ("Cube", "FP16", "GM->L1", "MTE-GM").
+
+type jsonChip struct {
+	Name            string           `json:"name"`
+	ClockGHz        float64          `json:"clock_ghz"`
+	Compute         []jsonPeak       `json:"compute"`
+	Paths           []jsonPath       `json:"paths"`
+	BufferSize      map[string]int64 `json:"buffer_size"`
+	DispatchLatency float64          `json:"dispatch_latency_ns"`
+	TransferSetup   float64          `json:"transfer_setup_ns"`
+	ComputeIssue    float64          `json:"compute_issue_ns"`
+	ScalarIssue     float64          `json:"scalar_issue_ns"`
+	SyncCost        float64          `json:"sync_cost_ns"`
+	QueueDepth      int              `json:"queue_depth,omitempty"`
+	UBBanks         int              `json:"ub_banks,omitempty"`
+	UBBankWidth     int64            `json:"ub_bank_width,omitempty"`
+}
+
+type jsonPeak struct {
+	Unit string  `json:"unit"`
+	Prec string  `json:"prec"`
+	Peak float64 `json:"peak_ops_per_ns"`
+}
+
+type jsonPath struct {
+	Src       string  `json:"src"`
+	Dst       string  `json:"dst"`
+	Bandwidth float64 `json:"bandwidth_bytes_per_ns"`
+	Engine    string  `json:"engine"`
+}
+
+var (
+	chipUnitByName = map[string]Unit{"Cube": Cube, "Vector": Vector, "Scalar": Scalar}
+	chipPrecByName = map[string]Precision{
+		"INT8": INT8, "FP16": FP16, "FP32": FP32, "FP64": FP64, "INT32": INT32,
+	}
+	chipLevelByName = map[string]Level{
+		"GM": GM, "L1": L1, "UB": UB, "L0A": L0A, "L0B": L0B, "L0C": L0C,
+	}
+	chipCompByName = map[string]Component{
+		"Cube": CompCube, "Vector": CompVector, "Scalar": CompScalar,
+		"MTE-GM": CompMTEGM, "MTE-L1": CompMTEL1, "MTE-UB": CompMTEUB,
+	}
+)
+
+// WriteJSON serializes the chip specification.
+func (c *Chip) WriteJSON(w io.Writer) error {
+	out := jsonChip{
+		Name:            c.Name,
+		ClockGHz:        c.ClockGHz,
+		BufferSize:      map[string]int64{},
+		DispatchLatency: c.DispatchLatency,
+		TransferSetup:   c.TransferSetup,
+		ComputeIssue:    c.ComputeIssue,
+		ScalarIssue:     c.ScalarIssue,
+		SyncCost:        c.SyncCost,
+		QueueDepth:      c.QueueDepth,
+		UBBanks:         c.UBBanks,
+		UBBankWidth:     c.UBBankWidth,
+	}
+	for _, u := range []Unit{Cube, Vector, Scalar} {
+		for _, up := range c.UnitPrecs(u) {
+			out.Compute = append(out.Compute, jsonPeak{
+				Unit: up.Unit.String(), Prec: up.Prec.String(),
+				Peak: c.Compute[up].Peak,
+			})
+		}
+	}
+	for _, path := range AllPaths() {
+		if spec, ok := c.Paths[path]; ok {
+			out.Paths = append(out.Paths, jsonPath{
+				Src: path.Src.String(), Dst: path.Dst.String(),
+				Bandwidth: spec.Bandwidth, Engine: spec.Engine.String(),
+			})
+		}
+	}
+	for level, size := range c.BufferSize {
+		out.BufferSize[level.String()] = size
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadChipJSON deserializes and validates a chip specification.
+func ReadChipJSON(r io.Reader) (*Chip, error) {
+	var in jsonChip
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("hw: decode chip: %w", err)
+	}
+	c := &Chip{
+		Name:            in.Name,
+		ClockGHz:        in.ClockGHz,
+		Compute:         map[UnitPrec]PrecSpec{},
+		Paths:           map[Path]PathSpec{},
+		BufferSize:      map[Level]int64{},
+		DispatchLatency: in.DispatchLatency,
+		TransferSetup:   in.TransferSetup,
+		ComputeIssue:    in.ComputeIssue,
+		ScalarIssue:     in.ScalarIssue,
+		SyncCost:        in.SyncCost,
+		QueueDepth:      in.QueueDepth,
+		UBBanks:         in.UBBanks,
+		UBBankWidth:     in.UBBankWidth,
+	}
+	for _, pk := range in.Compute {
+		u, okU := chipUnitByName[pk.Unit]
+		p, okP := chipPrecByName[pk.Prec]
+		if !okU || !okP {
+			return nil, fmt.Errorf("hw: unknown precision-unit %s-%s", pk.Prec, pk.Unit)
+		}
+		c.Compute[UnitPrec{Unit: u, Prec: p}] = PrecSpec{Peak: pk.Peak}
+	}
+	for _, jp := range in.Paths {
+		src, okS := chipLevelByName[jp.Src]
+		dst, okD := chipLevelByName[jp.Dst]
+		eng, okE := chipCompByName[jp.Engine]
+		if !okS || !okD || !okE {
+			return nil, fmt.Errorf("hw: unknown path %s->%s on %s", jp.Src, jp.Dst, jp.Engine)
+		}
+		c.Paths[Path{Src: src, Dst: dst}] = PathSpec{Bandwidth: jp.Bandwidth, Engine: eng}
+	}
+	for name, size := range in.BufferSize {
+		level, ok := chipLevelByName[name]
+		if !ok {
+			return nil, fmt.Errorf("hw: unknown buffer %q", name)
+		}
+		c.BufferSize[level] = size
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

@@ -1,0 +1,58 @@
+package hw
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestChipJSONRoundTrip(t *testing.T) {
+	for _, orig := range []*Chip{TrainingChip(), InferenceChip(), TPUStyleChip()} {
+		var buf bytes.Buffer
+		if err := orig.WriteJSON(&buf); err != nil {
+			t.Fatalf("%s: %v", orig.Name, err)
+		}
+		back, err := ReadChipJSON(&buf)
+		if err != nil {
+			t.Fatalf("%s: %v", orig.Name, err)
+		}
+		if !reflect.DeepEqual(orig, back) {
+			t.Errorf("%s: round trip not identical", orig.Name)
+		}
+	}
+}
+
+func TestChipJSONRoundTripWithBanking(t *testing.T) {
+	orig := TrainingChip()
+	orig.UBBanks = 8
+	orig.UBBankWidth = 2 << 10
+	var buf bytes.Buffer
+	if err := orig.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadChipJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.UBBanks != 8 || back.UBBankWidth != 2<<10 {
+		t.Error("banking config lost")
+	}
+}
+
+func TestReadChipJSONRejections(t *testing.T) {
+	cases := map[string]string{
+		"not json":         "nope",
+		"unknown unit":     `{"name":"x","compute":[{"unit":"NPU","prec":"FP16","peak_ops_per_ns":1}]}`,
+		"unknown prec":     `{"name":"x","compute":[{"unit":"Cube","prec":"FP8","peak_ops_per_ns":1}]}`,
+		"unknown level":    `{"name":"x","paths":[{"src":"HBM","dst":"UB","bandwidth_bytes_per_ns":1,"engine":"MTE-GM"}]}`,
+		"unknown engine":   `{"name":"x","paths":[{"src":"GM","dst":"UB","bandwidth_bytes_per_ns":1,"engine":"DMA"}]}`,
+		"unknown buffer":   `{"name":"x","buffer_size":{"L3":1}}`,
+		"fails validation": `{"name":"x","compute":[{"unit":"Cube","prec":"FP16","peak_ops_per_ns":1}],"buffer_size":{"GM":0}}`,
+	}
+	for name, payload := range cases {
+		if _, err := ReadChipJSON(strings.NewReader(payload)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

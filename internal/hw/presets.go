@@ -1,0 +1,118 @@
+package hw
+
+// The presets below are scaled per-AICore from publicly documented
+// Ascend-class figures (Liao et al., HPCA'21). They are not measurements
+// of any specific product; the point is to preserve the structural
+// relationships the roofline analysis depends on:
+//
+//   - Cube INT8 peak is exactly 2x the FP16 peak (paper Fig. 3b).
+//   - The Cube is orders of magnitude faster than Vector, which is much
+//     faster than Scalar (paper Section 5.4, "increasing computing power").
+//   - L1->L0A bandwidth is higher than L1->L0B (asymmetric bandwidth,
+//     paper Section 2.1).
+//   - All GM-originated transfers share the single MTE-GM engine, so the
+//     GM link is the scarce resource for vector-heavy workloads.
+//   - The inference chip has lower compute peaks relative to its
+//     bandwidth, so well-implemented operators become compute bound there
+//     (paper Section 6.3, "Training vs. Inference").
+
+// TrainingChip returns the per-AICore specification of the Ascend training
+// chip preset (Atlas 300T class).
+func TrainingChip() *Chip {
+	return &Chip{
+		Name:     "ascend-training",
+		ClockGHz: 1.0,
+		Compute: map[UnitPrec]PrecSpec{
+			// Cube: 4096 FP16 MACs/cycle = 8192 flop/ns at 1 GHz.
+			{Cube, FP16}: {Peak: 8192},
+			{Cube, INT8}: {Peak: 16384},
+			// Vector: 128-lane FP16 SIMD with fused multiply-add.
+			{Vector, FP16}:  {Peak: 256},
+			{Vector, FP32}:  {Peak: 128},
+			{Vector, INT32}: {Peak: 128},
+			// Scalar: a small control core.
+			{Scalar, INT32}: {Peak: 4},
+			{Scalar, FP16}:  {Peak: 2},
+			{Scalar, FP32}:  {Peak: 2},
+			{Scalar, FP64}:  {Peak: 1},
+		},
+		Paths: map[Path]PathSpec{
+			// MTE-GM: per-core share of the HBM link.
+			PathGMToL1:  {Bandwidth: 32, Engine: CompMTEGM},
+			PathGMToUB:  {Bandwidth: 32, Engine: CompMTEGM},
+			PathGMToL0A: {Bandwidth: 24, Engine: CompMTEGM},
+			PathGMToL0B: {Bandwidth: 24, Engine: CompMTEGM},
+			// MTE-L1: wide on-chip buses; L0A is provisioned with twice
+			// the L0B bandwidth because the left (feature-map) matrix is
+			// typically the larger input.
+			PathL1ToL0A: {Bandwidth: 512, Engine: CompMTEL1},
+			PathL1ToL0B: {Bandwidth: 256, Engine: CompMTEL1},
+			// MTE-UB: write-back paths. The GM write-back link is narrower
+			// than the GM read links (read-optimized HBM arbitration), which
+			// is why store-heavy vector operators become MTE-UB bound.
+			PathUBToGM: {Bandwidth: 16, Engine: CompMTEUB},
+			PathUBToL1: {Bandwidth: 128, Engine: CompMTEUB},
+		},
+		BufferSize: map[Level]int64{
+			GM:  1 << 40, // effectively unbounded
+			L1:  1 << 20, // 1 MiB
+			UB:  256 << 10,
+			L0A: 64 << 10,
+			L0B: 64 << 10,
+			L0C: 256 << 10,
+		},
+		DispatchLatency: 25,
+		TransferSetup:   1000,
+		ComputeIssue:    50,
+		ScalarIssue:     10,
+		SyncCost:        20,
+	}
+}
+
+// InferenceChip returns the per-AICore specification of the Ascend
+// inference chip preset (Atlas 300I class): lower compute peaks, a
+// narrower GM link, and the same component structure.
+func InferenceChip() *Chip {
+	return &Chip{
+		Name:     "ascend-inference",
+		ClockGHz: 0.8,
+		Compute: map[UnitPrec]PrecSpec{
+			// Compute peaks are scaled down ~4x from the training chip
+			// while bandwidths are scaled only ~2x, so the inference chip
+			// is compute-lean relative to its links: well-implemented
+			// operators reach Compute Bound sooner (Section 6.3).
+			{Cube, FP16}:    {Peak: 2048},
+			{Cube, INT8}:    {Peak: 4096},
+			{Vector, FP16}:  {Peak: 64},
+			{Vector, FP32}:  {Peak: 32},
+			{Vector, INT32}: {Peak: 32},
+			{Scalar, INT32}: {Peak: 2},
+			{Scalar, FP16}:  {Peak: 1},
+			{Scalar, FP32}:  {Peak: 1},
+			{Scalar, FP64}:  {Peak: 0.5},
+		},
+		Paths: map[Path]PathSpec{
+			PathGMToL1:  {Bandwidth: 16, Engine: CompMTEGM},
+			PathGMToUB:  {Bandwidth: 16, Engine: CompMTEGM},
+			PathGMToL0A: {Bandwidth: 12, Engine: CompMTEGM},
+			PathGMToL0B: {Bandwidth: 12, Engine: CompMTEGM},
+			PathL1ToL0A: {Bandwidth: 256, Engine: CompMTEL1},
+			PathL1ToL0B: {Bandwidth: 128, Engine: CompMTEL1},
+			PathUBToGM:  {Bandwidth: 8, Engine: CompMTEUB},
+			PathUBToL1:  {Bandwidth: 64, Engine: CompMTEUB},
+		},
+		BufferSize: map[Level]int64{
+			GM:  1 << 40,
+			L1:  1 << 20,
+			UB:  192 << 10,
+			L0A: 64 << 10,
+			L0B: 64 << 10,
+			L0C: 128 << 10,
+		},
+		DispatchLatency: 30,
+		TransferSetup:   1200,
+		ComputeIssue:    60,
+		ScalarIssue:     12,
+		SyncCost:        25,
+	}
+}

@@ -1,0 +1,68 @@
+package hw
+
+// TPUStyleChip demonstrates the paper's Section 7 claim that the
+// component abstraction extends beyond Ascend: a TPU-v5-style DSA also
+// has heterogeneous compute units (Matrix Multiply, Vector, Scalar) and
+// a matrix unit fed by two memory paths with very different bandwidths —
+// activations from the Unified Buffer versus weights from the Weight
+// FIFO. The mapping onto our component set:
+//
+//	Matrix Multiply Unit -> Cube        Vector Unit -> Vector
+//	Scalar Unit          -> Scalar
+//	HBM -> on-chip staging               -> MTE-GM paths
+//	Unified-Buffer feed  -> L1->L0A path (wide)
+//	Weight-FIFO feed     -> L1->L0B path (narrow)
+//	result drain to HBM  -> MTE-UB paths
+//
+// The serial-within/parallel-across queue semantics carry over, so the
+// component-based roofline, the utilization decomposition and the
+// bottleneck classification all apply unchanged. Only the rates differ:
+// the activation path is an order of magnitude wider than the weight
+// FIFO, the structural feature the paper calls out.
+func TPUStyleChip() *Chip {
+	return &Chip{
+		Name:     "tpu-style",
+		ClockGHz: 0.94,
+		Compute: map[UnitPrec]PrecSpec{
+			// The MXU: a 128x128 systolic array.
+			{Cube, FP16}: {Peak: 16384},
+			{Cube, INT8}: {Peak: 32768},
+			// The VPU.
+			{Vector, FP32}:  {Peak: 256},
+			{Vector, FP16}:  {Peak: 512},
+			{Vector, INT32}: {Peak: 256},
+			// The scalar core driving control flow.
+			{Scalar, INT32}: {Peak: 4},
+			{Scalar, FP32}:  {Peak: 2},
+			{Scalar, FP16}:  {Peak: 2},
+			{Scalar, FP64}:  {Peak: 1},
+		},
+		Paths: map[Path]PathSpec{
+			// HBM into on-chip staging.
+			PathGMToL1:  {Bandwidth: 64, Engine: CompMTEGM},
+			PathGMToUB:  {Bandwidth: 64, Engine: CompMTEGM},
+			PathGMToL0A: {Bandwidth: 48, Engine: CompMTEGM},
+			PathGMToL0B: {Bandwidth: 48, Engine: CompMTEGM},
+			// The two matrix-unit feeds: Unified-Buffer activations are
+			// an order of magnitude wider than the Weight FIFO.
+			PathL1ToL0A: {Bandwidth: 1024, Engine: CompMTEL1},
+			PathL1ToL0B: {Bandwidth: 24, Engine: CompMTEL1},
+			// Result drain.
+			PathUBToGM: {Bandwidth: 48, Engine: CompMTEUB},
+			PathUBToL1: {Bandwidth: 256, Engine: CompMTEUB},
+		},
+		BufferSize: map[Level]int64{
+			GM:  1 << 40,
+			L1:  4 << 20, // large unified buffer
+			UB:  512 << 10,
+			L0A: 128 << 10,
+			L0B: 64 << 10, // the weight FIFO window
+			L0C: 256 << 10,
+		},
+		DispatchLatency: 20,
+		TransferSetup:   800,
+		ComputeIssue:    40,
+		ScalarIssue:     8,
+		SyncCost:        15,
+	}
+}

@@ -1,0 +1,40 @@
+package hw
+
+import "testing"
+
+func TestTPUStyleChipValidates(t *testing.T) {
+	if err := TPUStyleChip().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTPUFeedAsymmetry checks the structural feature the paper's
+// Section 7 calls out: the Unified-Buffer activation feed is an order of
+// magnitude wider than the Weight FIFO feed.
+func TestTPUFeedAsymmetry(t *testing.T) {
+	chip := TPUStyleChip()
+	act := chip.Paths[PathL1ToL0A].Bandwidth
+	weight := chip.Paths[PathL1ToL0B].Bandwidth
+	if act < 8*weight {
+		t.Errorf("activation feed %.0f not an order of magnitude above weight FIFO %.0f", act, weight)
+	}
+}
+
+// TestTPUSharesComponentStructure: the same six components and the same
+// nine precision-compute pairs, so every analysis in internal/core
+// applies without modification.
+func TestTPUSharesComponentStructure(t *testing.T) {
+	chip := TPUStyleChip()
+	total := 0
+	for _, u := range []Unit{Cube, Vector, Scalar} {
+		total += len(chip.UnitPrecs(u))
+	}
+	if total != 9 {
+		t.Errorf("precision-compute pairs = %d, want 9", total)
+	}
+	for _, e := range []Component{CompMTEGM, CompMTEL1, CompMTEUB} {
+		if len(chip.PathsOf(e)) == 0 {
+			t.Errorf("engine %s has no paths", e)
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package kernels
+
+import (
+	"fmt"
+
+	"ascendperf/internal/hw"
+	"ascendperf/internal/isa"
+)
+
+// Builder assembles an isa.Program with bump-pointer buffer allocation
+// and automatic flag-event management. Errors (e.g. buffer exhaustion)
+// are accumulated and surfaced by Program().
+type Builder struct {
+	chip *hw.Chip
+	prog *isa.Program
+	next map[hw.Level]int64
+	ev   map[[2]hw.Component]int
+	err  error
+}
+
+// NewBuilder returns a builder for a program with the given name.
+func NewBuilder(chip *hw.Chip, name string) *Builder {
+	return &Builder{
+		chip: chip,
+		prog: &isa.Program{Name: name},
+		next: map[hw.Level]int64{},
+		ev:   map[[2]hw.Component]int{},
+	}
+}
+
+// fail records the first error.
+func (b *Builder) fail(format string, args ...any) {
+	if b.err == nil {
+		b.err = fmt.Errorf("kernels: %s: %s", b.prog.Name, fmt.Sprintf(format, args...))
+	}
+}
+
+// Alloc bump-allocates size bytes in the given buffer level.
+func (b *Builder) Alloc(level hw.Level, size int64) isa.Region {
+	off := b.next[level]
+	if size <= 0 {
+		b.fail("allocation of %d bytes in %s", size, level)
+		return isa.Region{Level: level}
+	}
+	if cap, ok := b.chip.BufferSize[level]; !ok || off+size > cap {
+		b.fail("buffer %s exhausted: %d + %d > %d", level, off, size, b.chip.BufferSize[level])
+		return isa.Region{Level: level}
+	}
+	b.next[level] = off + size
+	return isa.Region{Level: level, Off: off, Size: size}
+}
+
+// Free returns the bump pointer of the level to the start of region r if
+// r is the most recent allocation. It lets loops reuse scratch space.
+func (b *Builder) Free(r isa.Region) {
+	if b.next[r.Level] == r.End() {
+		b.next[r.Level] = r.Off
+	}
+}
+
+// Copy emits a transfer of size bytes from src to dst regions. The
+// regions' levels must match the path endpoints.
+func (b *Builder) Copy(path hw.Path, src, dst isa.Region, label string) {
+	if src.Level != path.Src || dst.Level != path.Dst {
+		b.fail("copy %s with regions %s -> %s", path, src, dst)
+		return
+	}
+	if src.Size != dst.Size || src.Size <= 0 {
+		b.fail("copy %s with mismatched sizes %d -> %d", path, src.Size, dst.Size)
+		return
+	}
+	b.prog.Append(isa.Instr{
+		Kind:   isa.KindTransfer,
+		Path:   path,
+		Bytes:  src.Size,
+		Reads:  []isa.Region{src},
+		Writes: []isa.Region{dst},
+		Label:  label,
+	})
+}
+
+// Compute emits a compute instruction with explicit memory effects.
+func (b *Builder) Compute(u hw.Unit, p hw.Precision, ops int64, repeat int, reads, writes []isa.Region, label string) {
+	if ops <= 0 {
+		b.fail("compute with %d ops", ops)
+		return
+	}
+	b.prog.Append(isa.Instr{
+		Kind:   isa.KindCompute,
+		Unit:   u,
+		Prec:   p,
+		Ops:    ops,
+		Repeat: repeat,
+		Reads:  reads,
+		Writes: writes,
+		Label:  label,
+	})
+}
+
+// ScalarWork emits n scalar bookkeeping instructions (address
+// computation, loop control), each performing ops INT32 operations.
+func (b *Builder) ScalarWork(n int, ops int64) {
+	for i := 0; i < n; i++ {
+		b.prog.Append(isa.Compute(hw.Scalar, hw.INT32, ops))
+	}
+}
+
+// NewEvent reserves a fresh flag-event id between two components.
+func (b *Builder) NewEvent(from, to hw.Component) int {
+	k := [2]hw.Component{from, to}
+	id := b.ev[k]
+	b.ev[k] = id + 1
+	return id
+}
+
+// Set emits a set_flag.
+func (b *Builder) Set(from, to hw.Component, event int) {
+	b.prog.Append(isa.SetFlag(from, to, event))
+}
+
+// Wait emits a wait_flag.
+func (b *Builder) Wait(from, to hw.Component, event int) {
+	b.prog.Append(isa.WaitFlag(from, to, event))
+}
+
+// Barrier emits pipe_barrier(PIPE_ALL).
+func (b *Builder) Barrier() {
+	b.prog.Append(isa.BarrierAllInstr())
+}
+
+// StageSync separates two pipeline stages. With minimalSync it emits a
+// fine-grained set/wait pair on a fresh event; otherwise it emits a full
+// pipe_barrier(PIPE_ALL), the over-synchronization RUS removes.
+func (b *Builder) StageSync(from, to hw.Component, minimalSync bool) {
+	if minimalSync {
+		ev := b.NewEvent(from, to)
+		b.Set(from, to, ev)
+		b.Wait(from, to, ev)
+	} else {
+		b.Barrier()
+	}
+}
+
+// Program finalizes the build.
+func (b *Builder) Program() (*isa.Program, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if err := b.prog.Validate(b.chip); err != nil {
+		return nil, err
+	}
+	return b.prog, nil
+}
+
+// Used returns the bytes currently allocated in the level.
+func (b *Builder) Used(level hw.Level) int64 { return b.next[level] }

@@ -1,0 +1,164 @@
+package kernels
+
+import (
+	"strings"
+	"testing"
+
+	"ascendperf/internal/hw"
+	"ascendperf/internal/isa"
+)
+
+func TestBuilderAllocBump(t *testing.T) {
+	chip := hw.TrainingChip()
+	b := NewBuilder(chip, "alloc")
+	r1 := b.Alloc(hw.UB, 1024)
+	r2 := b.Alloc(hw.UB, 2048)
+	if r1.Off != 0 || r1.Size != 1024 {
+		t.Errorf("first alloc = %v", r1)
+	}
+	if r2.Off != 1024 || r2.Size != 2048 {
+		t.Errorf("second alloc = %v", r2)
+	}
+	if b.Used(hw.UB) != 3072 {
+		t.Errorf("used = %d", b.Used(hw.UB))
+	}
+}
+
+func TestBuilderFreeLIFO(t *testing.T) {
+	chip := hw.TrainingChip()
+	b := NewBuilder(chip, "free")
+	r1 := b.Alloc(hw.UB, 1024)
+	r2 := b.Alloc(hw.UB, 2048)
+	b.Free(r2)
+	if b.Used(hw.UB) != 1024 {
+		t.Errorf("used after LIFO free = %d, want 1024", b.Used(hw.UB))
+	}
+	// Freeing a non-top region is a no-op.
+	r3 := b.Alloc(hw.UB, 512)
+	b.Free(r1)
+	if b.Used(hw.UB) != 1024+512 {
+		t.Errorf("used after non-top free = %d", b.Used(hw.UB))
+	}
+	_ = r3
+}
+
+func TestBuilderAllocOverflow(t *testing.T) {
+	chip := hw.TrainingChip()
+	b := NewBuilder(chip, "overflow")
+	b.Alloc(hw.L0A, chip.BufferSize[hw.L0A])
+	b.Alloc(hw.L0A, 1)
+	if _, err := b.Program(); err == nil {
+		t.Fatal("expected overflow error")
+	} else if !strings.Contains(err.Error(), "exhausted") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestBuilderAllocNonPositive(t *testing.T) {
+	chip := hw.TrainingChip()
+	b := NewBuilder(chip, "bad-size")
+	b.Alloc(hw.UB, 0)
+	if _, err := b.Program(); err == nil {
+		t.Fatal("expected error for zero-size alloc")
+	}
+}
+
+func TestBuilderCopyValidation(t *testing.T) {
+	chip := hw.TrainingChip()
+
+	// Mismatched level.
+	b := NewBuilder(chip, "bad-level")
+	src := isa.Region{Level: hw.L1, Off: 0, Size: 100}
+	dst := isa.Region{Level: hw.UB, Off: 0, Size: 100}
+	b.Copy(hw.PathGMToUB, src, dst, "")
+	if _, err := b.Program(); err == nil {
+		t.Error("expected error for level mismatch")
+	}
+
+	// Mismatched size.
+	b2 := NewBuilder(chip, "bad-size")
+	b2.Copy(hw.PathGMToUB,
+		isa.Region{Level: hw.GM, Off: 0, Size: 100},
+		isa.Region{Level: hw.UB, Off: 0, Size: 200}, "")
+	if _, err := b2.Program(); err == nil {
+		t.Error("expected error for size mismatch")
+	}
+}
+
+func TestBuilderComputeValidation(t *testing.T) {
+	chip := hw.TrainingChip()
+	b := NewBuilder(chip, "bad-ops")
+	b.Compute(hw.Vector, hw.FP16, 0, 1, nil, nil, "")
+	if _, err := b.Program(); err == nil {
+		t.Error("expected error for zero ops")
+	}
+}
+
+func TestBuilderFirstErrorWins(t *testing.T) {
+	chip := hw.TrainingChip()
+	b := NewBuilder(chip, "multi-err")
+	b.Alloc(hw.UB, -1)
+	b.Compute(hw.Vector, hw.FP16, 0, 1, nil, nil, "")
+	_, err := b.Program()
+	if err == nil || !strings.Contains(err.Error(), "allocation") {
+		t.Errorf("first error should win, got: %v", err)
+	}
+}
+
+func TestBuilderStageSync(t *testing.T) {
+	chip := hw.TrainingChip()
+
+	fine := NewBuilder(chip, "fine")
+	fine.StageSync(hw.CompCube, hw.CompVector, true)
+	p1, err := fine.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := p1.Stat()
+	if s1.Syncs != 2 || s1.Barriers != 0 {
+		t.Errorf("minimal sync: %+v", s1)
+	}
+
+	coarse := NewBuilder(chip, "coarse")
+	coarse.StageSync(hw.CompCube, hw.CompVector, false)
+	p2, err := coarse.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := p2.Stat()
+	if s2.Barriers != 1 || s2.Syncs != 0 {
+		t.Errorf("coarse sync: %+v", s2)
+	}
+}
+
+func TestBuilderNewEventUnique(t *testing.T) {
+	chip := hw.TrainingChip()
+	b := NewBuilder(chip, "events")
+	e1 := b.NewEvent(hw.CompMTEGM, hw.CompVector)
+	e2 := b.NewEvent(hw.CompMTEGM, hw.CompVector)
+	e3 := b.NewEvent(hw.CompVector, hw.CompMTEUB)
+	if e1 == e2 {
+		t.Error("events on the same pair must be unique")
+	}
+	if e3 != 0 {
+		t.Error("events are counted per component pair")
+	}
+}
+
+func TestBuilderScalarWork(t *testing.T) {
+	chip := hw.TrainingChip()
+	b := NewBuilder(chip, "scalar")
+	b.ScalarWork(5, 4)
+	p, err := b.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 5 {
+		t.Errorf("scalar work emitted %d instructions, want 5", p.Len())
+	}
+	for i := range p.Instrs {
+		if p.Instrs[i].Unit != hw.Scalar || p.Instrs[i].Ops != 4 {
+			t.Errorf("instr %d: %+v", i, p.Instrs[i])
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package kernels
+
+import "ascendperf/internal/hw"
+
+// This file holds the long tail of the operator library: operators that
+// appear in the evaluation workloads' models beyond the eight Table 1
+// rows and the PanGu-alpha top-10 list.
+
+// NewReLU returns the standalone ReLU activation: one cheap vector pass,
+// completely transfer-dominated.
+func NewReLU() *Elementwise {
+	return &Elementwise{
+		OpName:    "relu",
+		Elems:     512 << 10,
+		ElemBytes: 2,
+		TileElems: 32 << 10,
+		Inputs:    1,
+		Stages: []vecStage{
+			{Name: "relu", Prec: hw.FP16, OpsPerElem: 1},
+		},
+		ScalarPerIter:       2,
+		BaselineOpts:        Options{},
+		SupportedStrategies: []Strategy{RSD, PP},
+	}
+}
+
+// NewSigmoid returns the Sigmoid activation: exp and reciprocal cost
+// several vector micro-ops per element.
+func NewSigmoid() *Elementwise {
+	return &Elementwise{
+		OpName:    "sigmoid",
+		Elems:     384 << 10,
+		ElemBytes: 2,
+		TileElems: 24 << 10,
+		Inputs:    1,
+		Stages: []vecStage{
+			{Name: "sigmoid", Prec: hw.FP32, OpsPerElem: 8},
+		},
+		FastStages: []vecStage{
+			{Name: "hard_sigmoid", Prec: hw.FP16, OpsPerElem: 3},
+		},
+		ScalarPerIter:       2,
+		BaselineOpts:        Options{},
+		SupportedStrategies: []Strategy{RSD, PP, EA},
+	}
+}
+
+// NewTanh returns the Tanh activation.
+func NewTanh() *Elementwise {
+	return &Elementwise{
+		OpName:    "tanh",
+		Elems:     384 << 10,
+		ElemBytes: 2,
+		TileElems: 24 << 10,
+		Inputs:    1,
+		Stages: []vecStage{
+			{Name: "tanh", Prec: hw.FP32, OpsPerElem: 10},
+		},
+		ScalarPerIter:       2,
+		BaselineOpts:        Options{},
+		SupportedStrategies: []Strategy{RSD, PP},
+	}
+}
+
+// NewBatchNorm returns the BatchNorm inference operator: scale and shift
+// with broadcast statistics, which the unoptimized implementation
+// reloads every tile.
+func NewBatchNorm() *Elementwise {
+	return &Elementwise{
+		OpName:     "batchnorm",
+		Elems:      512 << 10,
+		ElemBytes:  2,
+		TileElems:  32 << 10,
+		Inputs:     1,
+		ConstBytes: 4 << 10, // mean/var/gamma/beta
+		Stages: []vecStage{
+			{Name: "normalize", Prec: hw.FP16, OpsPerElem: 2},
+		},
+		ScalarPerIter:       4,
+		BaselineOpts:        Options{},
+		SupportedStrategies: []Strategy{RSD, MRT, PP},
+	}
+}
+
+// NewReduceSum returns the ReduceSum operator: like AvgPool it is a
+// reduction whose unoptimized implementation under-uses the repeat
+// parameter.
+func NewReduceSum() *AvgPool {
+	return &AvgPool{
+		Tiles:         6,
+		TileElems:     24 << 10,
+		Loops:         96,
+		GroupsPerLoop: 3,
+		OutElems:      512,
+		name:          "reduce_sum",
+	}
+}
+
+// NewMaxPool returns the MaxPool operator: a windowed max reduction with
+// the same repeat-parameter pitfall as AvgPool.
+func NewMaxPool() *AvgPool {
+	return &AvgPool{
+		Tiles:         4,
+		TileElems:     32 << 10,
+		Loops:         98,
+		GroupsPerLoop: 3,
+		OutElems:      2 << 10,
+		name:          "maxpool",
+	}
+}
+
+// NewTranspose returns the Transpose operator: a pure data-movement
+// permutation with many small strided accesses, scalar-heavy in the
+// unoptimized implementation.
+func NewTranspose() *Elementwise {
+	return &Elementwise{
+		OpName:    "transpose",
+		Elems:     256 << 10,
+		ElemBytes: 2,
+		TileElems: 8 << 10,
+		Inputs:    1,
+		Stages: []vecStage{
+			{Name: "permute", Prec: hw.FP16, OpsPerElem: 2},
+		},
+		ScalarPerIter:       16,
+		BaselineOpts:        Options{},
+		SupportedStrategies: []Strategy{RSD, AIS, PP, ITG},
+	}
+}
+
+// NewConcat returns the Concat operator: staged copies of several inputs
+// into one output, all transfer.
+func NewConcat() *Elementwise {
+	return &Elementwise{
+		OpName:    "concat",
+		Elems:     384 << 10,
+		ElemBytes: 2,
+		TileElems: 12 << 10,
+		Inputs:    2,
+		Stages: []vecStage{
+			{Name: "gather", Prec: hw.FP16, OpsPerElem: 1},
+		},
+		ScalarPerIter:       6,
+		BaselineOpts:        Options{},
+		SupportedStrategies: []Strategy{RSD, ITG},
+	}
+}
+
+// NewEmbeddingLookup returns the embedding-lookup operator of the
+// recommendation models: tiny gathers from a huge GM-resident table, the
+// epitome of setup-dominated transfers.
+func NewEmbeddingLookup() *Elementwise {
+	return &Elementwise{
+		OpName:    "embedding_lookup",
+		Elems:     64 << 10,
+		ElemBytes: 4,
+		TileElems: 2 << 10,
+		Inputs:    1,
+		Stages: []vecStage{
+			{Name: "gather", Prec: hw.FP32, OpsPerElem: 1},
+		},
+		ScalarPerIter:       8,
+		BaselineOpts:        Options{},
+		SupportedStrategies: []Strategy{ITG, AIS},
+	}
+}

@@ -1,0 +1,156 @@
+package kernels
+
+import (
+	"testing"
+
+	"ascendperf/internal/core"
+	"ascendperf/internal/hw"
+)
+
+// TestExtraOperatorsBuildAndImprove: every long-tail operator builds,
+// runs on both chips, and never regresses under full optimization.
+func TestExtraOperatorsBuildAndImprove(t *testing.T) {
+	ops := []Kernel{
+		NewReLU(), NewSigmoid(), NewTanh(), NewBatchNorm(), NewReduceSum(),
+		NewMaxPool(), NewTranspose(), NewConcat(), NewEmbeddingLookup(),
+	}
+	for _, chip := range []*hw.Chip{hw.TrainingChip(), hw.InferenceChip(), hw.TPUStyleChip()} {
+		for _, k := range ops {
+			base := runKernel(t, chip, k, k.Baseline())
+			opt := runKernel(t, chip, k, FullyOptimized(k))
+			if opt.TotalTime > base.TotalTime+1e-6 {
+				t.Errorf("%s/%s: regression %.1f -> %.1f us",
+					chip.Name, k.Name(), base.TotalTime/1000, opt.TotalTime/1000)
+			}
+		}
+	}
+}
+
+// TestReductionVariantsShareThePipeline: ReduceSum and MaxPool inherit
+// the AvgPool pipeline with their own names and parameters.
+func TestReductionVariantsShareThePipeline(t *testing.T) {
+	rs := NewReduceSum()
+	mp := NewMaxPool()
+	if rs.Name() != "reduce_sum" || mp.Name() != "maxpool" {
+		t.Errorf("names: %s, %s", rs.Name(), mp.Name())
+	}
+	chip := hw.TrainingChip()
+	prog, err := rs.Build(chip, rs.Baseline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Name != "reduce_sum/baseline" {
+		t.Errorf("program name = %s", prog.Name)
+	}
+	// Both are inefficient-compute at baseline like AvgPool.
+	th := core.DefaultThresholds()
+	for _, k := range []Kernel{rs, mp} {
+		p := runKernel(t, chip, k, k.Baseline())
+		a := core.Analyze(p, chip, th)
+		if a.Cause != core.CauseInefficientCompute {
+			t.Errorf("%s baseline cause = %s, want Inefficient Compute", k.Name(), a.Cause)
+		}
+	}
+}
+
+// TestSigmoidEnhancedAlgorithm: the hard-sigmoid approximation cuts the
+// vector work substantially.
+func TestSigmoidEnhancedAlgorithm(t *testing.T) {
+	chip := hw.TrainingChip()
+	k := NewSigmoid()
+	base := runKernel(t, chip, k, k.Baseline())
+	fast := runKernel(t, chip, k, Apply(k.Baseline(), EA))
+	if fast.OpsOf(hw.Vector) >= base.OpsOf(hw.Vector)/2 {
+		t.Errorf("hard sigmoid ops %d not well below %d", fast.OpsOf(hw.Vector), base.OpsOf(hw.Vector))
+	}
+	// The baseline runs in FP32, the approximation in FP16.
+	if fast.PrecOps[hw.UnitPrec{Unit: hw.Vector, Prec: hw.FP32}] != 0 {
+		t.Error("EA variant should not use FP32")
+	}
+}
+
+// TestEmbeddingLookupIsSetupDominated: tiny gathers achieve a small
+// fraction of the GM bandwidth, and ITG recovers a large factor.
+func TestEmbeddingLookupIsSetupDominated(t *testing.T) {
+	chip := hw.TrainingChip()
+	k := NewEmbeddingLookup()
+	th := core.DefaultThresholds()
+	base := runKernel(t, chip, k, k.Baseline())
+	a := core.Analyze(base, chip, th)
+	st, ok := a.ComponentByName(hw.CompMTEGM)
+	if !ok {
+		t.Fatal("no MTE-GM stats")
+	}
+	if st.Efficiency > 0.35 {
+		t.Errorf("8KB gathers efficiency %.2f unexpectedly high", st.Efficiency)
+	}
+	opt := runKernel(t, chip, k, Apply(k.Baseline(), ITG))
+	if base.TotalTime/opt.TotalTime < 1.5 {
+		t.Errorf("ITG speedup %.2f too small for setup-dominated gathers", base.TotalTime/opt.TotalTime)
+	}
+}
+
+// TestRegistryIncludesExtras verifies registry coverage.
+func TestRegistryIncludesExtras(t *testing.T) {
+	reg := Registry()
+	for _, name := range []string{
+		"relu", "sigmoid", "tanh", "batchnorm", "reduce_sum", "maxpool",
+		"transpose", "concat", "embedding_lookup",
+	} {
+		if reg[name] == nil {
+			t.Errorf("registry missing %s", name)
+		}
+	}
+	if len(reg) < 26 {
+		t.Errorf("registry size = %d, want >= 26", len(reg))
+	}
+}
+
+// TestComputationTransformation: CT moves the reduction from the Vector
+// unit to the Cube (ones-vector multiply). Vector work collapses, Cube
+// work appears, and the vector-bound baseline improves.
+func TestComputationTransformation(t *testing.T) {
+	chip := hw.TrainingChip()
+	k := NewAvgPool()
+	base := runKernel(t, chip, k, k.Baseline())
+	ct := runKernel(t, chip, k, Apply(k.Baseline(), CT))
+	if ct.OpsOf(hw.Cube) == 0 {
+		t.Fatal("CT did not move work to the Cube")
+	}
+	if ct.OpsOf(hw.Vector) >= base.OpsOf(hw.Vector)/10 {
+		t.Errorf("CT left too much vector work: %d vs %d", ct.OpsOf(hw.Vector), base.OpsOf(hw.Vector))
+	}
+	if ct.TotalTime >= base.TotalTime {
+		t.Errorf("CT did not beat the vector-bound baseline: %.1f vs %.1f us",
+			ct.TotalTime/1000, base.TotalTime/1000)
+	}
+	// The transformed kernel routes through L1/L0A instead of GM->UB.
+	if ct.PathBytes[hw.PathGMToL1] == 0 || ct.PathBytes[hw.PathL1ToL0A] == 0 {
+		t.Error("CT should stage through L1 and L0A")
+	}
+	if ct.PathBytes[hw.PathGMToUB] != 0 {
+		t.Error("CT should not use the GM->UB path")
+	}
+}
+
+// TestConv2DWinograd: the Enhanced Algorithm variant cuts the Cube MACs
+// by the Winograd factor without touching the transfers. (Applied to a
+// dedicated instance; the evaluation's Conv2D keeps the direct algorithm
+// so its inference-chip compute-bound behaviour stays observable.)
+func TestConv2DWinograd(t *testing.T) {
+	chip := hw.TrainingChip()
+	k := NewConv2D()
+	k.SupportedStrategies = append(k.SupportedStrategies, EA)
+	base := runKernel(t, chip, k, k.Baseline())
+	ea := runKernel(t, chip, k, Apply(k.Baseline(), EA))
+	got, want := float64(ea.OpsOf(hw.Cube)), float64(base.OpsOf(hw.Cube))*4/9
+	if got/want < 0.999 || got/want > 1.001 {
+		t.Errorf("winograd cube ops = %.0f, want ~%.0f", got, want)
+	}
+	if ea.PathBytes[hw.PathGMToL1] != base.PathBytes[hw.PathGMToL1] {
+		t.Error("EA changed transfer volume")
+	}
+	if ea.TotalTime > base.TotalTime {
+		t.Error("EA regressed conv2d")
+	}
+}

@@ -1,0 +1,268 @@
+// Package kernels is the operator library: every operator the paper's
+// case studies and evaluation touch, implemented as instruction-stream
+// generators for the simulated AICore.
+//
+// A Kernel builds an isa.Program from an Options value describing which
+// implementation techniques are applied. The zero Options value is the
+// worst reasonable implementation; each kernel's Baseline() returns the
+// options matching the shipped (pre-optimization) implementation from the
+// paper, and optimization strategies (Section 5) are applied by flipping
+// option fields via Apply.
+package kernels
+
+import (
+	"fmt"
+
+	"ascendperf/internal/hw"
+	"ascendperf/internal/isa"
+)
+
+// Strategy identifies one of the paper's optimization strategies
+// (Sections 5.1-5.4).
+type Strategy int
+
+const (
+	// RSD — Reducing Spatial Dependency: allocate separate buffers for
+	// results so write-back and next-round load do not contend.
+	RSD Strategy = iota
+	// MRT — Minimizing Redundant Transfer: hoist loop-invariant
+	// transfers (constants, weights) out of the loop.
+	MRT
+	// AIS — Adjusting Instruction Sequence: issue independent transfers
+	// early so they are not delayed by dispatch of intermediate
+	// instructions.
+	AIS
+	// RUS — Removing Unnecessary Synchronization: replace
+	// pipe_barrier(PIPE_ALL) with fine-grained flags.
+	RUS
+	// PP — Ping-pong Policy: split buffers in two halves so one half is
+	// read while the other is written.
+	PP
+	// ITG — Increasing Transfer Granularity: merge small transfers into
+	// larger ones to amortize the per-transfer setup cost.
+	ITG
+	// AIP — Adjusting Instruction Parameter: raise the hardware repeat
+	// parameter so one instruction covers many repetitions.
+	AIP
+	// OP — Operator Fusion: fuse the epilogue into the producer to
+	// remove a GM round trip.
+	OP
+	// TT — Transfer Transformation: switch transfers to a
+	// higher-bandwidth path.
+	TT
+	// EA — Enhanced Algorithm: use a cheaper algorithm (e.g. FastGeLU).
+	EA
+	// LC — Low-precision Calculation: quantize to a faster precision.
+	LC
+	// CT — Computation Transformation: move work to a stronger compute
+	// unit.
+	CT
+
+	// NumStrategies is the number of strategies.
+	NumStrategies = 12
+)
+
+// String returns the paper's abbreviation.
+func (s Strategy) String() string {
+	names := [...]string{"RSD", "MRT", "AIS", "RUS", "PP", "ITG", "AIP", "OP", "TT", "EA", "LC", "CT"}
+	if int(s) < 0 || int(s) >= len(names) {
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+	return names[s]
+}
+
+// Describe returns the strategy's full name.
+func (s Strategy) Describe() string {
+	switch s {
+	case RSD:
+		return "Reducing Spatial Dependency"
+	case MRT:
+		return "Minimizing Redundant Transfer"
+	case AIS:
+		return "Adjusting Instruction Sequence"
+	case RUS:
+		return "Removing Unnecessary Synchronization"
+	case PP:
+		return "Ping-pong Policy"
+	case ITG:
+		return "Increasing Transfer Granularity"
+	case AIP:
+		return "Adjusting Instruction Parameter"
+	case OP:
+		return "Operator Fusion"
+	case TT:
+		return "Transfer Transformation"
+	case EA:
+		return "Enhanced Algorithm"
+	case LC:
+		return "Low-precision Calculation"
+	case CT:
+		return "Computation Transformation"
+	default:
+		return s.String()
+	}
+}
+
+// AllStrategies lists every strategy in canonical order.
+func AllStrategies() []Strategy {
+	out := make([]Strategy, NumStrategies)
+	for i := range out {
+		out[i] = Strategy(i)
+	}
+	return out
+}
+
+// Options selects the implementation techniques of a kernel build. The
+// zero value is the fully unoptimized implementation.
+type Options struct {
+	// SeparateOutputBuffer (RSD) stores results in a buffer distinct
+	// from the input staging buffer.
+	SeparateOutputBuffer bool
+
+	// HoistInvariantTransfers (MRT) loads loop-invariant data once
+	// before the loop instead of every iteration.
+	HoistInvariantTransfers bool
+
+	// EarlyIssue (AIS) emits independent loads ahead of the dependent
+	// chain and elides redundant per-iteration address bookkeeping.
+	EarlyIssue bool
+
+	// MinimalSync (RUS) uses fine-grained flags; when false the kernel
+	// inserts pipe_barrier(PIPE_ALL) between pipeline stages.
+	MinimalSync bool
+
+	// PingPong (PP) double-buffers staging memory.
+	PingPong bool
+
+	// MergeFactor (ITG) is how many per-iteration output transfers are
+	// merged into one; values below 2 disable merging.
+	MergeFactor int
+
+	// FullRepeat (AIP) sets the hardware repeat parameter to cover a
+	// whole tile in one instruction; when false each repetition is a
+	// separate instruction.
+	FullRepeat bool
+
+	// Fused (OP) fuses the elementwise epilogue into the producer
+	// kernel, eliminating a GM round trip.
+	Fused bool
+
+	// FastPathTransfers (TT) routes cube inputs over the faster direct
+	// GM->L0 paths where shapes permit, bypassing the L1 staging hop.
+	FastPathTransfers bool
+
+	// FastAlgorithm (EA) selects the cheaper algorithm variant.
+	FastAlgorithm bool
+
+	// LowPrecision (LC) quantizes cube computation to INT8.
+	LowPrecision bool
+
+	// OffloadToCube (CT) moves reduction work from Vector to Cube via
+	// data rearrangement.
+	OffloadToCube bool
+}
+
+// Apply returns a copy of o with strategy s applied.
+func Apply(o Options, s Strategy) Options {
+	switch s {
+	case RSD:
+		o.SeparateOutputBuffer = true
+	case MRT:
+		o.HoistInvariantTransfers = true
+	case AIS:
+		o.EarlyIssue = true
+	case RUS:
+		o.MinimalSync = true
+	case PP:
+		o.PingPong = true
+	case ITG:
+		if o.MergeFactor < 2 {
+			o.MergeFactor = 4
+		}
+	case AIP:
+		o.FullRepeat = true
+	case OP:
+		o.Fused = true
+	case TT:
+		o.FastPathTransfers = true
+	case EA:
+		o.FastAlgorithm = true
+	case LC:
+		o.LowPrecision = true
+	case CT:
+		o.OffloadToCube = true
+	}
+	return o
+}
+
+// Applied reports whether strategy s is active in o.
+func Applied(o Options, s Strategy) bool {
+	switch s {
+	case RSD:
+		return o.SeparateOutputBuffer
+	case MRT:
+		return o.HoistInvariantTransfers
+	case AIS:
+		return o.EarlyIssue
+	case RUS:
+		return o.MinimalSync
+	case PP:
+		return o.PingPong
+	case ITG:
+		return o.MergeFactor >= 2
+	case AIP:
+		return o.FullRepeat
+	case OP:
+		return o.Fused
+	case TT:
+		return o.FastPathTransfers
+	case EA:
+		return o.FastAlgorithm
+	case LC:
+		return o.LowPrecision
+	case CT:
+		return o.OffloadToCube
+	default:
+		return false
+	}
+}
+
+// Kernel is one operator implementation.
+type Kernel interface {
+	// Name identifies the operator, e.g. "add_relu".
+	Name() string
+
+	// Build emits the instruction program for the given options.
+	Build(chip *hw.Chip, opts Options) (*isa.Program, error)
+
+	// Baseline returns the options of the shipped, pre-optimization
+	// implementation.
+	Baseline() Options
+
+	// Supported lists the strategies this kernel can apply.
+	Supported() []Strategy
+}
+
+// Tunable is a kernel with a sweepable tiling parameter — the
+// "parameter configurations" axis of the paper's Section 2.2 defect
+// list, orthogonal to the boolean strategies.
+type Tunable interface {
+	Kernel
+
+	// TileSize returns the current tile size in elements.
+	TileSize() int64
+
+	// WithTileSize returns a copy of the kernel retiled to n elements.
+	// Implementations clamp infeasible sizes at Build time.
+	WithTileSize(n int64) Kernel
+}
+
+// FullyOptimized returns the kernel's baseline options with every
+// supported strategy applied.
+func FullyOptimized(k Kernel) Options {
+	o := k.Baseline()
+	for _, s := range k.Supported() {
+		o = Apply(o, s)
+	}
+	return o
+}

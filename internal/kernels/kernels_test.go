@@ -1,0 +1,391 @@
+package kernels
+
+import (
+	"testing"
+
+	"ascendperf/internal/core"
+	"ascendperf/internal/hw"
+	"ascendperf/internal/profile"
+	"ascendperf/internal/sim"
+)
+
+func runKernel(t *testing.T, chip *hw.Chip, k Kernel, opts Options) *profile.Profile {
+	t.Helper()
+	prog, err := k.Build(chip, opts)
+	if err != nil {
+		t.Fatalf("%s: build: %v", k.Name(), err)
+	}
+	p, err := sim.Run(chip, prog)
+	if err != nil {
+		t.Fatalf("%s: sim: %v", k.Name(), err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("%s: profile: %v", k.Name(), err)
+	}
+	return p
+}
+
+func TestStrategyStrings(t *testing.T) {
+	want := map[Strategy]string{
+		RSD: "RSD", MRT: "MRT", AIS: "AIS", RUS: "RUS", PP: "PP",
+		ITG: "ITG", AIP: "AIP", OP: "OP", TT: "TT", EA: "EA", LC: "LC", CT: "CT",
+	}
+	for s, w := range want {
+		if s.String() != w {
+			t.Errorf("%d = %q, want %q", int(s), s.String(), w)
+		}
+		if s.Describe() == "" || s.Describe() == s.String() {
+			t.Errorf("%s has no long description", s)
+		}
+	}
+	if Strategy(99).String() != "Strategy(99)" {
+		t.Error("unknown strategy formatting")
+	}
+	if len(AllStrategies()) != NumStrategies {
+		t.Error("AllStrategies count")
+	}
+}
+
+func TestApplyAppliedRoundTrip(t *testing.T) {
+	for _, s := range AllStrategies() {
+		var o Options
+		if Applied(o, s) {
+			t.Errorf("%s applied on zero options", s)
+		}
+		o = Apply(o, s)
+		if !Applied(o, s) {
+			t.Errorf("%s not applied after Apply", s)
+		}
+	}
+}
+
+func TestFullyOptimizedAppliesAllSupported(t *testing.T) {
+	for name, k := range Registry() {
+		o := FullyOptimized(k)
+		for _, s := range k.Supported() {
+			if !Applied(o, s) {
+				t.Errorf("%s: %s not applied by FullyOptimized", name, s)
+			}
+		}
+	}
+}
+
+// TestAllKernelsBuildAndRun exercises every kernel at baseline and fully
+// optimized, on both chip presets.
+func TestAllKernelsBuildAndRun(t *testing.T) {
+	for _, chip := range []*hw.Chip{hw.TrainingChip(), hw.InferenceChip()} {
+		for name, k := range Registry() {
+			base := runKernel(t, chip, k, k.Baseline())
+			opt := runKernel(t, chip, k, FullyOptimized(k))
+			if base.TotalTime <= 0 {
+				t.Errorf("%s/%s: zero baseline time", chip.Name, name)
+			}
+			if opt.TotalTime > base.TotalTime+1e-6 {
+				t.Errorf("%s/%s: optimization made it slower: %.1f -> %.1f us",
+					chip.Name, name, base.TotalTime/1000, opt.TotalTime/1000)
+			}
+		}
+	}
+}
+
+// TestAddReLUWorkflow reproduces the Section 5.1 iterative optimization:
+// the baseline suffers insufficient parallelism; applying RSD makes it
+// MTE-UB bound; applying MRT on top reduces MTE-GM bytes and keeps the
+// MTE-UB bound while improving time.
+func TestAddReLUWorkflow(t *testing.T) {
+	chip := hw.TrainingChip()
+	th := core.DefaultThresholds()
+	k := NewAddReLU()
+
+	base := runKernel(t, chip, k, k.Baseline())
+	a0 := core.Analyze(base, chip, th)
+	if a0.Cause != core.CauseInsufficientParallelism {
+		t.Fatalf("baseline cause = %s, want Insufficient Parallelism", a0.Cause)
+	}
+
+	rsd := runKernel(t, chip, k, Apply(k.Baseline(), RSD))
+	a1 := core.Analyze(rsd, chip, th)
+	if a1.Cause != core.CauseMTEBound || a1.Bound != hw.CompMTEUB {
+		t.Fatalf("after RSD cause = %s (%s), want MTE Bound (MTE-UB)", a1.Cause, a1.Bound)
+	}
+	if rsd.TotalTime >= base.TotalTime {
+		t.Errorf("RSD did not improve: %.1f -> %.1f us", base.TotalTime/1000, rsd.TotalTime/1000)
+	}
+
+	both := runKernel(t, chip, k, Apply(Apply(k.Baseline(), RSD), MRT))
+	a2 := core.Analyze(both, chip, th)
+	if a2.Cause != core.CauseMTEBound || a2.Bound != hw.CompMTEUB {
+		t.Fatalf("after MRT cause = %s, want MTE Bound (MTE-UB)", a2.Cause)
+	}
+	if both.TotalTime >= rsd.TotalTime {
+		t.Errorf("MRT did not improve: %.1f -> %.1f us", rsd.TotalTime/1000, both.TotalTime/1000)
+	}
+	// MRT removes the redundant constant loads from MTE-GM.
+	if both.PathBytes[hw.PathGMToUB] >= rsd.PathBytes[hw.PathGMToUB] {
+		t.Errorf("MRT did not reduce GM->UB bytes: %d -> %d",
+			rsd.PathBytes[hw.PathGMToUB], both.PathBytes[hw.PathGMToUB])
+	}
+	// Utilization increases monotonically across the iterations, like
+	// Fig. 7's 38.42% -> 66.24% -> 70.52%.
+	if !(a0.MaxUtil < a1.MaxUtil && a1.MaxUtil <= a2.MaxUtil+1e-9) {
+		t.Errorf("utilizations not improving: %.3f, %.3f, %.3f", a0.MaxUtil, a1.MaxUtil, a2.MaxUtil)
+	}
+}
+
+// TestDepthwiseWorkflow reproduces Section 5.2: baseline insufficient
+// parallelism with MTE-GM the busiest component; each parallelism fix
+// improves time; the full set ends MTE-GM bound.
+func TestDepthwiseWorkflow(t *testing.T) {
+	chip := hw.TrainingChip()
+	th := core.DefaultThresholds()
+	k := NewDepthwise()
+
+	base := runKernel(t, chip, k, k.Baseline())
+	a0 := core.Analyze(base, chip, th)
+	if a0.Cause != core.CauseInsufficientParallelism {
+		t.Fatalf("baseline cause = %s, want Insufficient Parallelism", a0.Cause)
+	}
+	if a0.MaxRatioComp != hw.CompMTEGM {
+		t.Errorf("baseline busiest component = %s, want MTE-GM", a0.MaxRatioComp)
+	}
+
+	full := runKernel(t, chip, k, FullyOptimized(k))
+	a1 := core.Analyze(full, chip, th)
+	if a1.Cause != core.CauseMTEBound || a1.Bound != hw.CompMTEGM {
+		t.Fatalf("optimized cause = %s (%s), want MTE Bound (MTE-GM)", a1.Cause, a1.Bound)
+	}
+	if got, ok := a1.ComponentByName(hw.CompMTEGM); !ok || got.TimeRatio < 0.85 {
+		t.Errorf("optimized MTE-GM ratio = %.3f, want > 0.85", got.TimeRatio)
+	}
+	if speedup := base.TotalTime / full.TotalTime; speedup < 1.2 {
+		t.Errorf("depthwise speedup = %.2f, want > 1.2", speedup)
+	}
+}
+
+// TestDepthwisePingPongReducesGaps checks the paper's PP observation:
+// ping-pong buffering reduces the number of MTE-GM waiting intervals.
+func TestDepthwisePingPongReducesGaps(t *testing.T) {
+	chip := hw.TrainingChip()
+	k := NewDepthwise()
+	// Compare AIS+RUS+MRT with and without PP so the pipeline is
+	// otherwise identical and MTE-GM carries only the input loads.
+	pre := Apply(Apply(Apply(k.Baseline(), AIS), RUS), MRT)
+	before := runKernel(t, chip, k, pre)
+	after := runKernel(t, chip, k, Apply(pre, PP))
+	gBefore, _ := before.Gaps(hw.CompMTEGM)
+	gAfter, _ := after.Gaps(hw.CompMTEGM)
+	if gAfter >= gBefore {
+		t.Errorf("PP did not reduce MTE-GM waiting intervals: %d -> %d", gBefore, gAfter)
+	}
+	if after.TotalTime >= before.TotalTime {
+		t.Errorf("PP did not improve time: %.1f -> %.1f us", before.TotalTime/1000, after.TotalTime/1000)
+	}
+}
+
+// TestDepthwiseITGIncreasesGranularity: ITG merges write-backs, reducing
+// the MTE-UB instruction count without changing total bytes.
+func TestDepthwiseITGIncreasesGranularity(t *testing.T) {
+	chip := hw.TrainingChip()
+	k := NewDepthwise()
+	pre := Apply(Apply(Apply(k.Baseline(), AIS), RUS), PP)
+	before := runKernel(t, chip, k, pre)
+	after := runKernel(t, chip, k, Apply(pre, ITG))
+	if after.InstrCount[hw.CompMTEUB] >= before.InstrCount[hw.CompMTEUB] {
+		t.Errorf("ITG did not reduce MTE-UB transfers: %d -> %d",
+			before.InstrCount[hw.CompMTEUB], after.InstrCount[hw.CompMTEUB])
+	}
+	if after.PathBytes[hw.PathUBToGM] != before.PathBytes[hw.PathUBToGM] {
+		t.Errorf("ITG changed total bytes: %d -> %d",
+			before.PathBytes[hw.PathUBToGM], after.PathBytes[hw.PathUBToGM])
+	}
+}
+
+// TestAvgPoolWorkflow reproduces Section 5.3: baseline inefficient
+// compute with the Vector unit busy >80% of the time, fixed by AIP with a
+// large speedup.
+func TestAvgPoolWorkflow(t *testing.T) {
+	chip := hw.TrainingChip()
+	th := core.DefaultThresholds()
+	k := NewAvgPool()
+
+	base := runKernel(t, chip, k, k.Baseline())
+	a0 := core.Analyze(base, chip, th)
+	if a0.Cause != core.CauseInefficientCompute || a0.Culprit != hw.CompVector {
+		t.Fatalf("baseline cause = %s (%s), want Inefficient Compute (Vector)", a0.Cause, a0.Culprit)
+	}
+	if st, ok := a0.ComponentByName(hw.CompVector); !ok || st.TimeRatio < 0.8 {
+		t.Errorf("baseline Vector ratio = %.3f, want > 0.8", st.TimeRatio)
+	}
+
+	opt := runKernel(t, chip, k, Apply(k.Baseline(), AIP))
+	a1 := core.Analyze(opt, chip, th)
+	if speedup := base.TotalTime / opt.TotalTime; speedup < 3 {
+		t.Errorf("AIP speedup = %.2f, want > 3", speedup)
+	}
+	// Vector efficiency must improve dramatically.
+	v0, _ := a0.ComponentByName(hw.CompVector)
+	v1, _ := a1.ComponentByName(hw.CompVector)
+	if v1.Efficiency <= v0.Efficiency*2 {
+		t.Errorf("AIP efficiency: %.3f -> %.3f, want much higher", v0.Efficiency, v1.Efficiency)
+	}
+	// The vector instruction count collapses.
+	if opt.InstrCount[hw.CompVector] >= base.InstrCount[hw.CompVector]/10 {
+		t.Errorf("AIP instruction count: %d -> %d", base.InstrCount[hw.CompVector], opt.InstrCount[hw.CompVector])
+	}
+}
+
+// TestGeLUWorkflow: GeLU's shipped implementation is compute bound; the
+// Enhanced Algorithm reduces vector operations and improves time.
+func TestGeLUWorkflow(t *testing.T) {
+	chip := hw.TrainingChip()
+	th := core.DefaultThresholds()
+	k := NewGeLU()
+
+	base := runKernel(t, chip, k, k.Baseline())
+	a0 := core.Analyze(base, chip, th)
+	if a0.Cause != core.CauseComputeBound || a0.Bound != hw.CompVector {
+		t.Fatalf("baseline cause = %s (%s), want Compute Bound (Vector)", a0.Cause, a0.Bound)
+	}
+	opt := runKernel(t, chip, k, Apply(k.Baseline(), EA))
+	if opt.OpsOf(hw.Vector) >= base.OpsOf(hw.Vector) {
+		t.Error("EA did not reduce vector operations")
+	}
+	if opt.TotalTime >= base.TotalTime {
+		t.Error("EA did not improve time")
+	}
+}
+
+// TestMatMulFusion: operator fusion removes the epilogue's GM round trip.
+func TestMatMulFusion(t *testing.T) {
+	chip := hw.TrainingChip()
+	k := NewMatMul()
+	base := runKernel(t, chip, k, k.Baseline())
+	fused := runKernel(t, chip, k, Apply(k.Baseline(), OP))
+	// Fusion removes GM->UB epilogue loads entirely.
+	if fused.PathBytes[hw.PathGMToUB] >= base.PathBytes[hw.PathGMToUB] {
+		t.Errorf("fusion did not cut GM->UB bytes: %d -> %d",
+			base.PathBytes[hw.PathGMToUB], fused.PathBytes[hw.PathGMToUB])
+	}
+	// And halves UB->GM stores.
+	if fused.PathBytes[hw.PathUBToGM]*2 != base.PathBytes[hw.PathUBToGM] {
+		t.Errorf("fusion should halve UB->GM bytes: %d -> %d",
+			base.PathBytes[hw.PathUBToGM], fused.PathBytes[hw.PathUBToGM])
+	}
+	// The cube work is unchanged.
+	if fused.OpsOf(hw.Cube) != base.OpsOf(hw.Cube) {
+		t.Error("fusion changed cube work")
+	}
+	if fused.TotalTime >= base.TotalTime {
+		t.Error("fusion did not improve time")
+	}
+}
+
+// TestFullyConnectionITG: the FC write-backs are tiny; ITG merges them
+// and improves time.
+func TestFullyConnectionITG(t *testing.T) {
+	chip := hw.TrainingChip()
+	th := core.DefaultThresholds()
+	k := NewFullyConnection()
+	base := runKernel(t, chip, k, k.Baseline())
+	a0 := core.Analyze(base, chip, th)
+	if a0.Cause != core.CauseInefficientMTE {
+		t.Fatalf("baseline cause = %s, want Inefficient MTE", a0.Cause)
+	}
+	opt := runKernel(t, chip, k, Apply(k.Baseline(), ITG))
+	if opt.TotalTime >= base.TotalTime {
+		t.Error("ITG did not improve FC")
+	}
+	if opt.InstrCount[hw.CompMTEUB] >= base.InstrCount[hw.CompMTEUB] {
+		t.Error("ITG did not merge FC stores")
+	}
+}
+
+// TestTable1BottleneckClasses checks that every Table 1 operator's
+// baseline classification matches the paper's row.
+func TestTable1BottleneckClasses(t *testing.T) {
+	chip := hw.TrainingChip()
+	th := core.DefaultThresholds()
+	want := map[string]core.Cause{
+		"add_relu":        core.CauseInsufficientParallelism,
+		"depthwise":       core.CauseInsufficientParallelism,
+		"avgpool":         core.CauseInefficientCompute,
+		"mul":             core.CauseInsufficientParallelism,
+		"conv2d":          core.CauseInsufficientParallelism,
+		"fullyconnection": core.CauseInefficientMTE,
+		"matmul":          core.CauseMTEBound,
+		"gelu":            core.CauseComputeBound,
+	}
+	for _, k := range Table1Kernels() {
+		p := runKernel(t, chip, k, k.Baseline())
+		a := core.Analyze(p, chip, th)
+		if a.Cause != want[k.Name()] {
+			t.Errorf("%s baseline cause = %s, want %s", k.Name(), a.Cause, want[k.Name()])
+		}
+	}
+}
+
+// TestLowPrecisionHalvesTransfers: LC on a cube kernel halves the staged
+// input bytes and switches the cube precision.
+func TestLowPrecisionHalvesTransfers(t *testing.T) {
+	chip := hw.TrainingChip()
+	k := NewMatMul()
+	base := runKernel(t, chip, k, k.Baseline())
+	lc := runKernel(t, chip, k, Apply(k.Baseline(), LC))
+	if lc.PathBytes[hw.PathGMToL1]*2 != base.PathBytes[hw.PathGMToL1] {
+		t.Errorf("LC input bytes: %d -> %d, want halved",
+			base.PathBytes[hw.PathGMToL1], lc.PathBytes[hw.PathGMToL1])
+	}
+	if lc.PrecOps[hw.UnitPrec{Unit: hw.Cube, Prec: hw.INT8}] == 0 {
+		t.Error("LC did not switch to INT8")
+	}
+	if lc.PrecOps[hw.UnitPrec{Unit: hw.Cube, Prec: hw.FP16}] != 0 {
+		t.Error("LC left FP16 cube work")
+	}
+}
+
+// TestTransferTransformation: TT routes the left matrix directly GM->L0A.
+func TestTransferTransformation(t *testing.T) {
+	chip := hw.TrainingChip()
+	k := NewFullyConnection() // small tiles fit L0A directly
+	base := runKernel(t, chip, k, k.Baseline())
+	tt := runKernel(t, chip, k, Apply(k.Baseline(), TT))
+	if tt.PathBytes[hw.PathGMToL0A] == 0 {
+		t.Error("TT did not use the direct GM->L0A path")
+	}
+	if tt.PathBytes[hw.PathL1ToL0A] != 0 {
+		t.Error("TT should eliminate L1->L0A staging for inputs")
+	}
+	_ = base
+}
+
+func TestRegistryComplete(t *testing.T) {
+	reg := Registry()
+	for _, name := range []string{
+		"add_relu", "depthwise", "avgpool", "mul", "add", "addn", "realdiv",
+		"cast", "dropout_do_mask", "gelu", "conv2d", "matmul", "batchmatmul",
+		"fullyconnection", "transdata", "softmax", "layernorm",
+	} {
+		if reg[name] == nil {
+			t.Errorf("registry missing %s", name)
+		}
+	}
+	if len(Table1Kernels()) != 8 {
+		t.Error("Table 1 must have 8 operators")
+	}
+}
+
+// TestInvalidSpecs: malformed kernel specifications fail cleanly.
+func TestInvalidSpecs(t *testing.T) {
+	chip := hw.TrainingChip()
+	bad := []Kernel{
+		&Elementwise{OpName: "bad", Elems: 0},
+		&CubeConv{OpName: "bad", Tiles: 0},
+		&CubeMatMul{OpName: "bad", Steps: 0},
+		&AvgPool{Tiles: 0},
+	}
+	for _, k := range bad {
+		if _, err := k.Build(chip, Options{}); err == nil {
+			t.Errorf("%T: expected error for invalid spec", k)
+		}
+	}
+}

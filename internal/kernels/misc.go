@@ -1,0 +1,107 @@
+package kernels
+
+import "ascendperf/internal/hw"
+
+// NewTransData returns the TransData format-conversion operator: the Cube
+// unit requires tensors in its private fractal format, so arbitrary-format
+// inputs pass through a permutation that is scalar-bookkeeping heavy and
+// issues many small vector moves. It is a major cost in PanGu-alpha
+// iterations; the model-level fix is adjusting input formats so fewer
+// TransData instances run at all.
+func NewTransData() *Elementwise {
+	return &Elementwise{
+		OpName:    "transdata",
+		Elems:     256 << 10,
+		ElemBytes: 2,
+		TileElems: 8 << 10,
+		Inputs:    1,
+		Stages: []vecStage{
+			{Name: "permute-gather", Prec: hw.FP16, OpsPerElem: 2},
+			{Name: "permute-scatter", Prec: hw.FP16, OpsPerElem: 2},
+		},
+		ScalarPerIter:       12,
+		BaselineOpts:        Options{},
+		SupportedStrategies: []Strategy{RSD, AIS, PP},
+	}
+}
+
+// NewSoftmax returns the Softmax operator: a multi-pass vector pipeline
+// (max, subtract, exp, sum, divide) over each row tile.
+func NewSoftmax() *Elementwise {
+	return &Elementwise{
+		OpName:    "softmax",
+		Elems:     256 << 10,
+		ElemBytes: 2,
+		TileElems: 16 << 10,
+		Inputs:    1,
+		Stages: []vecStage{
+			{Name: "rowmax", Prec: hw.FP16, OpsPerElem: 1},
+			{Name: "sub-exp", Prec: hw.FP16, OpsPerElem: 4},
+			{Name: "rowsum", Prec: hw.FP16, OpsPerElem: 1},
+			{Name: "div", Prec: hw.FP16, OpsPerElem: 2},
+		},
+		ScalarPerIter:       6,
+		BaselineOpts:        Options{},
+		SupportedStrategies: []Strategy{RSD, PP},
+	}
+}
+
+// NewLayerNorm returns the LayerNorm operator. In the PanGu-alpha
+// end-to-end optimization, chains of element-wise operators (Mul, Add,
+// AddN, RealDiv) are fused into a single LayerNorm for higher
+// parallelism, so its shipped implementation is already well pipelined.
+func NewLayerNorm() *Elementwise {
+	return &Elementwise{
+		OpName:     "layernorm",
+		Elems:      512 << 10,
+		ElemBytes:  2,
+		TileElems:  24 << 10,
+		Inputs:     1,
+		ConstBytes: 2 << 10, // gamma/beta
+		Stages: []vecStage{
+			{Name: "mean-var", Prec: hw.FP16, OpsPerElem: 3},
+			{Name: "normalize", Prec: hw.FP16, OpsPerElem: 3},
+		},
+		ScalarPerIter: 2,
+		BaselineOpts: Options{
+			SeparateOutputBuffer:    true,
+			HoistInvariantTransfers: true,
+			PingPong:                true,
+		},
+		SupportedStrategies: []Strategy{},
+	}
+}
+
+// Registry returns every operator kernel at its case-study shape, keyed
+// by name.
+func Registry() map[string]Kernel {
+	ks := []Kernel{
+		NewAddReLU(), NewDepthwise(), NewAvgPool(), NewMul(), NewAdd(),
+		NewAddN(), NewRealDiv(), NewCast(), NewDropoutDoMask(), NewGeLU(),
+		NewConv2D(), NewMatMul(), NewBatchMatMul(), NewFullyConnection(),
+		NewTransData(), NewSoftmax(), NewLayerNorm(),
+		NewReLU(), NewSigmoid(), NewTanh(), NewBatchNorm(), NewReduceSum(),
+		NewMaxPool(), NewTranspose(), NewConcat(), NewEmbeddingLookup(),
+		NewQuantMatMul(),
+	}
+	out := make(map[string]Kernel, len(ks))
+	for _, k := range ks {
+		out[k.Name()] = k
+	}
+	return out
+}
+
+// Table1Kernels returns the eight operators of the paper's Table 1 in row
+// order.
+func Table1Kernels() []Kernel {
+	return []Kernel{
+		NewAddReLU(),
+		NewDepthwise(),
+		NewAvgPool(),
+		NewMul(),
+		NewConv2D(),
+		NewFullyConnection(),
+		NewMatMul(),
+		NewGeLU(),
+	}
+}

@@ -1,0 +1,58 @@
+package kernels
+
+// Partition support: each kernel family exposes its divisible work units
+// so whole-chip runners can split an operator across AICores. The unit
+// is elements for elementwise kernels and tiles/steps for the staged
+// pipelines.
+
+// PartitionUnits returns the tensor element count.
+func (e *Elementwise) PartitionUnits() int64 { return e.Elems }
+
+// WithUnits returns a copy processing n elements.
+func (e *Elementwise) WithUnits(n int64) Kernel {
+	c := *e
+	c.Elems = n
+	if c.Elems < 1 {
+		c.Elems = 1
+	}
+	return &c
+}
+
+// PartitionUnits returns the step count.
+func (m *CubeMatMul) PartitionUnits() int64 { return int64(m.Steps) }
+
+// WithUnits returns a copy processing n steps.
+func (m *CubeMatMul) WithUnits(n int64) Kernel {
+	c := *m
+	c.Steps = int(n)
+	if c.Steps < 1 {
+		c.Steps = 1
+	}
+	return &c
+}
+
+// PartitionUnits returns the tile count.
+func (c *CubeConv) PartitionUnits() int64 { return int64(c.Tiles) }
+
+// WithUnits returns a copy processing n tiles.
+func (c *CubeConv) WithUnits(n int64) Kernel {
+	cc := *c
+	cc.Tiles = int(n)
+	if cc.Tiles < 1 {
+		cc.Tiles = 1
+	}
+	return &cc
+}
+
+// PartitionUnits returns the tile count.
+func (a *AvgPool) PartitionUnits() int64 { return int64(a.Tiles) }
+
+// WithUnits returns a copy processing n tiles.
+func (a *AvgPool) WithUnits(n int64) Kernel {
+	c := *a
+	c.Tiles = int(n)
+	if c.Tiles < 1 {
+		c.Tiles = 1
+	}
+	return &c
+}

@@ -1,0 +1,67 @@
+package kernels
+
+import (
+	"math"
+	"testing"
+
+	"ascendperf/internal/core"
+	"ascendperf/internal/hw"
+)
+
+// TestQuantMatMulMixedPrecisionAnalysis runs the Fig. 3b scenario on a
+// real simulated kernel: the Cube executes equal INT8 and FP16 operation
+// counts, and the component model's operator-aware ideal equals the
+// work-weighted harmonic mean of the two peaks — 4/3 of the FP16 peak —
+// while the naive per-precision view splits into 2/3 and 1/3
+// utilizations during the cube-busy time.
+func TestQuantMatMulMixedPrecisionAnalysis(t *testing.T) {
+	chip := hw.TrainingChip()
+	k := NewQuantMatMul()
+	p := runKernel(t, chip, k, k.Baseline())
+
+	i8 := p.PrecOps[hw.UnitPrec{Unit: hw.Cube, Prec: hw.INT8}]
+	f16 := p.PrecOps[hw.UnitPrec{Unit: hw.Cube, Prec: hw.FP16}]
+	if i8 == 0 || f16 == 0 || i8 != f16 {
+		t.Fatalf("expected equal precision mixes, got INT8=%d FP16=%d", i8, f16)
+	}
+
+	a := core.Analyze(p, chip, core.DefaultThresholds())
+	st, ok := a.ComponentByName(hw.CompCube)
+	if !ok {
+		t.Fatal("no cube stats")
+	}
+	p8, _ := chip.PeakOf(hw.Cube, hw.INT8)
+	p16, _ := chip.PeakOf(hw.Cube, hw.FP16)
+	wantIdeal := 2 / (1/p8 + 1/p16) // harmonic mean with equal weights
+	if math.Abs(st.Ideal-wantIdeal)/wantIdeal > 1e-9 {
+		t.Errorf("ideal = %v, want harmonic mean %v", st.Ideal, wantIdeal)
+	}
+	// 4/3 of the FP16 peak, as the paper derives.
+	if math.Abs(st.Ideal-4.0/3.0*p16)/p16 > 1e-9 {
+		t.Errorf("ideal = %v, want 4/3 of FP16 peak %v", st.Ideal, 4.0/3.0*p16)
+	}
+
+	// Per-item efficiencies (Eq. 8): each precision runs at its own peak
+	// while executing (issue overhead aside), so both are near 1 and far
+	// from the naive time-shared 2/3 / 1/3 split.
+	for _, it := range st.Items {
+		if it.Efficiency < 0.95 {
+			t.Errorf("%s per-item efficiency %.3f; expected near-peak while executing", it.Label, it.Efficiency)
+		}
+	}
+}
+
+// TestQuantMatMulLC: fully quantizing removes the FP16 product and
+// improves time when the Cube is the busy component.
+func TestQuantMatMulLC(t *testing.T) {
+	chip := hw.TrainingChip()
+	k := NewQuantMatMul()
+	base := runKernel(t, chip, k, k.Baseline())
+	lc := runKernel(t, chip, k, Apply(k.Baseline(), LC))
+	if lc.PrecOps[hw.UnitPrec{Unit: hw.Cube, Prec: hw.FP16}] != 0 {
+		t.Error("LC left FP16 cube work")
+	}
+	if lc.TotalTime >= base.TotalTime {
+		t.Errorf("LC did not improve: %.1f -> %.1f us", base.TotalTime/1000, lc.TotalTime/1000)
+	}
+}

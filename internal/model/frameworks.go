@@ -1,0 +1,69 @@
+package model
+
+import "ascendperf/internal/kernels"
+
+// Framework identifies a deep-learning front-end whose exported graph is
+// converted to the Ascend executable format (Fig. 14b). Front-ends differ
+// in how aggressively they canonicalize graphs — chiefly how many format
+// conversions and auxiliary element-wise operators survive conversion —
+// but they all lower onto the same Ascend operator library, so the
+// bottleneck distribution barely moves.
+type Framework string
+
+const (
+	MindSpore  Framework = "MindSpore"
+	TensorFlow Framework = "TensorFlow"
+	PyTorch    Framework = "PyTorch"
+	Caffe      Framework = "Caffe"
+)
+
+// Frameworks lists the compared front-ends in figure order.
+func Frameworks() []Framework {
+	return []Framework{MindSpore, TensorFlow, PyTorch, Caffe}
+}
+
+// ForFramework derives the model's inventory as exported by the given
+// front-end: the operator implementations are identical, only a few
+// instance counts of format-conversion and auxiliary operators differ.
+func ForFramework(m *Model, fw Framework) *Model {
+	out := *m
+	out.Name = m.Name + "/" + string(fw)
+	out.Ops = make([]OpInstance, len(m.Ops))
+	copy(out.Ops, m.Ops)
+
+	// Extra conversions per front-end, relative to MindSpore's export.
+	extraTransData := 0
+	extraCast := 0
+	switch fw {
+	case TensorFlow:
+		extraTransData, extraCast = 3, 2
+	case PyTorch:
+		extraTransData, extraCast = 2, 1
+	case Caffe:
+		extraTransData, extraCast = 4, 2
+	}
+	bump := func(name string, delta int) {
+		if delta == 0 {
+			return
+		}
+		for i := range out.Ops {
+			if out.Ops[i].Kernel.Name() == name {
+				out.Ops[i].Count += delta
+				return
+			}
+		}
+		var k kernels.Kernel
+		switch name {
+		case "transdata":
+			k = kernels.NewTransData()
+		case "cast":
+			k = kernels.NewCast()
+		default:
+			return
+		}
+		out.Ops = append(out.Ops, OpInstance{Kernel: k, Count: delta})
+	}
+	bump("transdata", extraTransData)
+	bump("cast", extraCast)
+	return &out
+}

@@ -1,0 +1,115 @@
+package model
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"ascendperf/internal/kernels"
+)
+
+// Generator produces synthetic model workloads: random but plausible
+// operator inventories for stress-testing the analysis pipeline and for
+// studying how bottleneck distributions respond to workload composition.
+type Generator struct {
+	// Rng drives all sampling; required.
+	Rng *rand.Rand
+
+	// MinOps and MaxOps bound the number of distinct operator types;
+	// zero values default to 4 and 12.
+	MinOps, MaxOps int
+
+	// MaxCount bounds per-type instance counts; zero defaults to 40.
+	MaxCount int
+
+	// MaxScale bounds the shape scale factor; zero defaults to 2.0.
+	MaxScale float64
+}
+
+// generable lists the operator constructors the generator samples from.
+// Matmul-family kernels are scaled by step count, elementwise by element
+// count, reductions by tile count.
+var generable = []func() kernels.Kernel{
+	func() kernels.Kernel { return kernels.NewAddReLU() },
+	func() kernels.Kernel { return kernels.NewMul() },
+	func() kernels.Kernel { return kernels.NewAdd() },
+	func() kernels.Kernel { return kernels.NewAddN() },
+	func() kernels.Kernel { return kernels.NewRealDiv() },
+	func() kernels.Kernel { return kernels.NewCast() },
+	func() kernels.Kernel { return kernels.NewTransData() },
+	func() kernels.Kernel { return kernels.NewSoftmax() },
+	func() kernels.Kernel { return kernels.NewGeLU() },
+	func() kernels.Kernel { return kernels.NewSigmoid() },
+	func() kernels.Kernel { return kernels.NewTanh() },
+	func() kernels.Kernel { return kernels.NewReLU() },
+	func() kernels.Kernel { return kernels.NewBatchNorm() },
+	func() kernels.Kernel { return kernels.NewLayerNorm() },
+	func() kernels.Kernel { return kernels.NewDropoutDoMask() },
+	func() kernels.Kernel { return kernels.NewTranspose() },
+	func() kernels.Kernel { return kernels.NewConcat() },
+	func() kernels.Kernel { return kernels.NewEmbeddingLookup() },
+	func() kernels.Kernel { return kernels.NewMatMul() },
+	func() kernels.Kernel { return kernels.NewBatchMatMul() },
+	func() kernels.Kernel { return kernels.NewFullyConnection() },
+	func() kernels.Kernel { return kernels.NewConv2D() },
+	func() kernels.Kernel { return kernels.NewDepthwise() },
+	func() kernels.Kernel { return kernels.NewAvgPool() },
+	func() kernels.Kernel { return kernels.NewMaxPool() },
+	func() kernels.Kernel { return kernels.NewReduceSum() },
+}
+
+// Generate samples one synthetic model.
+func (g *Generator) Generate(name string) *Model {
+	minOps, maxOps := g.MinOps, g.MaxOps
+	if minOps <= 0 {
+		minOps = 4
+	}
+	if maxOps <= minOps {
+		maxOps = minOps + 8
+	}
+	maxCount := g.MaxCount
+	if maxCount <= 0 {
+		maxCount = 40
+	}
+	maxScale := g.MaxScale
+	if maxScale <= 1 {
+		maxScale = 2.0
+	}
+
+	nTypes := minOps + g.Rng.Intn(maxOps-minOps+1)
+	chosen := g.Rng.Perm(len(generable))[:nTypes]
+	sort.Ints(chosen) // deterministic inventory order
+	m := &Model{
+		Name: name, Type: "Synthetic", Params: "n/a",
+		Dataset: "synthetic", NPUs: 8,
+		OverheadFrac: 0.1 + g.Rng.Float64()*0.3,
+	}
+	for _, idx := range chosen {
+		k := generable[idx]()
+		scale := 0.5 + g.Rng.Float64()*(maxScale-0.5)
+		switch kk := k.(type) {
+		case *kernels.Elementwise:
+			k = scaleEW(kk, scale)
+		case *kernels.CubeMatMul:
+			k = scaleMM(kk, scale)
+		case *kernels.CubeConv:
+			k = scaleConv(kk, scale)
+		case *kernels.AvgPool:
+			k = scaleAvgPool(kk, scale)
+		}
+		m.Ops = append(m.Ops, OpInstance{
+			Kernel: k,
+			Count:  1 + g.Rng.Intn(maxCount),
+		})
+	}
+	return m
+}
+
+// GenerateSuite samples n synthetic models named <prefix>-<i>.
+func (g *Generator) GenerateSuite(prefix string, n int) []*Model {
+	out := make([]*Model, n)
+	for i := range out {
+		out[i] = g.Generate(fmt.Sprintf("%s-%d", prefix, i))
+	}
+	return out
+}

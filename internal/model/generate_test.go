@@ -1,0 +1,79 @@
+package model
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ascendperf/internal/core"
+	"ascendperf/internal/hw"
+)
+
+func TestGenerateValidModels(t *testing.T) {
+	g := &Generator{Rng: rand.New(rand.NewSource(5))}
+	for i, m := range g.GenerateSuite("synth", 10) {
+		if err := m.Validate(); err != nil {
+			t.Errorf("model %d: %v", i, err)
+		}
+		if len(m.Ops) < 4 || len(m.Ops) > 12 {
+			t.Errorf("model %d: %d op types outside defaults", i, len(m.Ops))
+		}
+	}
+}
+
+// TestGeneratedModelsRunAndOptimize: the whole pipeline survives random
+// workloads — profiling, classification, optimization — with its
+// invariants intact.
+func TestGeneratedModelsRunAndOptimize(t *testing.T) {
+	g := &Generator{Rng: rand.New(rand.NewSource(11)), MaxOps: 8}
+	r := NewRunner(hw.TrainingChip())
+	for i, m := range g.GenerateSuite("synth", 6) {
+		res, err := r.Optimize(m)
+		if err != nil {
+			t.Fatalf("model %d: %v", i, err)
+		}
+		if res.ComputeSpeedup() < 1-1e-9 {
+			t.Errorf("model %d: optimization regressed (%.3fx)", i, res.ComputeSpeedup())
+		}
+		var sum float64
+		for _, c := range core.Causes() {
+			sum += res.BaselineDistribution.Share(c)
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("model %d: distribution sums to %v", i, sum)
+		}
+		if res.OverallSpeedup() > res.ComputeSpeedup()+1e-9 {
+			t.Errorf("model %d: overall %.3f exceeds compute %.3f", i,
+				res.OverallSpeedup(), res.ComputeSpeedup())
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := (&Generator{Rng: rand.New(rand.NewSource(3))}).Generate("x")
+	b := (&Generator{Rng: rand.New(rand.NewSource(3))}).Generate("x")
+	if len(a.Ops) != len(b.Ops) {
+		t.Fatal("nondeterministic op count")
+	}
+	for i := range a.Ops {
+		if a.Ops[i].Kernel.Name() != b.Ops[i].Kernel.Name() || a.Ops[i].Count != b.Ops[i].Count {
+			t.Fatalf("op %d differs", i)
+		}
+	}
+}
+
+func TestGenerateRespectsBounds(t *testing.T) {
+	g := &Generator{
+		Rng: rand.New(rand.NewSource(7)), MinOps: 5, MaxOps: 6, MaxCount: 3, MaxScale: 1.2,
+	}
+	for _, m := range g.GenerateSuite("b", 8) {
+		if len(m.Ops) < 5 || len(m.Ops) > 6 {
+			t.Errorf("op types = %d outside [5,6]", len(m.Ops))
+		}
+		for _, op := range m.Ops {
+			if op.Count < 1 || op.Count > 3 {
+				t.Errorf("count %d outside [1,3]", op.Count)
+			}
+		}
+	}
+}

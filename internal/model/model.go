@@ -1,0 +1,130 @@
+// Package model defines the evaluation workloads of the paper's Table 2 —
+// eleven models spanning vision, NLP, recommendation and LLMs — as
+// operator inventories, and provides the end-to-end runner behind the
+// paper's Section 6 experiments: per-operator profiling and bottleneck
+// classification, bottleneck-cause distributions (Fig. 13a/14), advisor-
+// driven optimization, and computation/overall speedups (Fig. 13b/15).
+//
+// Each model is a list of operator instances: a kernel at a model-scaled
+// shape plus an instance count per training iteration (or inference
+// pass). The operator implementations are shared across models — the
+// paper's observation that the same operator library serves every
+// framework — so bottleneck differences across models come from shape
+// and mix, exactly as in the paper: small models run few tiles per
+// operator and suffer insufficient parallelism; large models saturate
+// the GM links and become MTE bound.
+package model
+
+import (
+	"fmt"
+
+	"ascendperf/internal/kernels"
+)
+
+// OpInstance is one operator type within a model.
+type OpInstance struct {
+	// Kernel is the operator at its model-specific shape.
+	Kernel kernels.Kernel
+
+	// Count is how many instances execute per iteration.
+	Count int
+}
+
+// Model is one evaluation workload (a Table 2 row).
+type Model struct {
+	// Name is the model name as in Table 2 (e.g. "MobileNetV3").
+	Name string
+
+	// Type is the workload family: Vision, NLP, Recommendation or LLM.
+	Type string
+
+	// Params is the parameter count as reported ("5.4M", "100B").
+	Params string
+
+	// Dataset names the training dataset.
+	Dataset string
+
+	// NPUs is the accelerator count used for training.
+	NPUs int
+
+	// Ops is the operator inventory per iteration.
+	Ops []OpInstance
+
+	// OverheadFrac is the non-compute share of an iteration
+	// (communication, I/O, preprocessing) expressed as a fraction of the
+	// baseline computation time. It stays constant in absolute terms
+	// while operators are optimized, which is why overall speedups trail
+	// computation speedups (Fig. 15).
+	OverheadFrac float64
+}
+
+// Validate checks the inventory.
+func (m *Model) Validate() error {
+	if m.Name == "" {
+		return fmt.Errorf("model: unnamed model")
+	}
+	if len(m.Ops) == 0 {
+		return fmt.Errorf("model %s: empty operator inventory", m.Name)
+	}
+	seen := map[string]bool{}
+	for _, op := range m.Ops {
+		if op.Kernel == nil {
+			return fmt.Errorf("model %s: nil kernel", m.Name)
+		}
+		if op.Count <= 0 {
+			return fmt.Errorf("model %s: non-positive count for %s", m.Name, op.Kernel.Name())
+		}
+		if seen[op.Kernel.Name()] {
+			return fmt.Errorf("model %s: duplicate operator %s", m.Name, op.Kernel.Name())
+		}
+		seen[op.Kernel.Name()] = true
+	}
+	if m.OverheadFrac < 0 {
+		return fmt.Errorf("model %s: negative overhead", m.Name)
+	}
+	return nil
+}
+
+// scaleEW returns an elementwise kernel scaled to f times its case-study
+// element count (minimum one tile).
+func scaleEW(e *kernels.Elementwise, f float64) *kernels.Elementwise {
+	c := *e
+	c.Elems = int64(float64(e.Elems) * f)
+	if c.Elems < e.TileElems {
+		c.Elems = e.TileElems
+	}
+	return &c
+}
+
+// scaleConv returns a convolution kernel scaled to f times its case-study
+// tile count.
+func scaleConv(k *kernels.CubeConv, f float64) *kernels.CubeConv {
+	c := *k
+	c.Tiles = int(float64(k.Tiles) * f)
+	if c.Tiles < 1 {
+		c.Tiles = 1
+	}
+	return &c
+}
+
+// scaleMM returns a matmul kernel scaled to f times its case-study step
+// count.
+func scaleMM(k *kernels.CubeMatMul, f float64) *kernels.CubeMatMul {
+	c := *k
+	c.Steps = int(float64(k.Steps) * f)
+	if c.Steps < 1 {
+		c.Steps = 1
+	}
+	return &c
+}
+
+// scaleAvgPool returns an avgpool kernel scaled to f times its case-study
+// tile count.
+func scaleAvgPool(k *kernels.AvgPool, f float64) *kernels.AvgPool {
+	c := *k
+	c.Tiles = int(float64(k.Tiles) * f)
+	if c.Tiles < 1 {
+		c.Tiles = 1
+	}
+	return &c
+}

@@ -1,0 +1,404 @@
+package model
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"ascendperf/internal/core"
+	"ascendperf/internal/hw"
+)
+
+func TestTable2Specification(t *testing.T) {
+	models := All()
+	if len(models) != 11 {
+		t.Fatalf("models = %d, want 11 (Table 2)", len(models))
+	}
+	want := []struct {
+		name, typ, params string
+		npus              int
+	}{
+		{"MobileNetV3", "Vision", "5.4M", 8},
+		{"ResNet50", "Vision", "25.6M", 8},
+		{"ViT", "Vision", "86M", 8},
+		{"VGG16", "Vision", "138.4M", 8},
+		{"Bert", "NLP", "110M", 8},
+		{"GPT2", "NLP", "355M", 8},
+		{"DeepFM", "Recommendation", "16.5M", 8},
+		{"Wide and Deep", "Recommendation", "75.84M", 8},
+		{"DLRM", "Recommendation", "540M", 8},
+		{"Llama 2", "LLM", "7B", 8},
+		{"PanGu-alpha", "LLM", "100B", 128},
+	}
+	for i, w := range want {
+		m := models[i]
+		if m.Name != w.name || m.Type != w.typ || m.Params != w.params || m.NPUs != w.npus {
+			t.Errorf("row %d: got (%s, %s, %s, %d), want %+v", i, m.Name, m.Type, m.Params, m.NPUs, w)
+		}
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+}
+
+func TestMobileNetV3Has155Operators(t *testing.T) {
+	total := 0
+	for _, op := range MobileNetV3().Ops {
+		total += op.Count
+	}
+	if total != 155 {
+		t.Errorf("MobileNetV3 operator instances = %d, want 155", total)
+	}
+}
+
+// TestMobileNetV3BaselineDistribution reproduces the paper's Section
+// 6.2.2 baseline numbers on the inference chip: IP 73.55%, IM 15.48%,
+// IC 6.45%, MB 4.52%.
+func TestMobileNetV3BaselineDistribution(t *testing.T) {
+	r := NewRunner(hw.InferenceChip())
+	res, err := r.Run(MobileNetV3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := res.BaselineDistribution
+	want := map[core.Cause]float64{
+		core.CauseInsufficientParallelism: 0.7355,
+		core.CauseInefficientMTE:          0.1548,
+		core.CauseInefficientCompute:      0.0645,
+		core.CauseMTEBound:                0.0452,
+	}
+	for cause, share := range want {
+		if math.Abs(d.Share(cause)-share) > 0.001 {
+			t.Errorf("%s share = %.4f, want %.4f", cause, d.Share(cause), share)
+		}
+	}
+}
+
+// TestPanGuBaselineDistribution matches the Fig. 13a shape: insufficient
+// parallelism dominates (~61%), MTE bound follows (~34%), compute bound
+// is small (~5%).
+func TestPanGuBaselineDistribution(t *testing.T) {
+	r := NewRunner(hw.TrainingChip())
+	res, err := r.Run(PanGuAlpha())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := res.BaselineDistribution
+	if ip := d.Share(core.CauseInsufficientParallelism); math.Abs(ip-0.6148) > 0.08 {
+		t.Errorf("IP share = %.4f, want ~0.61", ip)
+	}
+	if mb := d.Share(core.CauseMTEBound); math.Abs(mb-0.3402) > 0.05 {
+		t.Errorf("MB share = %.4f, want ~0.34", mb)
+	}
+	if cb := d.Share(core.CauseComputeBound); math.Abs(cb-0.0450) > 0.02 {
+		t.Errorf("CB share = %.4f, want ~0.045", cb)
+	}
+}
+
+// TestPanGuOptimizationShiftsBottlenecks reproduces the Fig. 13a shift:
+// after optimizing the top operators, the insufficient-parallelism share
+// drops sharply and the MTE-related share rises.
+func TestPanGuOptimizationShiftsBottlenecks(t *testing.T) {
+	r := NewRunner(hw.TrainingChip())
+	res, err := r.OptimizeTop(PanGuAlpha(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := res.BaselineDistribution
+	after := res.OptimizedDistribution
+	ipBefore := before.Share(core.CauseInsufficientParallelism)
+	ipAfter := after.Share(core.CauseInsufficientParallelism)
+	if ipAfter >= ipBefore {
+		t.Errorf("IP share did not drop: %.3f -> %.3f", ipBefore, ipAfter)
+	}
+	mteBefore := before.Share(core.CauseMTEBound) + before.Share(core.CauseInefficientMTE)
+	mteAfter := after.Share(core.CauseMTEBound) + after.Share(core.CauseInefficientMTE)
+	if mteAfter <= mteBefore {
+		t.Errorf("MTE-related share did not rise: %.3f -> %.3f", mteBefore, mteAfter)
+	}
+	if res.ComputeSpeedup() <= 1 {
+		t.Errorf("compute speedup = %.3f", res.ComputeSpeedup())
+	}
+}
+
+// TestAllModelsSpeedups: every model improves under optimization, and
+// overall speedup trails computation speedup because the comm/IO
+// overhead is fixed (Fig. 15).
+func TestAllModelsSpeedups(t *testing.T) {
+	r := NewRunner(hw.TrainingChip())
+	for _, m := range All() {
+		res, err := r.Optimize(m)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		cs := res.ComputeSpeedup()
+		os := res.OverallSpeedup()
+		if cs <= 1.0 {
+			t.Errorf("%s: compute speedup = %.3f, want > 1", m.Name, cs)
+		}
+		if os <= 1.0 {
+			t.Errorf("%s: overall speedup = %.3f, want > 1", m.Name, os)
+		}
+		if os >= cs {
+			t.Errorf("%s: overall speedup %.3f should trail compute speedup %.3f", m.Name, os, cs)
+		}
+		// The paper's ranges: computation 1.08-2.70x, overall 1.07-2.15x.
+		if cs > 2.70 {
+			t.Errorf("%s: compute speedup %.2f outside the paper's range", m.Name, cs)
+		}
+		if os > 2.15 {
+			t.Errorf("%s: overall speedup %.2f outside the paper's range", m.Name, os)
+		}
+	}
+}
+
+func TestDistributionSumsToOne(t *testing.T) {
+	r := NewRunner(hw.TrainingChip())
+	for _, m := range All() {
+		res, err := r.Run(m)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		var sum float64
+		for _, c := range core.Causes() {
+			sum += res.BaselineDistribution.Share(c)
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("%s: distribution sums to %.6f", m.Name, sum)
+		}
+	}
+}
+
+func TestOptimizeTopLimitsScope(t *testing.T) {
+	r := NewRunner(hw.TrainingChip())
+	res, err := r.OptimizeTop(PanGuAlpha(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	changed := 0
+	for _, op := range res.Ops {
+		if op.OptimizedTime != op.BaselineTime {
+			changed++
+		}
+		if len(op.Applied) > 0 && op.OptimizedTime == op.BaselineTime {
+			t.Errorf("%s: strategies recorded without improvement", op.Name)
+		}
+	}
+	if changed > 3 {
+		t.Errorf("top-3 optimization changed %d operator types", changed)
+	}
+}
+
+func TestRunEqualsOptimizeBaseline(t *testing.T) {
+	r := NewRunner(hw.TrainingChip())
+	m := DeepFM()
+	plain, err := r.Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optimized, err := r.Optimize(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(plain.BaselineComputeTime-optimized.BaselineComputeTime) > 1e-6 {
+		t.Errorf("baseline compute differs: %.1f vs %.1f",
+			plain.BaselineComputeTime, optimized.BaselineComputeTime)
+	}
+	if plain.OptimizedComputeTime != plain.BaselineComputeTime {
+		t.Error("plain run must not optimize")
+	}
+}
+
+// TestFrameworkInvariance reproduces Fig. 14b: the same model exported
+// from different front-ends has nearly the same bottleneck distribution,
+// because all front-ends lower onto the same operator library.
+func TestFrameworkInvariance(t *testing.T) {
+	r := NewRunner(hw.InferenceChip())
+	base := MobileNetV3()
+	var ref Distribution
+	for i, fw := range Frameworks() {
+		res, err := r.Run(ForFramework(base, fw))
+		if err != nil {
+			t.Fatalf("%s: %v", fw, err)
+		}
+		if i == 0 {
+			ref = res.BaselineDistribution
+			continue
+		}
+		for _, c := range core.Causes() {
+			if diff := math.Abs(res.BaselineDistribution.Share(c) - ref.Share(c)); diff > 0.05 {
+				t.Errorf("%s: %s share differs by %.3f from MindSpore", fw, c, diff)
+			}
+		}
+	}
+}
+
+func TestForFrameworkAddsConversions(t *testing.T) {
+	m := DeepFM()
+	tf := ForFramework(m, TensorFlow)
+	if tf.Name != "DeepFM/TensorFlow" {
+		t.Errorf("name = %s", tf.Name)
+	}
+	countOf := func(mm *Model, name string) int {
+		for _, op := range mm.Ops {
+			if op.Kernel.Name() == name {
+				return op.Count
+			}
+		}
+		return 0
+	}
+	if countOf(tf, "transdata") != countOf(m, "transdata")+3 {
+		t.Error("TensorFlow export should add TransData instances")
+	}
+	if countOf(tf, "cast") != countOf(m, "cast")+2 {
+		t.Error("TensorFlow export should add Cast instances")
+	}
+	ms := ForFramework(m, MindSpore)
+	if countOf(ms, "transdata") != countOf(m, "transdata") {
+		t.Error("MindSpore export must be unchanged")
+	}
+	// The original model is untouched.
+	if countOf(m, "transdata") != 6 {
+		t.Error("ForFramework mutated the source model")
+	}
+}
+
+// TestTrainingVsInference reproduces the Fig. 14c observation: for
+// models with efficient implementations (post-optimization), the
+// inference chip's lower compute capacity relative to its links pushes
+// operators toward Compute Bound, while the training chip keeps them
+// transfer-limited.
+func TestTrainingVsInference(t *testing.T) {
+	train := NewRunner(hw.TrainingChip())
+	infer := NewRunner(hw.InferenceChip())
+	for _, name := range []string{"GPT2", "MobileNetV3", "ResNet50", "VGG16"} {
+		var m *Model
+		for _, mm := range All() {
+			if mm.Name == name {
+				m = mm
+			}
+		}
+		rt, err := train.Optimize(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ri, err := infer.Optimize(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dt := rt.OptimizedDistribution
+		di := ri.OptimizedDistribution
+		differs := false
+		for _, c := range core.Causes() {
+			if math.Abs(dt.Share(c)-di.Share(c)) > 0.01 {
+				differs = true
+			}
+		}
+		if !differs {
+			t.Errorf("%s: training and inference distributions identical", name)
+		}
+		// The compute-bound share on the inference chip is at least that
+		// of the training chip for every compared model.
+		if di.Share(core.CauseComputeBound) < dt.Share(core.CauseComputeBound)-1e-9 {
+			t.Errorf("%s: inference CB share %.3f below training %.3f",
+				name, di.Share(core.CauseComputeBound), dt.Share(core.CauseComputeBound))
+		}
+	}
+}
+
+func TestTopOperatorsOrdering(t *testing.T) {
+	r := NewRunner(hw.TrainingChip())
+	res, err := r.Run(PanGuAlpha())
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := res.TopOperators(5)
+	if len(top) != 5 {
+		t.Fatalf("top = %d, want 5", len(top))
+	}
+	for i := 1; i < len(top); i++ {
+		ti := top[i-1].BaselineTime * float64(top[i-1].Count)
+		tj := top[i].BaselineTime * float64(top[i].Count)
+		if ti < tj {
+			t.Errorf("top operators out of order at %d", i)
+		}
+	}
+	all := res.TopOperators(1000)
+	if len(all) != len(res.Ops) {
+		t.Error("TopOperators must cap at inventory size")
+	}
+}
+
+func TestMTEGMBoundShareBounds(t *testing.T) {
+	r := NewRunner(hw.TrainingChip())
+	res, err := r.Optimize(Llama2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, optimized := range []bool{false, true} {
+		s := res.MTEGMBoundShare(optimized)
+		if s < 0 || s > 1 {
+			t.Errorf("share = %v out of range", s)
+		}
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	if (&Model{}).Validate() == nil {
+		t.Error("unnamed model accepted")
+	}
+	if (&Model{Name: "x"}).Validate() == nil {
+		t.Error("empty inventory accepted")
+	}
+	m := MobileNetV3()
+	m.Ops[0].Count = 0
+	if m.Validate() == nil {
+		t.Error("zero count accepted")
+	}
+	m2 := MobileNetV3()
+	m2.Ops = append(m2.Ops, m2.Ops[0])
+	if m2.Validate() == nil {
+		t.Error("duplicate operator accepted")
+	}
+	m3 := MobileNetV3()
+	m3.OverheadFrac = -1
+	if m3.Validate() == nil {
+		t.Error("negative overhead accepted")
+	}
+}
+
+func TestReportContents(t *testing.T) {
+	r := NewRunner(hw.TrainingChip())
+	res, err := r.OptimizeTop(DeepFM(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res.Report()
+	for _, want := range []string{"DeepFM", "fullyconnection", "computation:", "bottlenecks before:"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestRunResultCSV(t *testing.T) {
+	r := NewRunner(hw.TrainingChip())
+	res, err := r.OptimizeTop(DeepFM(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := res.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1+len(res.Ops) {
+		t.Fatalf("csv lines = %d, want %d", len(lines), 1+len(res.Ops))
+	}
+	if !strings.HasPrefix(lines[0], "operator,count,baseline_us") {
+		t.Errorf("bad header: %s", lines[0])
+	}
+	if !strings.Contains(buf.String(), "fullyconnection,") {
+		t.Error("missing operator row")
+	}
+}

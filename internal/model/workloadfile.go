@@ -1,0 +1,140 @@
+package model
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"ascendperf/internal/kernels"
+)
+
+// Workload files let users analyze their own model's operator inventory
+// without writing Go: a JSON list of (operator, count) rows referencing
+// the library's operator names, with optional per-row shape scaling and
+// retiling. This is the import path for real profiling data — export an
+// operator histogram from msprof, map the names, and run the whole
+// Section 6 analysis on it.
+
+type jsonWorkload struct {
+	Name         string           `json:"name"`
+	Type         string           `json:"type,omitempty"`
+	Params       string           `json:"params,omitempty"`
+	Dataset      string           `json:"dataset,omitempty"`
+	NPUs         int              `json:"npus,omitempty"`
+	OverheadFrac float64          `json:"overhead_frac,omitempty"`
+	Ops          []jsonWorkloadOp `json:"ops"`
+}
+
+type jsonWorkloadOp struct {
+	// Op is a registry operator name ("mul", "matmul", ...).
+	Op string `json:"op"`
+	// Count is the instances per iteration.
+	Count int `json:"count"`
+	// Scale optionally multiplies the operator's work units (elements,
+	// steps or tiles); 0 means 1.0.
+	Scale float64 `json:"scale,omitempty"`
+	// TileElems optionally retiles elementwise operators.
+	TileElems int64 `json:"tile_elems,omitempty"`
+	// Rename optionally renames the instance (needed when the same
+	// library operator appears at several scales).
+	Rename string `json:"rename,omitempty"`
+}
+
+// ReadWorkload parses and validates a workload file.
+func ReadWorkload(r io.Reader) (*Model, error) {
+	var in jsonWorkload
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("model: decode workload: %w", err)
+	}
+	m := &Model{
+		Name:         in.Name,
+		Type:         in.Type,
+		Params:       in.Params,
+		Dataset:      in.Dataset,
+		NPUs:         in.NPUs,
+		OverheadFrac: in.OverheadFrac,
+	}
+	if m.Type == "" {
+		m.Type = "Custom"
+	}
+	if m.Params == "" {
+		m.Params = "n/a"
+	}
+	if m.Dataset == "" {
+		m.Dataset = "custom"
+	}
+	if m.NPUs == 0 {
+		m.NPUs = 8
+	}
+	reg := kernels.Registry()
+	for i, row := range in.Ops {
+		base := reg[row.Op]
+		if base == nil {
+			return nil, fmt.Errorf("model: ops[%d]: unknown operator %q", i, row.Op)
+		}
+		k := base
+		scale := row.Scale
+		if scale == 0 {
+			scale = 1
+		}
+		switch kk := base.(type) {
+		case *kernels.Elementwise:
+			c := scaleEW(kk, scale)
+			if row.TileElems > 0 {
+				c.TileElems = row.TileElems
+			}
+			if row.Rename != "" {
+				c.OpName = row.Rename
+			}
+			k = c
+		case *kernels.CubeMatMul:
+			c := scaleMM(kk, scale)
+			if row.Rename != "" {
+				c.OpName = row.Rename
+			}
+			k = c
+		case *kernels.CubeConv:
+			c := scaleConv(kk, scale)
+			if row.Rename != "" {
+				c.OpName = row.Rename
+			}
+			k = c
+		case *kernels.AvgPool:
+			k = scaleAvgPool(kk, scale)
+			if row.Rename != "" || row.TileElems > 0 {
+				// Reduction variants keep their library identity; only
+				// the tile count scales.
+				if row.TileElems > 0 {
+					return nil, fmt.Errorf("model: ops[%d]: %q does not support tile_elems", i, row.Op)
+				}
+				if row.Rename != "" {
+					return nil, fmt.Errorf("model: ops[%d]: %q does not support rename", i, row.Op)
+				}
+			}
+		default:
+			if scale != 1 || row.TileElems > 0 || row.Rename != "" {
+				return nil, fmt.Errorf("model: ops[%d]: %q does not support scaling", i, row.Op)
+			}
+		}
+		m.Ops = append(m.Ops, OpInstance{Kernel: k, Count: row.Count})
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// WriteWorkload serializes a model's inventory (without shape detail
+// beyond names and counts) as a starting-point workload file.
+func WriteWorkload(m *Model, w io.Writer) error {
+	out := jsonWorkload{
+		Name: m.Name, Type: m.Type, Params: m.Params,
+		Dataset: m.Dataset, NPUs: m.NPUs, OverheadFrac: m.OverheadFrac,
+	}
+	for _, op := range m.Ops {
+		out.Ops = append(out.Ops, jsonWorkloadOp{Op: op.Kernel.Name(), Count: op.Count})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,107 @@
+package model
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ascendperf/internal/hw"
+)
+
+const sampleWorkload = `{
+  "name": "my-transformer",
+  "overhead_frac": 0.25,
+  "ops": [
+    {"op": "matmul", "count": 12, "scale": 1.5},
+    {"op": "softmax", "count": 6},
+    {"op": "add", "count": 12, "scale": 2, "rename": "residual_add"},
+    {"op": "layernorm", "count": 12, "tile_elems": 49152},
+    {"op": "avgpool", "count": 1, "scale": 2}
+  ]
+}`
+
+func TestReadWorkload(t *testing.T) {
+	m, err := ReadWorkload(strings.NewReader(sampleWorkload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != "my-transformer" || m.Type != "Custom" || m.NPUs != 8 {
+		t.Errorf("defaults wrong: %+v", m)
+	}
+	if len(m.Ops) != 5 {
+		t.Fatalf("ops = %d", len(m.Ops))
+	}
+	if m.Ops[2].Kernel.Name() != "residual_add" {
+		t.Errorf("rename not applied: %s", m.Ops[2].Kernel.Name())
+	}
+	// The workload runs through the full pipeline.
+	r := NewRunner(hw.TrainingChip())
+	res, err := r.Optimize(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ComputeSpeedup() < 1 {
+		t.Error("no improvement on custom workload")
+	}
+}
+
+func TestReadWorkloadRejections(t *testing.T) {
+	cases := map[string]string{
+		"not json":       "nope",
+		"unknown op":     `{"name":"x","ops":[{"op":"conv9d","count":1}]}`,
+		"zero count":     `{"name":"x","ops":[{"op":"mul","count":0}]}`,
+		"no ops":         `{"name":"x","ops":[]}`,
+		"no name":        `{"ops":[{"op":"mul","count":1}]}`,
+		"duplicate name": `{"name":"x","ops":[{"op":"mul","count":1},{"op":"mul","count":2}]}`,
+		"reduction tile": `{"name":"x","ops":[{"op":"avgpool","count":1,"tile_elems":99}]}`,
+	}
+	for name, payload := range cases {
+		if _, err := ReadWorkload(strings.NewReader(payload)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestWorkloadRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteWorkload(DeepFM(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadWorkload(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "DeepFM" || len(back.Ops) != len(DeepFM().Ops) {
+		t.Errorf("round trip lost content: %s, %d ops", back.Name, len(back.Ops))
+	}
+}
+
+// TestShippedWorkloadFiles: every workload file in examples/workloads
+// loads and runs end to end.
+func TestShippedWorkloadFiles(t *testing.T) {
+	files, err := filepath.Glob("../../examples/workloads/*.json")
+	if err != nil || len(files) < 3 {
+		t.Fatalf("workload files: %v (%d found)", err, len(files))
+	}
+	r := NewRunner(hw.TrainingChip())
+	for _, path := range files {
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := ReadWorkload(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		res, err := r.OptimizeTop(m, 3)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if res.ComputeSpeedup() < 1 {
+			t.Errorf("%s: no improvement", path)
+		}
+	}
+}

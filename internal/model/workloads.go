@@ -1,0 +1,302 @@
+package model
+
+import "ascendperf/internal/kernels"
+
+// ewVariant derives a model-specific elementwise operator: renamed,
+// rescaled, optionally retiled and with its own shipped option set (a
+// mature library ships some operators already well pipelined).
+func ewVariant(base *kernels.Elementwise, name string, scale float64, tileElems int64, opts kernels.Options) *kernels.Elementwise {
+	c := scaleEW(base, scale)
+	if name != "" {
+		c.OpName = name
+	}
+	if tileElems > 0 {
+		c.TileElems = tileElems
+	}
+	c.BaselineOpts = opts
+	return c
+}
+
+// mmVariant derives a model-specific matmul operator.
+func mmVariant(base *kernels.CubeMatMul, name string, scale float64, opts kernels.Options) *kernels.CubeMatMul {
+	c := scaleMM(base, scale)
+	if name != "" {
+		c.OpName = name
+	}
+	c.BaselineOpts = opts
+	return c
+}
+
+// convVariant derives a model-specific convolution operator.
+func convVariant(base *kernels.CubeConv, name string, scale float64) *kernels.CubeConv {
+	c := scaleConv(base, scale)
+	if name != "" {
+		c.OpName = name
+	}
+	return c
+}
+
+// rsdPP is the option set of a well-pipelined shipped implementation.
+var rsdPP = kernels.Options{SeparateOutputBuffer: true, PingPong: true, HoistInvariantTransfers: true}
+
+// largeAdd is the LLM residual-add at large hidden sizes: big tiles and a
+// separate-output implementation saturate GM->UB, making it MTE-GM bound —
+// the transfer the paper singles out as hard to fix in software.
+func largeAdd(scale float64) *kernels.Elementwise {
+	k := ewVariant(kernels.NewAdd(), "add_large", scale, 56<<10, kernels.Options{SeparateOutputBuffer: true})
+	k.SupportedStrategies = []kernels.Strategy{kernels.PP}
+	return k
+}
+
+// MobileNetV3 returns the MobileNetV3 inference workload of the Section
+// 6.2.2 case study: 155 computation operators whose baseline bottleneck
+// distribution matches the paper (IP 73.5%, IM 15.5%, IC 6.5%, MB 4.5%).
+func MobileNetV3() *Model {
+	return &Model{
+		Name: "MobileNetV3", Type: "Vision", Params: "5.4M",
+		Dataset: "ImageNet2012", NPUs: 8,
+		OverheadFrac: 0.20,
+		// Each family appears at two shapes (the full case-study shape
+		// and a small "_s" layer variant with the same bottleneck
+		// class). Only the longest-running types get optimized under
+		// the paper's top-N rule, so the small variants keep their
+		// insufficient-parallelism class afterwards — the reason the
+		// paper's post-optimization distribution retains so much IP.
+		Ops: []OpInstance{
+			{Kernel: kernels.NewAddReLU(), Count: 15},
+			{Kernel: ewVariant(kernels.NewAddReLU(), "add_relu_s", 0.5, 0, kernels.Options{}), Count: 10},
+			{Kernel: kernels.NewDepthwise(), Count: 12},
+			{Kernel: convVariant(kernels.NewDepthwise(), "depthwise_s", 0.4), Count: 8},
+			{Kernel: kernels.NewMul(), Count: 10},
+			{Kernel: ewVariant(kernels.NewMul(), "mul_s", 0.5, 0, kernels.Options{}), Count: 8},
+			{Kernel: kernels.NewConv2D(), Count: 20},
+			{Kernel: convVariant(kernels.NewConv2D(), "conv2d_s", 0.4), Count: 15},
+			{Kernel: kernels.NewCast(), Count: 8},
+			{Kernel: kernels.NewTransData(), Count: 8},
+			{Kernel: kernels.NewFullyConnection(), Count: 12},
+			{Kernel: kernels.NewAddN(), Count: 12},
+			{Kernel: kernels.NewAvgPool(), Count: 10},
+			{Kernel: kernels.NewMatMul(), Count: 7},
+		},
+	}
+}
+
+// ResNet50 returns the ResNet-50 training workload.
+func ResNet50() *Model {
+	return &Model{
+		Name: "ResNet50", Type: "Vision", Params: "25.6M",
+		Dataset: "ImageNet2012", NPUs: 8,
+		OverheadFrac: 0.25,
+		Ops: []OpInstance{
+			{Kernel: scaleConv(kernels.NewConv2D(), 1.5), Count: 53},
+			{Kernel: kernels.NewAddReLU(), Count: 16},
+			{Kernel: kernels.NewReLU(), Count: 16},
+			{Kernel: kernels.NewAdd(), Count: 16},
+			{Kernel: kernels.NewMaxPool(), Count: 1},
+			{Kernel: kernels.NewAvgPool(), Count: 2},
+			{Kernel: kernels.NewFullyConnection(), Count: 4},
+			{Kernel: ewVariant(kernels.NewLayerNorm(), "batchnorm", 0.8, 0, rsdPP), Count: 20},
+			{Kernel: kernels.NewCast(), Count: 10},
+			{Kernel: kernels.NewTransData(), Count: 8},
+		},
+	}
+}
+
+// ViT returns the Vision Transformer training workload.
+func ViT() *Model {
+	return &Model{
+		Name: "ViT", Type: "Vision", Params: "86M",
+		Dataset: "ImageNet2012", NPUs: 8,
+		OverheadFrac: 0.25,
+		Ops: []OpInstance{
+			{Kernel: scaleMM(kernels.NewMatMul(), 1.2), Count: 24},
+			{Kernel: kernels.NewBatchMatMul(), Count: 24},
+			{Kernel: kernels.NewSoftmax(), Count: 12},
+			{Kernel: kernels.NewGeLU(), Count: 12},
+			{Kernel: ewVariant(kernels.NewLayerNorm(), "layernorm", 1, 0, rsdPP), Count: 25},
+			{Kernel: kernels.NewAdd(), Count: 24},
+			{Kernel: kernels.NewDropoutDoMask(), Count: 12},
+			{Kernel: kernels.NewTransData(), Count: 6},
+		},
+	}
+}
+
+// VGG16 returns the VGG-16 training workload: dominated by large dense
+// convolutions.
+func VGG16() *Model {
+	return &Model{
+		Name: "VGG16", Type: "Vision", Params: "138.4M",
+		Dataset: "ImageNet2012", NPUs: 8,
+		OverheadFrac: 0.25,
+		Ops: []OpInstance{
+			{Kernel: scaleConv(kernels.NewConv2D(), 2), Count: 26},
+			{Kernel: kernels.NewAddReLU(), Count: 10},
+			{Kernel: kernels.NewReLU(), Count: 8},
+			{Kernel: kernels.NewMaxPool(), Count: 5},
+			{Kernel: scaleMM(kernels.NewFullyConnection(), 2), Count: 6},
+			{Kernel: scaleMM(kernels.NewMatMul(), 1.5), Count: 4},
+			{Kernel: kernels.NewAvgPool(), Count: 5},
+			{Kernel: kernels.NewCast(), Count: 6},
+		},
+	}
+}
+
+// Bert returns the BERT-base training workload.
+func Bert() *Model {
+	return &Model{
+		Name: "Bert", Type: "NLP", Params: "110M",
+		Dataset: "WikiText2", NPUs: 8,
+		OverheadFrac: 0.30,
+		Ops: []OpInstance{
+			{Kernel: scaleMM(kernels.NewMatMul(), 1.2), Count: 24},
+			{Kernel: kernels.NewBatchMatMul(), Count: 24},
+			{Kernel: kernels.NewSoftmax(), Count: 12},
+			{Kernel: kernels.NewGeLU(), Count: 12},
+			{Kernel: ewVariant(kernels.NewLayerNorm(), "layernorm", 1, 0, rsdPP), Count: 25},
+			{Kernel: kernels.NewAdd(), Count: 26},
+			{Kernel: kernels.NewTanh(), Count: 2},
+			{Kernel: kernels.NewDropoutDoMask(), Count: 13},
+			{Kernel: kernels.NewCast(), Count: 10},
+			{Kernel: kernels.NewTransData(), Count: 8},
+		},
+	}
+}
+
+// GPT2 returns the GPT-2 medium training workload.
+func GPT2() *Model {
+	return &Model{
+		Name: "GPT2", Type: "NLP", Params: "355M",
+		Dataset: "WikiText2", NPUs: 8,
+		OverheadFrac: 0.30,
+		Ops: []OpInstance{
+			{Kernel: scaleMM(kernels.NewMatMul(), 1.5), Count: 32},
+			{Kernel: scaleMM(kernels.NewBatchMatMul(), 1.2), Count: 24},
+			{Kernel: kernels.NewSoftmax(), Count: 12},
+			{Kernel: kernels.NewGeLU(), Count: 14},
+			{Kernel: ewVariant(kernels.NewLayerNorm(), "layernorm", 1.2, 0, rsdPP), Count: 26},
+			{Kernel: kernels.NewAdd(), Count: 26},
+			{Kernel: kernels.NewMul(), Count: 10},
+			{Kernel: kernels.NewDropoutDoMask(), Count: 13},
+			{Kernel: kernels.NewCast(), Count: 10},
+			{Kernel: kernels.NewTransData(), Count: 10},
+		},
+	}
+}
+
+// DeepFM returns the DeepFM recommendation training workload.
+func DeepFM() *Model {
+	return &Model{
+		Name: "DeepFM", Type: "Recommendation", Params: "16.5M",
+		Dataset: "Criteo", NPUs: 8,
+		OverheadFrac: 0.30,
+		Ops: []OpInstance{
+			{Kernel: kernels.NewFullyConnection(), Count: 20},
+			{Kernel: kernels.NewEmbeddingLookup(), Count: 10},
+			{Kernel: kernels.NewSigmoid(), Count: 3},
+			{Kernel: kernels.NewMul(), Count: 24},
+			{Kernel: kernels.NewAdd(), Count: 18},
+			{Kernel: ewVariant(kernels.NewAddN(), "reduce_sum", 0.8, 0, kernels.Options{}), Count: 10},
+			{Kernel: kernels.NewCast(), Count: 8},
+			{Kernel: kernels.NewTransData(), Count: 6},
+		},
+	}
+}
+
+// WideAndDeep returns the Wide&Deep recommendation training workload.
+func WideAndDeep() *Model {
+	return &Model{
+		Name: "Wide and Deep", Type: "Recommendation", Params: "75.84M",
+		Dataset: "Criteo", NPUs: 8,
+		OverheadFrac: 0.30,
+		Ops: []OpInstance{
+			{Kernel: scaleMM(kernels.NewFullyConnection(), 1.5), Count: 24},
+			{Kernel: kernels.NewEmbeddingLookup(), Count: 12},
+			{Kernel: kernels.NewSigmoid(), Count: 2},
+			{Kernel: kernels.NewMul(), Count: 20},
+			{Kernel: kernels.NewAdd(), Count: 18},
+			{Kernel: kernels.NewRealDiv(), Count: 8},
+			{Kernel: kernels.NewCast(), Count: 10},
+			{Kernel: kernels.NewTransData(), Count: 8},
+		},
+	}
+}
+
+// DLRM returns the DLRM recommendation training workload.
+func DLRM() *Model {
+	return &Model{
+		Name: "DLRM", Type: "Recommendation", Params: "540M",
+		Dataset: "Criteo", NPUs: 8,
+		OverheadFrac: 0.32,
+		Ops: []OpInstance{
+			{Kernel: scaleMM(kernels.NewFullyConnection(), 2), Count: 26},
+			{Kernel: scaleMM(kernels.NewBatchMatMul(), 1.5), Count: 10},
+			{Kernel: scaleEW(kernels.NewEmbeddingLookup(), 2), Count: 14},
+			{Kernel: kernels.NewMul(), Count: 18},
+			{Kernel: largeAdd(1.2), Count: 12},
+			{Kernel: kernels.NewAdd(), Count: 10},
+			{Kernel: kernels.NewCast(), Count: 10},
+			{Kernel: kernels.NewTransData(), Count: 8},
+		},
+	}
+}
+
+// Llama2 returns the Llama-2 7B training workload: large hidden sizes
+// saturate the GM links, so MTE Bound dominates and insufficient
+// parallelism is rare — the outlier the paper calls out in Fig. 14a.
+func Llama2() *Model {
+	return &Model{
+		Name: "Llama 2", Type: "LLM", Params: "7B",
+		Dataset: "WikiText2", NPUs: 8,
+		OverheadFrac: 0.35,
+		Ops: []OpInstance{
+			{Kernel: scaleMM(kernels.NewMatMul(), 2), Count: 28},
+			{Kernel: mmVariant(kernels.NewBatchMatMul(), "batchmatmul", 1.5,
+				kernels.Options{SeparateOutputBuffer: true, MinimalSync: true, PingPong: true}), Count: 16},
+			{Kernel: largeAdd(2), Count: 20},
+			{Kernel: ewVariant(kernels.NewLayerNorm(), "rmsnorm", 2, 48<<10, rsdPP), Count: 16},
+			{Kernel: ewVariant(kernels.NewSoftmax(), "softmax", 2, 0, kernels.Options{SeparateOutputBuffer: true}), Count: 8},
+			{Kernel: ewVariant(kernels.NewGeLU(), "silu", 1.5, 0, kernels.NewGeLU().BaselineOpts), Count: 8},
+			{Kernel: kernels.NewCast(), Count: 6},
+		},
+	}
+}
+
+// PanGuAlpha returns the 100-billion-parameter PanGu-alpha training
+// workload of the Section 6.2.1 case study. The baseline bottleneck mix
+// targets Fig. 13a: insufficient parallelism ~61%, MTE bound ~34%,
+// compute bound ~5%.
+func PanGuAlpha() *Model {
+	return &Model{
+		Name: "PanGu-alpha", Type: "LLM", Params: "100B",
+		Dataset: "1.1TB Chinese Dataset", NPUs: 128,
+		OverheadFrac: 0.36,
+		Ops: []OpInstance{
+			// Insufficient-parallelism element-wise and format operators.
+			{Kernel: scaleEW(kernels.NewAdd(), 1.5), Count: 17},
+			{Kernel: scaleEW(kernels.NewMul(), 1.5), Count: 15},
+			{Kernel: scaleEW(kernels.NewAddN(), 1.5), Count: 2},
+			{Kernel: scaleEW(kernels.NewRealDiv(), 1.2), Count: 11},
+			{Kernel: scaleEW(kernels.NewDropoutDoMask(), 1.5), Count: 8},
+			{Kernel: scaleEW(kernels.NewTransData(), 1.5), Count: 6},
+			{Kernel: scaleEW(kernels.NewCast(), 1.2), Count: 8},
+			{Kernel: scaleEW(kernels.NewSoftmax(), 1.2), Count: 4},
+			{Kernel: scaleMM(kernels.NewBatchMatMul(), 1.2), Count: 4},
+			// MTE-bound matrix and normalization operators.
+			{Kernel: scaleMM(kernels.NewMatMul(), 2), Count: 12},
+			{Kernel: ewVariant(kernels.NewLayerNorm(), "layernorm", 2, 48<<10, rsdPP), Count: 12},
+			{Kernel: largeAdd(2), Count: 17},
+			// Compute-bound activations.
+			{Kernel: scaleEW(kernels.NewGeLU(), 1.5), Count: 6},
+		},
+	}
+}
+
+// All returns every Table 2 workload in table order.
+func All() []*Model {
+	return []*Model{
+		MobileNetV3(), ResNet50(), ViT(), VGG16(),
+		Bert(), GPT2(),
+		DeepFM(), WideAndDeep(), DLRM(),
+		Llama2(), PanGuAlpha(),
+	}
+}

@@ -1,0 +1,137 @@
+package opt
+
+import (
+	"fmt"
+	"strings"
+
+	"ascendperf/internal/isa"
+	"ascendperf/internal/kernels"
+	"ascendperf/internal/passes"
+	"ascendperf/internal/sim"
+)
+
+// isaProg shortens the candidate loop's element type.
+type isaProg = isa.Program
+
+// PipelineResult is the outcome of the full optimization pipeline: the
+// cause-driven strategy loop, then tile tuning, then the program-level
+// passes — the automated version of "41 optimized operators integrated
+// into the Ascend operator library".
+type PipelineResult struct {
+	// Kernel is the operator name.
+	Kernel string
+
+	// BaselineTime is the shipped implementation's time, ns.
+	BaselineTime float64
+
+	// AfterStrategies, AfterTuning and AfterPasses are the times after
+	// each stage; a stage that does not apply repeats the previous time.
+	AfterStrategies, AfterTuning, AfterPasses float64
+
+	// Strategies is the accepted strategy sequence.
+	Strategies []kernels.Strategy
+
+	// TunedTile is the winning tile size (0 when the kernel is not
+	// tunable or tuning did not help).
+	TunedTile int64
+
+	// PassesApplied reports whether the program-level passes improved
+	// the final program.
+	PassesApplied bool
+}
+
+// FinalTime returns the end-to-end best time.
+func (r *PipelineResult) FinalTime() float64 { return r.AfterPasses }
+
+// Speedup returns baseline/final.
+func (r *PipelineResult) Speedup() float64 {
+	if r.AfterPasses <= 0 {
+		return 0
+	}
+	return r.BaselineTime / r.AfterPasses
+}
+
+// Summary renders the stage-by-stage progression.
+func (r *PipelineResult) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "pipeline %s: %.3f us baseline\n", r.Kernel, r.BaselineTime/1000)
+	strs := make([]string, len(r.Strategies))
+	for i, s := range r.Strategies {
+		strs[i] = s.String()
+	}
+	fmt.Fprintf(&b, "  strategies [%s]: %.3f us\n", strings.Join(strs, ","), r.AfterStrategies/1000)
+	if r.TunedTile > 0 {
+		fmt.Fprintf(&b, "  tile tuning (%d elems): %.3f us\n", r.TunedTile, r.AfterTuning/1000)
+	} else {
+		fmt.Fprintf(&b, "  tile tuning: n/a\n")
+	}
+	if r.PassesApplied {
+		fmt.Fprintf(&b, "  program passes: %.3f us\n", r.AfterPasses/1000)
+	} else {
+		fmt.Fprintf(&b, "  program passes: no further gain\n")
+	}
+	fmt.Fprintf(&b, "  total %.2fx\n", r.Speedup())
+	return b.String()
+}
+
+// FullPipeline runs every optimization mechanism in sequence and keeps
+// each stage only when it improves: the strategy loop over implementation
+// options, the tile-size sweep (for Tunable kernels), and the IR-level
+// minimal-sync and load-hoisting passes over the resulting program.
+func (o *Optimizer) FullPipeline(k kernels.Kernel) (*PipelineResult, error) {
+	res, err := o.Optimize(k)
+	if err != nil {
+		return nil, err
+	}
+	out := &PipelineResult{
+		Kernel:          k.Name(),
+		BaselineTime:    res.InitialTime,
+		AfterStrategies: res.FinalTime,
+		Strategies:      res.Applied(),
+	}
+
+	// Stage 2: tile tuning.
+	bestKernel := k
+	bestOpts := res.FinalOptions
+	out.AfterTuning = out.AfterStrategies
+	if tk, ok := k.(kernels.Tunable); ok {
+		tuning, err := o.TuneTile(tk, bestOpts)
+		if err != nil {
+			return nil, err
+		}
+		if tuning.BestTime < out.AfterTuning {
+			out.AfterTuning = tuning.BestTime
+			out.TunedTile = tuning.BestTile
+			bestKernel = tk.WithTileSize(tuning.BestTile)
+		}
+	}
+
+	// Stage 3: program-level passes on the best implementation.
+	out.AfterPasses = out.AfterTuning
+	prog, err := bestKernel.Build(o.Chip, bestOpts)
+	if err != nil {
+		return nil, err
+	}
+	minSync, err := passes.MinimalSync(o.Chip, prog)
+	if err != nil {
+		return nil, err
+	}
+	hoisted, err := passes.HoistLoads(o.Chip, minSync, 0)
+	if err != nil {
+		return nil, err
+	}
+	for _, candidate := range []*isaProg{minSync, hoisted} {
+		prof, err := sim.RunOpts(o.Chip, candidate, sim.Options{KeepSpans: true})
+		if err != nil {
+			return nil, err
+		}
+		if err := passes.CheckOrdering(o.Chip, candidate, prof); err != nil {
+			return nil, fmt.Errorf("opt: pass broke %s: %w", k.Name(), err)
+		}
+		if prof.TotalTime < out.AfterPasses {
+			out.AfterPasses = prof.TotalTime
+			out.PassesApplied = true
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,86 @@
+package opt
+
+import (
+	"strings"
+	"testing"
+
+	"ascendperf/internal/hw"
+	"ascendperf/internal/kernels"
+)
+
+// TestFullPipelineMonotone: every stage's time is no worse than the
+// previous stage's, and the final never exceeds the baseline, for every
+// Table 1 operator.
+func TestFullPipelineMonotone(t *testing.T) {
+	o := New(hw.TrainingChip())
+	for _, k := range kernels.Table1Kernels() {
+		res, err := o.FullPipeline(k)
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name(), err)
+		}
+		if res.AfterStrategies > res.BaselineTime+1e-6 {
+			t.Errorf("%s: strategies regressed", k.Name())
+		}
+		if res.AfterTuning > res.AfterStrategies+1e-6 {
+			t.Errorf("%s: tuning regressed", k.Name())
+		}
+		if res.AfterPasses > res.AfterTuning+1e-6 {
+			t.Errorf("%s: passes regressed", k.Name())
+		}
+		if res.Speedup() < 1 {
+			t.Errorf("%s: pipeline speedup %.2f < 1", k.Name(), res.Speedup())
+		}
+	}
+}
+
+// TestFullPipelineBeatsStrategiesSomewhere: across the library, at least
+// one operator gains from tuning or passes beyond the strategy loop —
+// otherwise the extra stages would be dead weight.
+func TestFullPipelineBeatsStrategiesSomewhere(t *testing.T) {
+	o := New(hw.TrainingChip())
+	improved := 0
+	for _, k := range []kernels.Kernel{
+		kernels.NewAddReLU(), kernels.NewCast(), kernels.NewMul(),
+		kernels.NewTranspose(), kernels.NewEmbeddingLookup(),
+	} {
+		res, err := o.FullPipeline(k)
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name(), err)
+		}
+		if res.AfterPasses < res.AfterStrategies-1e-6 {
+			improved++
+		}
+	}
+	if improved == 0 {
+		t.Error("tuning/passes never improved beyond the strategy loop")
+	}
+}
+
+func TestFullPipelineSummary(t *testing.T) {
+	o := New(hw.TrainingChip())
+	res, err := o.FullPipeline(kernels.NewCast())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Summary()
+	for _, want := range []string{"pipeline cast", "strategies [", "tile tuning", "program passes", "total"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestFullPipelineDeterministic(t *testing.T) {
+	o := New(hw.TrainingChip())
+	a, err := o.FullPipeline(kernels.NewMul())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := o.FullPipeline(kernels.NewMul())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.FinalTime() != b.FinalTime() || a.TunedTile != b.TunedTile {
+		t.Error("pipeline nondeterministic")
+	}
+}

@@ -1,0 +1,104 @@
+package opt
+
+import (
+	"fmt"
+	"strings"
+
+	"ascendperf/internal/kernels"
+)
+
+// TilePoint is one tile-size measurement.
+type TilePoint struct {
+	// TileElems is the swept tile size in elements.
+	TileElems int64
+	// TimeNS is the simulated operator time; negative when the size was
+	// infeasible (buffers did not fit).
+	TimeNS float64
+}
+
+// TileTuning is the outcome of a tile-size sweep.
+type TileTuning struct {
+	// Kernel is the operator name.
+	Kernel string
+	// Points are the sweep measurements in ascending tile order.
+	Points []TilePoint
+	// BaseTile and BaseTime describe the incoming configuration.
+	BaseTile int64
+	BaseTime float64
+	// BestTile and BestTime describe the winner.
+	BestTile int64
+	BestTime float64
+}
+
+// Speedup returns BaseTime/BestTime.
+func (t *TileTuning) Speedup() float64 {
+	if t.BestTime <= 0 {
+		return 0
+	}
+	return t.BaseTime / t.BestTime
+}
+
+// Summary renders the sweep.
+func (t *TileTuning) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "tile tuning %s: %d elems (%.3f us) -> %d elems (%.3f us), %.2fx\n",
+		t.Kernel, t.BaseTile, t.BaseTime/1000, t.BestTile, t.BestTime/1000, t.Speedup())
+	for _, p := range t.Points {
+		mark := " "
+		if p.TileElems == t.BestTile {
+			mark = "*"
+		}
+		if p.TimeNS < 0 {
+			fmt.Fprintf(&b, "  %s %8d elems   (does not fit)\n", mark, p.TileElems)
+			continue
+		}
+		fmt.Fprintf(&b, "  %s %8d elems %12.3f us\n", mark, p.TileElems, p.TimeNS/1000)
+	}
+	return b.String()
+}
+
+// TuneTile sweeps a Tunable kernel's tile size (powers of two from 1 Ki
+// to 128 Ki elements, plus the current size) at the given options and
+// returns the best configuration. Infeasible sizes are recorded and
+// skipped. The incoming configuration always participates, so the result
+// never regresses.
+func (o *Optimizer) TuneTile(k kernels.Tunable, opts kernels.Options) (*TileTuning, error) {
+	base, err := o.run(k, opts)
+	if err != nil {
+		return nil, fmt.Errorf("opt: tile tuning %s: %w", k.Name(), err)
+	}
+	t := &TileTuning{
+		Kernel:   k.Name(),
+		BaseTile: k.TileSize(),
+		BaseTime: base.TotalTime,
+		BestTile: k.TileSize(),
+		BestTime: base.TotalTime,
+	}
+	seen := map[int64]bool{k.TileSize(): true}
+	t.Points = append(t.Points, TilePoint{TileElems: k.TileSize(), TimeNS: base.TotalTime})
+	for size := int64(1 << 10); size <= 128<<10; size *= 2 {
+		if seen[size] {
+			continue
+		}
+		seen[size] = true
+		trial, err := o.run(k.WithTileSize(size), opts)
+		if err != nil {
+			// Infeasible at this size (e.g. UB exhausted): record and
+			// move on.
+			t.Points = append(t.Points, TilePoint{TileElems: size, TimeNS: -1})
+			continue
+		}
+		t.Points = append(t.Points, TilePoint{TileElems: size, TimeNS: trial.TotalTime})
+		if trial.TotalTime < t.BestTime {
+			t.BestTime = trial.TotalTime
+			t.BestTile = size
+		}
+	}
+	// Ascending order for readability.
+	for i := 1; i < len(t.Points); i++ {
+		for j := i; j > 0 && t.Points[j-1].TileElems > t.Points[j].TileElems; j-- {
+			t.Points[j-1], t.Points[j] = t.Points[j], t.Points[j-1]
+		}
+	}
+	return t, nil
+}

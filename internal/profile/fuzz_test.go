@@ -1,0 +1,34 @@
+package profile
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadJSON: arbitrary bytes must never panic the decoder, and
+// anything it accepts must survive a re-encode.
+func FuzzReadJSON(f *testing.F) {
+	var seed bytes.Buffer
+	if err := sample().WriteJSON(&seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.String())
+	f.Add(`{"name":"x"}`)
+	f.Add(`{`)
+	f.Add(`{"name":"x","busy_ns":{"Cube":-5}}`)
+	f.Add(`{"name":"x","spans":[{"comp":"Cube","kind":"compute","start_ns":5,"end_ns":1}]}`)
+	f.Fuzz(func(t *testing.T, payload string) {
+		p, err := ReadJSON(strings.NewReader(payload))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := p.WriteJSON(&out); err != nil {
+			t.Fatalf("accepted profile failed to re-encode: %v", err)
+		}
+		if _, err := ReadJSON(&out); err != nil {
+			t.Fatalf("re-encoded profile rejected: %v", err)
+		}
+	})
+}

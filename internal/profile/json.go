@@ -1,0 +1,174 @@
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"ascendperf/internal/hw"
+	"ascendperf/internal/isa"
+)
+
+// The JSON form stores map keys as explicit records so profiles can be
+// saved by a profiling run and re-analyzed offline — the decoupling the
+// paper's workflow has between msprof collection and roofline analysis.
+
+type jsonPathBytes struct {
+	Src    string  `json:"src"`
+	Dst    string  `json:"dst"`
+	Bytes  int64   `json:"bytes"`
+	BusyNS float64 `json:"busy_ns,omitempty"`
+}
+
+type jsonPrecOps struct {
+	Unit   string  `json:"unit"`
+	Prec   string  `json:"prec"`
+	Ops    int64   `json:"ops"`
+	BusyNS float64 `json:"busy_ns,omitempty"`
+}
+
+type jsonSpan struct {
+	Comp  string  `json:"comp"`
+	Kind  string  `json:"kind"`
+	Index int     `json:"index"`
+	Start float64 `json:"start_ns"`
+	End   float64 `json:"end_ns"`
+	Label string  `json:"label,omitempty"`
+}
+
+type jsonProfile struct {
+	Name       string             `json:"name"`
+	TotalTime  float64            `json:"total_ns"`
+	Busy       map[string]float64 `json:"busy_ns"`
+	InstrCount map[string]int     `json:"instr_count"`
+	PathBytes  []jsonPathBytes    `json:"path_bytes"`
+	PrecOps    []jsonPrecOps      `json:"prec_ops"`
+	Spans      []jsonSpan         `json:"spans,omitempty"`
+}
+
+// name tables for round-tripping enums.
+var levelByName = map[string]hw.Level{
+	"GM": hw.GM, "L1": hw.L1, "UB": hw.UB, "L0A": hw.L0A, "L0B": hw.L0B, "L0C": hw.L0C,
+}
+
+var compByName = map[string]hw.Component{
+	"Cube": hw.CompCube, "Vector": hw.CompVector, "Scalar": hw.CompScalar,
+	"MTE-GM": hw.CompMTEGM, "MTE-L1": hw.CompMTEL1, "MTE-UB": hw.CompMTEUB,
+}
+
+var unitByName = map[string]hw.Unit{
+	"Cube": hw.Cube, "Vector": hw.Vector, "Scalar": hw.Scalar,
+}
+
+var precByName = map[string]hw.Precision{
+	"INT8": hw.INT8, "FP16": hw.FP16, "FP32": hw.FP32, "FP64": hw.FP64, "INT32": hw.INT32,
+}
+
+var kindByName = map[string]isa.Kind{
+	"compute": isa.KindCompute, "transfer": isa.KindTransfer,
+	"set_flag": isa.KindSetFlag, "wait_flag": isa.KindWaitFlag,
+	"pipe_barrier": isa.KindBarrier,
+}
+
+// WriteJSON serializes the profile.
+func (p *Profile) WriteJSON(w io.Writer) error {
+	out := jsonProfile{
+		Name:       p.Name,
+		TotalTime:  p.TotalTime,
+		Busy:       map[string]float64{},
+		InstrCount: map[string]int{},
+	}
+	for _, c := range hw.Components() {
+		if p.Busy[c] != 0 {
+			out.Busy[c.String()] = p.Busy[c]
+		}
+		if p.InstrCount[c] != 0 {
+			out.InstrCount[c.String()] = p.InstrCount[c]
+		}
+	}
+	for _, path := range hw.AllPaths() {
+		if b := p.PathBytes[path]; b != 0 {
+			out.PathBytes = append(out.PathBytes, jsonPathBytes{
+				Src: path.Src.String(), Dst: path.Dst.String(), Bytes: b,
+				BusyNS: p.PathBusy[path],
+			})
+		}
+	}
+	for _, u := range []hw.Unit{hw.Cube, hw.Vector, hw.Scalar} {
+		for _, prec := range []hw.Precision{hw.INT8, hw.FP16, hw.FP32, hw.FP64, hw.INT32} {
+			up := hw.UnitPrec{Unit: u, Prec: prec}
+			if n := p.PrecOps[up]; n != 0 {
+				out.PrecOps = append(out.PrecOps, jsonPrecOps{
+					Unit: u.String(), Prec: prec.String(), Ops: n,
+					BusyNS: p.PrecBusy[up],
+				})
+			}
+		}
+	}
+	for _, s := range p.Spans {
+		out.Spans = append(out.Spans, jsonSpan{
+			Comp: s.Comp.String(), Kind: s.Kind.String(), Index: s.Index,
+			Start: s.Start, End: s.End, Label: s.Label,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadJSON deserializes a profile written by WriteJSON.
+func ReadJSON(r io.Reader) (*Profile, error) {
+	var in jsonProfile
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("profile: decode: %w", err)
+	}
+	p := New(in.Name)
+	p.TotalTime = in.TotalTime
+	for name, v := range in.Busy {
+		c, ok := compByName[name]
+		if !ok {
+			return nil, fmt.Errorf("profile: unknown component %q", name)
+		}
+		p.Busy[c] = v
+	}
+	for name, v := range in.InstrCount {
+		c, ok := compByName[name]
+		if !ok {
+			return nil, fmt.Errorf("profile: unknown component %q", name)
+		}
+		p.InstrCount[c] = v
+	}
+	for _, pb := range in.PathBytes {
+		src, okS := levelByName[pb.Src]
+		dst, okD := levelByName[pb.Dst]
+		if !okS || !okD {
+			return nil, fmt.Errorf("profile: unknown path %s->%s", pb.Src, pb.Dst)
+		}
+		p.PathBytes[hw.Path{Src: src, Dst: dst}] = pb.Bytes
+		if pb.BusyNS != 0 {
+			p.PathBusy[hw.Path{Src: src, Dst: dst}] = pb.BusyNS
+		}
+	}
+	for _, po := range in.PrecOps {
+		u, okU := unitByName[po.Unit]
+		prec, okP := precByName[po.Prec]
+		if !okU || !okP {
+			return nil, fmt.Errorf("profile: unknown precision-unit %s-%s", po.Prec, po.Unit)
+		}
+		p.PrecOps[hw.UnitPrec{Unit: u, Prec: prec}] = po.Ops
+		if po.BusyNS != 0 {
+			p.PrecBusy[hw.UnitPrec{Unit: u, Prec: prec}] = po.BusyNS
+		}
+	}
+	for _, s := range in.Spans {
+		c, okC := compByName[s.Comp]
+		k, okK := kindByName[s.Kind]
+		if !okC || !okK {
+			return nil, fmt.Errorf("profile: unknown span %s/%s", s.Comp, s.Kind)
+		}
+		p.Spans = append(p.Spans, Span{
+			Comp: c, Kind: k, Index: s.Index, Start: s.Start, End: s.End, Label: s.Label,
+		})
+	}
+	return p, nil
+}

@@ -1,0 +1,100 @@
+package profile
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ascendperf/internal/hw"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	orig := sample()
+	var buf bytes.Buffer
+	if err := orig.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != orig.Name || back.TotalTime != orig.TotalTime {
+		t.Errorf("header mismatch: %s/%v", back.Name, back.TotalTime)
+	}
+	for _, c := range hw.Components() {
+		if back.Busy[c] != orig.Busy[c] {
+			t.Errorf("%s busy %v != %v", c, back.Busy[c], orig.Busy[c])
+		}
+		if back.InstrCount[c] != orig.InstrCount[c] {
+			t.Errorf("%s count %v != %v", c, back.InstrCount[c], orig.InstrCount[c])
+		}
+	}
+	if len(back.PathBytes) != len(orig.PathBytes) {
+		t.Fatalf("path count %d != %d", len(back.PathBytes), len(orig.PathBytes))
+	}
+	for path, b := range orig.PathBytes {
+		if back.PathBytes[path] != b {
+			t.Errorf("%s bytes %d != %d", path, back.PathBytes[path], b)
+		}
+	}
+	for up, n := range orig.PrecOps {
+		if back.PrecOps[up] != n {
+			t.Errorf("%s ops %d != %d", up, back.PrecOps[up], n)
+		}
+	}
+	for up, busy := range orig.PrecBusy {
+		if back.PrecBusy[up] != busy {
+			t.Errorf("%s busy %v != %v", up, back.PrecBusy[up], busy)
+		}
+	}
+	for path, busy := range orig.PathBusy {
+		if back.PathBusy[path] != busy {
+			t.Errorf("%s busy %v != %v", path, back.PathBusy[path], busy)
+		}
+	}
+	if len(back.Spans) != len(orig.Spans) {
+		t.Fatalf("span count %d != %d", len(back.Spans), len(orig.Spans))
+	}
+	for i := range orig.Spans {
+		if back.Spans[i] != orig.Spans[i] {
+			t.Errorf("span %d: %+v != %+v", i, back.Spans[i], orig.Spans[i])
+		}
+	}
+	// The round-tripped profile still validates.
+	if err := back.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"not json":          "hello",
+		"unknown component": `{"name":"x","busy_ns":{"GPU":1}}`,
+		"unknown count":     `{"name":"x","instr_count":{"GPU":1}}`,
+		"unknown path":      `{"name":"x","path_bytes":[{"src":"HBM","dst":"UB","bytes":1}]}`,
+		"unknown precision": `{"name":"x","prec_ops":[{"unit":"Cube","prec":"FP8","ops":1}]}`,
+		"unknown span":      `{"name":"x","spans":[{"comp":"GPU","kind":"compute"}]}`,
+	}
+	for name, payload := range cases {
+		if _, err := ReadJSON(strings.NewReader(payload)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestJSONOmitsEmptyFields(t *testing.T) {
+	p := New("lean")
+	p.TotalTime = 10
+	p.Busy[hw.CompVector] = 5
+	var buf bytes.Buffer
+	if err := p.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if strings.Contains(s, "MTE-GM") {
+		t.Error("idle components should be omitted")
+	}
+	if strings.Contains(s, `"spans"`) {
+		t.Error("empty spans should be omitted")
+	}
+}

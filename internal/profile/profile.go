@@ -1,0 +1,294 @@
+// Package profile holds the measurement layer of the analysis system: the
+// metrics extracted while an operator executes, mirroring what the paper
+// obtains from msprof and the PyTorch profiler (Section 3.2):
+//
+//   - transferred bytes per transfer path and operations per precision,
+//     derived from the per-component instruction queues;
+//   - the execution (active) time of each component, from monitoring the
+//     non-empty time of its instruction queue;
+//   - total operator time.
+//
+// A Profile is produced by the simulator and consumed by the roofline
+// analyzer. The package also exports traces in Chrome trace-event JSON and
+// CSV for inspection.
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"ascendperf/internal/hw"
+	"ascendperf/internal/isa"
+)
+
+// Span is one executed instruction interval on a component.
+type Span struct {
+	Comp  hw.Component
+	Kind  isa.Kind
+	Index int // instruction index in program order
+	Start float64
+	End   float64
+	Label string
+}
+
+// Duration returns the span length in nanoseconds.
+func (s Span) Duration() float64 { return s.End - s.Start }
+
+// Profile aggregates the execution of one operator (one program run).
+type Profile struct {
+	// Name identifies the profiled program.
+	Name string
+
+	// TotalTime is the operator makespan in nanoseconds (T_total).
+	TotalTime float64
+
+	// Busy is the execution (active) time of each component in
+	// nanoseconds (T_component), counting only instruction execution.
+	Busy [hw.NumComponents]float64
+
+	// PathBytes is the number of bytes moved over each transfer path.
+	PathBytes map[hw.Path]int64
+
+	// PrecOps is the number of operations executed per precision-compute
+	// unit.
+	PrecOps map[hw.UnitPrec]int64
+
+	// PathBusy is the execution time spent on each transfer path, and
+	// PrecBusy the execution time per precision-compute unit. They
+	// refine Busy per component item and support the paper's Insight 2:
+	// a component's efficiency is the execution-time-weighted average of
+	// its per-item efficiencies (Eq. 9).
+	PathBusy map[hw.Path]float64
+	PrecBusy map[hw.UnitPrec]float64
+
+	// InstrCount is the number of instructions executed per component.
+	InstrCount [hw.NumComponents]int
+
+	// Spans is the full execution timeline, ordered by start time.
+	Spans []Span
+}
+
+// New returns an empty profile with allocated maps.
+func New(name string) *Profile {
+	return &Profile{
+		Name:      name,
+		PathBytes: map[hw.Path]int64{},
+		PrecOps:   map[hw.UnitPrec]int64{},
+		PathBusy:  map[hw.Path]float64{},
+		PrecBusy:  map[hw.UnitPrec]float64{},
+	}
+}
+
+// TimeRatio returns the component's active-time ratio R = T_comp/T_total.
+func (p *Profile) TimeRatio(c hw.Component) float64 {
+	if p.TotalTime <= 0 {
+		return 0
+	}
+	return p.Busy[c] / p.TotalTime
+}
+
+// BytesOf returns the total bytes moved by the given MTE across its paths.
+func (p *Profile) BytesOf(chip *hw.Chip, engine hw.Component) int64 {
+	var total int64
+	for path, b := range p.PathBytes {
+		if e, ok := chip.EngineOf(path); ok && e == engine {
+			total += b
+		}
+	}
+	return total
+}
+
+// OpsOf returns the total operations executed by the unit across all
+// precisions.
+func (p *Profile) OpsOf(u hw.Unit) int64 {
+	var total int64
+	for up, n := range p.PrecOps {
+		if up.Unit == u {
+			total += n
+		}
+	}
+	return total
+}
+
+// ActiveComponents returns the components that executed at least one
+// instruction, in canonical order.
+func (p *Profile) ActiveComponents() []hw.Component {
+	var out []hw.Component
+	for _, c := range hw.Components() {
+		if p.InstrCount[c] > 0 {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Summary renders a short human-readable digest of the profile.
+func (p *Profile) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "profile %s: total %.3f us\n", p.Name, p.TotalTime/1000)
+	for _, c := range hw.Components() {
+		if p.InstrCount[c] == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  %-7s busy %10.3f us  ratio %6.2f%%  instrs %d\n",
+			c, p.Busy[c]/1000, 100*p.TimeRatio(c), p.InstrCount[c])
+	}
+	paths := make([]hw.Path, 0, len(p.PathBytes))
+	for path := range p.PathBytes {
+		paths = append(paths, path)
+	}
+	sort.Slice(paths, func(i, j int) bool { return paths[i].String() < paths[j].String() })
+	for _, path := range paths {
+		fmt.Fprintf(&b, "  %-9s %12d bytes\n", path, p.PathBytes[path])
+	}
+	ups := make([]hw.UnitPrec, 0, len(p.PrecOps))
+	for up := range p.PrecOps {
+		ups = append(ups, up)
+	}
+	sort.Slice(ups, func(i, j int) bool { return ups[i].String() < ups[j].String() })
+	for _, up := range ups {
+		fmt.Fprintf(&b, "  %-12s %12d ops\n", up, p.PrecOps[up])
+	}
+	return b.String()
+}
+
+// Gaps returns the number and total length of idle intervals on the
+// component between its first and last executed instruction. The paper
+// uses the count of waiting intervals to quantify parallelism improvements
+// (e.g. ping-pong buffering reduced MTE-GM waiting intervals from 14 to 3).
+// Requires spans to have been kept.
+func (p *Profile) Gaps(c hw.Component) (count int, idle float64) {
+	var last float64
+	first := true
+	for _, s := range p.Spans {
+		if s.Comp != c {
+			continue
+		}
+		if !first && s.Start > last+1e-9 {
+			count++
+			idle += s.Start - last
+		}
+		if s.End > last {
+			last = s.End
+		}
+		first = false
+	}
+	return count, idle
+}
+
+// chromeEvent is one Chrome trace-event record ("X" complete events).
+type chromeEvent struct {
+	Name string  `json:"name"`
+	Cat  string  `json:"cat"`
+	Ph   string  `json:"ph"`
+	TS   float64 `json:"ts"`  // microseconds
+	Dur  float64 `json:"dur"` // microseconds
+	PID  int     `json:"pid"`
+	TID  int     `json:"tid"`
+}
+
+// WriteChromeTrace emits the span timeline in Chrome trace-event JSON
+// (load via chrome://tracing or Perfetto). Each component maps to a
+// thread lane.
+func (p *Profile) WriteChromeTrace(w io.Writer) error {
+	events := make([]chromeEvent, 0, len(p.Spans))
+	for _, s := range p.Spans {
+		name := s.Label
+		if name == "" {
+			name = s.Kind.String()
+		}
+		events = append(events, chromeEvent{
+			Name: name,
+			Cat:  s.Kind.String(),
+			Ph:   "X",
+			TS:   s.Start / 1000,
+			Dur:  s.Duration() / 1000,
+			PID:  1,
+			TID:  int(s.Comp),
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}{events})
+}
+
+// WriteCSV emits the span timeline as CSV with a header row.
+func (p *Profile) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "index,component,kind,start_ns,end_ns,duration_ns,label"); err != nil {
+		return err
+	}
+	for _, s := range p.Spans {
+		if _, err := fmt.Fprintf(w, "%d,%s,%s,%.3f,%.3f,%.3f,%s\n",
+			s.Index, s.Comp, s.Kind, s.Start, s.End, s.Duration(), s.Label); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Merge accumulates another profile into p as if the two programs ran
+// back-to-back count times: total time and busy times add (scaled by
+// count), as do byte and op counters. Spans are not merged (timelines of
+// distinct runs are not comparable).
+func (p *Profile) Merge(o *Profile, count int) {
+	if count <= 0 {
+		return
+	}
+	f := float64(count)
+	p.TotalTime += o.TotalTime * f
+	for c := range p.Busy {
+		p.Busy[c] += o.Busy[c] * f
+		p.InstrCount[c] += o.InstrCount[c] * count
+	}
+	for path, b := range o.PathBytes {
+		p.PathBytes[path] += b * int64(count)
+	}
+	for up, n := range o.PrecOps {
+		p.PrecOps[up] += n * int64(count)
+	}
+	for path, t := range o.PathBusy {
+		p.PathBusy[path] += t * f
+	}
+	for up, t := range o.PrecBusy {
+		p.PrecBusy[up] += t * f
+	}
+}
+
+// Validate checks internal consistency: spans within [0, TotalTime], busy
+// times non-negative and not exceeding total, spans sorted by start, and
+// no overlapping spans within one component.
+func (p *Profile) Validate() error {
+	const eps = 1e-6
+	for c, busy := range p.Busy {
+		if busy < 0 {
+			return fmt.Errorf("profile %s: negative busy time for %s", p.Name, hw.Component(c))
+		}
+		if busy > p.TotalTime+eps {
+			return fmt.Errorf("profile %s: %s busy %.3f exceeds total %.3f",
+				p.Name, hw.Component(c), busy, p.TotalTime)
+		}
+	}
+	var lastEnd [hw.NumComponents]float64
+	var lastStart float64
+	for i, s := range p.Spans {
+		if s.Start < lastStart-eps {
+			return fmt.Errorf("profile %s: span %d out of order", p.Name, i)
+		}
+		lastStart = s.Start
+		if s.End < s.Start {
+			return fmt.Errorf("profile %s: span %d negative duration", p.Name, i)
+		}
+		if s.End > p.TotalTime+eps {
+			return fmt.Errorf("profile %s: span %d ends %.3f after total %.3f", p.Name, i, s.End, p.TotalTime)
+		}
+		if s.Start < lastEnd[s.Comp]-eps {
+			return fmt.Errorf("profile %s: span %d overlaps previous on %s", p.Name, i, s.Comp)
+		}
+		lastEnd[s.Comp] = s.End
+	}
+	return nil
+}

@@ -1,0 +1,83 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"ascendperf/internal/hw"
+	"ascendperf/internal/isa"
+	"ascendperf/internal/kernels"
+)
+
+// Engineering benchmarks for the simulator itself: how many simulated
+// instructions per wall-clock second the event loop sustains, with and
+// without span retention, plus the cost of schedule verification.
+
+func benchProgram(n int) *isa.Program {
+	return randomProgram(rand.New(rand.NewSource(1)), n)
+}
+
+func BenchmarkSimSmallProgram(b *testing.B) {
+	chip := hw.TrainingChip()
+	prog := benchProgram(100)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunOpts(chip, prog, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(prog.Len()), "instrs")
+}
+
+func BenchmarkSimLargeProgram(b *testing.B) {
+	chip := hw.TrainingChip()
+	prog := benchProgram(10000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunOpts(chip, prog, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(prog.Len()), "instrs")
+}
+
+func BenchmarkSimWithSpans(b *testing.B) {
+	chip := hw.TrainingChip()
+	prog := benchProgram(10000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunOpts(chip, prog, Options{KeepSpans: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimRealKernel(b *testing.B) {
+	chip := hw.TrainingChip()
+	k := kernels.NewDepthwise()
+	prog, err := k.Build(chip, k.Baseline())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunOpts(chip, prog, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(prog.Len()), "instrs")
+}
+
+func BenchmarkVerifySchedule(b *testing.B) {
+	chip := hw.TrainingChip()
+	prog := benchProgram(1000)
+	p, err := Run(chip, prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if err := VerifySchedule(chip, prog, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

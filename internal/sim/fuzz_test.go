@@ -1,0 +1,35 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"ascendperf/internal/hw"
+)
+
+// FuzzSchedule drives the simulator with seeded random programs and
+// cross-checks every accepted schedule against the independent verifier
+// and the profile validator. The fuzz input seeds the program generator,
+// so go's fuzzer explores program shapes rather than raw bytes.
+func FuzzSchedule(f *testing.F) {
+	f.Add(int64(1), uint8(50))
+	f.Add(int64(42), uint8(120))
+	f.Add(int64(-7), uint8(200))
+	f.Fuzz(func(t *testing.T, seed int64, n uint8) {
+		if n == 0 {
+			return
+		}
+		chip := hw.TrainingChip()
+		prog := randomProgram(rand.New(rand.NewSource(seed)), int(n))
+		p, err := Run(chip, prog)
+		if err != nil {
+			t.Fatalf("valid program rejected: %v", err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("invalid profile: %v", err)
+		}
+		if err := VerifySchedule(chip, prog, p); err != nil {
+			t.Fatalf("schedule verification failed: %v", err)
+		}
+	})
+}

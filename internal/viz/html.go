@@ -1,0 +1,97 @@
+package viz
+
+import (
+	"fmt"
+	"html"
+	"strings"
+
+	"ascendperf/internal/core"
+	"ascendperf/internal/critpath"
+	"ascendperf/internal/profile"
+)
+
+// HTMLReport bundles everything an engineer needs to act on one operator
+// into a single self-contained HTML document: the component-based
+// roofline chart, the per-component analysis table with per-item
+// breakdowns, the pipeline timeline, and (optionally) the critical-path
+// decomposition. No external assets.
+type HTMLReport struct {
+	// Title heads the document.
+	Title string
+	// Analysis is required.
+	Analysis *core.Analysis
+	// Profile optionally adds the timeline section.
+	Profile *profile.Profile
+	// CritPath optionally adds the critical-path section.
+	CritPath *critpath.Analysis
+}
+
+// Render produces the HTML document.
+func (r *HTMLReport) Render() string {
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n")
+	fmt.Fprintf(&b, "<title>%s</title>\n", html.EscapeString(r.Title))
+	b.WriteString(`<style>
+body { font-family: sans-serif; margin: 2em auto; max-width: 60em; color: #222; }
+h1 { font-size: 1.4em; } h2 { font-size: 1.1em; margin-top: 2em; }
+table { border-collapse: collapse; font-size: 0.9em; }
+th, td { border: 1px solid #ccc; padding: 4px 10px; text-align: right; }
+th:first-child, td:first-child { text-align: left; }
+pre { background: #f6f6f6; padding: 1em; overflow-x: auto; font-size: 0.8em; }
+.cause { font-weight: bold; padding: 2px 8px; border-radius: 4px; background: #eee; }
+.item td { color: #666; border-color: #eee; }
+</style></head><body>
+`)
+	fmt.Fprintf(&b, "<h1>%s</h1>\n", html.EscapeString(r.Title))
+
+	a := r.Analysis
+	fmt.Fprintf(&b, "<p>Total time <b>%.3f&thinsp;&mu;s</b> &mdash; verdict <span class=\"cause\">%s</span>",
+		a.TotalTime/1000, html.EscapeString(verdict(a)))
+	fmt.Fprintf(&b, "; max utilization %.2f%% (%s), max time ratio %.2f%% (%s)</p>\n",
+		100*a.MaxUtil, a.MaxUtilComp, 100*a.MaxRatio, a.MaxRatioComp)
+
+	// Roofline chart, embedded inline.
+	b.WriteString("<h2>Component-based roofline</h2>\n")
+	b.WriteString(BuildChart(a).SVG())
+
+	// Analysis table.
+	b.WriteString("<h2>Component analysis</h2>\n<table>\n")
+	b.WriteString("<tr><th>component</th><th>work</th><th>actual</th><th>ideal</th><th>utilization</th><th>efficiency</th><th>time ratio</th></tr>\n")
+	for _, st := range a.Components {
+		fmt.Fprintf(&b, "<tr><td>%s</td><td>%.0f</td><td>%.3f</td><td>%.3f</td><td>%.2f%%</td><td>%.2f%%</td><td>%.2f%%</td></tr>\n",
+			st.Comp, st.Work, st.Actual, st.Ideal,
+			100*st.Utilization, 100*st.Efficiency, 100*st.TimeRatio)
+		if len(st.Items) > 1 {
+			for _, it := range st.Items {
+				fmt.Fprintf(&b, "<tr class=\"item\"><td>&nbsp;&nbsp;%s</td><td>%.0f</td><td colspan=\"3\"></td><td>%.2f%%</td><td></td></tr>\n",
+					html.EscapeString(it.Label), it.Work, 100*it.Efficiency)
+			}
+		}
+	}
+	b.WriteString("</table>\n")
+
+	if r.Profile != nil && len(r.Profile.Spans) > 0 {
+		b.WriteString("<h2>Pipeline timeline</h2>\n<pre>")
+		b.WriteString(html.EscapeString(Timeline(r.Profile, 120)))
+		b.WriteString("</pre>\n")
+	}
+	if r.CritPath != nil {
+		b.WriteString("<h2>Critical path</h2>\n<pre>")
+		b.WriteString(html.EscapeString(r.CritPath.Report()))
+		b.WriteString("</pre>\n")
+	}
+	b.WriteString("</body></html>\n")
+	return b.String()
+}
+
+// verdict renders the cause with its component.
+func verdict(a *core.Analysis) string {
+	switch a.Cause {
+	case core.CauseComputeBound, core.CauseMTEBound:
+		return fmt.Sprintf("%s (%s)", a.Cause, a.Bound)
+	case core.CauseInefficientCompute, core.CauseInefficientMTE:
+		return fmt.Sprintf("%s (%s)", a.Cause, a.Culprit)
+	default:
+		return a.Cause.String()
+	}
+}

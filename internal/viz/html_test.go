@@ -1,0 +1,82 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"ascendperf/internal/critpath"
+	"ascendperf/internal/hw"
+	"ascendperf/internal/kernels"
+	"ascendperf/internal/sim"
+)
+
+func TestHTMLReportComplete(t *testing.T) {
+	chip := hw.TrainingChip()
+	k := kernels.NewAddReLU()
+	prog, err := k.Build(chip, k.Baseline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := sim.Run(chip, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := analyze(t, p)
+	cp, err := critpath.Compute(chip, prog, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := (&HTMLReport{
+		Title:    "add_relu <baseline>",
+		Analysis: a,
+		Profile:  p,
+		CritPath: cp,
+	}).Render()
+	for _, want := range []string{
+		"<!DOCTYPE html>", "</html>",
+		"add_relu &lt;baseline&gt;", // escaped title
+		"Component-based roofline", "<svg",
+		"Component analysis", "MTE-UB",
+		"Pipeline timeline", "Critical path",
+		"Insufficient Parallelism",
+	} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("html missing %q", want)
+		}
+	}
+	if strings.Count(doc, "<table>") != strings.Count(doc, "</table>") {
+		t.Error("unbalanced tables")
+	}
+}
+
+func TestHTMLReportMinimal(t *testing.T) {
+	_, a := analyzed(t)
+	doc := (&HTMLReport{Title: "minimal", Analysis: a}).Render()
+	if strings.Contains(doc, "Pipeline timeline") {
+		t.Error("timeline section without profile")
+	}
+	if strings.Contains(doc, "Critical path") {
+		t.Error("critpath section without data")
+	}
+	if !strings.Contains(doc, "<svg") {
+		t.Error("roofline missing")
+	}
+}
+
+func TestHTMLVerdictNamesComponent(t *testing.T) {
+	chip := hw.TrainingChip()
+	k := kernels.NewGeLU() // compute bound
+	prog, err := k.Build(chip, k.Baseline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := sim.Run(chip, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := analyze(t, p)
+	doc := (&HTMLReport{Title: "gelu", Analysis: a}).Render()
+	if !strings.Contains(doc, "Compute Bound (Vector)") {
+		t.Error("verdict should name the bounding component")
+	}
+}

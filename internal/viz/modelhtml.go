@@ -1,0 +1,82 @@
+package viz
+
+import (
+	"fmt"
+	"html"
+	"strings"
+
+	"ascendperf/internal/core"
+	"ascendperf/internal/model"
+)
+
+// ModelHTMLReport renders a whole-model optimization run — the Section 6
+// end-to-end view — as a self-contained HTML document: headline
+// speedups, before/after bottleneck distributions as inline bar charts,
+// and the per-operator table with applied strategies.
+type ModelHTMLReport struct {
+	// Title heads the document.
+	Title string
+	// Result is required.
+	Result *model.RunResult
+}
+
+// Render produces the HTML document.
+func (r *ModelHTMLReport) Render() string {
+	res := r.Result
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n")
+	fmt.Fprintf(&b, "<title>%s</title>\n", html.EscapeString(r.Title))
+	b.WriteString(`<style>
+body { font-family: sans-serif; margin: 2em auto; max-width: 64em; color: #222; }
+h1 { font-size: 1.4em; } h2 { font-size: 1.1em; margin-top: 2em; }
+table { border-collapse: collapse; font-size: 0.85em; width: 100%; }
+th, td { border: 1px solid #ccc; padding: 4px 8px; text-align: right; }
+th:first-child, td:first-child { text-align: left; }
+.bar { display: inline-block; height: 0.8em; background: #1f6f8b; }
+.bar.after { background: #2c9c72; }
+.kpi { display: inline-block; margin-right: 3em; }
+.kpi b { font-size: 1.6em; }
+</style></head><body>
+`)
+	fmt.Fprintf(&b, "<h1>%s</h1>\n", html.EscapeString(r.Title))
+	fmt.Fprintf(&b, "<p>%s (%s, %s params) on %s &mdash; %d operator types</p>\n",
+		html.EscapeString(res.Model.Name), html.EscapeString(res.Model.Type),
+		html.EscapeString(res.Model.Params), html.EscapeString(res.Chip), len(res.Ops))
+
+	// Headline KPIs.
+	b.WriteString("<p>")
+	fmt.Fprintf(&b, `<span class="kpi"><b>%.2fx</b><br>computation speedup</span>`, res.ComputeSpeedup())
+	fmt.Fprintf(&b, `<span class="kpi"><b>%.2fx</b><br>overall speedup</span>`, res.OverallSpeedup())
+	fmt.Fprintf(&b, `<span class="kpi"><b>%.3f&thinsp;ms</b><br>computation/iter after</span>`,
+		res.OptimizedComputeTime/1e6)
+	b.WriteString("</p>\n")
+
+	// Distributions.
+	b.WriteString("<h2>Bottleneck-cause distribution</h2>\n<table>\n")
+	b.WriteString("<tr><th>cause</th><th>before</th><th></th><th>after</th><th></th></tr>\n")
+	for _, c := range core.Causes() {
+		before := res.BaselineDistribution.Share(c)
+		after := res.OptimizedDistribution.Share(c)
+		fmt.Fprintf(&b,
+			"<tr><td>%s (%s)</td><td>%.1f%%</td><td style=\"text-align:left\"><span class=\"bar\" style=\"width:%.0fpx\"></span></td>"+
+				"<td>%.1f%%</td><td style=\"text-align:left\"><span class=\"bar after\" style=\"width:%.0fpx\"></span></td></tr>\n",
+			c, c.Abbrev(), 100*before, 200*before, 100*after, 200*after)
+	}
+	b.WriteString("</table>\n")
+
+	// Per-operator table.
+	b.WriteString("<h2>Operators</h2>\n<table>\n")
+	b.WriteString("<tr><th>operator</th><th>count</th><th>base &mu;s</th><th>opt &mu;s</th><th>speedup</th><th>baseline cause</th><th>final cause</th><th>applied</th></tr>\n")
+	for _, op := range res.Ops {
+		strs := make([]string, len(op.Applied))
+		for i, s := range op.Applied {
+			strs[i] = s.String()
+		}
+		fmt.Fprintf(&b, "<tr><td>%s</td><td>%d</td><td>%.1f</td><td>%.1f</td><td>%.2fx</td><td>%s</td><td>%s</td><td>%s</td></tr>\n",
+			html.EscapeString(op.Name), op.Count, op.BaselineTime/1000, op.OptimizedTime/1000,
+			op.Speedup(), op.BaselineCause, op.OptimizedCause,
+			html.EscapeString(strings.Join(strs, ", ")))
+	}
+	b.WriteString("</table>\n</body></html>\n")
+	return b.String()
+}

@@ -1,0 +1,38 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"ascendperf/internal/hw"
+	"ascendperf/internal/model"
+)
+
+func TestModelHTMLReport(t *testing.T) {
+	r := model.NewRunner(hw.TrainingChip())
+	res, err := r.OptimizeTop(model.DeepFM(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := (&ModelHTMLReport{Title: "DeepFM <run>", Result: res}).Render()
+	for _, want := range []string{
+		"<!DOCTYPE html>", "</html>",
+		"DeepFM &lt;run&gt;",
+		"computation speedup", "overall speedup",
+		"Bottleneck-cause distribution",
+		"Insufficient Parallelism",
+		"fullyconnection",
+		"class=\"bar\"",
+	} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("model html missing %q", want)
+		}
+	}
+	if strings.Count(doc, "<table>") != 2 {
+		t.Errorf("tables = %d, want 2", strings.Count(doc, "<table>"))
+	}
+	// One operator row per inventory entry plus headers.
+	if rows := strings.Count(doc, "<tr>"); rows != 1+5+1+len(res.Ops) {
+		t.Errorf("rows = %d, want %d", rows, 1+5+1+len(res.Ops))
+	}
+}

@@ -1,0 +1,320 @@
+// Package viz renders the component-based roofline model and related
+// artifacts: SVG roofline charts in the style of the paper's Fig. 6-7
+// (log-log axes, bandwidth and arithmetic ceilings, one performance
+// point per pruned combination), ASCII pipeline timelines in the style
+// of Fig. 4b, and ASCII bar charts for bottleneck distributions
+// (Fig. 13-14). Everything is dependency-free.
+package viz
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"ascendperf/internal/core"
+	"ascendperf/internal/hw"
+	"ascendperf/internal/profile"
+)
+
+// RooflinePoint is one plotted performance point: a (compute unit, MTE)
+// combination with its arithmetic intensity and achieved performance.
+type RooflinePoint struct {
+	Unit hw.Unit
+	MTE  hw.Component
+	// Intensity is unit operations per MTE byte.
+	Intensity float64
+	// Perf is achieved op/ns.
+	Perf float64
+	// Utilization is the limiting component utilization of the pair
+	// (the smaller of the two distances to the ceilings).
+	Utilization float64
+}
+
+// RooflineChart is a renderable component-based roofline.
+type RooflineChart struct {
+	// Title labels the chart.
+	Title string
+	// ArithCeilings maps compute units to their operator-aware ideal
+	// rates (op/ns).
+	ArithCeilings map[hw.Unit]float64
+	// BandwidthCeilings maps MTEs to their operator-aware ideal
+	// bandwidths (B/ns).
+	BandwidthCeilings map[hw.Component]float64
+	// Points are the plotted combinations.
+	Points []RooflinePoint
+}
+
+// BuildChart assembles the chart for an analysis: ceilings are the
+// operator-aware ideal rates of each active component, and one point is
+// plotted per pruned combination whose unit and MTE are both active.
+func BuildChart(a *core.Analysis) *RooflineChart {
+	ch := &RooflineChart{
+		Title:             a.Name,
+		ArithCeilings:     map[hw.Unit]float64{},
+		BandwidthCeilings: map[hw.Component]float64{},
+	}
+	unitStats := map[hw.Unit]core.ComponentStats{}
+	mteStats := map[hw.Component]core.ComponentStats{}
+	for _, st := range a.Components {
+		if st.Comp.IsCompute() {
+			ch.ArithCeilings[st.Comp.Unit()] = st.Ideal
+			unitStats[st.Comp.Unit()] = st
+		} else {
+			ch.BandwidthCeilings[st.Comp] = st.Ideal
+			mteStats[st.Comp] = st
+		}
+	}
+	for _, combo := range core.PrunedCombos() {
+		us, okU := unitStats[combo.Unit]
+		ms, okM := mteStats[combo.MTE]
+		if !okU || !okM || ms.Work <= 0 {
+			continue
+		}
+		util := us.Utilization
+		if ms.Utilization > util {
+			util = ms.Utilization
+		}
+		ch.Points = append(ch.Points, RooflinePoint{
+			Unit:        combo.Unit,
+			MTE:         combo.MTE,
+			Intensity:   us.Work / ms.Work,
+			Perf:        us.Actual,
+			Utilization: util,
+		})
+	}
+	return ch
+}
+
+// svg geometry constants.
+const (
+	svgW, svgH       = 760, 520
+	marginL, marginR = 70, 30
+	marginT, marginB = 50, 60
+	pointRadius      = 5
+)
+
+// colors per unit and MTE for the SVG output.
+var unitColor = map[hw.Unit]string{
+	hw.Cube:   "#c23b22",
+	hw.Vector: "#1f6f8b",
+	hw.Scalar: "#6b7a3a",
+}
+
+var mteColor = map[hw.Component]string{
+	hw.CompMTEGM: "#7b4fa6",
+	hw.CompMTEL1: "#2b80b9",
+	hw.CompMTEUB: "#2c9c72",
+}
+
+// SVG renders the chart as a standalone SVG document with log-log axes.
+func (ch *RooflineChart) SVG() string {
+	// Determine axis ranges from ceilings and points.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	consider := func(x, y float64) {
+		if x > 0 {
+			minX = math.Min(minX, x)
+			maxX = math.Max(maxX, x)
+		}
+		if y > 0 {
+			minY = math.Min(minY, y)
+			maxY = math.Max(maxY, y)
+		}
+	}
+	for _, p := range ch.Points {
+		consider(p.Intensity, p.Perf)
+	}
+	for _, v := range ch.ArithCeilings {
+		consider(0, v)
+	}
+	for _, bw := range ch.BandwidthCeilings {
+		// The bandwidth ceiling passes through (1, bw).
+		consider(1, bw)
+	}
+	if math.IsInf(minX, 1) {
+		minX, maxX = 0.1, 10
+	}
+	if math.IsInf(minY, 1) {
+		minY, maxY = 0.1, 10
+	}
+	// Pad a decade on each side.
+	minX /= 10
+	maxX *= 10
+	minY /= 10
+	maxY *= 10
+
+	lx := func(x float64) float64 {
+		return marginL + (math.Log10(x)-math.Log10(minX))/(math.Log10(maxX)-math.Log10(minX))*float64(svgW-marginL-marginR)
+	}
+	ly := func(y float64) float64 {
+		return float64(svgH-marginB) - (math.Log10(y)-math.Log10(minY))/(math.Log10(maxY)-math.Log10(minY))*float64(svgH-marginT-marginB)
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		svgW, svgH, svgW, svgH)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	fmt.Fprintf(&b, `<text x="%d" y="28" font-size="17" font-family="sans-serif" font-weight="bold">%s</text>`+"\n",
+		marginL, escape("Component-based roofline: "+ch.Title))
+
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginL, svgH-marginB, svgW-marginR, svgH-marginB)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginL, marginT, marginL, svgH-marginB)
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="13" font-family="sans-serif">Arithmetic intensity (op/B)</text>`+"\n",
+		(svgW-marginL)/2, svgH-18)
+	fmt.Fprintf(&b, `<text x="16" y="%d" font-size="13" font-family="sans-serif" transform="rotate(-90 16 %d)">Performance (op/ns)</text>`+"\n",
+		(svgH+marginT)/2, (svgH+marginT)/2)
+
+	// Decade gridlines.
+	for d := math.Ceil(math.Log10(minX)); d <= math.Floor(math.Log10(maxX)); d++ {
+		x := lx(math.Pow(10, d))
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="#ddd"/>`+"\n", x, marginT, x, svgH-marginB)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-size="10" font-family="sans-serif" text-anchor="middle">1e%d</text>`+"\n", x, svgH-marginB+16, int(d))
+	}
+	for d := math.Ceil(math.Log10(minY)); d <= math.Floor(math.Log10(maxY)); d++ {
+		y := ly(math.Pow(10, d))
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd"/>`+"\n", marginL, y, svgW-marginR, y)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-size="10" font-family="sans-serif" text-anchor="end">1e%d</text>`+"\n", marginL-6, y+3, int(d))
+	}
+
+	// Arithmetic ceilings: horizontal lines.
+	units := make([]hw.Unit, 0, len(ch.ArithCeilings))
+	for u := range ch.ArithCeilings {
+		units = append(units, u)
+	}
+	sort.Slice(units, func(i, j int) bool { return units[i] < units[j] })
+	for _, u := range units {
+		v := ch.ArithCeilings[u]
+		y := ly(v)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="%s" stroke-width="2"/>`+"\n",
+			marginL, y, svgW-marginR, y, unitColor[u])
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-size="11" font-family="sans-serif" fill="%s">%s ideal %.1f</text>`+"\n",
+			svgW-marginR-150, y-5, unitColor[u], u, v)
+	}
+
+	// Bandwidth ceilings: diagonal lines of slope 1 in log space
+	// (perf = intensity * bw).
+	mtes := make([]hw.Component, 0, len(ch.BandwidthCeilings))
+	for m := range ch.BandwidthCeilings {
+		mtes = append(mtes, m)
+	}
+	sort.Slice(mtes, func(i, j int) bool { return mtes[i] < mtes[j] })
+	for _, m := range mtes {
+		bw := ch.BandwidthCeilings[m]
+		// Clip the segment to the plot box.
+		x1, x2 := minX, maxX
+		y1, y2 := x1*bw, x2*bw
+		if y1 < minY {
+			y1 = minY
+			x1 = y1 / bw
+		}
+		if y2 > maxY {
+			y2 = maxY
+			x2 = y2 / bw
+		}
+		if x1 < x2 {
+			fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="2" stroke-dasharray="6 3"/>`+"\n",
+				lx(x1), ly(y1), lx(x2), ly(y2), mteColor[m])
+			fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="11" font-family="sans-serif" fill="%s">%s bw %.1f</text>`+"\n",
+				lx(x2)-110, ly(y2)+14, mteColor[m], m, bw)
+		}
+	}
+
+	// Points.
+	for _, p := range ch.Points {
+		if p.Intensity <= 0 || p.Perf <= 0 {
+			continue
+		}
+		fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="%d" fill="%s" stroke="%s" stroke-width="1.5"><title>%s x %s: util %.1f%%</title></circle>`+"\n",
+			lx(p.Intensity), ly(p.Perf), pointRadius, unitColor[p.Unit], mteColor[p.MTE],
+			p.Unit, p.MTE, 100*p.Utilization)
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}
+
+// Timeline renders the profile's spans as an ASCII pipeline diagram in
+// the style of Fig. 4b: one row per component, time flowing right, with
+// '#' marking execution.
+func Timeline(p *profile.Profile, width int) string {
+	if width < 20 {
+		width = 80
+	}
+	if p.TotalTime <= 0 || len(p.Spans) == 0 {
+		return "(empty timeline)\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "timeline %s (%.3f us, %d cols)\n", p.Name, p.TotalTime/1000, width)
+	scale := float64(width) / p.TotalTime
+	for _, c := range hw.Components() {
+		if p.InstrCount[c] == 0 {
+			continue
+		}
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		for _, s := range p.Spans {
+			if s.Comp != c {
+				continue
+			}
+			from := int(s.Start * scale)
+			to := int(math.Ceil(s.End * scale))
+			if to > width {
+				to = width
+			}
+			for i := from; i < to; i++ {
+				row[i] = '#'
+			}
+		}
+		fmt.Fprintf(&b, "%-7s |%s|\n", c, string(row))
+	}
+	return b.String()
+}
+
+// BarChart renders labeled value pairs as an ASCII horizontal bar chart,
+// scaled to the maximum value.
+func BarChart(title string, labels []string, values []float64, width int) string {
+	if width < 10 {
+		width = 40
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	var max float64
+	for _, v := range values {
+		if v > max {
+			max = v
+		}
+	}
+	for i, l := range labels {
+		if i >= len(values) {
+			break
+		}
+		n := 0
+		if max > 0 {
+			n = int(values[i] / max * float64(width))
+		}
+		fmt.Fprintf(&b, "  %-16s %6.2f |%s\n", l, values[i], strings.Repeat("#", n))
+	}
+	return b.String()
+}
+
+// DistributionChart renders a bottleneck-cause distribution as a bar
+// chart in figure order (Fig. 13a / 14 style).
+func DistributionChart(title string, shares map[core.Cause]float64, width int) string {
+	labels := make([]string, 0, 5)
+	values := make([]float64, 0, 5)
+	for _, c := range core.Causes() {
+		labels = append(labels, c.Abbrev())
+		values = append(values, 100*shares[c])
+	}
+	return BarChart(title, labels, values, width)
+}

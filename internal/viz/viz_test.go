@@ -1,0 +1,171 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"ascendperf/internal/core"
+	"ascendperf/internal/hw"
+	"ascendperf/internal/kernels"
+	"ascendperf/internal/profile"
+	"ascendperf/internal/sim"
+)
+
+func analyzed(t *testing.T) (*profile.Profile, *core.Analysis) {
+	t.Helper()
+	chip := hw.TrainingChip()
+	k := kernels.NewAddReLU()
+	prog, err := k.Build(chip, k.Baseline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := sim.Run(chip, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, core.Analyze(p, chip, core.DefaultThresholds())
+}
+
+// analyze classifies a profile with default thresholds.
+func analyze(t *testing.T, p *profile.Profile) *core.Analysis {
+	t.Helper()
+	return core.Analyze(p, hw.TrainingChip(), core.DefaultThresholds())
+}
+
+func TestBuildChart(t *testing.T) {
+	_, a := analyzed(t)
+	ch := BuildChart(a)
+	if len(ch.Points) == 0 {
+		t.Fatal("no points built")
+	}
+	// Add_ReLU touches Vector, Scalar, MTE-GM and MTE-UB: the pruned
+	// combinations exclude (Vector, MTE-L1) etc., leaving 4 points
+	// (Vector/Scalar x MTE-GM/MTE-UB).
+	if len(ch.Points) != 4 {
+		t.Errorf("points = %d, want 4", len(ch.Points))
+	}
+	for _, p := range ch.Points {
+		if p.Intensity <= 0 || p.Perf <= 0 {
+			t.Errorf("degenerate point %+v", p)
+		}
+		if p.MTE == hw.CompMTEL1 && p.Unit != hw.Cube {
+			t.Errorf("pruned combination leaked: %+v", p)
+		}
+	}
+	if ch.ArithCeilings[hw.Vector] <= 0 {
+		t.Error("vector ceiling missing")
+	}
+	if ch.BandwidthCeilings[hw.CompMTEUB] <= 0 {
+		t.Error("MTE-UB ceiling missing")
+	}
+}
+
+func TestSVGWellFormed(t *testing.T) {
+	_, a := analyzed(t)
+	svg := BuildChart(a).SVG()
+	for _, want := range []string{
+		"<svg", "</svg>", "add_relu", "Arithmetic intensity",
+		"<circle", "MTE-UB", "Vector",
+	} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("svg missing %q", want)
+		}
+	}
+	if strings.Count(svg, "<circle") != 4 {
+		t.Errorf("circles = %d, want 4", strings.Count(svg, "<circle"))
+	}
+	// Balanced tags.
+	if strings.Count(svg, "<line") == 0 {
+		t.Error("no ceiling lines")
+	}
+}
+
+func TestSVGEmptyChart(t *testing.T) {
+	ch := &RooflineChart{Title: "empty"}
+	svg := ch.SVG()
+	if !strings.Contains(svg, "<svg") || !strings.Contains(svg, "</svg>") {
+		t.Error("empty chart must still render a document")
+	}
+}
+
+func TestSVGEscapesTitle(t *testing.T) {
+	ch := &RooflineChart{Title: "a<b&c"}
+	svg := ch.SVG()
+	if strings.Contains(svg, "a<b&c") {
+		t.Error("title not escaped")
+	}
+	if !strings.Contains(svg, "a&lt;b&amp;c") {
+		t.Error("escaped title missing")
+	}
+}
+
+func TestTimeline(t *testing.T) {
+	p, _ := analyzed(t)
+	tl := Timeline(p, 100)
+	for _, want := range []string{"Vector", "MTE-GM", "MTE-UB", "#"} {
+		if !strings.Contains(tl, want) {
+			t.Errorf("timeline missing %q", want)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(tl), "\n")
+	// Header + one row per active component (Vector, Scalar, MTE-GM,
+	// MTE-UB).
+	if len(lines) != 5 {
+		t.Errorf("timeline rows = %d, want 5", len(lines))
+	}
+	// Rows are equal width.
+	for _, l := range lines[1:] {
+		if !strings.HasSuffix(l, "|") {
+			t.Errorf("row not terminated: %q", l)
+		}
+	}
+}
+
+func TestTimelineEmpty(t *testing.T) {
+	if !strings.Contains(Timeline(profile.New("x"), 50), "empty") {
+		t.Error("empty profile should render placeholder")
+	}
+}
+
+func TestTimelineNarrowWidthClamped(t *testing.T) {
+	p, _ := analyzed(t)
+	tl := Timeline(p, 5)
+	if !strings.Contains(tl, "80 cols") {
+		t.Error("narrow width must clamp to 80")
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	s := BarChart("demo", []string{"a", "b"}, []float64{10, 5}, 20)
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if strings.Count(lines[1], "#") != 20 {
+		t.Errorf("max bar should fill width: %q", lines[1])
+	}
+	if strings.Count(lines[2], "#") != 10 {
+		t.Errorf("half bar should be half width: %q", lines[2])
+	}
+}
+
+func TestBarChartMismatchedValues(t *testing.T) {
+	// More labels than values must not panic.
+	s := BarChart("demo", []string{"a", "b", "c"}, []float64{1}, 10)
+	if !strings.Contains(s, "a") {
+		t.Error("missing first row")
+	}
+}
+
+func TestDistributionChart(t *testing.T) {
+	d := map[core.Cause]float64{
+		core.CauseInsufficientParallelism: 0.6,
+		core.CauseMTEBound:                0.4,
+	}
+	s := DistributionChart("bottlenecks", d, 30)
+	for _, want := range []string{"IP", "MB", "CB", "IM", "IC", "60.00"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("distribution chart missing %q:\n%s", want, s)
+		}
+	}
+}
