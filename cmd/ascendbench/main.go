@@ -8,14 +8,26 @@
 //	ascendbench -exp fig7       # one experiment
 //	ascendbench -exp list       # list experiment ids
 //	ascendbench -svg fig6.svg   # also write the Fig. 6 roofline SVG
+//	ascendbench -workers 4      # bound the analysis worker pool
+//	ascendbench -cache 0        # disable the simulation cache
+//	ascendbench -json BENCH_engine.json
+//	                            # benchmark the engine: serial vs
+//	                            # parallel vs cached multi-workload
+//	                            # analysis, written as JSON (schema in
+//	                            # FORMATS.md §5)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
+	"ascendperf/internal/engine"
 	"ascendperf/internal/experiments"
+	"ascendperf/internal/hw"
+	"ascendperf/internal/model"
 )
 
 var runners = []struct {
@@ -45,14 +57,147 @@ var runners = []struct {
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id (or 'all', 'list')")
-		svgPath = flag.String("svg", "", "write the Fig. 6 roofline chart as SVG to this path")
+		exp      = flag.String("exp", "all", "experiment id (or 'all', 'list')")
+		svgPath  = flag.String("svg", "", "write the Fig. 6 roofline chart as SVG to this path")
+		workers  = flag.Int("workers", 0, "parallel analysis workers (0 = ASCENDPERF_WORKERS or GOMAXPROCS)")
+		cacheCap = flag.Int("cache", engine.DefaultCacheCapacity, "simulation cache capacity in entries (0 disables)")
+		jsonPath = flag.String("json", "", "benchmark the execution engine (serial vs parallel vs cached) and write the timing comparison as JSON to this path")
 	)
 	flag.Parse()
+	engine.SetWorkers(*workers)
+	engine.SetCacheCapacity(*cacheCap)
+	if *jsonPath != "" {
+		if err := benchEngine(*jsonPath); err != nil {
+			fmt.Fprintln(os.Stderr, "ascendbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*exp, *svgPath); err != nil {
 		fmt.Fprintln(os.Stderr, "ascendbench:", err)
 		os.Exit(1)
 	}
+}
+
+// engineBench is the BENCH_engine.json record: the wall-clock of the
+// same multi-workload analysis (all Table 2 models) executed serially,
+// in parallel, and in parallel against a warm simulation cache, plus
+// the cache counters of the cached pass and of an iterative optimize
+// loop. FORMATS.md §5 documents the schema; the file is a trajectory
+// point for tracking the engine speedup across revisions.
+type engineBench struct {
+	Schema          string  `json:"schema"`
+	Chip            string  `json:"chip"`
+	Workloads       int     `json:"workloads"`
+	Operators       int     `json:"operators"`
+	Workers         int     `json:"workers"`
+	SerialNS        int64   `json:"serial_ns"`
+	ParallelNS      int64   `json:"parallel_ns"`
+	CachedNS        int64   `json:"cached_ns"`
+	ParallelSpeedup float64 `json:"parallel_speedup"`
+	CachedSpeedup   float64 `json:"cached_speedup"`
+	CacheHits       uint64  `json:"cache_hits"`
+	CacheMisses     uint64  `json:"cache_misses"`
+	CacheEvictions  uint64  `json:"cache_evictions"`
+	CacheHitRate    float64 `json:"cache_hit_rate"`
+	OptimizeHits    uint64  `json:"optimize_cache_hits"`
+	OptimizeHitRate float64 `json:"optimize_cache_hit_rate"`
+}
+
+// benchEngine times the analysis of every Table 2 workload in three
+// configurations and writes the comparison to path.
+func benchEngine(path string) error {
+	chip := hw.TrainingChip()
+	models := model.All()
+	analyze := func(workers int) (time.Duration, error) {
+		r := model.NewRunner(chip)
+		r.Workers = workers
+		start := time.Now()
+		if _, err := r.RunAll(models); err != nil {
+			return 0, err
+		}
+		return time.Since(start), nil
+	}
+
+	rec := engineBench{
+		Schema:    "ascendperf/bench-engine/v1",
+		Chip:      chip.Name,
+		Workloads: len(models),
+		Workers:   engine.Workers(),
+	}
+	for _, m := range models {
+		rec.Operators += len(m.Ops)
+	}
+
+	// Serial and parallel passes run uncached so they time raw
+	// simulation throughput.
+	engine.SetCacheCapacity(0)
+	serial, err := analyze(1)
+	if err != nil {
+		return err
+	}
+	parallel, err := analyze(0)
+	if err != nil {
+		return err
+	}
+
+	// The cached pass runs against a freshly warmed cache: one warming
+	// pass (all misses), then the measured pass (all hits).
+	engine.SetCacheCapacity(engine.DefaultCacheCapacity)
+	if _, err := analyze(0); err != nil {
+		return err
+	}
+	cached, err := analyze(0)
+	if err != nil {
+		return err
+	}
+	stats := engine.DefaultCache().Stats()
+
+	// The iterative analyze→optimize cycle (Fig. 5) on the first
+	// workload, against a fresh cache: the optimize pass re-simulates
+	// every baseline the analyze pass already ran, so its hit count
+	// measures how much the cycle reuses simulations.
+	engine.SetCacheCapacity(engine.DefaultCacheCapacity)
+	r := model.NewRunner(chip)
+	if _, err := r.Run(models[0]); err != nil {
+		return err
+	}
+	if _, err := r.Optimize(models[0]); err != nil {
+		return err
+	}
+	optStats := engine.DefaultCache().Stats()
+
+	rec.SerialNS = serial.Nanoseconds()
+	rec.ParallelNS = parallel.Nanoseconds()
+	rec.CachedNS = cached.Nanoseconds()
+	if parallel > 0 {
+		rec.ParallelSpeedup = float64(serial) / float64(parallel)
+	}
+	if cached > 0 {
+		rec.CachedSpeedup = float64(serial) / float64(cached)
+	}
+	rec.CacheHits = stats.Hits
+	rec.CacheMisses = stats.Misses
+	rec.CacheEvictions = stats.Evictions
+	rec.CacheHitRate = stats.HitRate()
+	rec.OptimizeHits = optStats.Hits
+	rec.OptimizeHitRate = optStats.HitRate()
+
+	out, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("engine benchmark: %d workloads (%d operators) on %s, %d workers\n",
+		rec.Workloads, rec.Operators, rec.Chip, rec.Workers)
+	fmt.Printf("  serial   %12s\n", serial)
+	fmt.Printf("  parallel %12s  (%.2fx)\n", parallel, rec.ParallelSpeedup)
+	fmt.Printf("  cached   %12s  (%.2fx, hit rate %.1f%%)\n", cached, rec.CachedSpeedup, 100*rec.CacheHitRate)
+	fmt.Printf("  optimize loop cache hit rate %.1f%% (%d hits)\n", 100*rec.OptimizeHitRate, rec.OptimizeHits)
+	fmt.Println("wrote", path)
+	return nil
 }
 
 func run(exp, svgPath string) error {

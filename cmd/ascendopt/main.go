@@ -7,6 +7,8 @@
 //	ascendopt -op depthwise [-chip training|inference] [-tune] [-passes]
 //	ascendopt -model PanGu-alpha [-top 10]
 //	ascendopt -workload my-model.json
+//	ascendopt -model Bert -workers 4 -cache 0   # bound the worker pool,
+//	                                            # disable the sim cache
 //
 // With neither flag it lists operators and models.
 package main
@@ -18,6 +20,7 @@ import (
 	"sort"
 
 	"ascendperf/internal/cliutil"
+	"ascendperf/internal/engine"
 	"ascendperf/internal/hw"
 	"ascendperf/internal/isa"
 	"ascendperf/internal/kernels"
@@ -90,8 +93,12 @@ func main() {
 		workload  = flag.String("workload", "", "optimize a custom workload file instead of a named model")
 		htmlPath  = flag.String("html", "", "with -model/-workload: write a self-contained HTML report")
 		pipeline  = flag.Bool("pipeline", false, "run the full pipeline: strategies, tile tuning, program passes")
+		workers   = flag.Int("workers", 0, "parallel analysis workers (0 = ASCENDPERF_WORKERS or GOMAXPROCS)")
+		cacheCap  = flag.Int("cache", engine.DefaultCacheCapacity, "simulation cache capacity in entries (0 disables)")
 	)
 	flag.Parse()
+	engine.SetWorkers(*workers)
+	engine.SetCacheCapacity(*cacheCap)
 	if err := run(*opName, *modelName, *workload, *chipName, *top, *tune, *usePasses, *pipeline, *htmlPath); err != nil {
 		fmt.Fprintln(os.Stderr, "ascendopt:", err)
 		os.Exit(1)

@@ -1,0 +1,40 @@
+package engine_test
+
+import (
+	"testing"
+
+	"ascendperf/internal/engine"
+	"ascendperf/internal/hw"
+	"ascendperf/internal/model"
+)
+
+// benchAnalysis runs the full Table 2 workload analysis once per
+// iteration with the given worker count and cache setting. Compare:
+//
+//	go test -bench BenchmarkModelAnalysis ./internal/engine/
+func benchAnalysis(b *testing.B, workers, cacheCap int) {
+	defer engine.SetCacheCapacity(engine.DefaultCacheCapacity)
+	engine.SetCacheCapacity(cacheCap)
+	chip := hw.TrainingChip()
+	models := model.All()
+	r := model.NewRunner(chip)
+	r.Workers = workers
+	if cacheCap > 0 {
+		// Warm the cache so the benchmark measures steady-state hits.
+		if _, err := r.RunAll(models); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.RunAll(models); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkModelAnalysisSerial(b *testing.B)   { benchAnalysis(b, 1, 0) }
+func BenchmarkModelAnalysisParallel(b *testing.B) { benchAnalysis(b, 0, 0) }
+func BenchmarkModelAnalysisCached(b *testing.B) {
+	benchAnalysis(b, 0, engine.DefaultCacheCapacity)
+}

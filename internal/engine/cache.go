@@ -1,0 +1,209 @@
+package engine
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"ascendperf/internal/hw"
+	"ascendperf/internal/isa"
+	"ascendperf/internal/profile"
+	"ascendperf/internal/sim"
+)
+
+// DefaultCacheCapacity is the entry bound of the process-default cache.
+const DefaultCacheCapacity = 1024
+
+// CacheStats is an observability snapshot of a cache.
+type CacheStats struct {
+	// Hits and Misses count lookups; Evictions counts entries dropped
+	// by the LRU bound.
+	Hits, Misses, Evictions uint64
+	// Entries is the current entry count.
+	Entries int
+}
+
+// HitRate returns Hits / (Hits + Misses), or 0 before any lookup.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Cache memoizes simulation results keyed by the stable fingerprint of
+// (chip specification, program, sim options). It is safe for concurrent
+// use. Hits return deep copies, so a caller mutating a result can never
+// corrupt later hits. Two goroutines missing on the same key may both
+// simulate; the simulation is pure, so either result is correct and one
+// simply wins the insert.
+//
+// Chip fingerprints are memoized per *hw.Chip pointer, relying on the
+// documented Chip contract of immutability after construction.
+type Cache struct {
+	mu        sync.Mutex
+	capacity  int
+	ll        *list.List // front = most recently used
+	byKey     map[string]*list.Element
+	hits      uint64
+	misses    uint64
+	evictions uint64
+
+	// chipFPs memoizes fingerprints per chip pointer; chipFPCount
+	// bounds it so callers minting fresh chips per call (multicore's
+	// per-core derivations) cannot grow it without limit.
+	chipFPs     sync.Map // *hw.Chip -> string
+	chipFPCount atomic.Int64
+}
+
+// maxChipFPs bounds the chip-fingerprint memo; past it fingerprints are
+// recomputed per call instead of stored.
+const maxChipFPs = 4096
+
+type cacheEntry struct {
+	key  string
+	prof *profile.Profile
+}
+
+// NewCache returns a cache bounded to capacity entries (minimum 1).
+func NewCache(capacity int) *Cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache{
+		capacity: capacity,
+		ll:       list.New(),
+		byKey:    make(map[string]*list.Element, capacity),
+	}
+}
+
+// Stats returns a snapshot of the hit/miss/eviction counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits: c.hits, Misses: c.misses, Evictions: c.evictions,
+		Entries: c.ll.Len(),
+	}
+}
+
+// key builds the cache key; ok is false when the chip cannot be
+// fingerprinted (the caller then bypasses the cache).
+func (c *Cache) key(chip *hw.Chip, prog *isa.Program, opts sim.Options) (string, bool) {
+	var chipFP string
+	if v, ok := c.chipFPs.Load(chip); ok {
+		chipFP = v.(string)
+	} else {
+		fp, err := chip.Fingerprint()
+		if err != nil {
+			return "", false
+		}
+		if c.chipFPCount.Load() < maxChipFPs {
+			if _, loaded := c.chipFPs.LoadOrStore(chip, fp); !loaded {
+				c.chipFPCount.Add(1)
+			}
+		}
+		chipFP = fp
+	}
+	flags := []byte("--")
+	if opts.DisableHazards {
+		flags[0] = 'h'
+	}
+	if opts.KeepSpans {
+		flags[1] = 's'
+	}
+	return chipFP + "|" + prog.Fingerprint() + "|" + string(flags), true
+}
+
+// lookup returns a deep copy of the cached profile for key, or nil.
+func (c *Cache) lookup(key string) *profile.Profile {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		c.misses++
+		return nil
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).prof.Clone()
+}
+
+// insert stores prof (which must be private to the cache) under key,
+// evicting the least recently used entry beyond capacity.
+func (c *Cache) insert(key string, prof *profile.Profile) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		// Lost a race with another inserter; keep the existing entry.
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.ll.PushFront(&cacheEntry{key: key, prof: prof})
+	for c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.byKey, oldest.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+}
+
+// Simulate runs the program on the chip with memoization: a hit returns
+// a deep copy of the cached profile; a miss simulates, caches a private
+// copy and returns the freshly computed profile. Errors are never
+// cached. The result is always the caller's to mutate.
+func (c *Cache) Simulate(chip *hw.Chip, prog *isa.Program, opts sim.Options) (*profile.Profile, error) {
+	key, ok := c.key(chip, prog, opts)
+	if !ok {
+		return sim.RunOpts(chip, prog, opts)
+	}
+	if p := c.lookup(key); p != nil {
+		return p, nil
+	}
+	p, err := sim.RunOpts(chip, prog, opts)
+	if err != nil {
+		return nil, err
+	}
+	c.insert(key, p.Clone())
+	return p, nil
+}
+
+// defaultCache is the process-wide cache consulted by Simulate. It
+// starts enabled at DefaultCacheCapacity; SetCacheCapacity(0) disables
+// it.
+var defaultCache atomic.Pointer[Cache]
+
+func init() {
+	defaultCache.Store(NewCache(DefaultCacheCapacity))
+}
+
+// DefaultCache returns the process-default cache, or nil when caching
+// is disabled.
+func DefaultCache() *Cache {
+	return defaultCache.Load()
+}
+
+// SetCacheCapacity replaces the process-default cache with a fresh one
+// bounded to n entries; n <= 0 disables caching. Command line tools
+// wire their -cache flag here. Counters reset with the replacement.
+func SetCacheCapacity(n int) {
+	if n <= 0 {
+		defaultCache.Store(nil)
+		return
+	}
+	defaultCache.Store(NewCache(n))
+}
+
+// Simulate is the shared simulate entry point of the hot paths: it runs
+// the program through the process-default cache, or directly when
+// caching is disabled. Cached or not, the returned profile is always
+// private to the caller and the bytes are identical to an uncached
+// sim.RunOpts (the simulator is deterministic).
+func Simulate(chip *hw.Chip, prog *isa.Program, opts sim.Options) (*profile.Profile, error) {
+	c := defaultCache.Load()
+	if c == nil {
+		return sim.RunOpts(chip, prog, opts)
+	}
+	return c.Simulate(chip, prog, opts)
+}

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"strings"
 
+	"ascendperf/internal/engine"
 	"ascendperf/internal/hw"
 	"ascendperf/internal/isa"
 	"ascendperf/internal/sim"
@@ -135,6 +136,9 @@ func Run(chip *hw.Chip, opts Options) (*Report, error) {
 }
 
 // sweepPath measures one path's achieved bandwidth across granularities.
+// The per-granularity microbenchmarks simulate in parallel; the peak and
+// threshold folds run over the samples in ascending-size order, matching
+// a serial sweep exactly.
 func sweepPath(chip *hw.Chip, path hw.Path, spec hw.PathSpec, opts Options) (PathResult, error) {
 	res := PathResult{Path: path, SpecBandwidth: spec.Bandwidth}
 	maxSize := opts.MaxSize
@@ -144,59 +148,80 @@ func sweepPath(chip *hw.Chip, path hw.Path, spec hw.PathSpec, opts Options) (Pat
 			maxSize = cap
 		}
 	}
+	var sizes []int64
 	for size := opts.MinSize; size <= maxSize; size *= 2 {
+		sizes = append(sizes, size)
+	}
+	samples, err := engine.ParallelMap(0, len(sizes), func(i int) (SamplePoint, error) {
+		size := sizes[i]
 		prog := &isa.Program{Name: fmt.Sprintf("ert-%s-%d", path, size)}
-		for i := 0; i < opts.Repeats; i++ {
+		for r := 0; r < opts.Repeats; r++ {
 			// Reuse the same regions: back-to-back transfers on one
 			// engine serialize regardless, and reuse keeps every size
 			// within buffer capacity.
 			prog.Append(isa.Transfer(path, 0, 0, size))
 		}
-		p, err := sim.RunOpts(chip, prog, sim.Options{})
+		p, err := engine.Simulate(chip, prog, sim.Options{})
 		if err != nil {
-			return res, err
+			return SamplePoint{}, err
 		}
 		achieved := float64(size) * float64(opts.Repeats) / p.TotalTime
-		sample := SamplePoint{Size: size, Achieved: achieved, Efficiency: achieved / spec.Bandwidth}
-		res.Samples = append(res.Samples, sample)
-		if achieved > res.EmpiricalPeak {
-			res.EmpiricalPeak = achieved
+		return SamplePoint{Size: size, Achieved: achieved, Efficiency: achieved / spec.Bandwidth}, nil
+	})
+	if err != nil {
+		return res, err
+	}
+	res.Samples = samples
+	for _, sample := range samples {
+		if sample.Achieved > res.EmpiricalPeak {
+			res.EmpiricalPeak = sample.Achieved
 		}
 		if res.HalfPoint == 0 && sample.Efficiency >= 0.5 {
-			res.HalfPoint = size
+			res.HalfPoint = sample.Size
 		}
 		if res.NinetyPoint == 0 && sample.Efficiency >= 0.9 {
-			res.NinetyPoint = size
+			res.NinetyPoint = sample.Size
 		}
 	}
 	return res, nil
 }
 
 // sweepCompute measures one precision-compute pair's achieved rate
-// across per-instruction work.
+// across per-instruction work. As in sweepPath, the points simulate in
+// parallel and fold in ascending-work order.
 func sweepCompute(chip *hw.Chip, up hw.UnitPrec, opts Options) (ComputeResult, error) {
 	peak, _ := chip.PeakOf(up.Unit, up.Prec)
 	res := ComputeResult{UnitPrec: up, SpecPeak: peak}
+	var works []int64
 	for ops := opts.MinOps; ops <= opts.MaxOps; ops *= 4 {
+		works = append(works, ops)
+	}
+	samples, err := engine.ParallelMap(0, len(works), func(i int) (SamplePoint, error) {
+		ops := works[i]
 		prog := &isa.Program{Name: fmt.Sprintf("ert-%s-%d", up, ops)}
-		for i := 0; i < opts.Repeats; i++ {
+		for r := 0; r < opts.Repeats; r++ {
 			prog.Append(isa.Compute(up.Unit, up.Prec, ops))
 		}
-		p, err := sim.RunOpts(chip, prog, sim.Options{})
+		p, err := engine.Simulate(chip, prog, sim.Options{})
 		if err != nil {
-			return res, err
+			return SamplePoint{}, err
 		}
 		achieved := float64(ops) * float64(opts.Repeats) / p.TotalTime
-		sample := SamplePoint{Size: ops, Achieved: achieved, Efficiency: achieved / peak}
-		res.Samples = append(res.Samples, sample)
-		if achieved > res.EmpiricalPeak {
-			res.EmpiricalPeak = achieved
+		return SamplePoint{Size: ops, Achieved: achieved, Efficiency: achieved / peak}, nil
+	})
+	if err != nil {
+		return res, err
+	}
+	res.Samples = samples
+	for _, sample := range samples {
+		if sample.Achieved > res.EmpiricalPeak {
+			res.EmpiricalPeak = sample.Achieved
 		}
 		if res.HalfPoint == 0 && sample.Efficiency >= 0.5 {
-			res.HalfPoint = ops
+			res.HalfPoint = sample.Size
 		}
 		if res.NinetyPoint == 0 && sample.Efficiency >= 0.9 {
-			res.NinetyPoint = ops
+			res.NinetyPoint = sample.Size
 		}
 	}
 	return res, nil

@@ -1,0 +1,24 @@
+package hw
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+)
+
+// Fingerprint returns a stable hex digest of the chip specification,
+// built on the canonical JSON encoding: compute peaks in canonical
+// unit/precision order, paths in canonical path order, buffer sizes in
+// sorted-key order (encoding/json sorts map keys). Two Validate()-equal
+// chips — same name, rates, paths and buffers, regardless of map
+// insertion order — fingerprint identically across runs and processes,
+// which makes the digest usable as a cache key for simulation results.
+func (c *Chip) Fingerprint() (string, error) {
+	var buf bytes.Buffer
+	if err := c.WriteJSON(&buf); err != nil {
+		return "", fmt.Errorf("hw: fingerprint %s: %w", c.Name, err)
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	return hex.EncodeToString(sum[:]), nil
+}

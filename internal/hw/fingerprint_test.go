@@ -1,0 +1,143 @@
+package hw
+
+import (
+	"bytes"
+	"testing"
+)
+
+// insertionOrderChip rebuilds the training chip with its maps populated
+// in a deliberately different (reverse) insertion order. Validate()
+// considers the two chips identical, so their canonical JSON — and
+// therefore their fingerprints — must match.
+func insertionOrderChip() *Chip {
+	ref := TrainingChip()
+	c := &Chip{
+		Name:            ref.Name,
+		ClockGHz:        ref.ClockGHz,
+		Compute:         make(map[UnitPrec]PrecSpec, len(ref.Compute)),
+		Paths:           make(map[Path]PathSpec, len(ref.Paths)),
+		BufferSize:      make(map[Level]int64, len(ref.BufferSize)),
+		DispatchLatency: ref.DispatchLatency,
+		TransferSetup:   ref.TransferSetup,
+		ComputeIssue:    ref.ComputeIssue,
+		ScalarIssue:     ref.ScalarIssue,
+		SyncCost:        ref.SyncCost,
+	}
+	// Reverse insertion order relative to the preset's literals.
+	for _, lv := range []Level{L0C, L0B, L0A, UB, L1, GM} {
+		c.BufferSize[lv] = ref.BufferSize[lv]
+	}
+	for _, p := range []Path{PathUBToL1, PathUBToGM, PathL1ToL0B, PathL1ToL0A,
+		PathGMToL0B, PathGMToL0A, PathGMToUB, PathGMToL1} {
+		c.Paths[p] = ref.Paths[p]
+	}
+	for _, up := range []UnitPrec{{Scalar, FP64}, {Scalar, FP32}, {Scalar, FP16},
+		{Scalar, INT32}, {Vector, INT32}, {Vector, FP32}, {Vector, FP16},
+		{Cube, INT8}, {Cube, FP16}} {
+		c.Compute[up] = ref.Compute[up]
+	}
+	return c
+}
+
+func TestFingerprintCanonical(t *testing.T) {
+	a := TrainingChip()
+	b := insertionOrderChip()
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	var ja, jb bytes.Buffer
+	if err := a.WriteJSON(&ja); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteJSON(&jb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ja.Bytes(), jb.Bytes()) {
+		t.Errorf("canonical JSON differs between Validate()-equal chips:\n%s\nvs\n%s", ja.String(), jb.String())
+	}
+
+	fa, err := a.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := b.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fa != fb {
+		t.Errorf("fingerprints differ between Validate()-equal chips: %s vs %s", fa, fb)
+	}
+	if len(fa) != 64 {
+		t.Errorf("fingerprint %q is not a sha256 hex digest", fa)
+	}
+}
+
+func TestFingerprintStable(t *testing.T) {
+	c := TrainingChip()
+	f1, err := c.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := c.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1 != f2 {
+		t.Errorf("fingerprint not stable: %s vs %s", f1, f2)
+	}
+}
+
+func TestFingerprintDistinguishesChips(t *testing.T) {
+	ft, err := TrainingChip().Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fi, err := InferenceChip().Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ft == fi {
+		t.Error("training and inference chips share a fingerprint")
+	}
+
+	// A one-field perturbation must change the digest.
+	c := TrainingChip()
+	c.SyncCost++
+	fp, err := c.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp == ft {
+		t.Error("fingerprint unchanged after SyncCost perturbation")
+	}
+}
+
+// TestFingerprintRoundTrip checks that a chip survives the JSON
+// round-trip with its fingerprint intact: decode(encode(c)) hashes the
+// same as c.
+func TestFingerprintRoundTrip(t *testing.T) {
+	c := TrainingChip()
+	var buf bytes.Buffer
+	if err := c.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rt, err := ReadChipJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, err := c.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := rt.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1 != f2 {
+		t.Errorf("fingerprint changed across JSON round-trip: %s vs %s", f1, f2)
+	}
+}

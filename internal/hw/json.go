@@ -10,6 +10,12 @@ import (
 // their own DSA variants without writing Go — the configuration analogue
 // of the built-in presets. The schema uses the canonical names from this
 // package ("Cube", "FP16", "GM->L1", "MTE-GM").
+//
+// The encoding is canonical: compute entries are emitted in the fixed
+// unit/precision order of UnitPrecs, paths in AllPaths order, and buffer
+// sizes as a JSON object whose keys encoding/json sorts. Encoding the
+// same specification therefore always produces identical bytes, a
+// property Chip.Fingerprint depends on.
 
 type jsonChip struct {
 	Name            string           `json:"name"`
@@ -85,8 +91,13 @@ func (c *Chip) WriteJSON(w io.Writer) error {
 			})
 		}
 	}
-	for level, size := range c.BufferSize {
-		out.BufferSize[level.String()] = size
+	// Iterate levels in canonical order (the map's JSON keys are sorted
+	// by the encoder regardless; this keeps the construction itself
+	// deterministic and ignores any non-canonical levels).
+	for _, level := range []Level{GM, L1, UB, L0A, L0B, L0C} {
+		if size, ok := c.BufferSize[level]; ok {
+			out.BufferSize[level.String()] = size
+		}
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

@@ -1,0 +1,57 @@
+package isa
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"io"
+)
+
+// Fingerprint returns a stable hex digest of the program: its name and
+// the full field content of every instruction in order. Two programs
+// with equal fingerprints simulate identically on the same chip, which
+// is what makes simulation results memoizable (engine package). The
+// encoding is length-prefixed and field-ordered, so it is injective up
+// to hash collisions.
+func (p *Program) Fingerprint() string {
+	h := sha256.New()
+	var buf [8]byte
+	num := func(v int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	str := func(s string) {
+		num(int64(len(s)))
+		io.WriteString(h, s)
+	}
+	regions := func(rs []Region) {
+		num(int64(len(rs)))
+		for _, r := range rs {
+			num(int64(r.Level))
+			num(r.Off)
+			num(r.Size)
+		}
+	}
+	str(p.Name)
+	num(int64(len(p.Instrs)))
+	for i := range p.Instrs {
+		in := &p.Instrs[i]
+		num(int64(in.Kind))
+		str(in.Label)
+		num(int64(in.Unit))
+		num(int64(in.Prec))
+		num(in.Ops)
+		num(int64(in.Repeat))
+		num(int64(in.Path.Src))
+		num(int64(in.Path.Dst))
+		num(in.Bytes)
+		regions(in.Reads)
+		regions(in.Writes)
+		num(int64(in.From))
+		num(int64(in.To))
+		num(int64(in.EventID))
+		num(int64(in.Scope))
+		num(int64(in.Pipe))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

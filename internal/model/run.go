@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"ascendperf/internal/core"
+	"ascendperf/internal/engine"
 	"ascendperf/internal/hw"
 	"ascendperf/internal/kernels"
 	"ascendperf/internal/opt"
@@ -146,13 +147,20 @@ func (r *RunResult) MTEGMBoundShare(optimized bool) float64 {
 	return gm / mte
 }
 
-// Runner executes model inventories on a chip.
+// Runner executes model inventories on a chip. Per-operator analysis
+// and optimization fan out over an engine.ParallelMap worker pool;
+// results are accumulated in inventory order, so parallel output is
+// byte-identical to serial.
 type Runner struct {
 	// Chip is the target hardware.
 	Chip *hw.Chip
 
 	// Thresholds configure classification.
 	Thresholds core.Thresholds
+
+	// Workers bounds the per-operator fan-out; 0 uses the engine
+	// default (ASCENDPERF_WORKERS or GOMAXPROCS), 1 runs serially.
+	Workers int
 }
 
 // NewRunner returns a runner with default thresholds.
@@ -199,13 +207,15 @@ func (r *Runner) run(m *Model, topN int) (*RunResult, error) {
 			idx  int
 			time float64
 		}
-		var ws []weighted
+		times, err := engine.ParallelMap(r.Workers, len(m.Ops), func(i int) (float64, error) {
+			return r.baseline(m, m.Ops[i])
+		})
+		if err != nil {
+			return nil, err
+		}
+		ws := make([]weighted, len(m.Ops))
 		for i, inst := range m.Ops {
-			prof, err := r.baseline(m, inst)
-			if err != nil {
-				return nil, err
-			}
-			ws = append(ws, weighted{i, prof * float64(inst.Count)})
+			ws[i] = weighted{i, times[i] * float64(inst.Count)}
 		}
 		sort.Slice(ws, func(a, b int) bool {
 			if ws[a].time != ws[b].time {
@@ -221,14 +231,15 @@ func (r *Runner) run(m *Model, topN int) (*RunResult, error) {
 	res := &RunResult{Model: m, Chip: r.Chip.Name}
 	o := opt.New(r.Chip)
 	o.Thresholds = r.Thresholds
-	for i, inst := range m.Ops {
+	ops, err := engine.ParallelMap(r.Workers, len(m.Ops), func(i int) (OpResult, error) {
+		inst := m.Ops[i]
 		var or OpResult
 		or.Name = inst.Kernel.Name()
 		or.Count = inst.Count
 		if selected[i] {
 			out, err := o.Optimize(inst.Kernel)
 			if err != nil {
-				return nil, fmt.Errorf("model %s: %s: %w", m.Name, or.Name, err)
+				return or, fmt.Errorf("model %s: %s: %w", m.Name, or.Name, err)
 			}
 			or.BaselineTime = out.InitialTime
 			or.OptimizedTime = out.FinalTime
@@ -240,11 +251,11 @@ func (r *Runner) run(m *Model, topN int) (*RunResult, error) {
 		} else {
 			prog, err := inst.Kernel.Build(r.Chip, inst.Kernel.Baseline())
 			if err != nil {
-				return nil, fmt.Errorf("model %s: %s: %w", m.Name, or.Name, err)
+				return or, fmt.Errorf("model %s: %s: %w", m.Name, or.Name, err)
 			}
-			prof, err := sim.RunOpts(r.Chip, prog, sim.Options{})
+			prof, err := engine.Simulate(r.Chip, prog, sim.Options{})
 			if err != nil {
-				return nil, fmt.Errorf("model %s: %s: %w", m.Name, or.Name, err)
+				return or, fmt.Errorf("model %s: %s: %w", m.Name, or.Name, err)
 			}
 			a := core.Analyze(prof, r.Chip, r.Thresholds)
 			or.BaselineTime = prof.TotalTime
@@ -254,7 +265,15 @@ func (r *Runner) run(m *Model, topN int) (*RunResult, error) {
 			or.BaselineBound = boundOf(a)
 			or.OptimizedBound = boundOf(a)
 		}
-		res.Ops = append(res.Ops, or)
+		return or, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Accumulate in inventory order: floating-point sums match the
+	// serial runner exactly.
+	res.Ops = ops
+	for _, or := range ops {
 		res.BaselineComputeTime += or.BaselineTime * float64(or.Count)
 		res.OptimizedComputeTime += or.OptimizedTime * float64(or.Count)
 	}
@@ -264,6 +283,22 @@ func (r *Runner) run(m *Model, topN int) (*RunResult, error) {
 	return res, nil
 }
 
+// RunAll analyzes every model in ms at its shipped baseline and returns
+// the results in input order. Models run in sequence; the per-operator
+// work inside each model fans out over the worker pool, and repeated
+// operator instances across models hit the simulation cache.
+func (r *Runner) RunAll(ms []*Model) ([]*RunResult, error) {
+	out := make([]*RunResult, len(ms))
+	for i, m := range ms {
+		res, err := r.Run(m)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = res
+	}
+	return out, nil
+}
+
 // baseline simulates one operator at its shipped options and returns the
 // per-instance time.
 func (r *Runner) baseline(m *Model, inst OpInstance) (float64, error) {
@@ -271,7 +306,7 @@ func (r *Runner) baseline(m *Model, inst OpInstance) (float64, error) {
 	if err != nil {
 		return 0, fmt.Errorf("model %s: %s: %w", m.Name, inst.Kernel.Name(), err)
 	}
-	prof, err := sim.RunOpts(r.Chip, prog, sim.Options{})
+	prof, err := engine.Simulate(r.Chip, prog, sim.Options{})
 	if err != nil {
 		return 0, fmt.Errorf("model %s: %s: %w", m.Name, inst.Kernel.Name(), err)
 	}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"strings"
 
+	"ascendperf/internal/engine"
 	"ascendperf/internal/hw"
 	"ascendperf/internal/kernels"
 	"ascendperf/internal/profile"
@@ -129,25 +130,40 @@ func Run(chip *hw.Chip, k Partitionable, opts kernels.Options, cores int, shares
 
 	perCore := PerCoreChip(chip, cores)
 	res := &Result{Cores: cores, Shares: make([]float64, cores), PerCore: make([]*profile.Profile, cores)}
+	units := make([]int64, cores)
 	assigned := int64(0)
-	var busyCores float64
 	for i := 0; i < cores; i++ {
-		units := int64(float64(total) * shares[i] / sum)
+		units[i] = int64(float64(total) * shares[i] / sum)
 		if i == cores-1 {
-			units = total - assigned // remainder to the last core
+			units[i] = total - assigned // remainder to the last core
 		}
-		assigned += units
-		res.Shares[i] = float64(units) / float64(total)
-		if units <= 0 {
+		assigned += units[i]
+		res.Shares[i] = float64(units[i]) / float64(total)
+	}
+	// The cores simulate in parallel on the engine pool. A balanced
+	// allocation gives every core an identical slice, so cores after
+	// the first hit the simulation cache.
+	profs, err := engine.ParallelMap(0, cores, func(i int) (*profile.Profile, error) {
+		if units[i] <= 0 {
+			return nil, nil
+		}
+		prog, err := k.WithUnits(units[i]).Build(perCore, opts)
+		if err != nil {
+			return nil, fmt.Errorf("multicore: core %d: %w", i, err)
+		}
+		p, err := engine.Simulate(perCore, prog, sim.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("multicore: core %d: %w", i, err)
+		}
+		return p, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var busyCores float64
+	for i, p := range profs {
+		if p == nil {
 			continue
-		}
-		prog, err := k.WithUnits(units).Build(perCore, opts)
-		if err != nil {
-			return nil, fmt.Errorf("multicore: core %d: %w", i, err)
-		}
-		p, err := sim.RunOpts(perCore, prog, sim.Options{})
-		if err != nil {
-			return nil, fmt.Errorf("multicore: core %d: %w", i, err)
 		}
 		res.PerCore[i] = p
 		if p.TotalTime > res.Makespan {

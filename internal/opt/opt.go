@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"ascendperf/internal/core"
+	"ascendperf/internal/engine"
 	"ascendperf/internal/hw"
 	"ascendperf/internal/kernels"
 	"ascendperf/internal/profile"
@@ -128,6 +129,12 @@ type Optimizer struct {
 	// process effectively does this (engineers inspect the code for any
 	// applicable fix); it is on by default in New.
 	Exhaustive bool
+
+	// Workers bounds the candidate fan-out of the optimization loop and
+	// the tile sweep; 0 uses the engine default, 1 runs serially. The
+	// winning candidate is selected by a deterministic in-order
+	// reduction, so the parallel loop matches the serial one exactly.
+	Workers int
 }
 
 // New returns an optimizer with default settings for the chip.
@@ -139,13 +146,16 @@ func New(chip *hw.Chip) *Optimizer {
 	}
 }
 
-// run builds and simulates one option set.
+// run builds and simulates one option set through the memoized engine:
+// re-evaluations of a configuration the loop has already simulated
+// (the baseline re-run of a model pass, the incoming point of a tile
+// sweep) are cache hits.
 func (o *Optimizer) run(k kernels.Kernel, opts kernels.Options) (*profile.Profile, error) {
 	prog, err := k.Build(o.Chip, opts)
 	if err != nil {
 		return nil, err
 	}
-	return sim.RunOpts(o.Chip, prog, sim.Options{})
+	return engine.Simulate(o.Chip, prog, sim.Options{})
 }
 
 // Optimize runs the analysis-optimization loop on a kernel from its
@@ -176,19 +186,27 @@ func (o *Optimizer) Optimize(k kernels.Kernel) (*Result, error) {
 	supported := k.Supported()
 	for iter := 1; iter <= maxIter; iter++ {
 		candidates := o.candidates(analysis.Cause, supported, opts)
+		// Fan the candidate trials out; an inapplicable strategy (e.g.
+		// buffers no longer fit) yields a nil profile and is skipped,
+		// not fatal. The winner is reduced in candidate order, exactly
+		// as the serial loop would.
+		trials, _ := engine.ParallelMap(o.Workers, len(candidates), func(i int) (*profile.Profile, error) {
+			trial, err := o.run(k, kernels.Apply(opts, candidates[i]))
+			if err != nil {
+				return nil, nil
+			}
+			return trial, nil
+		})
 		best := kernels.Strategy(-1)
 		var bestProf *profile.Profile
 		bestTime := prof.TotalTime / minGain
-		for _, s := range candidates {
-			trial, err := o.run(k, kernels.Apply(opts, s))
-			if err != nil {
-				// An inapplicable strategy (e.g. buffers no longer fit)
-				// is skipped, not fatal.
+		for i, trial := range trials {
+			if trial == nil {
 				continue
 			}
 			if trial.TotalTime < bestTime {
 				bestTime = trial.TotalTime
-				best = s
+				best = candidates[i]
 				bestProf = trial
 			}
 		}

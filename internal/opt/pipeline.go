@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"ascendperf/internal/engine"
 	"ascendperf/internal/isa"
 	"ascendperf/internal/kernels"
 	"ascendperf/internal/passes"
@@ -121,7 +122,7 @@ func (o *Optimizer) FullPipeline(k kernels.Kernel) (*PipelineResult, error) {
 		return nil, err
 	}
 	for _, candidate := range []*isaProg{minSync, hoisted} {
-		prof, err := sim.RunOpts(o.Chip, candidate, sim.Options{KeepSpans: true})
+		prof, err := engine.Simulate(o.Chip, candidate, sim.Options{KeepSpans: true})
 		if err != nil {
 			return nil, err
 		}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"ascendperf/internal/engine"
 	"ascendperf/internal/kernels"
 )
 
@@ -61,7 +62,9 @@ func (t *TileTuning) Summary() string {
 // to 128 Ki elements, plus the current size) at the given options and
 // returns the best configuration. Infeasible sizes are recorded and
 // skipped. The incoming configuration always participates, so the result
-// never regresses.
+// never regresses. Candidate sizes simulate in parallel on the engine
+// worker pool; the winner is reduced in sweep order, so the outcome is
+// identical to a serial sweep.
 func (o *Optimizer) TuneTile(k kernels.Tunable, opts kernels.Options) (*TileTuning, error) {
 	base, err := o.run(k, opts)
 	if err != nil {
@@ -74,24 +77,30 @@ func (o *Optimizer) TuneTile(k kernels.Tunable, opts kernels.Options) (*TileTuni
 		BestTile: k.TileSize(),
 		BestTime: base.TotalTime,
 	}
-	seen := map[int64]bool{k.TileSize(): true}
 	t.Points = append(t.Points, TilePoint{TileElems: k.TileSize(), TimeNS: base.TotalTime})
+	var sizes []int64
 	for size := int64(1 << 10); size <= 128<<10; size *= 2 {
-		if seen[size] {
-			continue
+		if size != k.TileSize() {
+			sizes = append(sizes, size)
 		}
-		seen[size] = true
-		trial, err := o.run(k.WithTileSize(size), opts)
+	}
+	points, err := engine.ParallelMap(o.Workers, len(sizes), func(i int) (TilePoint, error) {
+		trial, err := o.run(k.WithTileSize(sizes[i]), opts)
 		if err != nil {
 			// Infeasible at this size (e.g. UB exhausted): record and
 			// move on.
-			t.Points = append(t.Points, TilePoint{TileElems: size, TimeNS: -1})
-			continue
+			return TilePoint{TileElems: sizes[i], TimeNS: -1}, nil
 		}
-		t.Points = append(t.Points, TilePoint{TileElems: size, TimeNS: trial.TotalTime})
-		if trial.TotalTime < t.BestTime {
-			t.BestTime = trial.TotalTime
-			t.BestTile = size
+		return TilePoint{TileElems: sizes[i], TimeNS: trial.TotalTime}, nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("opt: tile tuning %s: %w", k.Name(), err)
+	}
+	for _, p := range points {
+		t.Points = append(t.Points, p)
+		if p.TimeNS >= 0 && p.TimeNS < t.BestTime {
+			t.BestTime = p.TimeNS
+			t.BestTile = p.TileElems
 		}
 	}
 	// Ascending order for readability.

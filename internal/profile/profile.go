@@ -230,6 +230,34 @@ func (p *Profile) WriteCSV(w io.Writer) error {
 	return nil
 }
 
+// Clone returns a deep copy of the profile: mutating the copy (or the
+// original) never affects the other. Simulation caches rely on this to
+// hand out private results.
+func (p *Profile) Clone() *Profile {
+	q := *p
+	q.PathBytes = make(map[hw.Path]int64, len(p.PathBytes))
+	for k, v := range p.PathBytes {
+		q.PathBytes[k] = v
+	}
+	q.PrecOps = make(map[hw.UnitPrec]int64, len(p.PrecOps))
+	for k, v := range p.PrecOps {
+		q.PrecOps[k] = v
+	}
+	q.PathBusy = make(map[hw.Path]float64, len(p.PathBusy))
+	for k, v := range p.PathBusy {
+		q.PathBusy[k] = v
+	}
+	q.PrecBusy = make(map[hw.UnitPrec]float64, len(p.PrecBusy))
+	for k, v := range p.PrecBusy {
+		q.PrecBusy[k] = v
+	}
+	if p.Spans != nil {
+		q.Spans = make([]Span, len(p.Spans))
+		copy(q.Spans, p.Spans)
+	}
+	return &q
+}
+
 // Merge accumulates another profile into p as if the two programs ran
 // back-to-back count times: total time and busy times add (scaled by
 // count), as do byte and op counters. Spans are not merged (timelines of

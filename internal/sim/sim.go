@@ -53,7 +53,11 @@ type Options struct {
 	// tests to isolate effects; real runs keep it false.
 	DisableHazards bool
 	// KeepSpans retains the full per-instruction timeline in the profile.
-	// Defaults to true via Run; disable for large batch runs.
+	// Beware the zero-value pitfall: RunOpts(chip, prog, Options{})
+	// silently drops spans (no per-instruction timeline is materialized
+	// at all, which is what makes large batch runs cheap), while Run
+	// keeps them. Pass Options{KeepSpans: true} explicitly when the
+	// caller needs Gaps, Chrome traces or schedule verification.
 	KeepSpans bool
 }
 
@@ -154,26 +158,52 @@ func (s *schedState) fenwickCount(b int) int {
 
 func newSchedState(chip *hw.Chip, prog *isa.Program, opts Options) (*schedState, error) {
 	n := len(prog.Instrs)
+	// The per-instruction state is sliced out of a handful of pooled
+	// backing arrays instead of one allocation per field; batch runs
+	// over many small programs are allocation-bound, not compute-bound.
+	floats := make([]float64, 4*n)
+	ints := make([]int, 5*n+1)
+	bools := make([]bool, 2*n)
 	s := &schedState{
 		chip:          chip,
 		prog:          prog,
 		opts:          opts,
 		comp:          make([]hw.Component, n),
-		dispatch:      make([]float64, n),
-		dur:           make([]float64, n),
-		started:       make([]bool, n),
-		completed:     make([]bool, n),
-		starts:        make([]float64, n),
-		ends:          make([]float64, n),
-		barrierBefore: make([]int, n),
-		completedTree: make([]int, n+1),
+		dispatch:      floats[0:n:n],
+		dur:           floats[n : 2*n : 2*n],
+		starts:        floats[2*n : 3*n : 3*n],
+		ends:          floats[3*n : 4*n : 4*n],
+		started:       bools[0:n:n],
+		completed:     bools[n : 2*n : 2*n],
+		barrierBefore: ints[0:n:n],
+		setKeyID:      ints[n : 2*n : 2*n],
+		waitKeyID:     ints[2*n : 3*n : 3*n],
+		waitSeq:       ints[3*n : 4*n : 4*n],
+		completedTree: ints[4*n : 5*n+1 : 5*n+1],
 		keyID:         map[flagKey]int{},
-		setKeyID:      make([]int, n),
-		waitKeyID:     make([]int, n),
-		waitSeq:       make([]int, n),
 	}
 	for c := range s.executing {
 		s.executing[c] = -1
+	}
+	// First pass: route every instruction so each component queue can be
+	// allocated at its exact final size.
+	var queueLen [hw.NumComponents]int
+	for i := range prog.Instrs {
+		in := &prog.Instrs[i]
+		c, ok := in.Component(chip)
+		if !ok {
+			return nil, fmt.Errorf("sim: instruction %d (%s) is not routable", i, in.String())
+		}
+		s.comp[i] = c
+		queueLen[c]++
+	}
+	queueBacking := make([]int, 0, n)
+	for _, c := range hw.Components() {
+		if queueLen[c] == 0 {
+			continue
+		}
+		s.queues[c] = queueBacking[len(queueBacking) : len(queueBacking) : len(queueBacking)+queueLen[c]]
+		queueBacking = queueBacking[:len(queueBacking)+queueLen[c]]
 	}
 	lastBarrier := -1
 	waitCount := map[flagKey]int{}
@@ -187,11 +217,7 @@ func newSchedState(chip *hw.Chip, prog *isa.Program, opts Options) (*schedState,
 	}
 	for i := range prog.Instrs {
 		in := &prog.Instrs[i]
-		c, ok := in.Component(chip)
-		if !ok {
-			return nil, fmt.Errorf("sim: instruction %d (%s) is not routable", i, in.String())
-		}
-		s.comp[i] = c
+		c := s.comp[i]
 		s.queues[c] = append(s.queues[c], i)
 		s.dispatch[i] = float64(i+1) * chip.DispatchLatency
 		d, err := duration(chip, in)
@@ -461,9 +487,15 @@ func (s *schedState) deadlockError() error {
 	return fmt.Errorf("%s", msg)
 }
 
-// buildProfile assembles the profile from the completed schedule.
+// buildProfile assembles the profile from the completed schedule. When
+// spans are kept the slice is preallocated at its exact final size (one
+// span per instruction); with KeepSpans off no span storage is
+// allocated at all.
 func (s *schedState) buildProfile() *profile.Profile {
 	p := profile.New(s.prog.Name)
+	if s.opts.KeepSpans {
+		p.Spans = make([]profile.Span, 0, len(s.prog.Instrs))
+	}
 	for i := range s.prog.Instrs {
 		in := &s.prog.Instrs[i]
 		c := s.comp[i]

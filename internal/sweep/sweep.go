@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"ascendperf/internal/core"
+	"ascendperf/internal/engine"
 	"ascendperf/internal/hw"
 	"ascendperf/internal/kernels"
 	"ascendperf/internal/multicore"
@@ -45,31 +46,37 @@ type Result struct {
 
 // Run sweeps a partitionable kernel across work scales. scales multiply
 // the kernel's canonical unit count; non-positive or sub-unit scales are
-// clamped to one unit. opts is the implementation variant to build.
+// clamped to one unit. opts is the implementation variant to build. The
+// shape points simulate and analyze in parallel on the engine worker
+// pool; Points keeps the order of scales.
 func Run(chip *hw.Chip, k multicore.Partitionable, opts optsType, scales []float64) (*Result, error) {
 	res := &Result{Kernel: k.Name(), Chip: chip.Name}
 	th := core.DefaultThresholds()
 	base := k.PartitionUnits()
-	for _, scale := range scales {
-		units := int64(float64(base) * scale)
+	points, err := engine.ParallelMap(0, len(scales), func(i int) (Point, error) {
+		units := int64(float64(base) * scales[i])
 		if units < 1 {
 			units = 1
 		}
 		prog, err := k.WithUnits(units).Build(chip, opts)
 		if err != nil {
-			return nil, fmt.Errorf("sweep: %s at %d units: %w", k.Name(), units, err)
+			return Point{}, fmt.Errorf("sweep: %s at %d units: %w", k.Name(), units, err)
 		}
-		p, err := sim.RunOpts(chip, prog, sim.Options{})
+		p, err := engine.Simulate(chip, prog, sim.Options{})
 		if err != nil {
-			return nil, fmt.Errorf("sweep: %s at %d units: %w", k.Name(), units, err)
+			return Point{}, fmt.Errorf("sweep: %s at %d units: %w", k.Name(), units, err)
 		}
 		a := core.Analyze(p, chip, th)
-		res.Points = append(res.Points, Point{
+		return Point{
 			Units: units, TimeUS: p.TotalTime / 1000,
 			Cause: a.Cause, MaxUtil: a.MaxUtil, MaxRatio: a.MaxRatio,
 			Headroom: a.Headroom(),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Points = points
 	return res, nil
 }
 

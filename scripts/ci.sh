@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# ci.sh — the repository's continuous-integration gate, runnable locally
+# or from .github/workflows/ci.yml. The -race pass exists specifically
+# for internal/engine: the worker pool and the simulation cache are the
+# only concurrent code in the repository, and TestCacheStress /
+# TestParallelAnalysisDeterminism only prove anything under the race
+# detector.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test =="
+go test ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "CI OK"
