@@ -6,17 +6,26 @@
 //
 //	ascendprof -op add_relu [-chip training|inference|tpu] [-optimized]
 //	           [-timeline] [-naive] [-critpath] [-trace out.json]
-//	           [-csv out.csv] [-disasm] [-save profile.json]
-//	           [-html report.html]
+//	           [-metrics] [-metricsjson m.json] [-csv out.csv] [-disasm]
+//	           [-save profile.json] [-html report.html] [-cache N]
 //	ascendprof -analyze profile.json [-diff other.json] [-chip ...]
 //	ascendprof -asm program.txt [-chip ...]
+//	ascendprof -checktrace trace.json
 //
-// With no -op it lists the available operators.
+// With no -op it lists the available operators. -trace emits a
+// Perfetto/chrome://tracing timeline (FORMATS.md §6) with one track per
+// component queue, flow arrows for flag dependencies and the critical
+// path highlighted; -metrics prints the per-component
+// busy/wait/idle decomposition; -checktrace validates an emitted trace
+// against the schema. Simulations run through the internal/engine
+// memoization cache; span retention (KeepSpans) is part of the cache
+// key, so traced runs never force span storage onto untraced ones.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strconv"
@@ -25,6 +34,7 @@ import (
 	"ascendperf/internal/cliutil"
 	"ascendperf/internal/core"
 	"ascendperf/internal/critpath"
+	"ascendperf/internal/engine"
 	"ascendperf/internal/hw"
 	"ascendperf/internal/isa"
 	"ascendperf/internal/kernels"
@@ -32,54 +42,85 @@ import (
 	"ascendperf/internal/profile"
 	"ascendperf/internal/sim"
 	"ascendperf/internal/sweep"
+	"ascendperf/internal/trace"
 	"ascendperf/internal/viz"
 )
 
+// runOpts bundles the single-run flag set of the main profiling path.
+type runOpts struct {
+	op, asm, chip                          string
+	optimized, timeline, naive             bool
+	disasm, critPath, metrics              bool
+	tracePath, csvPath, savePath, htmlPath string
+	metricsJSON                            string
+}
+
 func main() {
 	var (
-		opName    = flag.String("op", "", "operator name (empty lists all)")
-		chipName  = flag.String("chip", "training", "chip preset (training, inference, tpu) or a chip-spec JSON file")
-		dumpChip  = flag.String("dumpchip", "", "write the selected chip specification as JSON and exit")
-		optimized = flag.Bool("optimized", false, "build the fully optimized variant instead of the shipped baseline")
-		timeline  = flag.Bool("timeline", false, "print the ASCII pipeline timeline")
-		naive     = flag.Bool("naive", false, "also print the naive per-pair roofline for comparison")
-		tracePath = flag.String("trace", "", "write a Chrome trace-event JSON file")
-		csvPath   = flag.String("csv", "", "write the span timeline as CSV")
-		disasm    = flag.Bool("disasm", false, "print the generated instruction stream")
-		critPath  = flag.Bool("critpath", false, "print the critical-path decomposition")
-		savePath  = flag.String("save", "", "write the raw profile as JSON for offline analysis")
-		htmlPath  = flag.String("html", "", "write a self-contained HTML report")
-		asmPath   = flag.String("asm", "", "profile a hand-written program file (Disassemble format) instead of a library operator")
-		sweepStr  = flag.String("sweep", "", "comma-separated work scales: print a shape sweep instead of a single profile (e.g. 0.25,1,4)")
-		loadPath  = flag.String("analyze", "", "analyze a previously saved profile JSON instead of simulating")
-		diffPath  = flag.String("diff", "", "with -analyze: compare against a second saved profile")
+		o          runOpts
+		dumpChip   = flag.String("dumpchip", "", "write the selected chip specification as JSON and exit")
+		sweepStr   = flag.String("sweep", "", "comma-separated work scales: print a shape sweep instead of a single profile (e.g. 0.25,1,4)")
+		loadPath   = flag.String("analyze", "", "analyze a previously saved profile JSON instead of simulating")
+		diffPath   = flag.String("diff", "", "with -analyze: compare against a second saved profile")
+		checkTrace = flag.String("checktrace", "", "validate a trace JSON file against the FORMATS.md §6 schema and exit")
+		cacheSize  = flag.Int("cache", engine.DefaultCacheCapacity, "simulation cache capacity in entries (0 disables)")
 	)
+	flag.StringVar(&o.op, "op", "", "operator name (empty lists all)")
+	flag.StringVar(&o.chip, "chip", "training", "chip preset (training, inference, tpu) or a chip-spec JSON file")
+	flag.BoolVar(&o.optimized, "optimized", false, "build the fully optimized variant instead of the shipped baseline")
+	flag.BoolVar(&o.timeline, "timeline", false, "print the ASCII pipeline timeline")
+	flag.BoolVar(&o.naive, "naive", false, "also print the naive per-pair roofline for comparison")
+	flag.StringVar(&o.tracePath, "trace", "", "write a Perfetto/Chrome trace-event JSON timeline")
+	flag.StringVar(&o.csvPath, "csv", "", "write the span timeline as CSV")
+	flag.BoolVar(&o.disasm, "disasm", false, "print the generated instruction stream")
+	flag.BoolVar(&o.critPath, "critpath", false, "print the critical-path decomposition")
+	flag.BoolVar(&o.metrics, "metrics", false, "print the per-component metrics report (busy/wait/idle attribution)")
+	flag.StringVar(&o.metricsJSON, "metricsjson", "", "write the per-component metrics report as JSON")
+	flag.StringVar(&o.savePath, "save", "", "write the raw profile as JSON for offline analysis")
+	flag.StringVar(&o.htmlPath, "html", "", "write a self-contained HTML report")
+	flag.StringVar(&o.asm, "asm", "", "profile a hand-written program file (Disassemble format) instead of a library operator")
 	flag.Parse()
-	if *dumpChip != "" {
-		if err := writeChipSpec(*chipName, *dumpChip); err != nil {
-			fmt.Fprintln(os.Stderr, "ascendprof:", err)
-			os.Exit(1)
-		}
-		return
-	}
-	if *loadPath != "" {
-		if err := analyzeSaved(*loadPath, *diffPath, *chipName); err != nil {
-			fmt.Fprintln(os.Stderr, "ascendprof:", err)
-			os.Exit(1)
-		}
-		return
-	}
-	if *sweepStr != "" {
-		if err := runSweep(*opName, *chipName, *optimized, *sweepStr); err != nil {
-			fmt.Fprintln(os.Stderr, "ascendprof:", err)
-			os.Exit(1)
-		}
-		return
-	}
-	if err := run(*opName, *asmPath, *chipName, *optimized, *timeline, *naive, *tracePath, *csvPath, *disasm, *critPath, *savePath, *htmlPath); err != nil {
+	engine.SetCacheCapacity(*cacheSize)
+	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "ascendprof:", err)
 		os.Exit(1)
 	}
+	switch {
+	case *checkTrace != "":
+		if err := validateTraceFile(*checkTrace); err != nil {
+			fail(err)
+		}
+	case *dumpChip != "":
+		if err := writeChipSpec(o.chip, *dumpChip); err != nil {
+			fail(err)
+		}
+	case *loadPath != "":
+		if err := analyzeSaved(*loadPath, *diffPath, o.chip); err != nil {
+			fail(err)
+		}
+	case *sweepStr != "":
+		if err := runSweep(o.op, o.chip, o.optimized, *sweepStr); err != nil {
+			fail(err)
+		}
+	default:
+		if err := run(o); err != nil {
+			fail(err)
+		}
+	}
+}
+
+// validateTraceFile checks an emitted trace against the schema.
+func validateTraceFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := trace.Validate(f); err != nil {
+		return err
+	}
+	fmt.Printf("%s: valid %s\n", path, trace.SchemaTrace)
+	return nil
 }
 
 // runSweep prints a shape sweep of the operator.
@@ -175,9 +216,34 @@ func chipByName(name string) (*hw.Chip, error) {
 	return cliutil.ChipByName(name)
 }
 
-func run(opName, asmPath, chipName string, optimized, timeline, naive bool, tracePath, csvPath string, disasm, critPath bool, savePath, htmlPath string) error {
+// needSpans reports whether any requested output requires the full
+// per-instruction span timeline. Plain roofline analysis does not, so
+// it simulates with KeepSpans off — cheaper, and cache-compatible with
+// every other span-less run of the same (chip, program).
+func (o runOpts) needSpans() bool {
+	return o.timeline || o.critPath || o.metrics ||
+		o.tracePath != "" || o.csvPath != "" || o.savePath != "" ||
+		o.htmlPath != "" || o.metricsJSON != ""
+}
+
+// writeFile creates path, streams write into it and reports the path on
+// success.
+func writeFile(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := write(f); err != nil {
+		return err
+	}
+	fmt.Println("wrote", path)
+	return nil
+}
+
+func run(o runOpts) error {
 	reg := kernels.Registry()
-	if opName == "" && asmPath == "" {
+	if o.op == "" && o.asm == "" {
 		names := make([]string, 0, len(reg))
 		for n := range reg {
 			names = append(names, n)
@@ -189,18 +255,18 @@ func run(opName, asmPath, chipName string, optimized, timeline, naive bool, trac
 		}
 		return nil
 	}
-	chip, err := chipByName(chipName)
+	chip, err := chipByName(o.chip)
 	if err != nil {
 		return err
 	}
 	var prog *isa.Program
-	if asmPath != "" {
-		f, err := os.Open(asmPath)
+	if o.asm != "" {
+		f, err := os.Open(o.asm)
 		if err != nil {
 			return err
 		}
 		defer f.Close()
-		prog, err = isa.Parse(asmPath, f)
+		prog, err = isa.Parse(o.asm, f)
 		if err != nil {
 			return err
 		}
@@ -208,12 +274,12 @@ func run(opName, asmPath, chipName string, optimized, timeline, naive bool, trac
 			return err
 		}
 	} else {
-		k := reg[opName]
+		k := reg[o.op]
 		if k == nil {
-			return fmt.Errorf("unknown operator %q (run without -op to list)", opName)
+			return fmt.Errorf("unknown operator %q (run without -op to list)", o.op)
 		}
 		opts := k.Baseline()
-		if optimized {
+		if o.optimized {
 			opts = kernels.FullyOptimized(k)
 		}
 		prog, err = k.Build(chip, opts)
@@ -221,75 +287,75 @@ func run(opName, asmPath, chipName string, optimized, timeline, naive bool, trac
 			return err
 		}
 	}
-	if disasm {
+	if o.disasm {
 		fmt.Print(prog.Disassemble())
 	}
-	p, err := sim.Run(chip, prog)
+	p, err := engine.Simulate(chip, prog, sim.Options{KeepSpans: o.needSpans()})
 	if err != nil {
 		return err
 	}
 	fmt.Print(p.Summary())
 	a := core.Analyze(p, chip, core.DefaultThresholds())
 	fmt.Print(a.Report())
-	if naive {
+	if o.naive {
 		fmt.Print(core.NaiveAnalyze(p, chip).Report())
 	}
-	if timeline {
+	if o.timeline {
 		fmt.Print(viz.Timeline(p, 120))
 	}
-	if critPath {
-		cp, err := critpath.Compute(chip, prog, p)
+	// The critical path feeds the -critpath report, the trace overlay
+	// and the HTML report; compute it once.
+	var cp *critpath.Analysis
+	if o.critPath || o.tracePath != "" || o.htmlPath != "" {
+		cp, err = critpath.Compute(chip, prog, p)
 		if err != nil {
 			return err
 		}
+	}
+	if o.critPath {
 		fmt.Print(cp.Report())
 	}
-	if tracePath != "" {
-		f, err := os.Create(tracePath)
+	if o.metrics || o.metricsJSON != "" {
+		m, err := trace.ComputeMetrics(chip, prog, p)
 		if err != nil {
 			return err
 		}
-		defer f.Close()
-		if err := p.WriteChromeTrace(f); err != nil {
-			return err
+		if o.metrics {
+			fmt.Print(m.Report())
 		}
-		fmt.Println("wrote", tracePath)
+		if o.metricsJSON != "" {
+			if err := writeFile(o.metricsJSON, m.WriteJSON); err != nil {
+				return err
+			}
+		}
 	}
-	if csvPath != "" {
-		f, err := os.Create(csvPath)
+	if o.tracePath != "" {
+		err := writeFile(o.tracePath, func(w io.Writer) error {
+			return trace.Write(w, chip, prog, p, trace.Options{CritPath: cp})
+		})
 		if err != nil {
 			return err
 		}
-		defer f.Close()
-		if err := p.WriteCSV(f); err != nil {
-			return err
-		}
-		fmt.Println("wrote", csvPath)
 	}
-	if savePath != "" {
-		f, err := os.Create(savePath)
-		if err != nil {
+	if o.csvPath != "" {
+		if err := writeFile(o.csvPath, p.WriteCSV); err != nil {
 			return err
 		}
-		defer f.Close()
-		if err := p.WriteJSON(f); err != nil {
-			return err
-		}
-		fmt.Println("wrote", savePath)
 	}
-	if htmlPath != "" {
-		cp, err := critpath.Compute(chip, prog, p)
-		if err != nil {
+	if o.savePath != "" {
+		if err := writeFile(o.savePath, p.WriteJSON); err != nil {
 			return err
 		}
+	}
+	if o.htmlPath != "" {
 		rep := &viz.HTMLReport{
 			Title:    fmt.Sprintf("%s on %s", prog.Name, chip.Name),
 			Analysis: a, Profile: p, CritPath: cp,
 		}
-		if err := os.WriteFile(htmlPath, []byte(rep.Render()), 0o644); err != nil {
+		if err := os.WriteFile(o.htmlPath, []byte(rep.Render()), 0o644); err != nil {
 			return err
 		}
-		fmt.Println("wrote", htmlPath)
+		fmt.Println("wrote", o.htmlPath)
 	}
 	return nil
 }

@@ -1,36 +1,100 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"ascendperf/internal/trace"
 )
 
 func TestRunListsOperators(t *testing.T) {
-	if err := run("", "", "training", false, false, false, "", "", false, false, "", ""); err != nil {
+	if err := run(runOpts{chip: "training"}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunFullFeatureSet(t *testing.T) {
 	dir := t.TempDir()
-	trace := filepath.Join(dir, "t.json")
-	csv := filepath.Join(dir, "t.csv")
-	if err := run("add_relu", "", "training", true, true, true, trace, csv, true, true, "", ""); err != nil {
+	o := runOpts{
+		op: "add_relu", chip: "training",
+		optimized: true, timeline: true, naive: true,
+		disasm: true, critPath: true, metrics: true,
+		tracePath:   filepath.Join(dir, "t.json"),
+		csvPath:     filepath.Join(dir, "t.csv"),
+		metricsJSON: filepath.Join(dir, "m.json"),
+	}
+	if err := run(o); err != nil {
 		t.Fatal(err)
+	}
+	for _, p := range []string{o.tracePath, o.csvPath, o.metricsJSON} {
+		if _, err := os.Stat(p); err != nil {
+			t.Errorf("output %s not written: %v", p, err)
+		}
 	}
 }
 
 func TestRunInferenceChip(t *testing.T) {
-	if err := run("avgpool", "", "inference", false, false, false, "", "", false, false, "", ""); err != nil {
+	if err := run(runOpts{op: "avgpool", chip: "inference"}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestTraceFlagEmitsValidTrace is the acceptance check: -trace output
+// passes schema validation (the machine stand-in for "loads in
+// Perfetto") and -checktrace accepts it.
+func TestTraceFlagEmitsValidTrace(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "trace.json")
+	if err := run(runOpts{op: "add_relu", chip: "training", tracePath: out}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := trace.Validate(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := validateTraceFile(out); err != nil {
+		t.Fatal(err)
+	}
+	if err := validateTraceFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing trace file accepted")
+	}
+}
+
+// TestMetricsJSONFlag checks the -metricsjson schema tag and that the
+// per-component decomposition reaches the file.
+func TestMetricsJSONFlag(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "m.json")
+	if err := run(runOpts{op: "depthwise", chip: "training", metricsJSON: out}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m struct {
+		Schema     string           `json:"schema"`
+		Components []map[string]any `json:"components"`
+	}
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Schema != trace.SchemaMetrics {
+		t.Errorf("schema %q, want %q", m.Schema, trace.SchemaMetrics)
+	}
+	if len(m.Components) == 0 {
+		t.Error("no components in metrics JSON")
 	}
 }
 
 func TestHTMLReportFlag(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "r.html")
-	if err := run("depthwise", "", "training", false, false, false, "", "", false, false, "", out); err != nil {
+	if err := run(runOpts{op: "depthwise", chip: "training", htmlPath: out}); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -40,12 +104,15 @@ func TestHTMLReportFlag(t *testing.T) {
 	if !strings.Contains(string(data), "</html>") {
 		t.Error("incomplete HTML report")
 	}
+	if !strings.Contains(string(data), "timeline-svg") {
+		t.Error("HTML report lacks the embedded timeline")
+	}
 }
 
 func TestSaveAndAnalyze(t *testing.T) {
 	dir := t.TempDir()
 	saved := filepath.Join(dir, "p.json")
-	if err := run("mul", "", "training", false, false, false, "", "", false, false, saved, ""); err != nil {
+	if err := run(runOpts{op: "mul", chip: "training", savePath: saved}); err != nil {
 		t.Fatal(err)
 	}
 	if err := analyzeSaved(saved, "", "training"); err != nil {
@@ -60,7 +127,7 @@ func TestSaveAndAnalyze(t *testing.T) {
 
 	// Diff mode: compare baseline against the optimized variant.
 	opt := filepath.Join(dir, "opt.json")
-	if err := run("mul", "", "training", true, false, false, "", "", false, false, opt, ""); err != nil {
+	if err := run(runOpts{op: "mul", chip: "training", optimized: true, savePath: opt}); err != nil {
 		t.Fatal(err)
 	}
 	if err := analyzeSaved(saved, opt, "training"); err != nil {
@@ -78,7 +145,7 @@ func TestCustomChipFile(t *testing.T) {
 		t.Fatal(err)
 	}
 	// The spec file now works anywhere a preset name does.
-	if err := run("mul", "", spec, false, false, false, "", "", false, false, "", ""); err != nil {
+	if err := run(runOpts{op: "mul", chip: spec}); err != nil {
 		t.Fatal(err)
 	}
 	if err := writeChipSpec("quantum", spec); err == nil {
@@ -93,10 +160,10 @@ func TestRunHandWrittenProgram(t *testing.T) {
 	if err := os.WriteFile(asm, []byte(src), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("", asm, "training", false, true, false, "", "", false, true, "", ""); err != nil {
+	if err := run(runOpts{asm: asm, chip: "training", timeline: true, critPath: true, metrics: true}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("", filepath.Join(dir, "missing.txt"), "training", false, false, false, "", "", false, false, "", ""); err == nil {
+	if err := run(runOpts{asm: filepath.Join(dir, "missing.txt"), chip: "training"}); err == nil {
 		t.Error("missing asm accepted")
 	}
 }
@@ -117,10 +184,10 @@ func TestRunSweep(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("nope", "", "training", false, false, false, "", "", false, false, "", ""); err == nil {
+	if err := run(runOpts{op: "nope", chip: "training"}); err == nil {
 		t.Error("unknown operator accepted")
 	}
-	if err := run("add_relu", "", "quantum", false, false, false, "", "", false, false, "", ""); err == nil {
+	if err := run(runOpts{op: "add_relu", chip: "quantum"}); err == nil {
 		t.Error("unknown chip accepted")
 	}
 }

@@ -1,11 +1,18 @@
 // Command ascendviz renders the component-based roofline of an operator
-// (Fig. 6/7 style) as an SVG document.
+// (Fig. 6/7 style) as an SVG document, or a full self-contained HTML
+// report with the span timeline and critical-path overlay embedded.
 //
 // Usage:
 //
 //	ascendviz -op depthwise [-chip training|inference] [-optimized] [-o roofline.svg]
+//	ascendviz -op depthwise -html report.html
 //
-// Without -o the SVG is written to stdout.
+// Without -o the SVG is written to stdout. -html switches to the full
+// report: roofline + per-component table + SVG Gantt timeline with the
+// critical path outlined in red (the static counterpart of
+// `ascendprof -trace` viewed in Perfetto). Simulations go through the
+// internal/engine cache, so re-rendering an already-simulated
+// (chip, operator) pair is free.
 package main
 
 import (
@@ -15,6 +22,8 @@ import (
 
 	"ascendperf/internal/cliutil"
 	"ascendperf/internal/core"
+	"ascendperf/internal/critpath"
+	"ascendperf/internal/engine"
 	"ascendperf/internal/kernels"
 	"ascendperf/internal/sim"
 	"ascendperf/internal/viz"
@@ -26,15 +35,16 @@ func main() {
 		chipName  = flag.String("chip", "training", "chip preset: training or inference")
 		optimized = flag.Bool("optimized", false, "render the optimized variant")
 		outPath   = flag.String("o", "", "output path (default stdout)")
+		htmlPath  = flag.String("html", "", "write a full HTML report with the embedded timeline instead of a bare SVG")
 	)
 	flag.Parse()
-	if err := run(*opName, *chipName, *optimized, *outPath); err != nil {
+	if err := run(*opName, *chipName, *optimized, *outPath, *htmlPath); err != nil {
 		fmt.Fprintln(os.Stderr, "ascendviz:", err)
 		os.Exit(1)
 	}
 }
 
-func run(opName, chipName string, optimized bool, outPath string) error {
+func run(opName, chipName string, optimized bool, outPath, htmlPath string) error {
 	k := kernels.Registry()[opName]
 	if k == nil {
 		return fmt.Errorf("unknown operator %q", opName)
@@ -51,11 +61,29 @@ func run(opName, chipName string, optimized bool, outPath string) error {
 	if err != nil {
 		return err
 	}
-	p, err := sim.Run(chip, prog)
+	// The HTML report embeds the span timeline, so only that mode needs
+	// KeepSpans; the bare roofline stays on the cheaper span-less cache
+	// entry.
+	p, err := engine.Simulate(chip, prog, sim.Options{KeepSpans: htmlPath != ""})
 	if err != nil {
 		return err
 	}
 	a := core.Analyze(p, chip, core.DefaultThresholds())
+	if htmlPath != "" {
+		cp, err := critpath.Compute(chip, prog, p)
+		if err != nil {
+			return err
+		}
+		rep := &viz.HTMLReport{
+			Title:    fmt.Sprintf("%s on %s", prog.Name, chip.Name),
+			Analysis: a, Profile: p, CritPath: cp,
+		}
+		if err := os.WriteFile(htmlPath, []byte(rep.Render()), 0o644); err != nil {
+			return err
+		}
+		fmt.Println("wrote", htmlPath)
+		return nil
+	}
 	svg := viz.BuildChart(a).SVG()
 	if outPath == "" {
 		fmt.Print(svg)

@@ -9,7 +9,7 @@ import (
 
 func TestRunToFile(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "r.svg")
-	if err := run("depthwise", "training", true, out); err != nil {
+	if err := run("depthwise", "training", true, out, ""); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -21,11 +21,32 @@ func TestRunToFile(t *testing.T) {
 	}
 }
 
+func TestRunHTMLReport(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "r.html")
+	if err := run("add_relu", "training", false, "", out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	html := string(data)
+	if !strings.Contains(html, "</html>") {
+		t.Error("incomplete HTML report")
+	}
+	if !strings.Contains(html, "timeline-svg") {
+		t.Error("report lacks the embedded timeline")
+	}
+	if !strings.Contains(html, "critical path") {
+		t.Error("report lacks the critical-path overlay")
+	}
+}
+
 func TestRunErrors(t *testing.T) {
-	if err := run("nope", "training", false, ""); err == nil {
+	if err := run("nope", "training", false, "", ""); err == nil {
 		t.Error("unknown operator accepted")
 	}
-	if err := run("mul", "quantum", false, ""); err == nil {
+	if err := run("mul", "quantum", false, "", ""); err == nil {
 		t.Error("unknown chip accepted")
 	}
 }

@@ -93,9 +93,39 @@ type Analysis struct {
 	WaitTime map[EdgeKind]float64
 }
 
-// Compute reconstructs the critical path of a schedule. The profile must
-// carry spans (sim.Run keeps them by default).
-func Compute(chip *hw.Chip, prog *isa.Program, p *profile.Profile) (*Analysis, error) {
+// Binding is the constraint that bound one instruction's start: the
+// edge kind plus the predecessor instruction the edge points to (-1 for
+// dispatch and chain-origin edges). It is the per-instruction answer to
+// "why did this instruction start when it did, and not earlier?".
+type Binding struct {
+	Via  EdgeKind
+	Pred int
+}
+
+// schedView is the precomputed dependency view of one schedule shared by
+// Compute and Bindings: span times indexed by instruction, per-queue
+// predecessors, flag set/wait pairing and governing barriers.
+type schedView struct {
+	chip *hw.Chip
+	prog *isa.Program
+
+	starts, ends  []float64
+	comp          []hw.Component
+	prev          []int // per-queue predecessor, -1 for queue heads
+	barrierBefore []int // latest preceding PIPE_ALL barrier, -1 if none
+
+	sets    map[flagKey][]int // set_flag indices per key, completion order
+	waitSeq []int             // ordinal of each wait_flag within its key
+}
+
+type flagKey struct {
+	from, to hw.Component
+	event    int
+}
+
+// newSchedView validates that the profile carries one span per
+// instruction and assembles the dependency view.
+func newSchedView(chip *hw.Chip, prog *isa.Program, p *profile.Profile) (*schedView, error) {
 	n := len(prog.Instrs)
 	if n == 0 || p == nil || len(p.Spans) != n {
 		have := 0
@@ -104,106 +134,132 @@ func Compute(chip *hw.Chip, prog *isa.Program, p *profile.Profile) (*Analysis, e
 		}
 		return nil, fmt.Errorf("critpath: need one span per instruction (have %d of %d)", have, n)
 	}
-	starts := make([]float64, n)
-	ends := make([]float64, n)
-	comp := make([]hw.Component, n)
-	for _, s := range p.Spans {
-		starts[s.Index] = s.Start
-		ends[s.Index] = s.End
-		comp[s.Index] = s.Comp
+	v := &schedView{
+		chip:    chip,
+		prog:    prog,
+		starts:  make([]float64, n),
+		ends:    make([]float64, n),
+		comp:    make([]hw.Component, n),
+		prev:    make([]int, n),
+		sets:    map[flagKey][]int{},
+		waitSeq: make([]int, n),
 	}
-
-	// Per-queue predecessor.
-	prev := make([]int, n)
+	for _, s := range p.Spans {
+		v.starts[s.Index] = s.Start
+		v.ends[s.Index] = s.End
+		v.comp[s.Index] = s.Comp
+	}
 	lastInQueue := map[hw.Component]int{}
 	for i := 0; i < n; i++ {
-		if j, ok := lastInQueue[comp[i]]; ok {
-			prev[i] = j
+		if j, ok := lastInQueue[v.comp[i]]; ok {
+			v.prev[i] = j
 		} else {
-			prev[i] = -1
+			v.prev[i] = -1
 		}
-		lastInQueue[comp[i]] = i
+		lastInQueue[v.comp[i]] = i
 	}
-	// Set indices per flag key in completion order.
-	type key struct {
-		from, to hw.Component
-		event    int
-	}
-	sets := map[key][]int{}
-	waitSeq := make([]int, n)
-	waitCount := map[key]int{}
+	waitCount := map[flagKey]int{}
 	for i := 0; i < n; i++ {
 		in := &prog.Instrs[i]
-		k := key{in.From, in.To, in.EventID}
+		k := flagKey{in.From, in.To, in.EventID}
 		switch in.Kind {
 		case isa.KindSetFlag:
-			sets[k] = append(sets[k], i)
+			v.sets[k] = append(v.sets[k], i)
 		case isa.KindWaitFlag:
-			waitSeq[i] = waitCount[k]
+			v.waitSeq[i] = waitCount[k]
 			waitCount[k]++
 		}
 	}
-	for k := range sets {
-		ss := sets[k]
-		sort.SliceStable(ss, func(a, b int) bool { return ends[ss[a]] < ends[ss[b]] })
+	for k := range v.sets {
+		ss := v.sets[k]
+		sort.SliceStable(ss, func(a, b int) bool { return v.ends[ss[a]] < v.ends[ss[b]] })
 	}
-	// Latest barrier before each instruction.
-	barrierBefore := make([]int, n)
+	v.barrierBefore = make([]int, n)
 	last := -1
 	for i := 0; i < n; i++ {
-		barrierBefore[i] = last
+		v.barrierBefore[i] = last
 		in := &prog.Instrs[i]
 		if in.Kind == isa.KindBarrier && in.Scope == isa.BarrierAll {
 			last = i
 		}
 	}
+	return v, nil
+}
 
-	// binding returns the constraint explaining instruction i's start:
-	// the predecessor whose completion time is the largest lower bound.
-	binding := func(i int) (EdgeKind, int) {
-		const eps = 1e-6
-		in := &prog.Instrs[i]
-		bestKind, bestPred, bestT := EdgeStart, -1, 0.0
-		consider := func(kind EdgeKind, pred int, t float64) {
-			if t > bestT+eps || (t > bestT-eps && pred > bestPred) {
-				bestKind, bestPred, bestT = kind, pred, t
-			}
+// binding returns the constraint explaining instruction i's start: the
+// predecessor whose completion time is the largest lower bound.
+func (v *schedView) binding(i int) Binding {
+	const eps = 1e-6
+	n := len(v.prog.Instrs)
+	in := &v.prog.Instrs[i]
+	bestKind, bestPred, bestT := EdgeStart, -1, 0.0
+	consider := func(kind EdgeKind, pred int, t float64) {
+		if t > bestT+eps || (t > bestT-eps && pred > bestPred) {
+			bestKind, bestPred, bestT = kind, pred, t
 		}
-		if p := prev[i]; p >= 0 {
-			consider(EdgeQueue, p, ends[p])
-		}
-		if b := barrierBefore[i]; b >= 0 {
-			consider(EdgeBarrier, b, ends[b])
-		}
-		if in.Kind == isa.KindBarrier && in.Scope == isa.BarrierAll {
-			for j := 0; j < i; j++ {
-				consider(EdgeBarrier, j, ends[j])
-			}
-		}
-		if in.Kind == isa.KindWaitFlag {
-			k := key{in.From, in.To, in.EventID}
-			if seq := waitSeq[i]; seq < len(sets[k]) {
-				s := sets[k][seq]
-				consider(EdgeFlag, s, ends[s])
-			}
-		}
-		// Spatial dependencies and bank conflicts.
-		for j := 0; j < n; j++ {
-			if j == i || comp[j] == comp[i] {
-				continue
-			}
-			if regionsConflict(chip, &prog.Instrs[i], &prog.Instrs[j]) && ends[j] <= starts[i]+eps {
-				consider(EdgeHazard, j, ends[j])
-			}
-		}
-		consider(EdgeDispatch, -1, float64(i+1)*chip.DispatchLatency)
-		if bestT < starts[i]-eps {
-			// The start is later than every known bound (should not
-			// happen on verified schedules); attribute to dispatch.
-			return EdgeDispatch, -1
-		}
-		return bestKind, bestPred
 	}
+	if p := v.prev[i]; p >= 0 {
+		consider(EdgeQueue, p, v.ends[p])
+	}
+	if b := v.barrierBefore[i]; b >= 0 {
+		consider(EdgeBarrier, b, v.ends[b])
+	}
+	if in.Kind == isa.KindBarrier && in.Scope == isa.BarrierAll {
+		for j := 0; j < i; j++ {
+			consider(EdgeBarrier, j, v.ends[j])
+		}
+	}
+	if in.Kind == isa.KindWaitFlag {
+		k := flagKey{in.From, in.To, in.EventID}
+		if seq := v.waitSeq[i]; seq < len(v.sets[k]) {
+			s := v.sets[k][seq]
+			consider(EdgeFlag, s, v.ends[s])
+		}
+	}
+	// Spatial dependencies and bank conflicts.
+	for j := 0; j < n; j++ {
+		if j == i || v.comp[j] == v.comp[i] {
+			continue
+		}
+		if regionsConflict(v.chip, &v.prog.Instrs[i], &v.prog.Instrs[j]) && v.ends[j] <= v.starts[i]+eps {
+			consider(EdgeHazard, j, v.ends[j])
+		}
+	}
+	consider(EdgeDispatch, -1, float64(i+1)*v.chip.DispatchLatency)
+	if bestT < v.starts[i]-eps {
+		// The start is later than every known bound (should not
+		// happen on verified schedules); attribute to dispatch.
+		return Binding{EdgeDispatch, -1}
+	}
+	return Binding{bestKind, bestPred}
+}
+
+// Bindings computes the binding constraint of every instruction in the
+// schedule, indexed by program order. The trace metrics layer uses it to
+// attribute each queue's waiting time to dispatch, flag, barrier or
+// hazard causes; Compute uses the same relation to walk the critical
+// chain. The profile must carry one span per instruction.
+func Bindings(chip *hw.Chip, prog *isa.Program, p *profile.Profile) ([]Binding, error) {
+	v, err := newSchedView(chip, prog, p)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Binding, len(prog.Instrs))
+	for i := range out {
+		out[i] = v.binding(i)
+	}
+	return out, nil
+}
+
+// Compute reconstructs the critical path of a schedule. The profile must
+// carry spans (sim.Run keeps them by default).
+func Compute(chip *hw.Chip, prog *isa.Program, p *profile.Profile) (*Analysis, error) {
+	v, err := newSchedView(chip, prog, p)
+	if err != nil {
+		return nil, err
+	}
+	n := len(prog.Instrs)
+	starts, ends, comp := v.starts, v.ends, v.comp
 
 	// Walk back from the last-finishing instruction.
 	lastIdx := 0
@@ -220,7 +276,8 @@ func Compute(chip *hw.Chip, prog *isa.Program, p *profile.Profile) (*Analysis, e
 	visited := map[int]bool{}
 	for i := lastIdx; i >= 0 && !visited[i]; {
 		visited[i] = true
-		kind, pred := binding(i)
+		b := v.binding(i)
+		kind, pred := b.Via, b.Pred
 		a.Steps = append(a.Steps, Step{
 			Index: i, Comp: comp[i], Start: starts[i], End: ends[i],
 			Via: kind, Pred: pred,

@@ -24,13 +24,31 @@ import (
 	"ascendperf/internal/isa"
 )
 
-// Span is one executed instruction interval on a component.
+// Span is one executed instruction interval on a component queue. Spans
+// are only recorded when the simulation keeps its timeline (sim.Run, or
+// sim.RunOpts / engine.Simulate with Options.KeepSpans set); aggregate
+// metrics (Busy, PathBytes, ...) are always populated. Spans are the raw
+// material of viz.Timeline, trace.Write, trace.ComputeMetrics and
+// critpath.Compute.
 type Span struct {
-	Comp  hw.Component
-	Kind  isa.Kind
-	Index int // instruction index in program order
+	// Comp is the component queue the instruction executed on.
+	Comp hw.Component
+	// Kind is the instruction class (transfer, compute, set/wait flag,
+	// barrier), mirroring the source instruction's Kind.
+	Kind isa.Kind
+	// Index is the instruction's position in program order; it links the
+	// span back to Program.Instrs[Index]. Every instruction of a program
+	// has exactly one span.
+	Index int
+	// Start and End bound the execution interval in nanoseconds from
+	// operator launch. End-Start is pure execution time: queue residency
+	// before Start (dispatch delay, flag/barrier waits, hazard stalls)
+	// is visible only as the gap to the previous span on the same
+	// component — trace.ComputeMetrics attributes those gaps to causes.
 	Start float64
 	End   float64
+	// Label is the instruction's optional source annotation (";" comment
+	// in the assembly format), carried through for display.
 	Label string
 }
 
@@ -190,9 +208,11 @@ type chromeEvent struct {
 	TID  int     `json:"tid"`
 }
 
-// WriteChromeTrace emits the span timeline in Chrome trace-event JSON
-// (load via chrome://tracing or Perfetto). Each component maps to a
-// thread lane.
+// WriteChromeTrace emits the span timeline in minimal Chrome trace-event
+// JSON (load via chrome://tracing or Perfetto). Each component maps to a
+// thread lane. This is the quick bare-bones exporter; the internal/trace
+// package produces the full documented format (FORMATS.md §6) with named
+// tracks, flag-dependency flow arrows and the critical-path overlay.
 func (p *Profile) WriteChromeTrace(w io.Writer) error {
 	events := make([]chromeEvent, 0, len(p.Spans))
 	for _, s := range p.Spans {

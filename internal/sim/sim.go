@@ -57,7 +57,11 @@ type Options struct {
 	// silently drops spans (no per-instruction timeline is materialized
 	// at all, which is what makes large batch runs cheap), while Run
 	// keeps them. Pass Options{KeepSpans: true} explicitly when the
-	// caller needs Gaps, Chrome traces or schedule verification.
+	// caller needs Profile.Gaps, trace export (internal/trace), the
+	// critical path (internal/critpath) or schedule verification.
+	// Options are part of the engine.Simulate cache key, so span-keeping
+	// and span-less runs of the same program occupy separate cache
+	// entries and never corrupt each other.
 	KeepSpans bool
 }
 

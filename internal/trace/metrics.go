@@ -1,0 +1,262 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"ascendperf/internal/critpath"
+	"ascendperf/internal/hw"
+	"ascendperf/internal/isa"
+	"ascendperf/internal/profile"
+)
+
+// SchemaMetrics is the versioned tag of the metrics JSON report.
+const SchemaMetrics = "ascendperf/trace-metrics/v1"
+
+// ComponentMetrics decomposes one component queue's share of the
+// operator's total time. The decomposition is exact:
+//
+//	BusyNS + WaitNS(all kinds) + IdleNS == Metrics.TotalNS
+//
+// Waiting time is every interval in [0, LastEnd] when the queue held a
+// next instruction but could not start it, attributed to the binding
+// constraint (critpath.Bindings) of the instruction that eventually
+// started: dispatch (front-end in-order delay), flag (blocked on
+// set_flag), barrier (blocked on pipe_barrier) or hazard (blocked on a
+// spatial dependency / bank conflict). Idle is the tail after the
+// queue drains, [LastEnd, TotalNS].
+type ComponentMetrics struct {
+	// Comp is the component this row describes.
+	Comp hw.Component
+	// Instrs counts the instructions the queue executed.
+	Instrs int
+	// BusyNS is pure instruction execution time.
+	BusyNS float64
+	// WaitNS attributes pre-start blocked time per cause; only
+	// EdgeDispatch, EdgeFlag, EdgeBarrier and EdgeHazard occur.
+	WaitNS map[critpath.EdgeKind]float64
+	// IdleNS is the trailing idle time after the last instruction.
+	IdleNS float64
+	// FirstStart and LastEnd bound the queue's active window.
+	FirstStart, LastEnd float64
+	// Gaps counts the idle intervals inside the active window (the
+	// paper's "waiting intervals" parallelism metric).
+	Gaps int
+	// Occupancy is BusyNS over the active window (LastEnd-FirstStart);
+	// TimeRatio is BusyNS over the operator total (profile.TimeRatio).
+	Occupancy, TimeRatio float64
+	// Bytes is total bytes moved (MTE components); Ops is total
+	// operations executed (compute components).
+	Bytes int64
+	Ops   int64
+}
+
+// WaitTotal sums the attributed waiting time across causes.
+func (m *ComponentMetrics) WaitTotal() float64 {
+	var t float64
+	for _, v := range m.WaitNS {
+		t += v
+	}
+	return t
+}
+
+// PathMetrics is the traffic over one memory path.
+type PathMetrics struct {
+	Path hw.Path
+	// Bytes moved and busy time on the path; AchievedBW is their ratio
+	// in B/ns, comparable against the chip's path bandwidth.
+	Bytes      int64
+	BusyNS     float64
+	AchievedBW float64
+}
+
+// Metrics is the per-component report of one profiled run — the
+// aggregate view the component-based roofline consumes, derived from
+// the same spans the timeline renders.
+type Metrics struct {
+	Name       string
+	Chip       string
+	TotalNS    float64
+	Components []ComponentMetrics
+	Paths      []PathMetrics
+}
+
+// ComputeMetrics builds the metrics report. The profile must carry one
+// span per instruction (simulate with KeepSpans) because wait
+// attribution replays each queue's start-time constraints.
+func ComputeMetrics(chip *hw.Chip, prog *isa.Program, p *profile.Profile) (*Metrics, error) {
+	bindings, err := critpath.Bindings(chip, prog, p)
+	if err != nil {
+		return nil, fmt.Errorf("trace metrics: %w", err)
+	}
+	m := &Metrics{Name: p.Name, Chip: chip.Name, TotalNS: p.TotalTime}
+
+	// Group spans per component in start order (profile spans are
+	// already sorted by start; within one component they are serial).
+	perComp := map[hw.Component][]profile.Span{}
+	for _, s := range p.Spans {
+		perComp[s.Comp] = append(perComp[s.Comp], s)
+	}
+	for _, c := range hw.Components() {
+		spans := perComp[c]
+		if len(spans) == 0 {
+			continue
+		}
+		cm := ComponentMetrics{
+			Comp:       c,
+			Instrs:     len(spans),
+			BusyNS:     p.Busy[c],
+			WaitNS:     map[critpath.EdgeKind]float64{},
+			FirstStart: spans[0].Start,
+			LastEnd:    spans[len(spans)-1].End,
+		}
+		prevEnd := 0.0
+		for _, s := range spans {
+			if gap := s.Start - prevEnd; gap > 1e-9 {
+				kind := bindings[s.Index].Via
+				switch kind {
+				case critpath.EdgeFlag, critpath.EdgeBarrier, critpath.EdgeHazard:
+					// keep the attributed kind
+				default:
+					// Queue/start edges never leave a gap on their own
+					// queue; anything unexplained is front-end time.
+					kind = critpath.EdgeDispatch
+				}
+				cm.WaitNS[kind] += gap
+				if prevEnd > 0 {
+					cm.Gaps++
+				}
+			}
+			prevEnd = s.End
+		}
+		cm.IdleNS = p.TotalTime - cm.LastEnd
+		if w := cm.LastEnd - cm.FirstStart; w > 0 {
+			cm.Occupancy = cm.BusyNS / w
+		}
+		cm.TimeRatio = p.TimeRatio(c)
+		if c.IsMTE() {
+			cm.Bytes = p.BytesOf(chip, c)
+		}
+		if c.IsCompute() {
+			cm.Ops = p.OpsOf(c.Unit())
+		}
+		m.Components = append(m.Components, cm)
+	}
+
+	paths := make([]hw.Path, 0, len(p.PathBytes))
+	for path := range p.PathBytes {
+		paths = append(paths, path)
+	}
+	sort.Slice(paths, func(i, j int) bool { return paths[i].String() < paths[j].String() })
+	for _, path := range paths {
+		pm := PathMetrics{Path: path, Bytes: p.PathBytes[path], BusyNS: p.PathBusy[path]}
+		if pm.BusyNS > 0 {
+			pm.AchievedBW = float64(pm.Bytes) / pm.BusyNS
+		}
+		m.Paths = append(m.Paths, pm)
+	}
+	return m, nil
+}
+
+// waitKinds is the reporting order of wait causes.
+var waitKinds = []critpath.EdgeKind{
+	critpath.EdgeDispatch, critpath.EdgeFlag, critpath.EdgeBarrier, critpath.EdgeHazard,
+}
+
+// Report renders the metrics as a fixed-width text table.
+func (m *Metrics) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "component metrics %s on %s: total %.3f us\n", m.Name, m.Chip, m.TotalNS/1000)
+	fmt.Fprintf(&b, "  %-7s %6s %12s %12s %12s %12s %12s %12s %5s %6s %6s\n",
+		"comp", "instrs", "busy_us", "w.disp_us", "w.flag_us", "w.barr_us", "w.hazard_us", "idle_us", "gaps", "occ%", "ratio%")
+	for _, cm := range m.Components {
+		fmt.Fprintf(&b, "  %-7s %6d %12.3f", cm.Comp, cm.Instrs, cm.BusyNS/1000)
+		for _, k := range waitKinds {
+			fmt.Fprintf(&b, " %12.3f", cm.WaitNS[k]/1000)
+		}
+		fmt.Fprintf(&b, " %12.3f %5d %6.1f %6.1f\n", cm.IdleNS/1000, cm.Gaps, 100*cm.Occupancy, 100*cm.TimeRatio)
+	}
+	for _, cm := range m.Components {
+		if cm.Bytes > 0 {
+			fmt.Fprintf(&b, "  %-7s moved %d bytes\n", cm.Comp, cm.Bytes)
+		}
+	}
+	for _, pm := range m.Paths {
+		fmt.Fprintf(&b, "  path %-9s %12d bytes %12.3f us busy  %8.2f B/ns achieved\n",
+			pm.Path, pm.Bytes, pm.BusyNS/1000, pm.AchievedBW)
+	}
+	return b.String()
+}
+
+// JSON mirror types (FORMATS.md §6).
+
+type jsonCompMetrics struct {
+	Comp         string  `json:"comp"`
+	Instrs       int     `json:"instrs"`
+	BusyNS       float64 `json:"busy_ns"`
+	WaitDispatch float64 `json:"wait_dispatch_ns"`
+	WaitFlag     float64 `json:"wait_flag_ns"`
+	WaitBarrier  float64 `json:"wait_barrier_ns"`
+	WaitHazard   float64 `json:"wait_hazard_ns"`
+	IdleNS       float64 `json:"idle_ns"`
+	FirstStartNS float64 `json:"first_start_ns"`
+	LastEndNS    float64 `json:"last_end_ns"`
+	Gaps         int     `json:"gaps"`
+	Occupancy    float64 `json:"occupancy"`
+	TimeRatio    float64 `json:"time_ratio"`
+	Bytes        int64   `json:"bytes,omitempty"`
+	Ops          int64   `json:"ops,omitempty"`
+}
+
+type jsonPathMetrics struct {
+	Src        string  `json:"src"`
+	Dst        string  `json:"dst"`
+	Bytes      int64   `json:"bytes"`
+	BusyNS     float64 `json:"busy_ns"`
+	AchievedBW float64 `json:"achieved_bw"`
+}
+
+type jsonMetrics struct {
+	Schema     string            `json:"schema"`
+	Name       string            `json:"name"`
+	Chip       string            `json:"chip"`
+	TotalNS    float64           `json:"total_ns"`
+	Components []jsonCompMetrics `json:"components"`
+	Paths      []jsonPathMetrics `json:"paths,omitempty"`
+}
+
+// WriteJSON emits the metrics report in the FORMATS.md §6 schema.
+func (m *Metrics) WriteJSON(w io.Writer) error {
+	out := jsonMetrics{Schema: SchemaMetrics, Name: m.Name, Chip: m.Chip, TotalNS: m.TotalNS}
+	for _, cm := range m.Components {
+		out.Components = append(out.Components, jsonCompMetrics{
+			Comp:         cm.Comp.String(),
+			Instrs:       cm.Instrs,
+			BusyNS:       cm.BusyNS,
+			WaitDispatch: cm.WaitNS[critpath.EdgeDispatch],
+			WaitFlag:     cm.WaitNS[critpath.EdgeFlag],
+			WaitBarrier:  cm.WaitNS[critpath.EdgeBarrier],
+			WaitHazard:   cm.WaitNS[critpath.EdgeHazard],
+			IdleNS:       cm.IdleNS,
+			FirstStartNS: cm.FirstStart,
+			LastEndNS:    cm.LastEnd,
+			Gaps:         cm.Gaps,
+			Occupancy:    cm.Occupancy,
+			TimeRatio:    cm.TimeRatio,
+			Bytes:        cm.Bytes,
+			Ops:          cm.Ops,
+		})
+	}
+	for _, pm := range m.Paths {
+		out.Paths = append(out.Paths, jsonPathMetrics{
+			Src: pm.Path.Src.String(), Dst: pm.Path.Dst.String(),
+			Bytes: pm.Bytes, BusyNS: pm.BusyNS, AchievedBW: pm.AchievedBW,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

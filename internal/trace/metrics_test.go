@@ -1,0 +1,155 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"ascendperf/internal/critpath"
+	"ascendperf/internal/hw"
+	"ascendperf/internal/kernels"
+	"ascendperf/internal/sim"
+)
+
+// TestMetricsSumInvariant is the report's core guarantee: for every
+// component, busy + attributed wait + trailing idle equals the
+// operator's total time exactly (up to float tolerance), across
+// baseline and optimized variants of several kernels on both chip
+// presets.
+func TestMetricsSumInvariant(t *testing.T) {
+	chips := []*hw.Chip{hw.TrainingChip(), hw.InferenceChip()}
+	for _, chip := range chips {
+		for _, name := range []string{"add_relu", "depthwise", "matmul", "mul", "avgpool"} {
+			k := kernels.Registry()[name]
+			if k == nil {
+				t.Fatalf("kernel %q missing", name)
+			}
+			for _, optimized := range []bool{false, true} {
+				opts := k.Baseline()
+				if optimized {
+					opts = kernels.FullyOptimized(k)
+				}
+				prog, err := k.Build(chip, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				p, err := sim.Run(chip, prog)
+				if err != nil {
+					t.Fatal(err)
+				}
+				m, err := ComputeMetrics(chip, prog, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if m.TotalNS != p.TotalTime {
+					t.Fatalf("%s/%s: total %v != profile %v", chip.Name, name, m.TotalNS, p.TotalTime)
+				}
+				for _, cm := range m.Components {
+					sum := cm.BusyNS + cm.WaitTotal() + cm.IdleNS
+					if math.Abs(sum-m.TotalNS) > 1e-6*math.Max(1, m.TotalNS) {
+						t.Errorf("%s/%s opt=%v %s: busy %.3f + wait %.3f + idle %.3f = %.3f != total %.3f",
+							chip.Name, name, optimized, cm.Comp,
+							cm.BusyNS, cm.WaitTotal(), cm.IdleNS, sum, m.TotalNS)
+					}
+					if cm.BusyNS != p.Busy[cm.Comp] {
+						t.Errorf("%s/%s %s: busy %v != profile busy %v",
+							chip.Name, name, cm.Comp, cm.BusyNS, p.Busy[cm.Comp])
+					}
+					if cm.Occupancy < 0 || cm.Occupancy > 1+1e-9 {
+						t.Errorf("%s/%s %s: occupancy %v out of [0,1]", chip.Name, name, cm.Comp, cm.Occupancy)
+					}
+					gaps, _ := p.Gaps(cm.Comp)
+					if cm.Gaps != gaps {
+						t.Errorf("%s/%s %s: %d gaps, profile.Gaps says %d",
+							chip.Name, name, cm.Comp, cm.Gaps, gaps)
+					}
+					if cm.Comp.IsMTE() && cm.Bytes != p.BytesOf(chip, cm.Comp) {
+						t.Errorf("%s/%s %s: bytes %d != %d", chip.Name, name, cm.Comp, cm.Bytes, p.BytesOf(chip, cm.Comp))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMetricsWaitAttribution checks the mini pipeline's known stalls:
+// the Vector queue waits on a flag, the MTE-UB store waits on the
+// barrier.
+func TestMetricsWaitAttribution(t *testing.T) {
+	chip, prog, _ := miniTrace(t)
+	p, err := sim.Run(chip, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := ComputeMetrics(chip, prog, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byComp := map[hw.Component]ComponentMetrics{}
+	for _, cm := range m.Components {
+		byComp[cm.Comp] = cm
+	}
+	if v := byComp[hw.CompVector]; v.WaitNS[critpath.EdgeFlag] <= 0 {
+		t.Errorf("Vector flag wait = %v, want > 0", v.WaitNS[critpath.EdgeFlag])
+	}
+	if u := byComp[hw.CompMTEUB]; u.WaitNS[critpath.EdgeBarrier] <= 0 {
+		t.Errorf("MTE-UB barrier wait = %v, want > 0", u.WaitNS[critpath.EdgeBarrier])
+	}
+}
+
+// TestMetricsJSON round-trips the JSON report through generic decoding
+// and checks the schema tag and per-component field presence.
+func TestMetricsJSON(t *testing.T) {
+	chip, prog, _ := miniTrace(t)
+	p, err := sim.Run(chip, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := ComputeMetrics(chip, prog, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		Schema     string  `json:"schema"`
+		TotalNS    float64 `json:"total_ns"`
+		Components []struct {
+			Comp   string  `json:"comp"`
+			BusyNS float64 `json:"busy_ns"`
+			IdleNS float64 `json:"idle_ns"`
+			WaitD  float64 `json:"wait_dispatch_ns"`
+			WaitF  float64 `json:"wait_flag_ns"`
+			WaitB  float64 `json:"wait_barrier_ns"`
+			WaitH  float64 `json:"wait_hazard_ns"`
+		} `json:"components"`
+		Paths []struct {
+			Src string `json:"src"`
+			Dst string `json:"dst"`
+		} `json:"paths"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Schema != SchemaMetrics {
+		t.Errorf("schema %q, want %q", out.Schema, SchemaMetrics)
+	}
+	if len(out.Components) != len(m.Components) {
+		t.Fatalf("%d components, want %d", len(out.Components), len(m.Components))
+	}
+	for _, cm := range out.Components {
+		sum := cm.BusyNS + cm.WaitD + cm.WaitF + cm.WaitB + cm.WaitH + cm.IdleNS
+		if math.Abs(sum-out.TotalNS) > 1e-6*math.Max(1, out.TotalNS) {
+			t.Errorf("JSON %s: decomposition sums to %.3f, total %.3f", cm.Comp, sum, out.TotalNS)
+		}
+	}
+	if len(out.Paths) == 0 {
+		t.Error("no path metrics in JSON")
+	}
+	if m.Report() == "" {
+		t.Error("empty text report")
+	}
+}

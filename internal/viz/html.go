@@ -7,6 +7,7 @@ import (
 
 	"ascendperf/internal/core"
 	"ascendperf/internal/critpath"
+	"ascendperf/internal/isa"
 	"ascendperf/internal/profile"
 )
 
@@ -71,7 +72,9 @@ pre { background: #f6f6f6; padding: 1em; overflow-x: auto; font-size: 0.8em; }
 	b.WriteString("</table>\n")
 
 	if r.Profile != nil && len(r.Profile.Spans) > 0 {
-		b.WriteString("<h2>Pipeline timeline</h2>\n<pre>")
+		b.WriteString("<h2>Pipeline timeline</h2>\n")
+		b.WriteString(TimelineSVG(r.Profile, r.CritPath))
+		b.WriteString("<pre>")
 		b.WriteString(html.EscapeString(Timeline(r.Profile, 120)))
 		b.WriteString("</pre>\n")
 	}
@@ -82,6 +85,115 @@ pre { background: #f6f6f6; padding: 1em; overflow-x: auto; font-size: 0.8em; }
 	}
 	b.WriteString("</body></html>\n")
 	return b.String()
+}
+
+// timeline-SVG geometry.
+const (
+	tlW        = 900 // total width
+	tlLabelW   = 70  // left gutter for component names
+	tlRowH     = 26
+	tlBarH     = 18
+	tlAxisH    = 24
+	tlRightPad = 10
+)
+
+// spanColor picks the fill of one span: sync instructions grey,
+// transfers in their engine's color, computes in their unit's color.
+func spanColor(s profile.Span) string {
+	switch s.Kind {
+	case isa.KindTransfer:
+		if c, ok := mteColor[s.Comp]; ok {
+			return c
+		}
+		return "#888"
+	case isa.KindCompute:
+		if c, ok := unitColor[s.Comp.Unit()]; ok {
+			return c
+		}
+		return "#888"
+	default:
+		return "#9a9a9a"
+	}
+}
+
+// TimelineSVG renders the span timeline as an SVG Gantt chart: one row
+// per active component queue, time flowing right, spans colored by
+// kind, hover tooltips with the instruction details. When a
+// critical-path analysis is supplied its spans are outlined in red —
+// the visual counterpart of the `ascendprof -trace` Perfetto overlay.
+func TimelineSVG(p *profile.Profile, cp *critpath.Analysis) string {
+	if p == nil || p.TotalTime <= 0 || len(p.Spans) == 0 {
+		return ""
+	}
+	comps := p.ActiveComponents()
+	rowOf := map[int]int{}
+	for i, c := range comps {
+		rowOf[int(c)] = i
+	}
+	critical := map[int]bool{}
+	if cp != nil {
+		for _, st := range cp.Steps {
+			critical[st.Index] = true
+		}
+	}
+	height := tlAxisH + len(comps)*tlRowH + 8
+	plotW := float64(tlW - tlLabelW - tlRightPad)
+	x := func(t float64) float64 { return float64(tlLabelW) + t/p.TotalTime*plotW }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg class="timeline-svg" xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		tlW, height, tlW, height)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+
+	// Time axis: five ticks in microseconds.
+	for i := 0; i <= 4; i++ {
+		t := p.TotalTime * float64(i) / 4
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="#ddd"/>`+"\n",
+			x(t), tlAxisH, x(t), height-8)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-size="10" font-family="sans-serif" text-anchor="middle">%.1f us</text>`+"\n",
+			x(t), tlAxisH-8, t/1000)
+	}
+	for i, c := range comps {
+		y := tlAxisH + i*tlRowH
+		fmt.Fprintf(&b, `<text x="4" y="%d" font-size="11" font-family="sans-serif">%s</text>`+"\n",
+			y+tlBarH-4, escape(c.String()))
+	}
+	for _, s := range p.Spans {
+		row, ok := rowOf[int(s.Comp)]
+		if !ok {
+			continue
+		}
+		y := tlAxisH + row*tlRowH + (tlRowH-tlBarH)/2
+		w := x(s.End) - x(s.Start)
+		if w < 0.5 {
+			w = 0.5 // keep sub-pixel spans visible
+		}
+		stroke := `stroke="none"`
+		if critical[s.Index] {
+			stroke = `stroke="#d32f2f" stroke-width="1.5"`
+		}
+		label := s.Label
+		if label == "" {
+			label = s.Kind.String()
+		}
+		fmt.Fprintf(&b, `<rect x="%.2f" y="%d" width="%.2f" height="%d" fill="%s" %s><title>#%d %s [%.1f-%.1f ns]%s</title></rect>`+"\n",
+			x(s.Start), y, w, tlBarH, spanColor(s), stroke,
+			s.Index, escape(label), s.Start, s.End, critTag(critical[s.Index]))
+	}
+	if cp != nil {
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="10" font-family="sans-serif" fill="#d32f2f">red outline = critical path</text>`+"\n",
+			tlLabelW, height-2)
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// critTag appends the critical-path marker to a tooltip.
+func critTag(critical bool) string {
+	if critical {
+		return " (critical path)"
+	}
+	return ""
 }
 
 // verdict renders the cause with its component.

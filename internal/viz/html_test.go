@@ -63,6 +63,67 @@ func TestHTMLReportMinimal(t *testing.T) {
 	}
 }
 
+func TestTimelineSVG(t *testing.T) {
+	chip := hw.TrainingChip()
+	k := kernels.NewAddReLU()
+	prog, err := k.Build(chip, k.Baseline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := sim.Run(chip, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := critpath.Compute(chip, prog, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg := TimelineSVG(p, cp)
+	if !strings.Contains(svg, `class="timeline-svg"`) || !strings.Contains(svg, "</svg>") {
+		t.Fatal("malformed timeline SVG")
+	}
+	// One rect per span plus the background rect.
+	if got := strings.Count(svg, "<rect"); got != len(p.Spans)+1 {
+		t.Errorf("%d rects for %d spans", got, len(p.Spans))
+	}
+	// One row label per active component.
+	for _, c := range p.ActiveComponents() {
+		if !strings.Contains(svg, ">"+c.String()+"<") {
+			t.Errorf("no row label for %s", c)
+		}
+	}
+	// The critical path is outlined, and the legend explains it.
+	if !strings.Contains(svg, `stroke="#d32f2f"`) {
+		t.Error("no critical-path outline")
+	}
+	if !strings.Contains(svg, "red outline = critical path") {
+		t.Error("no critical-path legend")
+	}
+	if n := strings.Count(svg, "(critical path)"); n != len(cp.Steps) {
+		t.Errorf("%d critical tooltips for %d critical steps", n, len(cp.Steps))
+	}
+
+	// Without a critical-path analysis there is no overlay, but the
+	// chart still renders.
+	plain := TimelineSVG(p, nil)
+	if strings.Contains(plain, "#d32f2f") {
+		t.Error("overlay without critpath input")
+	}
+	if !strings.Contains(plain, "</svg>") {
+		t.Error("plain timeline incomplete")
+	}
+
+	// Span-less profiles degrade to an empty string, not a broken chart.
+	if TimelineSVG(nil, nil) != "" {
+		t.Error("nil profile should render nothing")
+	}
+	empty := *p
+	empty.Spans = nil
+	if TimelineSVG(&empty, nil) != "" {
+		t.Error("span-less profile should render nothing")
+	}
+}
+
 func TestHTMLVerdictNamesComponent(t *testing.T) {
 	chip := hw.TrainingChip()
 	k := kernels.NewGeLU() // compute bound

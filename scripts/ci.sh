@@ -20,4 +20,13 @@ go test ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== trace schema check =="
+# Emit a real trace and validate it against the FORMATS.md §6 schema —
+# the executable form of the "loads in Perfetto" guarantee.
+tracedir="$(mktemp -d)"
+trap 'rm -rf "$tracedir"' EXIT
+go run ./cmd/ascendprof -op add_relu -chip training \
+    -trace "$tracedir/add_relu.json" > /dev/null
+go run ./cmd/ascendprof -checktrace "$tracedir/add_relu.json"
+
 echo "CI OK"
