@@ -1,0 +1,76 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRunSmallSelection runs the harness over one kernel on one chip
+// with a tiny property budget and validates the JSON report schema.
+func TestRunSmallSelection(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "report.json")
+	if err := run("add_relu", "training", 1, 5, 20, 2, out, false); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep jsonReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("report not valid JSON: %v", err)
+	}
+	if rep.Schema != SchemaReport {
+		t.Fatalf("schema = %q, want %q", rep.Schema, SchemaReport)
+	}
+	if len(rep.Cases) == 0 {
+		t.Fatal("no cases in report")
+	}
+	for _, c := range rep.Cases {
+		if !c.OK {
+			t.Errorf("case %s not OK: %v", c.Name, c.Mismatches)
+		}
+		if c.Chip != "training" {
+			t.Errorf("case %s on chip %q, want training", c.Name, c.Chip)
+		}
+	}
+	if len(rep.Properties) == 0 {
+		t.Fatal("no properties in report")
+	}
+	for _, p := range rep.Properties {
+		if p.Violations != 0 {
+			t.Errorf("property %s: %d violations (%s)", p.Name, p.Violations, p.FirstFailure)
+		}
+		if p.Programs != 5 {
+			t.Errorf("property %s ran %d programs, want 5", p.Name, p.Programs)
+		}
+	}
+	if !rep.Summary.OK {
+		t.Fatalf("summary not OK: %+v", rep.Summary)
+	}
+}
+
+// TestRunUnknownKernel: selecting a nonexistent operator is an error,
+// not a silent empty pass.
+func TestRunUnknownKernel(t *testing.T) {
+	if err := run("no_such_op", "training", 1, 0, 20, 1, "", false); err == nil {
+		t.Fatal("run accepted an unknown kernel selection")
+	}
+}
+
+// TestSelectChips covers the chip selection paths.
+func TestSelectChips(t *testing.T) {
+	all, err := selectChips("all")
+	if err != nil || len(all) != 3 {
+		t.Fatalf("all: %v, %d chips", err, len(all))
+	}
+	one, err := selectChips("inference")
+	if err != nil || len(one) != 1 {
+		t.Fatalf("inference: %v, %d chips", err, len(one))
+	}
+	if _, err := selectChips("bogus"); err == nil {
+		t.Fatal("accepted bogus chip")
+	}
+}

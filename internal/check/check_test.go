@@ -1,0 +1,146 @@
+package check
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"ascendperf/internal/hw"
+	"ascendperf/internal/isa"
+	"ascendperf/internal/sim"
+)
+
+func testChips() map[string]*hw.Chip {
+	return map[string]*hw.Chip{
+		"training":  hw.TrainingChip(),
+		"inference": hw.InferenceChip(),
+		"tpu":       hw.TPUStyleChip(),
+	}
+}
+
+// TestDifferentialCorpus diffs the production simulator against the
+// reference scheduler over the full kernel and workload corpus on every
+// chip preset. Zero mismatches required.
+func TestDifferentialCorpus(t *testing.T) {
+	cases := Corpus(testChips())
+	if len(cases) < 50 {
+		t.Fatalf("corpus suspiciously small: %d cases", len(cases))
+	}
+	for _, c := range cases {
+		rep, err := Check(c.Chip, c.Prog)
+		if err != nil {
+			t.Errorf("%s: %v", c.Name, err)
+			continue
+		}
+		if !rep.OK() {
+			t.Errorf("%s:\n%s", c.Name, rep.String())
+		}
+	}
+	t.Logf("differential corpus: %d cases", len(cases))
+}
+
+// TestDifferentialGenerated diffs the two schedulers over generated
+// programs, which reach flag/barrier/hazard interleavings the kernel
+// corpus does not.
+func TestDifferentialGenerated(t *testing.T) {
+	for name, chip := range testChips() {
+		t.Run(name, func(t *testing.T) {
+			for seed := int64(0); seed < 100; seed++ {
+				rng := rand.New(rand.NewSource(seed))
+				prog := GenProgram(chip, rng, 40)
+				rep, err := Check(chip, prog)
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if !rep.OK() {
+					t.Fatalf("seed %d:\n%s", seed, rep.String())
+				}
+			}
+		})
+	}
+}
+
+// TestDiffPinpointsFirstDivergence feeds Diff a profile with one span
+// perturbed and asserts the report points at exactly that instruction.
+func TestDiffPinpointsFirstDivergence(t *testing.T) {
+	chip := hw.TrainingChip()
+	rng := rand.New(rand.NewSource(7))
+	prog := GenProgram(chip, rng, 30)
+	rep, err := Check(chip, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("clean program disagreed:\n%s", rep.String())
+	}
+	ref, err := Reference(chip, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := sim.Run(chip, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Perturb the span of instruction 12.
+	const victim = 12
+	for i := range prof.Spans {
+		if prof.Spans[i].Index == victim {
+			prof.Spans[i].End += 5
+		}
+	}
+	rep = Diff(chip.Name, prof, ref)
+	if rep.OK() {
+		t.Fatal("perturbed profile still reported OK")
+	}
+	if rep.FirstDiverge != victim {
+		t.Fatalf("FirstDiverge = %d, want %d\n%s", rep.FirstDiverge, victim, rep.String())
+	}
+	if !strings.Contains(rep.String(), "span_end") {
+		t.Fatalf("report missing span_end mismatch:\n%s", rep.String())
+	}
+}
+
+// TestDiffCatchesAggregateDrift perturbs an aggregate and asserts the
+// report flags the right field.
+func TestDiffCatchesAggregateDrift(t *testing.T) {
+	chip := hw.InferenceChip()
+	rng := rand.New(rand.NewSource(3))
+	prog := GenProgram(chip, rng, 25)
+	ref, err := Reference(chip, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := sim.Run(chip, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof.Busy[hw.CompVector] += 1.0
+	for p := range prof.PathBytes {
+		prof.PathBytes[p] += 64
+		break
+	}
+	rep := Diff(chip.Name, prof, ref)
+	var sawBusy, sawBytes bool
+	for _, m := range rep.Mismatches {
+		switch m.Field {
+		case "busy":
+			sawBusy = true
+		case "path_bytes":
+			sawBytes = true
+		}
+	}
+	if !sawBusy || !sawBytes {
+		t.Fatalf("missing busy/path_bytes mismatches:\n%s", rep.String())
+	}
+}
+
+// TestReferenceDeadlock checks that an unmatchable wait_flag is
+// reported as a deadlock, not an infinite loop or a bogus result.
+func TestReferenceDeadlock(t *testing.T) {
+	chip := hw.TrainingChip()
+	prog := &isa.Program{Name: "deadlock"}
+	prog.Append(isa.WaitFlag(hw.CompMTEGM, hw.CompVector, 0))
+	if _, err := Reference(chip, prog); err == nil {
+		t.Fatal("reference accepted a deadlocked program")
+	}
+}

@@ -1,0 +1,116 @@
+package check
+
+import (
+	"fmt"
+	"sort"
+
+	"ascendperf/internal/hw"
+	"ascendperf/internal/isa"
+	"ascendperf/internal/kernels"
+	"ascendperf/internal/model"
+)
+
+// Corpus enumeration: every program the differential harness checks.
+// The same corpus backs the ascendcheck CLI, the package tests and the
+// fuzz seeds, so a diff found anywhere reproduces everywhere.
+
+// Case is one (chip, program) pair to check.
+type Case struct {
+	// Name identifies the case, e.g. "training/matmul_fp16/full".
+	Name string
+	// Kernel is the operator name the program came from.
+	Kernel string
+	// ChipName is the preset name ("training", "inference", "tpu").
+	ChipName string
+	Chip     *hw.Chip
+	Prog     *isa.Program
+}
+
+// kernelVariants enumerates the option sets checked per kernel:
+// baseline, baseline plus each individually supported strategy, and
+// fully optimized.
+func kernelVariants(k kernels.Kernel) []struct {
+	Tag  string
+	Opts kernels.Options
+} {
+	out := []struct {
+		Tag  string
+		Opts kernels.Options
+	}{{Tag: "base", Opts: k.Baseline()}}
+	for _, s := range k.Supported() {
+		out = append(out, struct {
+			Tag  string
+			Opts kernels.Options
+		}{Tag: s.String(), Opts: kernels.Apply(k.Baseline(), s)})
+	}
+	out = append(out, struct {
+		Tag  string
+		Opts kernels.Options
+	}{Tag: "full", Opts: kernels.FullyOptimized(k)})
+	return out
+}
+
+// Corpus builds the differential corpus for the given chips: every
+// registry kernel at every optimization variant, plus every operator of
+// every evaluation workload at baseline and fully optimized options.
+// Programs with identical fingerprints are deduplicated per chip. Build
+// errors are skipped silently — a kernel that refuses an option set on
+// a chip (e.g. unsupported precision) is not a scheduling bug.
+func Corpus(chips map[string]*hw.Chip) []Case {
+	var out []Case
+	chipNames := make([]string, 0, len(chips))
+	for name := range chips {
+		chipNames = append(chipNames, name)
+	}
+	sort.Strings(chipNames)
+
+	reg := kernels.Registry()
+	kernelNames := make([]string, 0, len(reg))
+	for name := range reg {
+		kernelNames = append(kernelNames, name)
+	}
+	sort.Strings(kernelNames)
+
+	for _, cn := range chipNames {
+		chip := chips[cn]
+		seen := map[string]bool{}
+		appendCase := func(name, kernel string, prog *isa.Program) {
+			fp := prog.Fingerprint()
+			if fp != "" && seen[fp] {
+				return
+			}
+			if fp != "" {
+				seen[fp] = true
+			}
+			out = append(out, Case{Name: name, Kernel: kernel, ChipName: cn, Chip: chip, Prog: prog})
+		}
+		for _, kn := range kernelNames {
+			k := reg[kn]
+			for _, v := range kernelVariants(k) {
+				prog, err := k.Build(chip, v.Opts)
+				if err != nil || prog == nil {
+					continue
+				}
+				appendCase(fmt.Sprintf("%s/%s/%s", cn, kn, v.Tag), kn, prog)
+			}
+		}
+		for _, m := range model.All() {
+			for _, op := range m.Ops {
+				for _, v := range [](struct {
+					Tag  string
+					Opts kernels.Options
+				}){
+					{Tag: "base", Opts: op.Kernel.Baseline()},
+					{Tag: "full", Opts: kernels.FullyOptimized(op.Kernel)},
+				} {
+					prog, err := op.Kernel.Build(chip, v.Opts)
+					if err != nil || prog == nil {
+						continue
+					}
+					appendCase(fmt.Sprintf("%s/%s/%s/%s", cn, m.Name, op.Kernel.Name(), v.Tag), op.Kernel.Name(), prog)
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,58 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"ascendperf/internal/hw"
+	"ascendperf/internal/isa"
+	"ascendperf/internal/kernels"
+	"ascendperf/internal/sim"
+)
+
+// FuzzDiff feeds arbitrary program text through the parser and, when it
+// parses, diffs the production simulator against the reference
+// scheduler. Any disagreement on any parseable program is a bug. Seeds
+// come from the kernel corpus so the fuzzer starts from realistic
+// instruction mixes.
+func FuzzDiff(f *testing.F) {
+	chip := hw.TrainingChip()
+	seeded := 0
+	for name, k := range kernels.Registry() {
+		if seeded >= 8 {
+			break
+		}
+		prog, err := k.Build(chip, k.Baseline())
+		if err != nil || prog == nil || len(prog.Instrs) > 60 {
+			continue
+		}
+		_ = name
+		f.Add(prog.Disassemble())
+		seeded++
+	}
+	f.Add("copy GM->UB bytes=1024\nVector.FP16 ops=100\ncopy UB->GM bytes=1024\n")
+	f.Add("set_flag MTE-GM->Vector ev=0\nwait_flag MTE-GM->Vector ev=0\npipe_barrier(PIPE_ALL)\n")
+	f.Fuzz(func(t *testing.T, text string) {
+		prog, err := isa.Parse("fuzz", strings.NewReader(text))
+		if err != nil {
+			return
+		}
+		if len(prog.Instrs) == 0 || len(prog.Instrs) > 150 {
+			return
+		}
+		if err := prog.Validate(chip); err != nil {
+			return
+		}
+		prof, simErr := sim.Run(chip, prog)
+		ref, refErr := Reference(chip, prog)
+		if (simErr == nil) != (refErr == nil) {
+			t.Fatalf("executability disagreement: sim=%v reference=%v\nprogram:\n%s", simErr, refErr, text)
+		}
+		if simErr != nil {
+			return // both reject (e.g. deadlock) — consistent
+		}
+		if rep := Diff(chip.Name, prof, ref); !rep.OK() {
+			t.Fatalf("sim and reference disagree:\n%s\nprogram:\n%s", rep.String(), text)
+		}
+	})
+}

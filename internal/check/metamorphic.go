@@ -1,0 +1,339 @@
+package check
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+
+	"ascendperf/internal/engine"
+	"ascendperf/internal/hw"
+	"ascendperf/internal/isa"
+	"ascendperf/internal/profile"
+	"ascendperf/internal/sim"
+)
+
+// Metamorphic scheduler laws. Each property takes a base program,
+// derives a transformed sibling and asserts a relation between the two
+// runs that must hold for ANY correct scheduler — no oracle needed.
+// Properties return nil when the law holds (or the program offers no
+// applicable transformation site) and a descriptive error otherwise.
+
+// Property is one named metamorphic law.
+type Property struct {
+	// Name is a stable identifier used in reports and CLI output.
+	Name string
+	// Fn checks the law on one generated program. rng drives any random
+	// choices (transformation sites); chip and prog are never mutated.
+	Fn func(chip *hw.Chip, prog *isa.Program, rng *rand.Rand) error
+}
+
+// Properties returns every metamorphic law in canonical order.
+func Properties() []Property {
+	return []Property{
+		{Name: "redundant-barrier", Fn: PropRedundantBarrier},
+		{Name: "split-transfer", Fn: PropSplitTransfer},
+		{Name: "permute-independent", Fn: PropPermuteIndependent},
+		{Name: "options-determinism", Fn: PropOptionsDeterminism},
+		{Name: "cache-determinism", Fn: PropCacheDeterminism},
+		{Name: "workers-determinism", Fn: PropWorkersDeterminism},
+		{Name: "span-bounds", Fn: PropSpanBounds},
+	}
+}
+
+// aggregatesEqual compares the schedule-independent aggregates of two
+// profiles exactly. Byte counts, op counts and instruction counts are
+// integers; busy times are sums of identical durations accumulated in
+// identical per-key order, so they too must match bit-for-bit.
+func aggregatesEqual(a, b *profile.Profile) error {
+	for _, c := range hw.Components() {
+		if a.Busy[c] != b.Busy[c] {
+			return fmt.Errorf("busy[%s]: %.9g vs %.9g", c, a.Busy[c], b.Busy[c])
+		}
+		if a.InstrCount[c] != b.InstrCount[c] {
+			return fmt.Errorf("instr_count[%s]: %d vs %d", c, a.InstrCount[c], b.InstrCount[c])
+		}
+	}
+	if !reflect.DeepEqual(a.PathBytes, b.PathBytes) {
+		return fmt.Errorf("path_bytes: %v vs %v", a.PathBytes, b.PathBytes)
+	}
+	if !reflect.DeepEqual(a.PrecOps, b.PrecOps) {
+		return fmt.Errorf("prec_ops: %v vs %v", a.PrecOps, b.PrecOps)
+	}
+	if !reflect.DeepEqual(a.PathBusy, b.PathBusy) {
+		return fmt.Errorf("path_busy: %v vs %v", a.PathBusy, b.PathBusy)
+	}
+	if !reflect.DeepEqual(a.PrecBusy, b.PrecBusy) {
+		return fmt.Errorf("prec_busy: %v vs %v", a.PrecBusy, b.PrecBusy)
+	}
+	return nil
+}
+
+// PropRedundantBarrier: inserting a pipe_barrier(PIPE_ALL) never
+// decreases total time in the hazard-free core model, and with hazards
+// on it changes the aggregates by exactly one Scalar sync.
+//
+// The monotonic half is asserted under Options{DisableHazards: true}
+// deliberately. Without hazards every scheduling constraint (per-queue
+// FIFO, dispatch slots, flag counts, barrier fences) is monotone — a
+// later-finishing predecessor can only push successors later — so the
+// greedy schedule is a least fixed point and adding a barrier can only
+// raise it. Spatial hazards break that: they are mutual exclusion
+// between concurrently executing instructions, and like any lock they
+// make greedy list scheduling subject to Graham anomalies — a barrier
+// can reorder who grabs a contended region first and legitimately
+// SHORTEN the makespan (seen in practice on generated programs). So
+// with hazards on only the aggregate law is checked: the barrier adds
+// exactly SyncCost of Scalar busy time and one Scalar instruction, and
+// touches nothing else.
+func PropRedundantBarrier(chip *hw.Chip, prog *isa.Program, rng *rand.Rand) error {
+	pos := rng.Intn(len(prog.Instrs) + 1)
+	mod := InsertBarrier(prog, pos)
+
+	base, err := sim.RunOpts(chip, prog, sim.Options{DisableHazards: true})
+	if err != nil {
+		return fmt.Errorf("base run: %w", err)
+	}
+	after, err := sim.RunOpts(chip, mod, sim.Options{DisableHazards: true})
+	if err != nil {
+		return fmt.Errorf("barrier run: %w", err)
+	}
+	if after.TotalTime < base.TotalTime-1e-9 {
+		return fmt.Errorf("barrier at %d DECREASED hazard-free total time: %.9g -> %.9g",
+			pos, base.TotalTime, after.TotalTime)
+	}
+
+	hbase, err := sim.RunOpts(chip, prog, sim.Options{})
+	if err != nil {
+		return fmt.Errorf("hazard base run: %w", err)
+	}
+	hafter, err := sim.RunOpts(chip, mod, sim.Options{})
+	if err != nil {
+		return fmt.Errorf("hazard barrier run: %w", err)
+	}
+	// Cancel the barrier's own contribution. Scalar busy is compared
+	// with tolerance (subtracting a mid-stream float term is not exactly
+	// associative); everything else must match bit-for-bit.
+	if got, want := hafter.Busy[hw.CompScalar]-chip.SyncCost, hbase.Busy[hw.CompScalar]; !closeEnough(got, want) {
+		return fmt.Errorf("barrier at %d changed Scalar busy: %.9g vs %.9g+sync", pos, want, got)
+	}
+	hafter.Busy[hw.CompScalar] = hbase.Busy[hw.CompScalar]
+	hafter.InstrCount[hw.CompScalar]--
+	if err := aggregatesEqual(hbase, hafter); err != nil {
+		return fmt.Errorf("barrier at %d changed non-barrier aggregates: %w", pos, err)
+	}
+	return nil
+}
+
+// PropSplitTransfer: splitting one transfer into two back-to-back
+// transfers covering the same bytes never changes the bytes moved per
+// path, nor any compute aggregate. (Busy times change by exactly one
+// TransferSetup; total time may change; the traffic must not.)
+func PropSplitTransfer(chip *hw.Chip, prog *isa.Program, rng *rand.Rand) error {
+	var sites []int
+	for i := range prog.Instrs {
+		if prog.Instrs[i].Kind == isa.KindTransfer && prog.Instrs[i].Bytes >= 2 {
+			sites = append(sites, i)
+		}
+	}
+	if len(sites) == 0 {
+		return nil
+	}
+	idx := sites[rng.Intn(len(sites))]
+	mod := SplitTransfer(prog, idx)
+	if mod == nil {
+		return nil
+	}
+	base, err := sim.RunOpts(chip, prog, sim.Options{})
+	if err != nil {
+		return fmt.Errorf("base run: %w", err)
+	}
+	after, err := sim.RunOpts(chip, mod, sim.Options{})
+	if err != nil {
+		return fmt.Errorf("split run: %w", err)
+	}
+	if !reflect.DeepEqual(base.PathBytes, after.PathBytes) {
+		return fmt.Errorf("split at %d changed path bytes: %v vs %v", idx, base.PathBytes, after.PathBytes)
+	}
+	if !reflect.DeepEqual(base.PrecOps, after.PrecOps) {
+		return fmt.Errorf("split at %d changed prec ops: %v vs %v", idx, base.PrecOps, after.PrecOps)
+	}
+	if !reflect.DeepEqual(base.PrecBusy, after.PrecBusy) {
+		return fmt.Errorf("split at %d changed prec busy: %v vs %v", idx, base.PrecBusy, after.PrecBusy)
+	}
+	return nil
+}
+
+// PropPermuteIndependent: swapping two adjacent plain compute/transfer
+// instructions routed to different queues leaves every aggregate
+// untouched (only the makespan may move, via dispatch order).
+func PropPermuteIndependent(chip *hw.Chip, prog *isa.Program, rng *rand.Rand) error {
+	var sites []int
+	for i := 0; i+1 < len(prog.Instrs); i++ {
+		if SwapIndependent(chip, prog, i) != nil {
+			sites = append(sites, i)
+		}
+	}
+	if len(sites) == 0 {
+		return nil
+	}
+	idx := sites[rng.Intn(len(sites))]
+	mod := SwapIndependent(chip, prog, idx)
+	base, err := sim.RunOpts(chip, prog, sim.Options{})
+	if err != nil {
+		return fmt.Errorf("base run: %w", err)
+	}
+	after, err := sim.RunOpts(chip, mod, sim.Options{})
+	if err != nil {
+		return fmt.Errorf("swap run: %w", err)
+	}
+	if err := aggregatesEqual(base, after); err != nil {
+		return fmt.Errorf("swap at %d changed aggregates: %w", idx, err)
+	}
+	return nil
+}
+
+// PropOptionsDeterminism: KeepSpans on and off produce byte-identical
+// aggregates — span retention is observability, never semantics.
+func PropOptionsDeterminism(chip *hw.Chip, prog *isa.Program, rng *rand.Rand) error {
+	with, err := sim.RunOpts(chip, prog, sim.Options{KeepSpans: true})
+	if err != nil {
+		return fmt.Errorf("spans run: %w", err)
+	}
+	without, err := sim.RunOpts(chip, prog, sim.Options{})
+	if err != nil {
+		return fmt.Errorf("spanless run: %w", err)
+	}
+	if with.TotalTime != without.TotalTime {
+		return fmt.Errorf("KeepSpans changed total time: %.9g vs %.9g", with.TotalTime, without.TotalTime)
+	}
+	if err := aggregatesEqual(with, without); err != nil {
+		return fmt.Errorf("KeepSpans changed aggregates: %w", err)
+	}
+	if len(without.Spans) != 0 {
+		return fmt.Errorf("spanless run kept %d spans", len(without.Spans))
+	}
+	return nil
+}
+
+// PropCacheDeterminism: the memoization cache returns byte-identical
+// profiles — on the miss, on the hit, and against an uncached run.
+func PropCacheDeterminism(chip *hw.Chip, prog *isa.Program, rng *rand.Rand) error {
+	direct, err := sim.RunOpts(chip, prog, sim.Options{KeepSpans: true})
+	if err != nil {
+		return fmt.Errorf("direct run: %w", err)
+	}
+	cache := engine.NewCache(16)
+	miss, err := cache.Simulate(chip, prog, sim.Options{KeepSpans: true})
+	if err != nil {
+		return fmt.Errorf("cache miss run: %w", err)
+	}
+	hit, err := cache.Simulate(chip, prog, sim.Options{KeepSpans: true})
+	if err != nil {
+		return fmt.Errorf("cache hit run: %w", err)
+	}
+	if st := cache.Stats(); st.Hits != 1 || st.Misses != 1 {
+		return fmt.Errorf("cache stats hits=%d misses=%d, want 1/1", st.Hits, st.Misses)
+	}
+	if !reflect.DeepEqual(direct, miss) {
+		return fmt.Errorf("cache miss differs from uncached run")
+	}
+	if !reflect.DeepEqual(direct, hit) {
+		return fmt.Errorf("cache hit differs from uncached run")
+	}
+	return nil
+}
+
+// PropWorkersDeterminism: simulating a batch of sibling programs via
+// ParallelMap with one worker and with many yields byte-identical
+// result slices in identical order.
+func PropWorkersDeterminism(chip *hw.Chip, prog *isa.Program, rng *rand.Rand) error {
+	// Derive a small batch of distinct but related programs.
+	batch := []*isa.Program{prog}
+	if m := InsertBarrier(prog, len(prog.Instrs)/2); m != nil {
+		batch = append(batch, m)
+	}
+	for i := 0; i+1 < len(prog.Instrs) && len(batch) < 6; i++ {
+		if m := SwapIndependent(chip, prog, i); m != nil {
+			batch = append(batch, m)
+		}
+	}
+	run := func(workers int) ([]*profile.Profile, error) {
+		return engine.ParallelMap(workers, len(batch), func(i int) (*profile.Profile, error) {
+			return sim.RunOpts(chip, batch[i], sim.Options{KeepSpans: true})
+		})
+	}
+	serial, err := run(1)
+	if err != nil {
+		return fmt.Errorf("serial map: %w", err)
+	}
+	parallel, err := run(8)
+	if err != nil {
+		return fmt.Errorf("parallel map: %w", err)
+	}
+	for i := range serial {
+		if !reflect.DeepEqual(serial[i], parallel[i]) {
+			return fmt.Errorf("program %d: workers=1 vs workers=8 profiles differ", i)
+		}
+	}
+	return nil
+}
+
+// PropSpanBounds: every span lies within [0, TotalTime], every
+// instruction executes exactly once, and spans within one queue never
+// overlap.
+func PropSpanBounds(chip *hw.Chip, prog *isa.Program, rng *rand.Rand) error {
+	p, err := sim.Run(chip, prog)
+	if err != nil {
+		return fmt.Errorf("run: %w", err)
+	}
+	n := len(prog.Instrs)
+	if len(p.Spans) != n {
+		return fmt.Errorf("%d spans for %d instructions", len(p.Spans), n)
+	}
+	seen := make([]bool, n)
+	var lastEnd [hw.NumComponents]float64
+	var lastStart float64
+	for _, s := range p.Spans {
+		if s.Index < 0 || s.Index >= n {
+			return fmt.Errorf("span index %d out of range", s.Index)
+		}
+		if seen[s.Index] {
+			return fmt.Errorf("instruction %d executed twice", s.Index)
+		}
+		seen[s.Index] = true
+		if s.Start < 0 || s.End < s.Start || s.End > p.TotalTime+1e-9 {
+			return fmt.Errorf("span %d [%.9g, %.9g) outside [0, %.9g]", s.Index, s.Start, s.End, p.TotalTime)
+		}
+		if s.Start < lastStart-1e-9 {
+			return fmt.Errorf("span %d out of start order", s.Index)
+		}
+		lastStart = s.Start
+		if s.Start < lastEnd[s.Comp]-1e-9 {
+			return fmt.Errorf("span %d overlaps previous span on %s", s.Index, s.Comp)
+		}
+		lastEnd[s.Comp] = s.End
+	}
+	return nil
+}
+
+// RunProperties generates count programs from the seed and checks every
+// property against each. It returns the per-property violation counts
+// and the first failure message per property (empty when clean).
+func RunProperties(chip *hw.Chip, seed int64, count, progLen int) (programs int, violations map[string]int, firstFailure map[string]string) {
+	violations = map[string]int{}
+	firstFailure = map[string]string{}
+	props := Properties()
+	for i := 0; i < count; i++ {
+		rng := rand.New(rand.NewSource(seed + int64(i)))
+		prog := GenProgram(chip, rng, progLen)
+		for _, prop := range props {
+			if err := prop.Fn(chip, prog, rng); err != nil {
+				violations[prop.Name]++
+				if firstFailure[prop.Name] == "" {
+					firstFailure[prop.Name] = fmt.Sprintf("seed %d: %v", seed+int64(i), err)
+				}
+			}
+		}
+	}
+	return count, violations, firstFailure
+}

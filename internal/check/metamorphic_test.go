@@ -1,0 +1,88 @@
+package check
+
+import (
+	"math/rand"
+	"testing"
+
+	"ascendperf/internal/hw"
+)
+
+// metamorphicCount is the number of generated programs each property
+// must hold on, per chip. The acceptance bar is >= 200 per property.
+const metamorphicCount = 200
+
+// TestMetamorphicProperties runs every scheduler law over generated
+// programs on each chip preset. Subtests parallelize across properties
+// so the -race CI run stays fast.
+func TestMetamorphicProperties(t *testing.T) {
+	for chipName, chip := range testChips() {
+		chip := chip
+		for _, prop := range Properties() {
+			prop := prop
+			t.Run(chipName+"/"+prop.Name, func(t *testing.T) {
+				t.Parallel()
+				for i := 0; i < metamorphicCount; i++ {
+					seed := int64(i)*1000 + 1
+					rng := rand.New(rand.NewSource(seed))
+					prog := GenProgram(chip, rng, 30)
+					if err := prop.Fn(chip, prog, rng); err != nil {
+						t.Fatalf("seed %d: %v", seed, err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestRunProperties exercises the aggregate driver used by ascendcheck.
+func TestRunProperties(t *testing.T) {
+	chip := hw.TrainingChip()
+	programs, violations, first := RunProperties(chip, 1, 25, 20)
+	if programs != 25 {
+		t.Fatalf("programs = %d, want 25", programs)
+	}
+	for name, n := range violations {
+		t.Errorf("property %s: %d violations, first: %s", name, n, first[name])
+	}
+}
+
+// TestGenProgramDeterministic: the same (chip, seed) always yields the
+// same program — required for reproducible failure reports.
+func TestGenProgramDeterministic(t *testing.T) {
+	chip := hw.InferenceChip()
+	a := GenProgram(chip, rand.New(rand.NewSource(42)), 50)
+	b := GenProgram(chip, rand.New(rand.NewSource(42)), 50)
+	if a.Fingerprint() == "" || a.Fingerprint() != b.Fingerprint() {
+		t.Fatalf("generator not deterministic: %q vs %q", a.Fingerprint(), b.Fingerprint())
+	}
+}
+
+// TestTransformsPreserveValidity: generated programs and their
+// metamorphic siblings all pass program validation.
+func TestTransformsPreserveValidity(t *testing.T) {
+	chip := hw.TrainingChip()
+	for seed := int64(0); seed < 50; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		prog := GenProgram(chip, rng, 30)
+		if err := prog.Validate(chip); err != nil {
+			t.Fatalf("seed %d: generated program invalid: %v", seed, err)
+		}
+		if m := InsertBarrier(prog, rng.Intn(len(prog.Instrs)+1)); m != nil {
+			if err := m.Validate(chip); err != nil {
+				t.Fatalf("seed %d: barrier sibling invalid: %v", seed, err)
+			}
+		}
+		for i := range prog.Instrs {
+			if m := SplitTransfer(prog, i); m != nil {
+				if err := m.Validate(chip); err != nil {
+					t.Fatalf("seed %d: split sibling invalid: %v", seed, err)
+				}
+			}
+			if m := SwapIndependent(chip, prog, i); m != nil {
+				if err := m.Validate(chip); err != nil {
+					t.Fatalf("seed %d: swap sibling invalid: %v", seed, err)
+				}
+			}
+		}
+	}
+}

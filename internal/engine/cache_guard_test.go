@@ -1,0 +1,115 @@
+package engine
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"ascendperf/internal/hw"
+	"ascendperf/internal/sim"
+)
+
+// nanChip builds a chip whose fingerprint fails: encoding/json rejects
+// NaN, and ClockGHz is informational so the simulator itself is
+// unaffected. dispatch differentiates the two chips' schedules.
+func nanChip(name string, dispatch float64) *hw.Chip {
+	c := hw.TrainingChip()
+	c.Name = name
+	c.ClockGHz = math.NaN()
+	c.DispatchLatency = dispatch
+	return c
+}
+
+// TestUnfingerprintableChipsNeverCollide: when chip fingerprinting
+// fails, Simulate must bypass the cache entirely — two distinct
+// unfingerprintable chips must never share a zero key and serve each
+// other's profiles.
+func TestUnfingerprintableChipsNeverCollide(t *testing.T) {
+	a := nanChip("nan-a", 25)
+	b := nanChip("nan-b", 250)
+	if _, err := a.Fingerprint(); err == nil {
+		t.Fatal("test premise broken: NaN chip fingerprinted successfully")
+	}
+	c := NewCache(16)
+	prog := transferProg(1)
+	pa, err := c.Simulate(a, prog, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := c.Simulate(b, prog, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa.TotalTime == pb.TotalTime {
+		t.Fatalf("chips with different dispatch latency returned identical totals (%.3f): cache collision", pa.TotalTime)
+	}
+	// Repeat in the other order: still no cross-talk.
+	pb2, err := c.Simulate(b, prog, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pb2.TotalTime != pb.TotalTime {
+		t.Fatalf("repeat run differs: %.3f vs %.3f", pb2.TotalTime, pb.TotalTime)
+	}
+	st := c.Stats()
+	if st.Hits != 0 || st.Misses != 0 || st.Entries != 0 {
+		t.Fatalf("bypassed runs touched the cache: %+v", st)
+	}
+}
+
+// TestHitRateNoLookups: HitRate on a fresh cache is 0, not NaN from
+// 0/0.
+func TestHitRateNoLookups(t *testing.T) {
+	var s CacheStats
+	if r := s.HitRate(); r != 0 {
+		t.Fatalf("HitRate() = %v, want 0", r)
+	}
+	if r := NewCache(4).Stats().HitRate(); r != 0 || math.IsNaN(r) {
+		t.Fatalf("fresh cache HitRate() = %v, want 0", r)
+	}
+}
+
+// TestStatsSnapshotRace: Stats must snapshot under the lock so
+// concurrent inserts and lookups cannot race with it (run with -race).
+func TestStatsSnapshotRace(t *testing.T) {
+	chip := hw.TrainingChip()
+	c := NewCache(8)
+	stop := make(chan struct{})
+	statsDone := make(chan struct{})
+	go func() {
+		defer close(statsDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				st := c.Stats()
+				if st.Entries < 0 || st.Entries > 8 {
+					panic("entries out of bounds")
+				}
+				_ = st.HitRate()
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				prog := transferProg(g*50 + i)
+				if _, err := c.Simulate(chip, prog, sim.Options{}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	<-statsDone
+	st := c.Stats()
+	if st.Hits+st.Misses == 0 {
+		t.Fatal("no lookups recorded")
+	}
+}

@@ -1,0 +1,52 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"ascendperf/internal/hw"
+	"ascendperf/internal/isa"
+	"ascendperf/internal/kernels"
+)
+
+// FuzzVerifySchedule parses arbitrary program text, simulates whatever
+// validates, and runs the independent schedule checker plus profile
+// validation over the result. Seeds come from the kernel corpus.
+func FuzzVerifySchedule(f *testing.F) {
+	chip := hw.TrainingChip()
+	seeded := 0
+	for _, k := range kernels.Registry() {
+		if seeded >= 8 {
+			break
+		}
+		prog, err := k.Build(chip, k.Baseline())
+		if err != nil || prog == nil || len(prog.Instrs) > 400 {
+			continue
+		}
+		f.Add(prog.Disassemble())
+		seeded++
+	}
+	f.Add("copy GM->UB bytes=4096\nVector.FP32 ops=500\nset_flag Vector->MTE-UB ev=1\nwait_flag Vector->MTE-UB ev=1\ncopy UB->GM bytes=4096\n")
+	f.Fuzz(func(t *testing.T, text string) {
+		prog, err := isa.Parse("fuzz", strings.NewReader(text))
+		if err != nil {
+			return
+		}
+		if len(prog.Instrs) == 0 || len(prog.Instrs) > 400 {
+			return
+		}
+		if err := prog.Validate(chip); err != nil {
+			return
+		}
+		p, err := Run(chip, prog)
+		if err != nil {
+			return // invalid or deadlocked — rejection is fine
+		}
+		if err := VerifySchedule(chip, prog, p); err != nil {
+			t.Fatalf("schedule verification failed: %v\nprogram:\n%s", err, text)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("profile validation failed: %v\nprogram:\n%s", err, text)
+		}
+	})
+}

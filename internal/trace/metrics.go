@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strings"
 
@@ -19,7 +20,15 @@ const SchemaMetrics = "ascendperf/trace-metrics/v1"
 // ComponentMetrics decomposes one component queue's share of the
 // operator's total time. The decomposition is exact:
 //
-//	BusyNS + WaitNS(all kinds) + IdleNS == Metrics.TotalNS
+//	BusyNS + WaitNS(all kinds) + IdleNS == QuantizeNS(Metrics.TotalNS)
+//
+// and the equality is bit-for-bit, not merely within tolerance: all
+// three terms are accumulated as integer counts of 2^-20 ns ticks and
+// converted to float64 once at the end. Tick counts telescope exactly
+// (gaps + busy spans + trailing idle tile [0, TotalNS] with no float
+// rounding), and every value involved is a dyadic rational below 2^53,
+// so the final conversions and the three-term float sum are all exact
+// IEEE-754 operations.
 //
 // Waiting time is every interval in [0, LastEnd] when the queue held a
 // next instruction but could not start it, attributed to the binding
@@ -84,6 +93,23 @@ type Metrics struct {
 	Paths      []PathMetrics
 }
 
+// tickScale is the integer quantization of the metrics decomposition:
+// 2^20 ticks per nanosecond. A power of two keeps tick<->ns conversion
+// exact in float64 for any schedule shorter than 2^33 ns (~8.6 s), far
+// beyond any simulated operator.
+const tickScale = 1 << 20
+
+// toTicks quantizes a time in ns to the integer tick lattice.
+func toTicks(ns float64) int64 { return int64(math.Round(ns * tickScale)) }
+
+// fromTicks converts ticks back to ns; exact for |t| < 2^53.
+func fromTicks(t int64) float64 { return float64(t) / tickScale }
+
+// QuantizeNS rounds a time in ns onto the metrics tick lattice. The
+// per-component decomposition sums to exactly QuantizeNS(TotalNS);
+// |QuantizeNS(x)-x| <= 2^-21 ns.
+func QuantizeNS(ns float64) float64 { return fromTicks(toTicks(ns)) }
+
 // ComputeMetrics builds the metrics report. The profile must carry one
 // span per instruction (simulate with KeepSpans) because wait
 // attribution replays each queue's start-time constraints.
@@ -108,14 +134,19 @@ func ComputeMetrics(chip *hw.Chip, prog *isa.Program, p *profile.Profile) (*Metr
 		cm := ComponentMetrics{
 			Comp:       c,
 			Instrs:     len(spans),
-			BusyNS:     p.Busy[c],
 			WaitNS:     map[critpath.EdgeKind]float64{},
 			FirstStart: spans[0].Start,
 			LastEnd:    spans[len(spans)-1].End,
 		}
-		prevEnd := 0.0
+		// Busy, wait and idle accumulate as integer ticks so the
+		// decomposition telescopes exactly; see ComponentMetrics.
+		var busyTicks int64
+		waitTicks := map[critpath.EdgeKind]int64{}
+		prevEnd, prevEndTicks := 0.0, int64(0)
+		first := true
 		for _, s := range spans {
-			if gap := s.Start - prevEnd; gap > 1e-9 {
+			st, et := toTicks(s.Start), toTicks(s.End)
+			if gap := st - prevEndTicks; gap > 0 {
 				kind := bindings[s.Index].Via
 				switch kind {
 				case critpath.EdgeFlag, critpath.EdgeBarrier, critpath.EdgeHazard:
@@ -125,14 +156,23 @@ func ComputeMetrics(chip *hw.Chip, prog *isa.Program, p *profile.Profile) (*Metr
 					// queue; anything unexplained is front-end time.
 					kind = critpath.EdgeDispatch
 				}
-				cm.WaitNS[kind] += gap
-				if prevEnd > 0 {
-					cm.Gaps++
-				}
+				waitTicks[kind] += gap
 			}
-			prevEnd = s.End
+			// Gap counting matches profile.Gaps: an internal gap is one
+			// after the first span, whatever its end time — a zero-length
+			// first span ending at t=0 must not suppress the count.
+			if !first && s.Start > prevEnd+1e-9 {
+				cm.Gaps++
+			}
+			busyTicks += et - st
+			prevEnd, prevEndTicks = s.End, et
+			first = false
 		}
-		cm.IdleNS = p.TotalTime - cm.LastEnd
+		cm.BusyNS = fromTicks(busyTicks)
+		for kind, wt := range waitTicks {
+			cm.WaitNS[kind] = fromTicks(wt)
+		}
+		cm.IdleNS = fromTicks(toTicks(p.TotalTime) - prevEndTicks)
 		if w := cm.LastEnd - cm.FirstStart; w > 0 {
 			cm.Occupancy = cm.BusyNS / w
 		}

@@ -4,10 +4,12 @@ import (
 	"bytes"
 	"encoding/json"
 	"math"
+	"math/rand"
 	"testing"
 
 	"ascendperf/internal/critpath"
 	"ascendperf/internal/hw"
+	"ascendperf/internal/isa"
 	"ascendperf/internal/kernels"
 	"ascendperf/internal/sim"
 )
@@ -46,13 +48,15 @@ func TestMetricsSumInvariant(t *testing.T) {
 					t.Fatalf("%s/%s: total %v != profile %v", chip.Name, name, m.TotalNS, p.TotalTime)
 				}
 				for _, cm := range m.Components {
+					// The tick-quantized decomposition is bit-exact, not
+					// merely within tolerance.
 					sum := cm.BusyNS + cm.WaitTotal() + cm.IdleNS
-					if math.Abs(sum-m.TotalNS) > 1e-6*math.Max(1, m.TotalNS) {
-						t.Errorf("%s/%s opt=%v %s: busy %.3f + wait %.3f + idle %.3f = %.3f != total %.3f",
+					if sum != QuantizeNS(m.TotalNS) {
+						t.Errorf("%s/%s opt=%v %s: busy %v + wait %v + idle %v = %v != total %v",
 							chip.Name, name, optimized, cm.Comp,
-							cm.BusyNS, cm.WaitTotal(), cm.IdleNS, sum, m.TotalNS)
+							cm.BusyNS, cm.WaitTotal(), cm.IdleNS, sum, QuantizeNS(m.TotalNS))
 					}
-					if cm.BusyNS != p.Busy[cm.Comp] {
+					if math.Abs(cm.BusyNS-p.Busy[cm.Comp]) > 1e-6*math.Max(1, p.Busy[cm.Comp]) {
 						t.Errorf("%s/%s %s: busy %v != profile busy %v",
 							chip.Name, name, cm.Comp, cm.BusyNS, p.Busy[cm.Comp])
 					}
@@ -151,5 +155,83 @@ func TestMetricsJSON(t *testing.T) {
 	}
 	if m.Report() == "" {
 		t.Error("empty text report")
+	}
+}
+
+// TestMetricsExactSum10k is the stress form of the decomposition
+// guarantee: on a 10k-instruction program every component's
+// busy + wait + idle equals the quantized total bit-for-bit — integer
+// tick accumulation leaves no room for per-gap float drift.
+func TestMetricsExactSum10k(t *testing.T) {
+	chip := hw.TrainingChip()
+	prog := &isa.Program{Name: "exact-sum-10k"}
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 10000; i++ {
+		switch i % 5 {
+		case 0:
+			prog.Append(isa.Transfer(hw.PathGMToUB, 0, int64(i%7)*4096, int64(rng.Intn(4096)+1)))
+		case 1:
+			prog.Append(isa.Compute(hw.Vector, hw.FP16, int64(rng.Intn(3000)+1)))
+		case 2:
+			prog.Append(isa.SetFlag(hw.CompMTEGM, hw.CompVector, (i/5)%3))
+		case 3:
+			// Matches the set_flag emitted at i-1 (same i/5 block), so
+			// sets always precede and balance waits per event key.
+			prog.Append(isa.WaitFlag(hw.CompMTEGM, hw.CompVector, (i/5)%3))
+		case 4:
+			prog.Append(isa.Compute(hw.Scalar, hw.INT32, int64(rng.Intn(500)+1)))
+		}
+	}
+	p, err := sim.Run(chip, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := ComputeMetrics(chip, prog, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := QuantizeNS(m.TotalNS)
+	for _, cm := range m.Components {
+		sum := cm.BusyNS + cm.WaitTotal() + cm.IdleNS
+		if sum != want {
+			t.Errorf("%s: busy %v + wait %v + idle %v = %v, want exactly %v (diff %g)",
+				cm.Comp, cm.BusyNS, cm.WaitTotal(), cm.IdleNS, sum, want, sum-want)
+		}
+	}
+}
+
+// TestMetricsGapCountZeroStart is the minimized regression for a gap
+// miscount found by the check harness work: when a queue's first span
+// is zero-duration at t=0 (free sync, zero dispatch latency), the gap
+// before the second span is internal and must be counted — the old
+// "prevEnd > 0" guard silently skipped it, diverging from
+// profile.Gaps.
+func TestMetricsGapCountZeroStart(t *testing.T) {
+	chip := hw.TrainingChip()
+	chip.Name = "zero-latency"
+	chip.DispatchLatency = 0
+	chip.SyncCost = 0
+	prog := &isa.Program{Name: "gap-count-edge"}
+	prog.Append(isa.SetFlag(hw.CompVector, hw.CompMTEUB, 0))  // Vector [0,0)
+	prog.Append(isa.Transfer(hw.PathGMToUB, 0, 0, 1<<16))     // MTE-GM [0,T)
+	prog.Append(isa.SetFlag(hw.CompMTEGM, hw.CompVector, 0))  // MTE-GM [T,T)
+	prog.Append(isa.WaitFlag(hw.CompMTEGM, hw.CompVector, 0)) // Vector [T,T): gap (0,T)
+	prog.Append(isa.WaitFlag(hw.CompVector, hw.CompMTEUB, 0)) // MTE-UB
+	p, err := sim.Run(chip, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := ComputeMetrics(chip, prog, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cm := range m.Components {
+		wantGaps, _ := p.Gaps(cm.Comp)
+		if cm.Gaps != wantGaps {
+			t.Errorf("%s: metrics count %d gaps, profile.Gaps says %d", cm.Comp, cm.Gaps, wantGaps)
+		}
+		if cm.Comp == hw.CompVector && cm.Gaps != 1 {
+			t.Errorf("Vector gaps = %d, want 1 (the zero-length first span must not suppress it)", cm.Gaps)
+		}
 	}
 }

@@ -20,6 +20,21 @@ go test ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== differential & metamorphic harness =="
+# The correctness gate: diff the production scheduler against the
+# internal/check reference over every kernel variant and workload on
+# every chip preset, then run each metamorphic property over 200
+# generated programs per chip. Any diff or property violation fails CI.
+go run ./cmd/ascendcheck -kernels all -chips all -seed 1 -props 200
+
+echo "== fuzz (short budget) =="
+# A few seconds of coverage-guided fuzzing per target; long enough to
+# shake out parser/scheduler disagreements on mutated corpus programs,
+# short enough for every CI run. Minimization is capped so a large
+# "interesting" input cannot stall the gate.
+go test -run '^$' -fuzz FuzzVerifySchedule -fuzztime 10s -fuzzminimizetime 5s ./internal/sim
+go test -run '^$' -fuzz FuzzDiff -fuzztime 10s -fuzzminimizetime 5s ./internal/check
+
 echo "== trace schema check =="
 # Emit a real trace and validate it against the FORMATS.md §6 schema —
 # the executable form of the "loads in Perfetto" guarantee.
