@@ -28,6 +28,7 @@ import (
 	"ascendperf/internal/experiments"
 	"ascendperf/internal/hw"
 	"ascendperf/internal/model"
+	"ascendperf/internal/sim"
 )
 
 var runners = []struct {
@@ -61,11 +62,18 @@ func main() {
 		svgPath  = flag.String("svg", "", "write the Fig. 6 roofline chart as SVG to this path")
 		workers  = flag.Int("workers", 0, "parallel analysis workers (0 = ASCENDPERF_WORKERS or GOMAXPROCS)")
 		cacheCap = flag.Int("cache", engine.DefaultCacheCapacity, "simulation cache capacity in entries (0 disables)")
+		cacheDir = flag.String("cachedir", "", "persistent simulation cache directory (default ASCENDPERF_CACHE_DIR); successive invocations warm-start from it")
 		jsonPath = flag.String("json", "", "benchmark the execution engine (serial vs parallel vs cached) and write the timing comparison as JSON to this path")
 	)
 	flag.Parse()
 	engine.SetWorkers(*workers)
 	engine.SetCacheCapacity(*cacheCap)
+	if *cacheDir != "" {
+		if err := engine.SetDiskCacheDir(*cacheDir); err != nil {
+			fmt.Fprintln(os.Stderr, "ascendbench:", err)
+			os.Exit(1)
+		}
+	}
 	if *jsonPath != "" {
 		if err := benchEngine(*jsonPath); err != nil {
 			fmt.Fprintln(os.Stderr, "ascendbench:", err)
@@ -83,8 +91,16 @@ func main() {
 // same multi-workload analysis (all Table 2 models) executed serially,
 // in parallel, and in parallel against a warm simulation cache, plus
 // the cache counters of the cached pass and of an iterative optimize
-// loop. FORMATS.md §5 documents the schema; the file is a trajectory
-// point for tracking the engine speedup across revisions.
+// loop, the disk cache counters, and the scheduler core's event
+// counters over the whole benchmark. FORMATS.md §5 documents the
+// schema; the file is a trajectory point for tracking the engine
+// speedup across revisions.
+//
+// Schema v2: Workers records the worker count the parallel pass
+// actually resolved at run time (v1 sampled engine.Workers() at record
+// setup, before the passes ran, so a worker override applied between
+// setup and measurement was misreported); adds the disk_* and sched_*
+// counter fields.
 type engineBench struct {
 	Schema          string  `json:"schema"`
 	Chip            string  `json:"chip"`
@@ -102,6 +118,23 @@ type engineBench struct {
 	CacheHitRate    float64 `json:"cache_hit_rate"`
 	OptimizeHits    uint64  `json:"optimize_cache_hits"`
 	OptimizeHitRate float64 `json:"optimize_cache_hit_rate"`
+
+	// Disk cache counters (zero unless -cachedir/ASCENDPERF_CACHE_DIR
+	// is configured; hits > 0 means this invocation warm-started from a
+	// previous one).
+	DiskCacheHits   uint64 `json:"disk_cache_hits"`
+	DiskCacheWrites uint64 `json:"disk_cache_writes"`
+
+	// Scheduler core counters accumulated across every simulation of
+	// this benchmark (see sim.Counters).
+	SchedRuns          uint64 `json:"sched_runs"`
+	SchedEvents        uint64 `json:"sched_events"`
+	SchedStarts        uint64 `json:"sched_starts"`
+	SchedEligChecks    uint64 `json:"sched_elig_checks"`
+	SchedWakes         uint64 `json:"sched_wakes"`
+	SchedRescanAvoided uint64 `json:"sched_rescan_checks_avoided"`
+	SchedPoolHits      uint64 `json:"sched_pool_hits"`
+	SchedPoolMisses    uint64 `json:"sched_pool_misses"`
 }
 
 // benchEngine times the analysis of every Table 2 workload in three
@@ -109,45 +142,56 @@ type engineBench struct {
 func benchEngine(path string) error {
 	chip := hw.TrainingChip()
 	models := model.All()
-	analyze := func(workers int) (time.Duration, error) {
+	sim.ResetCounters()
+	// analyze reports the wall clock and the worker count it actually
+	// resolved, so the record describes the measured run, not the
+	// configuration at record-setup time.
+	analyze := func(workers int) (time.Duration, int, error) {
 		r := model.NewRunner(chip)
 		r.Workers = workers
+		resolved := workers
+		if resolved <= 0 {
+			resolved = engine.Workers()
+		}
 		start := time.Now()
 		if _, err := r.RunAll(models); err != nil {
-			return 0, err
+			return 0, 0, err
 		}
-		return time.Since(start), nil
+		return time.Since(start), resolved, nil
 	}
 
 	rec := engineBench{
-		Schema:    "ascendperf/bench-engine/v1",
+		Schema:    "ascendperf/bench-engine/v2",
 		Chip:      chip.Name,
 		Workloads: len(models),
-		Workers:   engine.Workers(),
 	}
 	for _, m := range models {
 		rec.Operators += len(m.Ops)
 	}
 
-	// Serial and parallel passes run uncached so they time raw
-	// simulation throughput.
+	// Serial and parallel passes run uncached — memory and disk — so
+	// they time raw simulation throughput.
+	prevDisk := engine.SwapDiskCache(nil)
 	engine.SetCacheCapacity(0)
-	serial, err := analyze(1)
+	serial, _, err := analyze(1)
+	if err != nil {
+		engine.SwapDiskCache(prevDisk)
+		return err
+	}
+	parallel, resolvedWorkers, err := analyze(0)
+	engine.SwapDiskCache(prevDisk)
 	if err != nil {
 		return err
 	}
-	parallel, err := analyze(0)
-	if err != nil {
-		return err
-	}
+	rec.Workers = resolvedWorkers
 
 	// The cached pass runs against a freshly warmed cache: one warming
 	// pass (all misses), then the measured pass (all hits).
 	engine.SetCacheCapacity(engine.DefaultCacheCapacity)
-	if _, err := analyze(0); err != nil {
+	if _, _, err := analyze(0); err != nil {
 		return err
 	}
-	cached, err := analyze(0)
+	cached, _, err := analyze(0)
 	if err != nil {
 		return err
 	}
@@ -182,6 +226,17 @@ func benchEngine(path string) error {
 	rec.CacheHitRate = stats.HitRate()
 	rec.OptimizeHits = optStats.Hits
 	rec.OptimizeHitRate = optStats.HitRate()
+	snap := engine.Stats()
+	rec.DiskCacheHits = snap.Disk.Hits
+	rec.DiskCacheWrites = snap.Disk.Writes
+	rec.SchedRuns = snap.Sched.Runs
+	rec.SchedEvents = snap.Sched.Events
+	rec.SchedStarts = snap.Sched.Starts
+	rec.SchedEligChecks = snap.Sched.EligChecks
+	rec.SchedWakes = snap.Sched.Wakes
+	rec.SchedRescanAvoided = snap.Sched.RescanChecksAvoided
+	rec.SchedPoolHits = snap.Sched.PoolHits
+	rec.SchedPoolMisses = snap.Sched.PoolMisses
 
 	out, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {

@@ -91,8 +91,15 @@ func main() {
 		workers     = flag.Int("workers", 0, "parallel differential workers (0 = GOMAXPROCS)")
 		jsonPath    = flag.String("json", "", "write the FORMATS.md §7 JSON report to this file")
 		verbose     = flag.Bool("v", false, "print every case, not just failures")
+		cacheDir    = flag.String("cachedir", "", "persistent simulation cache directory (default ASCENDPERF_CACHE_DIR); successive runs warm-start the production scheduler's side of the diff")
 	)
 	flag.Parse()
+	if *cacheDir != "" {
+		if err := engine.SetDiskCacheDir(*cacheDir); err != nil {
+			fmt.Fprintln(os.Stderr, "ascendcheck:", err)
+			os.Exit(1)
+		}
+	}
 	if err := run(*kernelsFlag, *chipsFlag, *seed, *props, *progLen, *workers, *jsonPath, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "ascendcheck:", err)
 		os.Exit(1)

@@ -95,10 +95,17 @@ func main() {
 		pipeline  = flag.Bool("pipeline", false, "run the full pipeline: strategies, tile tuning, program passes")
 		workers   = flag.Int("workers", 0, "parallel analysis workers (0 = ASCENDPERF_WORKERS or GOMAXPROCS)")
 		cacheCap  = flag.Int("cache", engine.DefaultCacheCapacity, "simulation cache capacity in entries (0 disables)")
+		cacheDir  = flag.String("cachedir", "", "persistent simulation cache directory (default ASCENDPERF_CACHE_DIR); successive invocations warm-start from it")
 	)
 	flag.Parse()
 	engine.SetWorkers(*workers)
 	engine.SetCacheCapacity(*cacheCap)
+	if *cacheDir != "" {
+		if err := engine.SetDiskCacheDir(*cacheDir); err != nil {
+			fmt.Fprintln(os.Stderr, "ascendopt:", err)
+			os.Exit(1)
+		}
+	}
 	if err := run(*opName, *modelName, *workload, *chipName, *top, *tune, *usePasses, *pipeline, *htmlPath); err != nil {
 		fmt.Fprintln(os.Stderr, "ascendopt:", err)
 		os.Exit(1)

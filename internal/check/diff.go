@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"ascendperf/internal/engine"
 	"ascendperf/internal/hw"
 	"ascendperf/internal/isa"
 	"ascendperf/internal/profile"
@@ -192,8 +193,13 @@ func Diff(chipName string, prof *profile.Profile, ref *Result) *Report {
 // spans kept, run the reference scheduler, and diff the two. The
 // returned error covers failures to execute at all (invalid program,
 // deadlock in either scheduler); disagreements land in the report.
+//
+// The production side runs through engine.Simulate, so an ascendcheck
+// invocation pointed at a persistent cache directory (-cachedir)
+// warm-starts: only the reference scheduler re-runs, and the diff then
+// also guards the cache layers' bit-exactness.
 func Check(chip *hw.Chip, prog *isa.Program) (*Report, error) {
-	prof, err := sim.Run(chip, prog)
+	prof, err := engine.Simulate(chip, prog, sim.Options{KeepSpans: true})
 	if err != nil {
 		return nil, fmt.Errorf("check: sim: %w", err)
 	}

@@ -73,6 +73,21 @@ func (h *timeHeap) Pop() interface{} {
 	return x
 }
 
+// refTickScale mirrors the simulator's documented time quantization
+// (internal/sim/ticks.go): durations and the dispatch latency are
+// rounded once to the nearest 1/2^20 ns before any scheduling
+// arithmetic. Lattice values are dyadic rationals, so the float64
+// additions and comparisons below are exact on them — the reference
+// stays a naive float scheduler, yet agrees with the integer-tick core
+// bit for bit. The constant is duplicated on purpose: it is part of the
+// documented execution-model contract, not shared scheduling code.
+const refTickScale = 1 << 20
+
+// refQuant rounds a time in nanoseconds to the simulator's tick lattice.
+func refQuant(ns float64) float64 {
+	return math.Round(ns*refTickScale) / refTickScale
+}
+
 // refDuration recomputes an instruction's execution time from the chip
 // specification. It mirrors the cost model documented in internal/sim
 // (transfer = setup + bytes/bandwidth, compute = issue + ops/peak,
@@ -181,11 +196,12 @@ func Reference(chip *hw.Chip, prog *isa.Program) (*Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("check: instruction %d: %w", i, err)
 		}
-		dur[i] = d
+		dur[i] = refQuant(d)
 	}
 
 	const eps = 1e-12
 	depth := chip.QueueDepth
+	latticeDL := refQuant(chip.DispatchLatency)
 	dispatch := make([]float64, n)
 	started := make([]bool, n)
 	running := make([]bool, n)
@@ -198,7 +214,7 @@ func Reference(chip *hw.Chip, prog *isa.Program) (*Result, error) {
 		heap.Push(events, 0.0)
 	} else {
 		for i := range dispatch {
-			dispatch[i] = float64(i+1) * chip.DispatchLatency
+			dispatch[i] = float64(i+1) * latticeDL
 			heap.Push(events, dispatch[i])
 		}
 		if n == 0 {
@@ -322,8 +338,8 @@ func Reference(chip *hw.Chip, prog *isa.Program) (*Result, error) {
 				if t < now {
 					t = now
 				}
-				dispatch[dispIdx] = t + chip.DispatchLatency
-				dispFree = t + chip.DispatchLatency
+				dispatch[dispIdx] = t + latticeDL
+				dispFree = t + latticeDL
 				heap.Push(events, dispatch[dispIdx])
 				dispIdx++
 			}

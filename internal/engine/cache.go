@@ -49,17 +49,37 @@ type Cache struct {
 	hits      uint64
 	misses    uint64
 	evictions uint64
-
-	// chipFPs memoizes fingerprints per chip pointer; chipFPCount
-	// bounds it so callers minting fresh chips per call (multicore's
-	// per-core derivations) cannot grow it without limit.
-	chipFPs     sync.Map // *hw.Chip -> string
-	chipFPCount atomic.Int64
 }
 
-// maxChipFPs bounds the chip-fingerprint memo; past it fingerprints are
-// recomputed per call instead of stored.
+// chipFPs memoizes fingerprints per chip pointer, shared by every cache
+// layer (memory LRU and disk); chipFPCount bounds it so callers minting
+// fresh chips per call (multicore's per-core derivations) cannot grow it
+// without limit. Past the bound fingerprints are recomputed per call
+// instead of stored.
+var (
+	chipFPs     sync.Map // *hw.Chip -> string
+	chipFPCount atomic.Int64
+)
+
 const maxChipFPs = 4096
+
+// chipFingerprint returns the memoized fingerprint of chip; ok is false
+// when the chip cannot be fingerprinted.
+func chipFingerprint(chip *hw.Chip) (string, bool) {
+	if v, ok := chipFPs.Load(chip); ok {
+		return v.(string), true
+	}
+	fp, err := chip.Fingerprint()
+	if err != nil {
+		return "", false
+	}
+	if chipFPCount.Load() < maxChipFPs {
+		if _, loaded := chipFPs.LoadOrStore(chip, fp); !loaded {
+			chipFPCount.Add(1)
+		}
+	}
+	return fp, true
+}
 
 type cacheEntry struct {
 	key  string
@@ -88,23 +108,13 @@ func (c *Cache) Stats() CacheStats {
 	}
 }
 
-// key builds the cache key; ok is false when the chip cannot be
-// fingerprinted (the caller then bypasses the cache).
-func (c *Cache) key(chip *hw.Chip, prog *isa.Program, opts sim.Options) (string, bool) {
-	var chipFP string
-	if v, ok := c.chipFPs.Load(chip); ok {
-		chipFP = v.(string)
-	} else {
-		fp, err := chip.Fingerprint()
-		if err != nil {
-			return "", false
-		}
-		if c.chipFPCount.Load() < maxChipFPs {
-			if _, loaded := c.chipFPs.LoadOrStore(chip, fp); !loaded {
-				c.chipFPCount.Add(1)
-			}
-		}
-		chipFP = fp
+// cacheKey builds the cache key shared by the memory and disk layers;
+// ok is false when the chip cannot be fingerprinted (the caller then
+// bypasses the cache).
+func cacheKey(chip *hw.Chip, prog *isa.Program, opts sim.Options) (string, bool) {
+	chipFP, ok := chipFingerprint(chip)
+	if !ok {
+		return "", false
 	}
 	flags := []byte("--")
 	if opts.DisableHazards {
@@ -153,19 +163,33 @@ func (c *Cache) insert(key string, prof *profile.Profile) {
 // a deep copy of the cached profile; a miss simulates, caches a private
 // copy and returns the freshly computed profile. Errors are never
 // cached. The result is always the caller's to mutate.
+//
+// When a disk cache is configured (SetDiskCacheDir), a memory miss
+// consults it before simulating, and a simulated result is persisted so
+// later processes warm-start.
 func (c *Cache) Simulate(chip *hw.Chip, prog *isa.Program, opts sim.Options) (*profile.Profile, error) {
-	key, ok := c.key(chip, prog, opts)
+	key, ok := cacheKey(chip, prog, opts)
 	if !ok {
 		return sim.RunOpts(chip, prog, opts)
 	}
 	if p := c.lookup(key); p != nil {
 		return p, nil
 	}
+	d := diskCache.Load()
+	if d != nil {
+		if p := d.load(key); p != nil {
+			c.insert(key, p.Clone())
+			return p, nil
+		}
+	}
 	p, err := sim.RunOpts(chip, prog, opts)
 	if err != nil {
 		return nil, err
 	}
 	c.insert(key, p.Clone())
+	if d != nil {
+		d.store(key, p)
+	}
 	return p, nil
 }
 
@@ -202,8 +226,26 @@ func SetCacheCapacity(n int) {
 // sim.RunOpts (the simulator is deterministic).
 func Simulate(chip *hw.Chip, prog *isa.Program, opts sim.Options) (*profile.Profile, error) {
 	c := defaultCache.Load()
-	if c == nil {
+	if c != nil {
+		return c.Simulate(chip, prog, opts)
+	}
+	// Memory cache disabled: the disk layer (if configured) still
+	// applies, so CLI runs with -cache 0 keep their warm start.
+	d := diskCache.Load()
+	if d == nil {
 		return sim.RunOpts(chip, prog, opts)
 	}
-	return c.Simulate(chip, prog, opts)
+	key, ok := cacheKey(chip, prog, opts)
+	if !ok {
+		return sim.RunOpts(chip, prog, opts)
+	}
+	if p := d.load(key); p != nil {
+		return p, nil
+	}
+	p, err := sim.RunOpts(chip, prog, opts)
+	if err != nil {
+		return nil, err
+	}
+	d.store(key, p)
+	return p, nil
 }

@@ -1,0 +1,172 @@
+package engine
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"ascendperf/internal/hw"
+	"ascendperf/internal/isa"
+	"ascendperf/internal/sim"
+)
+
+// richProg exercises every profile field: transfers on two paths,
+// compute at two precisions, flags and a barrier (spans of every kind).
+func richProg() *isa.Program {
+	prog := &isa.Program{Name: "disk-cache-test"}
+	prog.Append(isa.Transfer(hw.PathGMToUB, 0, 0, 4096))
+	prog.Append(isa.SetFlag(hw.CompMTEGM, hw.CompVector, 0))
+	prog.Append(isa.WaitFlag(hw.CompMTEGM, hw.CompVector, 0))
+	prog.Append(isa.Compute(hw.Vector, hw.FP16, 2048))
+	prog.Append(isa.BarrierAllInstr())
+	prog.Append(isa.Transfer(hw.PathUBToGM, 0, 0, 4096))
+	return prog
+}
+
+func TestDiskCacheRoundTripBitExact(t *testing.T) {
+	chip := hw.TrainingChip()
+	prog := richProg()
+	for _, opts := range []sim.Options{{}, {KeepSpans: true}} {
+		d, err := NewDiskCache(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := sim.RunOpts(chip, prog, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		key, ok := cacheKey(chip, prog, opts)
+		if !ok {
+			t.Fatal("cacheKey failed")
+		}
+		d.store(key, fresh)
+		loaded := d.load(key)
+		if loaded == nil {
+			t.Fatal("load missed after store")
+		}
+		if !reflect.DeepEqual(fresh, loaded) {
+			t.Errorf("KeepSpans=%v: disk round trip not bit-exact:\nfresh  %+v\nloaded %+v",
+				opts.KeepSpans, fresh, loaded)
+		}
+		st := d.Stats()
+		if st.Hits != 1 || st.Writes != 1 || st.Errors != 0 {
+			t.Errorf("stats = %+v, want 1 hit, 1 write, 0 errors", st)
+		}
+	}
+}
+
+func TestDiskCacheWarmStartAcrossCaches(t *testing.T) {
+	// Two separate memory caches sharing one disk directory model two
+	// successive process runs: the second must hit disk, not simulate.
+	dir := t.TempDir()
+	defer SetDiskCacheDir("")
+	if err := SetDiskCacheDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	chip := hw.TrainingChip()
+	prog := richProg()
+
+	first := NewCache(16)
+	p1, err := first.Simulate(chip, prog, sim.Options{KeepSpans: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := DefaultDiskCache().Stats(); st.Writes != 1 {
+		t.Fatalf("after first run: disk stats = %+v, want 1 write", st)
+	}
+
+	second := NewCache(16)
+	p2, err := second.Simulate(chip, prog, sim.Options{KeepSpans: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := DefaultDiskCache().Stats()
+	if st.Hits != 1 {
+		t.Fatalf("after second run: disk stats = %+v, want 1 hit", st)
+	}
+	if !reflect.DeepEqual(p1, p2) {
+		t.Errorf("disk warm start differs from simulation:\n%+v\n%+v", p1, p2)
+	}
+	// The disk hit must also have primed the second memory cache.
+	if _, err := second.Simulate(chip, prog, sim.Options{KeepSpans: true}); err != nil {
+		t.Fatal(err)
+	}
+	if cs := second.Stats(); cs.Hits != 1 {
+		t.Fatalf("memory cache not primed by disk hit: %+v", cs)
+	}
+}
+
+func TestDiskCacheRejectsCorruptAndForeignEntries(t *testing.T) {
+	d, err := NewDiskCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	chip := hw.TrainingChip()
+	prog := richProg()
+	key, _ := cacheKey(chip, prog, sim.Options{})
+	prof, err := sim.RunOpts(chip, prog, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.store(key, prof)
+
+	// Truncated JSON: a miss plus an error, never a panic or a hit.
+	if err := os.WriteFile(d.path(key), []byte(`{"schema":"ascendperf/sim-`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if d.load(key) != nil {
+		t.Fatal("served a truncated entry")
+	}
+
+	// An entry recorded under a different key (collision stand-in).
+	d.store(key, prof)
+	data, err := os.ReadFile(d.path(key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	forged := strings.Replace(string(data), `"key":"`, `"key":"x`, 1)
+	if err := os.WriteFile(d.path(key), []byte(forged), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if d.load(key) != nil {
+		t.Fatal("served an entry whose recorded key mismatches")
+	}
+	if st := d.Stats(); st.Errors < 2 {
+		t.Fatalf("stats = %+v, want >= 2 errors", st)
+	}
+}
+
+func TestDiskCacheSimulateWithMemoryCacheDisabled(t *testing.T) {
+	dir := t.TempDir()
+	defer func() {
+		SetDiskCacheDir("")
+		SetCacheCapacity(DefaultCacheCapacity)
+	}()
+	if err := SetDiskCacheDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	SetCacheCapacity(0)
+	chip := hw.TrainingChip()
+	prog := richProg()
+	p1, err := Simulate(chip, prog, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Simulate(chip, prog, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := DefaultDiskCache().Stats()
+	if st.Writes != 1 || st.Hits != 1 {
+		t.Fatalf("disk stats = %+v, want 1 write and 1 hit", st)
+	}
+	if !reflect.DeepEqual(p1, p2) {
+		t.Error("disk hit differs from simulation with memory cache disabled")
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil || len(files) != 1 {
+		t.Fatalf("cache dir holds %d entries (%v), want 1", len(files), err)
+	}
+}

@@ -1,0 +1,33 @@
+package engine
+
+import "ascendperf/internal/sim"
+
+// ProcessStats is the one-call observability snapshot of the execution
+// layer: the memory simulation cache, the disk cache, and the scheduler
+// core's event counters. ascendbench -json records it so regressions in
+// cache effectiveness or scheduler behaviour (say, a change that
+// silently reintroduces full rescans) show up as counter shifts in the
+// committed benchmark record, not just as slowdowns.
+type ProcessStats struct {
+	// Cache is the process-default memory cache snapshot; zero when
+	// caching is disabled.
+	Cache CacheStats
+	// Disk is the disk cache snapshot; Dir is empty when none is
+	// configured.
+	Disk DiskCacheStats
+	// Sched is the scheduler core's counter snapshot.
+	Sched sim.Counters
+}
+
+// Stats returns a snapshot of the engine's process-wide counters.
+func Stats() ProcessStats {
+	var s ProcessStats
+	if c := defaultCache.Load(); c != nil {
+		s.Cache = c.Stats()
+	}
+	if d := diskCache.Load(); d != nil {
+		s.Disk = d.Stats()
+	}
+	s.Sched = sim.ReadCounters()
+	return s
+}

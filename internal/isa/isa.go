@@ -285,24 +285,61 @@ func (p *Program) Disassemble() string {
 // paths exist, compute precisions are supported, regions fit within their
 // buffers, and flag endpoints are distinct components.
 func (p *Program) Validate(chip *hw.Chip) error {
+	// Dense images of the chip's small lookup maps: validation asks two
+	// or three chip questions per instruction, and on large programs
+	// the per-instruction map hashing dominates the pass. Indices
+	// outside the dense bounds (a future unit/precision/level) fall
+	// back to the maps.
+	const nu, np = 3, 5
+	var peakOK [nu][np]bool
+	for up := range chip.Compute {
+		if up.Unit >= 0 && int(up.Unit) < nu && up.Prec >= 0 && int(up.Prec) < np {
+			peakOK[up.Unit][up.Prec] = true
+		}
+	}
+	// 0 = illegal, 1 = MTE-scheduled, 2 = present but not MTE-scheduled.
+	var pathKind [hw.NumLevels][hw.NumLevels]int8
+	for pth, spec := range chip.Paths {
+		if pth.Src >= 0 && int(pth.Src) < hw.NumLevels && pth.Dst >= 0 && int(pth.Dst) < hw.NumLevels {
+			if spec.Engine.IsMTE() {
+				pathKind[pth.Src][pth.Dst] = 1
+			} else {
+				pathKind[pth.Src][pth.Dst] = 2
+			}
+		}
+	}
+	var bufCap [hw.NumLevels]int64
+	var bufOK [hw.NumLevels]bool
+	for l, c := range chip.BufferSize {
+		if l >= 0 && int(l) < hw.NumLevels {
+			bufCap[l], bufOK[l] = c, true
+		}
+	}
+
 	flagSets := map[flagKey]int{}
 	flagWaits := map[flagKey]int{}
 	for i := range p.Instrs {
 		in := &p.Instrs[i]
 		switch in.Kind {
 		case KindCompute:
-			if _, ok := chip.PeakOf(in.Unit, in.Prec); !ok {
-				return fmt.Errorf("isa: %s[%d]: precision %s unsupported on %s", p.Name, i, in.Prec, in.Unit)
+			ok := in.Unit >= 0 && int(in.Unit) < nu && in.Prec >= 0 && int(in.Prec) < np && peakOK[in.Unit][in.Prec]
+			if !ok {
+				if _, mapOK := chip.PeakOf(in.Unit, in.Prec); !mapOK {
+					return fmt.Errorf("isa: %s[%d]: precision %s unsupported on %s", p.Name, i, in.Prec, in.Unit)
+				}
 			}
 			if in.Ops <= 0 {
 				return fmt.Errorf("isa: %s[%d]: compute with non-positive ops", p.Name, i)
 			}
 		case KindTransfer:
-			spec, ok := chip.PathSpecOf(in.Path)
-			if !ok {
+			kind := int8(0)
+			if in.Path.Src >= 0 && int(in.Path.Src) < hw.NumLevels && in.Path.Dst >= 0 && int(in.Path.Dst) < hw.NumLevels {
+				kind = pathKind[in.Path.Src][in.Path.Dst]
+			}
+			if kind == 0 {
 				return fmt.Errorf("isa: %s[%d]: illegal path %s", p.Name, i, in.Path)
 			}
-			if !spec.Engine.IsMTE() {
+			if kind == 2 {
 				return fmt.Errorf("isa: %s[%d]: path %s not MTE-scheduled", p.Name, i, in.Path)
 			}
 			if in.Bytes <= 0 {
@@ -323,13 +360,21 @@ func (p *Program) Validate(chip *hw.Chip) error {
 		default:
 			return fmt.Errorf("isa: %s[%d]: unknown kind %d", p.Name, i, int(in.Kind))
 		}
-		for _, r := range append(append([]Region{}, in.Reads...), in.Writes...) {
-			cap, ok := chip.BufferSize[r.Level]
-			if !ok {
-				return fmt.Errorf("isa: %s[%d]: region in unknown level %s", p.Name, i, r.Level)
-			}
-			if r.Off < 0 || r.Size < 0 || r.End() > cap {
-				return fmt.Errorf("isa: %s[%d]: region %s exceeds %s capacity %d", p.Name, i, r, r.Level, cap)
+		for _, rs := range [2][]Region{in.Reads, in.Writes} {
+			for _, r := range rs {
+				var cap int64
+				ok := false
+				if r.Level >= 0 && int(r.Level) < hw.NumLevels {
+					cap, ok = bufCap[r.Level], bufOK[r.Level]
+				} else {
+					cap, ok = chip.BufferSize[r.Level]
+				}
+				if !ok {
+					return fmt.Errorf("isa: %s[%d]: region in unknown level %s", p.Name, i, r.Level)
+				}
+				if r.Off < 0 || r.Size < 0 || r.End() > cap {
+					return fmt.Errorf("isa: %s[%d]: region %s exceeds %s capacity %d", p.Name, i, r, r.Level, cap)
+				}
 			}
 		}
 	}

@@ -7,11 +7,14 @@ package opt
 
 import (
 	"fmt"
+	"reflect"
 	"strings"
+	"sync"
 
 	"ascendperf/internal/core"
 	"ascendperf/internal/engine"
 	"ascendperf/internal/hw"
+	"ascendperf/internal/isa"
 	"ascendperf/internal/kernels"
 	"ascendperf/internal/profile"
 	"ascendperf/internal/sim"
@@ -135,6 +138,31 @@ type Optimizer struct {
 	// winning candidate is selected by a deterministic in-order
 	// reduction, so the parallel loop matches the serial one exactly.
 	Workers int
+
+	// buildMu guards buildMemo, the kernel-build memoization of the
+	// candidate loop: each (kernel value, options) pair is built once
+	// per optimizer, so re-evaluations across loop iterations (the
+	// baseline of every pass, a strategy re-tried after another one
+	// landed, the incoming point of a tile sweep) skip program
+	// construction entirely. Keys embed the kernel interface value, so
+	// retiled copies (WithTileSize) and distinct shapes under one name
+	// never collide; kernels with uncomparable dynamic types bypass the
+	// memo.
+	buildMu   sync.Mutex
+	buildMemo map[buildKey]buildResult
+}
+
+// buildKey identifies one build: the kernel value and the option set.
+type buildKey struct {
+	kernel kernels.Kernel
+	opts   kernels.Options
+}
+
+// buildResult caches a build outcome; errors (infeasible configurations
+// the loops retry) are cached alongside programs.
+type buildResult struct {
+	prog *isa.Program
+	err  error
 }
 
 // New returns an optimizer with default settings for the chip.
@@ -149,13 +177,39 @@ func New(chip *hw.Chip) *Optimizer {
 // run builds and simulates one option set through the memoized engine:
 // re-evaluations of a configuration the loop has already simulated
 // (the baseline re-run of a model pass, the incoming point of a tile
-// sweep) are cache hits.
+// sweep) are cache hits, and the build itself is memoized per
+// (kernel, options) so repeated evaluations skip program construction.
 func (o *Optimizer) run(k kernels.Kernel, opts kernels.Options) (*profile.Profile, error) {
-	prog, err := k.Build(o.Chip, opts)
+	prog, err := o.build(k, opts)
 	if err != nil {
 		return nil, err
 	}
 	return engine.Simulate(o.Chip, prog, sim.Options{})
+}
+
+// build is the memoized k.Build. The returned program is shared between
+// hits and must not be mutated; the optimizer only simulates it, which
+// never writes. Kernels whose dynamic type is not comparable (and hence
+// cannot be a map key) build directly.
+func (o *Optimizer) build(k kernels.Kernel, opts kernels.Options) (*isa.Program, error) {
+	if !reflect.TypeOf(k).Comparable() {
+		return k.Build(o.Chip, opts)
+	}
+	key := buildKey{kernel: k, opts: opts}
+	o.buildMu.Lock()
+	r, ok := o.buildMemo[key]
+	o.buildMu.Unlock()
+	if ok {
+		return r.prog, r.err
+	}
+	prog, err := k.Build(o.Chip, opts)
+	o.buildMu.Lock()
+	if o.buildMemo == nil {
+		o.buildMemo = make(map[buildKey]buildResult)
+	}
+	o.buildMemo[key] = buildResult{prog: prog, err: err}
+	o.buildMu.Unlock()
+	return prog, err
 }
 
 // Optimize runs the analysis-optimization loop on a kernel from its

@@ -6,6 +6,7 @@ import (
 
 	"ascendperf/internal/core"
 	"ascendperf/internal/hw"
+	"ascendperf/internal/isa"
 	"ascendperf/internal/kernels"
 )
 
@@ -195,5 +196,51 @@ func TestSpeedupZeroFinal(t *testing.T) {
 	r := &Result{InitialTime: 10, FinalTime: 0}
 	if r.Speedup() != 0 {
 		t.Error("zero final time must give zero speedup")
+	}
+}
+
+// countingKernel wraps a kernel and counts Build invocations. It is a
+// pointer type, so the build-memo key is the wrapper's identity.
+type countingKernel struct {
+	kernels.Kernel
+	builds int
+}
+
+func (c *countingKernel) Build(chip *hw.Chip, opts kernels.Options) (*isa.Program, error) {
+	c.builds++
+	return c.Kernel.Build(chip, opts)
+}
+
+func TestBuildMemoBuildsEachOptionSetOnce(t *testing.T) {
+	o := New(hw.TrainingChip())
+	k := &countingKernel{Kernel: kernels.NewAddReLU()}
+	res, err := o.Optimize(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The loop evaluates each candidate option set at least once per
+	// iteration and re-evaluates overlapping sets across iterations;
+	// the memo must hold builds to the number of distinct option sets.
+	distinct := map[kernels.Options]bool{k.Baseline(): true}
+	opts := k.Baseline()
+	for _, s := range res.Applied() {
+		for _, c := range kernels.AllStrategies() {
+			distinct[kernels.Apply(opts, c)] = true
+		}
+		opts = kernels.Apply(opts, s)
+	}
+	for _, c := range kernels.AllStrategies() {
+		distinct[kernels.Apply(opts, c)] = true
+	}
+	if k.builds > len(distinct) {
+		t.Errorf("Build called %d times for at most %d distinct option sets", k.builds, len(distinct))
+	}
+	// A second optimize pass over the same kernel is fully memoized.
+	before := k.builds
+	if _, err := o.Optimize(k); err != nil {
+		t.Fatal(err)
+	}
+	if k.builds != before {
+		t.Errorf("re-optimize rebuilt programs: %d -> %d builds", before, k.builds)
 	}
 }

@@ -26,21 +26,30 @@
 // compute takes ComputeIssue + ops/peak (so higher repeat parameters that
 // pack more work per instruction amortize the issue cost); a scalar
 // instruction takes ScalarIssue + ops/peak; synchronization instructions
-// take SyncCost.
+// take SyncCost. Durations are quantized once to the integer tick
+// lattice documented in ticks.go; all scheduling arithmetic is int64.
 //
-// The scheduler is a discrete-event simulation of the machine: time
-// advances through completion and dispatch events; at each event time
-// every idle component starts its queue head if the head is dispatched,
-// its flags are satisfied, its governing barrier has completed, and no
-// conflicting instruction is executing. Simultaneous starts resolve in
-// fixed component order, making simulation deterministic. The schedule
-// is independently checkable with VerifySchedule.
+// The scheduler is an event-driven simulation of the machine: time
+// advances through completion and dispatch ticks, and a blocked queue
+// head is re-examined only when something it actually waits on happens —
+// its dispatch tick arriving, the completion of a conflicting or
+// governing instruction, a matching set_flag completing, or the last
+// predecessor of a PIPE_ALL barrier retiring. Within one tick,
+// simultaneous starts resolve in fixed component order, making
+// simulation deterministic. Eligibility can only decrease as a tick's
+// starts accumulate (every other precondition is a completion- or
+// time-monotone event), so one ordered pass per tick reaches the same
+// fixed point the documented rescan semantics defines. The schedule is
+// independently checkable with VerifySchedule and is diffed against the
+// naive reference scheduler of internal/check by cmd/ascendcheck.
 package sim
 
 import (
 	"fmt"
-	"math"
+	"math/bits"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"ascendperf/internal/hw"
 	"ascendperf/internal/isa"
@@ -71,22 +80,59 @@ func Run(chip *hw.Chip, prog *isa.Program) (*profile.Profile, error) {
 	return RunOpts(chip, prog, Options{KeepSpans: true})
 }
 
+// validKey identifies one successful validation. The instruction count
+// is part of the key: Append — the only mutation API on Program — grows
+// it, so an appended-to program re-validates. In-place edits of
+// Program.Instrs after a run are not supported (nothing in the
+// repository does that; every program transformation builds a fresh
+// Program), matching the immutability the engine cache's fingerprint
+// keys already assume.
+type validKey struct {
+	prog *isa.Program
+	chip *hw.Chip
+	n    int
+}
+
+// validated memoizes successful (program, chip) validations so repeated
+// runs of one program — the sweep/tune/optimizer/harness pattern —
+// skip the O(instructions) validation walk. Holding the pointers keeps
+// both alive, so a cached key can never alias a different reallocated
+// object; the count bound caps the pinned memory for workloads that
+// mint unbounded programs, which simply stop memoizing past the bound.
+var (
+	validated  sync.Map // validKey -> struct{}
+	nValidated atomic.Int64
+)
+
+const maxValidated = 4096
+
 // RunOpts simulates the program on the chip with explicit options.
 func RunOpts(chip *hw.Chip, prog *isa.Program, opts Options) (*profile.Profile, error) {
 	if err := chip.Validate(); err != nil {
 		return nil, err
 	}
-	if err := prog.Validate(chip); err != nil {
-		return nil, err
+	vk := validKey{prog: prog, chip: chip, n: len(prog.Instrs)}
+	if _, ok := validated.Load(vk); !ok {
+		if err := prog.Validate(chip); err != nil {
+			return nil, err
+		}
+		if nValidated.Load() < maxValidated {
+			if _, loaded := validated.LoadOrStore(vk, struct{}{}); !loaded {
+				nValidated.Add(1)
+			}
+		}
 	}
-	s, err := newSchedState(chip, prog, opts)
-	if err != nil {
+	s := acquireState()
+	defer releaseState(s)
+	if err := s.init(chip, prog, opts); err != nil {
 		return nil, err
 	}
 	if err := s.schedule(); err != nil {
 		return nil, err
 	}
-	return s.buildProfile(), nil
+	p := s.buildProfile()
+	s.flushCounters()
+	return p, nil
 }
 
 type flagKey struct {
@@ -94,161 +140,365 @@ type flagKey struct {
 	event    int
 }
 
+// compMask is a bitmask over the six components; bit c is component c.
+type compMask uint8
+
+// schedState is the per-run scheduler state. Instances are pooled:
+// every slice below is a reusable backing array sized to the largest
+// program the pooled instance has seen, so steady-state Run calls on
+// the sweep/tune/optimizer paths allocate (almost) nothing.
 type schedState struct {
 	chip *hw.Chip
 	prog *isa.Program
 	opts Options
+	n    int
 
 	comp     []hw.Component // per instruction
-	dispatch []float64      // per instruction: earliest dispatch-complete time
-	dur      []float64      // per instruction: execution duration
+	dispatch []int64        // per instruction: earliest dispatch-complete tick
+	dur      []int64        // per instruction: execution duration in ticks
+	starts   []int64        // per instruction: start tick
+	ends     []int64        // per instruction: end tick
 
-	queues [hw.NumComponents][]int // instruction indices per component
-	qpos   [hw.NumComponents]int   // next unstarted position per queue
+	queues       [hw.NumComponents][]int32 // instruction indices per component
+	qpos         [hw.NumComponents]int     // next unstarted position per queue
+	queueBacking []int32
 
-	started   []bool
 	completed []bool
-	starts    []float64
-	ends      []float64
 	nDone     int
 
-	// executing[c] is the instruction currently running on component c,
-	// or -1.
-	executing [hw.NumComponents]int
+	// executing[c] is the instruction currently running on component c
+	// (or -1); endOf[c] its completion tick.
+	executing [hw.NumComponents]int32
+	endOf     [hw.NumComponents]int64
 
 	// barrierBefore[i] is the index of the latest PIPE_ALL barrier
 	// preceding instruction i in program order, or -1.
-	barrierBefore []int
-
-	// completedTree is a Fenwick (binary indexed) tree over completed
-	// instruction indices; a PIPE_ALL barrier at index b may start when
-	// the number of completions below b equals b.
-	completedTree []int
+	barrierBefore []int32
 
 	// keyID maps each flag key to a compact id; setsDone[id] counts
 	// completed set_flags; setKeyID[i]/waitKeyID[i] give instruction i's
 	// key id (-1 for non-flag instructions); waitSeq[i] is the ordinal
 	// of wait_flag i within its key (the k-th wait needs k+1 completed
 	// sets).
-	keyID     map[flagKey]int
-	setsDone  []int
-	setKeyID  []int
-	waitKeyID []int
-	waitSeq   []int
+	keyID     map[flagKey]int32
+	setsDone  []int32
+	setKeyID  []int32
+	waitKeyID []int32
+	waitSeq   []int32
+	// denseKey interns the common flag keys (event < denseEvents)
+	// without hashing: slot (from*NumComponents+to)*denseEvents+event
+	// holds id+1. denseUsed lists occupied slots so reset cost is
+	// O(keys), not O(table). Out-of-range events fall back to keyID.
+	denseKey  []int32
+	denseUsed []int32
+	nKeys     int
+
+	// Precomputed hazard summaries, the conflict-candidate filter: two
+	// instructions can only conflict when their memory-level masks
+	// intersect with a writer involved, or their UB bank masks overlap.
+	// The exact region-overlap test runs only on instructions that pass
+	// this integer prefilter.
+	readMask  []uint8 // bit l = instruction reads memory level l
+	writeMask []uint8 // bit l = instruction writes memory level l
+	bankMask  []uint64
+	// iflags caches the instruction properties the event loop tests, so
+	// eligibility never touches the (cache-cold) instruction stream.
+	iflags []uint8
+
+	// Wake lists. instrWaiters[j] is the set of components whose queue
+	// head is blocked on the completion of instruction j (a conflicting
+	// execution or a governing barrier); flagWaiters[id] the components
+	// blocked on the next set_flag completion of key id;
+	// pendingBarrier the single PIPE_ALL barrier head waiting for its
+	// predecessors (at most one can be in that state — any later
+	// barrier is still blocked on its governing one); dispWake[c] the
+	// tick at which component c's head becomes dispatched (0 = none).
+	instrWaiters   []uint8
+	flagWaiters    []uint8
+	pendingBarrier int32
+	dispWake       [hw.NumComponents]int64
+	candidates     compMask
+
+	// busyMask has bit c set while component c executes; timerMask while
+	// dispWake[c] holds a pending dispatch-tick timer. The event loop
+	// iterates set bits instead of all components.
+	busyMask  compMask
+	timerMask compMask
 
 	// Finite-queue dispatch state (Chip.QueueDepth > 0): the front end
 	// dispatches in order, one instruction per DispatchLatency, stalling
 	// while the target queue holds QueueDepth incomplete instructions.
 	dispIdx     int
-	dispFree    float64 // time the front end is next free
-	outstanding [hw.NumComponents]int
+	dispFree    int64
+	dispTick    int64
+	outstanding [hw.NumComponents]int32
+
+	// startSeq records instruction indices in start order; starts are
+	// non-decreasing along it, so span ordering needs only a per-tick
+	// tie fix instead of a full sort.
+	startSeq []int32
+
+	// Per-run counter deltas, flushed to the package totals on success.
+	cRounds, cEligChecks, cWakes uint64
+	activeComps                  int
 }
 
-// fenwickAdd marks instruction i completed.
-func (s *schedState) fenwickAdd(i int) {
-	for i++; i <= len(s.prog.Instrs); i += i & (-i) {
-		s.completedTree[i]++
+var statePool = sync.Pool{New: func() any {
+	counters.poolMisses.Add(1)
+	return &schedState{keyID: make(map[flagKey]int32)}
+}}
+
+func acquireState() *schedState {
+	s := statePool.Get().(*schedState)
+	if s.n > 0 || len(s.startSeq) > 0 {
+		counters.poolHits.Add(1)
+	}
+	return s
+}
+
+func releaseState(s *schedState) {
+	s.chip, s.prog = nil, nil
+	statePool.Put(s)
+}
+
+// grow ensures every per-instruction backing array holds n entries,
+// reallocating geometrically so a pooled state converges to the largest
+// program size it serves.
+func (s *schedState) grow(n int) {
+	if cap(s.dispatch) < n {
+		c := 2 * cap(s.dispatch)
+		if c < n {
+			c = n
+		}
+		s.dispatch = make([]int64, c)
+		s.dur = make([]int64, c)
+		s.starts = make([]int64, c)
+		s.ends = make([]int64, c)
+		s.comp = make([]hw.Component, c)
+		s.completed = make([]bool, c)
+		s.barrierBefore = make([]int32, c)
+		s.setKeyID = make([]int32, c)
+		s.waitKeyID = make([]int32, c)
+		s.waitSeq = make([]int32, c)
+		s.readMask = make([]uint8, c)
+		s.writeMask = make([]uint8, c)
+		s.bankMask = make([]uint64, c)
+		s.iflags = make([]uint8, c)
+		s.instrWaiters = make([]uint8, c)
+		s.queueBacking = make([]int32, c)
+		s.startSeq = make([]int32, 0, c)
 	}
 }
 
-// fenwickCount returns how many completed instructions have index < b.
-func (s *schedState) fenwickCount(b int) int {
-	total := 0
-	for ; b > 0; b -= b & (-b) {
-		total += s.completedTree[b]
-	}
-	return total
-}
-
-func newSchedState(chip *hw.Chip, prog *isa.Program, opts Options) (*schedState, error) {
+// init prepares the pooled state for one (chip, program, options) run.
+func (s *schedState) init(chip *hw.Chip, prog *isa.Program, opts Options) error {
 	n := len(prog.Instrs)
-	// The per-instruction state is sliced out of a handful of pooled
-	// backing arrays instead of one allocation per field; batch runs
-	// over many small programs are allocation-bound, not compute-bound.
-	floats := make([]float64, 4*n)
-	ints := make([]int, 5*n+1)
-	bools := make([]bool, 2*n)
-	s := &schedState{
-		chip:          chip,
-		prog:          prog,
-		opts:          opts,
-		comp:          make([]hw.Component, n),
-		dispatch:      floats[0:n:n],
-		dur:           floats[n : 2*n : 2*n],
-		starts:        floats[2*n : 3*n : 3*n],
-		ends:          floats[3*n : 4*n : 4*n],
-		started:       bools[0:n:n],
-		completed:     bools[n : 2*n : 2*n],
-		barrierBefore: ints[0:n:n],
-		setKeyID:      ints[n : 2*n : 2*n],
-		waitKeyID:     ints[2*n : 3*n : 3*n],
-		waitSeq:       ints[3*n : 4*n : 4*n],
-		completedTree: ints[4*n : 5*n+1 : 5*n+1],
-		keyID:         map[flagKey]int{},
-	}
+	s.chip, s.prog, s.opts, s.n = chip, prog, opts, n
+	s.grow(n)
+	s.nDone = 0
+	s.dispIdx, s.dispFree = 0, 0
+	s.dispTick = ToTicks(chip.DispatchLatency)
+	s.pendingBarrier = -1
+	s.candidates, s.busyMask, s.timerMask = 0, 0, 0
+	s.startSeq = s.startSeq[:0]
+	s.cRounds, s.cEligChecks, s.cWakes = 0, 0, 0
 	for c := range s.executing {
 		s.executing[c] = -1
+		s.qpos[c] = 0
+		s.outstanding[c] = 0
+		s.dispWake[c] = 0
+		s.queues[c] = nil
 	}
-	// First pass: route every instruction so each component queue can be
-	// allocated at its exact final size.
+	clear(s.keyID)
+	for _, slot := range s.denseUsed {
+		s.denseKey[slot] = 0
+	}
+	s.denseUsed = s.denseUsed[:0]
+	s.nKeys = 0
+	done := s.completed[:n]
+	waiters := s.instrWaiters[:n]
+	for i := range done {
+		done[i] = false
+		waiters[i] = 0
+	}
+
+	// One pass over the (cold, cache-hostile) instruction structs does
+	// everything per-instruction: routing, durations, hazard masks, flag
+	// interning. Queue membership needs the final per-component counts
+	// before the pooled backing can be sliced, so the queues are filled
+	// afterwards by a second loop that walks only the small comp array —
+	// the instruction structs are touched exactly once. Routing mirrors
+	// isa.Instr.Component but reads the compiled chip table instead of
+	// the path map.
+	tab := tableOf(chip)
 	var queueLen [hw.NumComponents]int
+	lastBarrier := int32(-1)
+	banked := chip.UBBanks > 0
 	for i := range prog.Instrs {
 		in := &prog.Instrs[i]
-		c, ok := in.Component(chip)
-		if !ok {
-			return nil, fmt.Errorf("sim: instruction %d (%s) is not routable", i, in.String())
+		c := hw.Component(-1)
+		switch in.Kind {
+		case isa.KindCompute:
+			c = hw.ComponentOf(in.Unit)
+		case isa.KindTransfer:
+			if in.Path.Src >= 0 && int(in.Path.Src) < hw.NumLevels && in.Path.Dst >= 0 && int(in.Path.Dst) < hw.NumLevels {
+				c = hw.Component(tab.pathEng[in.Path.Src][in.Path.Dst])
+			}
+		case isa.KindSetFlag:
+			c = in.From
+		case isa.KindWaitFlag:
+			c = in.To
+		case isa.KindBarrier:
+			if in.Scope == isa.BarrierPipe {
+				c = in.Pipe
+			} else {
+				c = hw.CompScalar
+			}
+		}
+		if c < 0 || c >= hw.NumComponents {
+			return fmt.Errorf("sim: instruction %d (%s) is not routable", i, in.String())
 		}
 		s.comp[i] = c
 		queueLen[c]++
+		s.dispatch[i] = int64(i+1) * s.dispTick
+		// Duration in ticks, via the compiled table (same cost model as
+		// duration(), which VerifySchedule re-derives independently).
+		switch in.Kind {
+		case isa.KindCompute:
+			var peak float64
+			if in.Unit >= 0 && int(in.Unit) < numUnits && in.Prec >= 0 && int(in.Prec) < numPrec {
+				peak = tab.peak[in.Unit][in.Prec]
+			} else {
+				peak, _ = chip.PeakOf(in.Unit, in.Prec)
+			}
+			if peak <= 0 {
+				return fmt.Errorf("sim: instruction %d: precision %s unsupported on %s", i, in.Prec, in.Unit)
+			}
+			issue := chip.ComputeIssue
+			if in.Unit == hw.Scalar {
+				issue = chip.ScalarIssue
+			}
+			s.dur[i] = ToTicks(issue + float64(in.Ops)/peak)
+		case isa.KindTransfer:
+			bw := tab.pathBW[in.Path.Src][in.Path.Dst] // routable, so legal
+			s.dur[i] = ToTicks(chip.TransferSetup + float64(in.Bytes)/bw)
+		default: // set_flag, wait_flag, barrier — validated kinds
+			s.dur[i] = tab.syncTick
+		}
+		s.barrierBefore[i] = lastBarrier
+		s.setKeyID[i], s.waitKeyID[i] = -1, -1
+		s.iflags[i] = 0
+		var rm, wm uint8
+		var bm uint64
+		for _, r := range in.Reads {
+			rm |= 1 << uint(r.Level)
+			if banked {
+				bm |= chip.BankRange(r.Level, r.Off, r.Size)
+			}
+		}
+		for _, r := range in.Writes {
+			wm |= 1 << uint(r.Level)
+			if banked {
+				bm |= chip.BankRange(r.Level, r.Off, r.Size)
+			}
+		}
+		s.readMask[i], s.writeMask[i], s.bankMask[i] = rm, wm, bm
+		switch in.Kind {
+		case isa.KindBarrier:
+			if in.Scope == isa.BarrierAll {
+				s.iflags[i] = iflagBarrierAll
+				lastBarrier = int32(i)
+			}
+		case isa.KindSetFlag:
+			s.setKeyID[i] = s.keyOf(in.From, in.To, in.EventID)
+		case isa.KindWaitFlag:
+			id := s.keyOf(in.From, in.To, in.EventID)
+			s.waitKeyID[i] = id
+			// waitSeq is the per-key wait ordinal; reuse setsDone as the
+			// running counter during setup (re-zeroed below).
+			s.waitSeq[i] = s.setsDone[id]
+			s.setsDone[id]++
+		}
 	}
-	queueBacking := make([]int, 0, n)
-	for _, c := range hw.Components() {
+	used := 0
+	s.activeComps = 0
+	for c := 0; c < hw.NumComponents; c++ {
 		if queueLen[c] == 0 {
 			continue
 		}
-		s.queues[c] = queueBacking[len(queueBacking) : len(queueBacking) : len(queueBacking)+queueLen[c]]
-		queueBacking = queueBacking[:len(queueBacking)+queueLen[c]]
+		s.activeComps++
+		s.queues[c] = s.queueBacking[used : used : used+queueLen[c]]
+		used += queueLen[c]
 	}
-	lastBarrier := -1
-	waitCount := map[flagKey]int{}
-	keyOf := func(k flagKey) int {
-		id, ok := s.keyID[k]
-		if !ok {
-			id = len(s.keyID)
-			s.keyID[k] = id
-		}
-		return id
+	for i, c := range s.comp[:n] {
+		s.queues[c] = append(s.queues[c], int32(i))
 	}
-	for i := range prog.Instrs {
-		in := &prog.Instrs[i]
-		c := s.comp[i]
-		s.queues[c] = append(s.queues[c], i)
-		s.dispatch[i] = float64(i+1) * chip.DispatchLatency
-		d, err := duration(chip, in)
-		if err != nil {
-			return nil, fmt.Errorf("sim: instruction %d: %w", i, err)
-		}
-		s.dur[i] = d
-		s.barrierBefore[i] = lastBarrier
-		s.setKeyID[i], s.waitKeyID[i] = -1, -1
-		if in.Kind == isa.KindBarrier && in.Scope == isa.BarrierAll {
-			lastBarrier = i
-		}
-		if in.Kind == isa.KindSetFlag {
-			s.setKeyID[i] = keyOf(flagKey{in.From, in.To, in.EventID})
-		}
-		if in.Kind == isa.KindWaitFlag {
-			k := flagKey{in.From, in.To, in.EventID}
-			s.waitKeyID[i] = keyOf(k)
-			s.waitSeq[i] = waitCount[k]
-			waitCount[k]++
-		}
+	nk := s.nKeys
+	if cap(s.setsDone) < nk {
+		s.setsDone = make([]int32, nk)
+		s.flagWaiters = make([]uint8, nk)
 	}
-	s.setsDone = make([]int, len(s.keyID))
-	return s, nil
+	s.setsDone = s.setsDone[:nk]
+	s.flagWaiters = s.flagWaiters[:nk]
+	for i := range s.setsDone {
+		s.setsDone[i] = 0
+		s.flagWaiters[i] = 0
+	}
+	return nil
 }
 
-// duration computes the execution time of one instruction on the chip.
+// iflagBarrierAll marks a PIPE_ALL barrier in iflags.
+const iflagBarrierAll = 1
+
+// denseEvents bounds the hash-free flag-key intern table; events at or
+// above it (rare) fall back to the keyID map.
+const denseEvents = 256
+
+// keyOf interns a flag key, without hashing for the common small event
+// ids. nextKey tracks the total interned count across both paths.
+func (s *schedState) keyOf(from, to hw.Component, event int) int32 {
+	if event >= 0 && event < denseEvents &&
+		from >= 0 && from < hw.NumComponents && to >= 0 && to < hw.NumComponents {
+		slot := (int(from)*hw.NumComponents+int(to))*denseEvents + event
+		if s.denseKey == nil {
+			s.denseKey = make([]int32, hw.NumComponents*hw.NumComponents*denseEvents)
+		}
+		if id := s.denseKey[slot]; id != 0 {
+			return id - 1
+		}
+		id := s.newKeyID()
+		s.denseKey[slot] = id + 1
+		s.denseUsed = append(s.denseUsed, int32(slot))
+		return id
+	}
+	k := flagKey{from, to, event}
+	id, ok := s.keyID[k]
+	if !ok {
+		id = s.newKeyID()
+		s.keyID[k] = id
+	}
+	return id
+}
+
+// newKeyID allocates the next compact flag-key id. setsDone doubles as
+// the per-key wait counter during init, so it grows with the key table.
+func (s *schedState) newKeyID() int32 {
+	id := int32(s.nKeys)
+	s.nKeys++
+	if int(id) >= cap(s.setsDone) {
+		grown := make([]int32, int(id)+1, 2*(int(id)+1))
+		copy(grown, s.setsDone)
+		s.setsDone = grown
+		s.flagWaiters = make([]uint8, cap(grown))[:len(grown)]
+	} else {
+		s.setsDone = s.setsDone[:id+1]
+		s.setsDone[id] = 0
+	}
+	return id
+}
+
+// duration computes the execution time of one instruction on the chip,
+// in nanoseconds (quantized to ticks by the caller).
 func duration(chip *hw.Chip, in *isa.Instr) (float64, error) {
 	switch in.Kind {
 	case isa.KindCompute:
@@ -276,82 +526,88 @@ func duration(chip *hw.Chip, in *isa.Instr) (float64, error) {
 
 // schedule runs the event-driven simulation to completion.
 func (s *schedState) schedule() error {
-	n := len(s.prog.Instrs)
-	now := 0.0
+	n := s.n
 	depth := s.chip.QueueDepth
 	if depth > 0 {
 		// Dynamic dispatch: clear the precomputed times; instructions
 		// become startable only once dispatched.
-		for i := range s.dispatch {
-			s.dispatch[i] = math.Inf(1)
+		for i := 0; i < n; i++ {
+			s.dispatch[i] = maxTick
 		}
 	}
+	// Every non-empty component is a candidate for the first tick.
+	for c := 0; c < hw.NumComponents; c++ {
+		if len(s.queues[c]) > 0 {
+			s.candidates |= 1 << uint(c)
+		}
+	}
+	now := int64(0)
 	for s.nDone < n {
-		// Retire everything completing at the current time.
-		for _, c := range hw.Components() {
-			if i := s.executing[c]; i >= 0 && s.ends[i] <= now+1e-12 {
-				s.complete(i)
+		s.cRounds++
+		// Dispatch-tick timers that fire now become candidates.
+		for m := s.timerMask; m != 0; m &= m - 1 {
+			c := bits.TrailingZeros8(uint8(m))
+			if w := s.dispWake[c]; w <= now {
+				s.dispWake[c] = 0
+				s.timerMask &^= 1 << uint(c)
+				s.candidates |= 1 << uint(c)
 			}
 		}
-		// Progress the finite-depth dispatcher up to the current time.
+		// Retire everything completing at the current tick.
+		for m := s.busyMask; m != 0; m &= m - 1 {
+			c := bits.TrailingZeros8(uint8(m))
+			if s.endOf[c] == now {
+				s.complete(int(s.executing[c]), hw.Component(c))
+			}
+		}
+		// Progress the finite-depth dispatcher up to the current tick.
 		if depth > 0 {
-			for s.dispIdx < n {
-				c := s.comp[s.dispIdx]
-				if s.outstanding[c] >= depth {
-					break // head-of-line blocked until a completion
-				}
-				t := s.dispFree
-				if t < now {
-					t = now
-				}
-				if t > now+1e-12 {
-					break // front end not free yet; an event will fire
-				}
-				s.dispatch[s.dispIdx] = t + s.chip.DispatchLatency
-				s.dispFree = t + s.chip.DispatchLatency
-				s.outstanding[c]++
-				s.dispIdx++
-			}
+			s.progressDispatcher(now, depth)
 		}
-		// Start every queue head that is eligible now; starting one head
-		// can affect hazard eligibility of another, so iterate to a
-		// fixed point with deterministic component order.
-		for changed := true; changed; {
-			changed = false
-			for _, c := range hw.Components() {
-				if s.executing[c] >= 0 || s.qpos[c] >= len(s.queues[c]) {
+		// Start every woken queue head that is eligible now, in
+		// ascending (deterministic) component order. Starting an
+		// instruction can only remove eligibility (all other
+		// preconditions are completion- or time-monotone within a
+		// tick), so a single ordered pass reaches the rescan semantics'
+		// fixed point.
+		if cand := s.candidates &^ s.busyMask; cand != 0 {
+			s.candidates = 0
+			for m := cand; m != 0; m &= m - 1 {
+				c := bits.TrailingZeros8(uint8(m))
+				if s.qpos[c] >= len(s.queues[c]) {
 					continue
 				}
-				i := s.queues[c][s.qpos[c]]
-				if s.eligible(i, now) {
-					s.start(i, now)
-					changed = true
+				i := int(s.queues[c][s.qpos[c]])
+				s.cEligChecks++
+				if s.eligible(i, hw.Component(c), now) {
+					s.start(i, hw.Component(c), now)
 				}
+			}
+		} else {
+			s.candidates = 0
+		}
+		// Advance to the next event tick: the earliest completion, the
+		// earliest dispatch wake of an idle head, or (finite queues)
+		// the dispatcher becoming free for a non-full queue. A
+		// zero-duration start keeps next == now, so retirement and any
+		// dependent starts still happen tick-exactly.
+		next := int64(maxTick)
+		for m := s.busyMask; m != 0; m &= m - 1 {
+			if e := s.endOf[bits.TrailingZeros8(uint8(m))]; e < next {
+				next = e
 			}
 		}
-		// Advance to the next event: the earliest completion, the
-		// earliest dispatch time of an idle head, or (finite queues) the
-		// dispatcher becoming free for a non-full queue.
-		next := math.Inf(1)
-		for _, c := range hw.Components() {
-			if i := s.executing[c]; i >= 0 {
-				if s.ends[i] < next {
-					next = s.ends[i]
-				}
-				continue
-			}
-			if s.qpos[c] < len(s.queues[c]) {
-				if d := s.dispatch[s.queues[c][s.qpos[c]]]; d > now && d < next {
-					next = d
-				}
+		for m := s.timerMask &^ s.busyMask; m != 0; m &= m - 1 {
+			if w := s.dispWake[bits.TrailingZeros8(uint8(m))]; w > now && w < next {
+				next = w
 			}
 		}
-		if depth > 0 && s.dispIdx < n && s.outstanding[s.comp[s.dispIdx]] < depth {
+		if depth > 0 && s.dispIdx < n && int(s.outstanding[s.comp[s.dispIdx]]) < depth {
 			if d := s.dispFree; d > now && d < next {
 				next = d
 			}
 		}
-		if math.IsInf(next, 1) {
+		if next == maxTick {
 			if s.nDone < n {
 				return s.deadlockError()
 			}
@@ -362,47 +618,83 @@ func (s *schedState) schedule() error {
 	return nil
 }
 
-// eligible reports whether instruction i (an idle component's queue
-// head) may start at time t.
-func (s *schedState) eligible(i int, t float64) bool {
-	const eps = 1e-12
-	if s.dispatch[i] > t+eps {
+// progressDispatcher advances the finite-depth in-order front end to
+// the current tick, waking any queue head it dispatches.
+func (s *schedState) progressDispatcher(now int64, depth int) {
+	for s.dispIdx < s.n {
+		c := s.comp[s.dispIdx]
+		if int(s.outstanding[c]) >= depth {
+			break // head-of-line blocked until a completion
+		}
+		if s.dispFree > now {
+			break // front end not free yet; an event will fire
+		}
+		d := now + s.dispTick
+		s.dispatch[s.dispIdx] = d
+		s.dispFree = d
+		s.outstanding[c]++
+		// If this is the queue head of an idle component, arrange its
+		// eligibility check at the dispatch tick.
+		if s.executing[c] < 0 && s.qpos[c] < len(s.queues[c]) && int(s.queues[c][s.qpos[c]]) == s.dispIdx {
+			if d <= now {
+				s.candidates |= 1 << uint(c)
+			} else {
+				s.dispWake[c] = d
+				s.timerMask |= 1 << uint(c)
+			}
+		}
+		s.dispIdx++
+	}
+}
+
+// eligible reports whether instruction i (component c's idle queue
+// head) may start at tick t. When it may not, the head is registered on
+// the wake list of its first blocking condition, so it is re-checked
+// exactly when that condition can change. Conditions are ordered
+// monotone-first: dispatch, barriers and flags can only become (and
+// stay) satisfied, so a head woken from a conflict wait never needs
+// them re-registered spuriously.
+func (s *schedState) eligible(i int, c hw.Component, t int64) bool {
+	if d := s.dispatch[i]; d > t {
+		if d != maxTick {
+			s.dispWake[c] = d
+			s.timerMask |= 1 << uint(c)
+		}
+		// An undispatched head (finite queues) is woken by the
+		// dispatcher when it assigns the dispatch tick.
 		return false
 	}
-	in := &s.prog.Instrs[i]
 
 	// Governing PIPE_ALL barrier must have completed.
 	if b := s.barrierBefore[i]; b >= 0 && !s.completed[b] {
+		s.instrWaiters[b] |= 1 << uint(c)
 		return false
 	}
 
 	// A PIPE_ALL barrier requires every earlier instruction complete.
-	if in.Kind == isa.KindBarrier && in.Scope == isa.BarrierAll {
-		if s.fenwickCount(i) < i {
-			return false
-		}
+	// While it waits, nothing at or after it can complete, so nDone
+	// counts exactly its completed predecessors.
+	if s.iflags[i]&iflagBarrierAll != 0 && s.nDone < i {
+		s.pendingBarrier = int32(i)
+		return false
 	}
 
 	// wait_flag requires enough completed set_flags.
-	if id := s.waitKeyID[i]; id >= 0 {
-		if s.setsDone[id] <= s.waitSeq[i] {
-			return false
-		}
+	if id := s.waitKeyID[i]; id >= 0 && s.setsDone[id] <= s.waitSeq[i] {
+		s.flagWaiters[id] |= 1 << uint(c)
+		return false
 	}
 
 	// Spatial dependencies: no conflicting instruction executing on
 	// another component. With UB banking enabled, touching the same UB
-	// bank conflicts even when the byte ranges are disjoint.
-	if !s.opts.DisableHazards && (len(in.Reads) > 0 || len(in.Writes) > 0) {
-		for _, c := range hw.Components() {
-			j := s.executing[c]
-			if j < 0 || s.comp[j] == s.comp[i] {
-				continue
-			}
-			if conflicts(in, &s.prog.Instrs[j]) {
-				return false
-			}
-			if s.chip.UBBanks > 0 && bankClash(s.chip, in, &s.prog.Instrs[j]) {
+	// bank conflicts even when the byte ranges are disjoint. The head
+	// registers on the first blocker found; when that retires it is
+	// re-checked (and re-registered if another blocker remains).
+	if !s.opts.DisableHazards && s.readMask[i]|s.writeMask[i] != 0 {
+		for m := s.busyMask &^ (1 << uint(c)); m != 0; m &= m - 1 {
+			j := s.executing[bits.TrailingZeros8(uint8(m))]
+			if s.conflictsWith(i, int(j)) {
+				s.instrWaiters[j] |= 1 << uint(c)
 				return false
 			}
 		}
@@ -410,7 +702,21 @@ func (s *schedState) eligible(i int, t float64) bool {
 	return true
 }
 
+// conflictsWith reports a spatial conflict between instructions i and j
+// using the precomputed masks as a prefilter before the exact
+// region-overlap test.
+func (s *schedState) conflictsWith(i, j int) bool {
+	if s.bankMask[i]&s.bankMask[j] != 0 {
+		return true
+	}
+	if (s.writeMask[i]&(s.readMask[j]|s.writeMask[j]) | s.writeMask[j]&s.readMask[i]) == 0 {
+		return false
+	}
+	return conflicts(&s.prog.Instrs[i], &s.prog.Instrs[j])
+}
+
 // bankClash reports whether two instructions touch a common UB bank.
+// (Kept for VerifySchedule, which re-derives constraints from scratch.)
 func bankClash(chip *hw.Chip, a, b *isa.Instr) bool {
 	var ma, mb uint64
 	for _, r := range a.Reads {
@@ -431,26 +737,48 @@ func bankClash(chip *hw.Chip, a, b *isa.Instr) bool {
 	return ma&mb != 0
 }
 
-// start begins execution of instruction i at time t.
-func (s *schedState) start(i int, t float64) {
-	s.started[i] = true
+// start begins execution of instruction i on component c at tick t.
+func (s *schedState) start(i int, c hw.Component, t int64) {
 	s.starts[i] = t
-	s.ends[i] = t + s.dur[i]
-	s.executing[s.comp[i]] = i
-	s.qpos[s.comp[i]]++
+	e := t + s.dur[i]
+	s.ends[i] = e
+	s.executing[c] = int32(i)
+	s.endOf[c] = e
+	s.busyMask |= 1 << uint(c)
+	s.qpos[c]++
+	s.startSeq = append(s.startSeq, int32(i))
 }
 
-// complete retires instruction i.
-func (s *schedState) complete(i int) {
+// complete retires instruction i on component c, waking every queue
+// head that was waiting on it.
+func (s *schedState) complete(i int, c hw.Component) {
 	s.completed[i] = true
-	s.executing[s.comp[i]] = -1
+	s.executing[c] = -1
+	s.busyMask &^= 1 << uint(c)
 	s.nDone++
+	// The component's next head (or its still-blocked current head)
+	// becomes a candidate.
+	s.candidates |= 1 << uint(c)
 	if s.chip.QueueDepth > 0 {
-		s.outstanding[s.comp[i]]--
+		s.outstanding[c]--
 	}
-	s.fenwickAdd(i)
+	if w := s.instrWaiters[i]; w != 0 {
+		s.instrWaiters[i] = 0
+		s.candidates |= compMask(w)
+		s.cWakes++
+	}
 	if id := s.setKeyID[i]; id >= 0 {
 		s.setsDone[id]++
+		if w := s.flagWaiters[id]; w != 0 {
+			s.flagWaiters[id] = 0
+			s.candidates |= compMask(w)
+			s.cWakes++
+		}
+	}
+	if b := s.pendingBarrier; b >= 0 && s.nDone == int(b) {
+		s.pendingBarrier = -1
+		s.candidates |= 1 << uint(s.comp[b])
+		s.cWakes++
 	}
 }
 
@@ -482,59 +810,109 @@ func conflicts(a, b *isa.Instr) bool {
 // deadlockError reports the blocked queue heads.
 func (s *schedState) deadlockError() error {
 	msg := "sim: deadlock, blocked queue heads:"
-	for _, c := range hw.Components() {
+	for c := 0; c < hw.NumComponents; c++ {
 		if s.qpos[c] < len(s.queues[c]) {
-			i := s.queues[c][s.qpos[c]]
-			msg += fmt.Sprintf(" [%s: #%d %s]", c, i, s.prog.Instrs[i].String())
+			i := int(s.queues[c][s.qpos[c]])
+			msg += fmt.Sprintf(" [%s: #%d %s]", hw.Component(c), i, s.prog.Instrs[i].String())
 		}
 	}
 	return fmt.Errorf("%s", msg)
 }
 
-// buildProfile assembles the profile from the completed schedule. When
-// spans are kept the slice is preallocated at its exact final size (one
-// span per instruction); with KeepSpans off no span storage is
-// allocated at all.
+// buildProfile assembles the profile from the completed schedule. Tick
+// times convert to nanoseconds exactly (see ticks.go), so aggregates
+// are identical whether accumulated here or by the reference scheduler.
+// When spans are kept they are emitted in start order straight from the
+// recorded start sequence; only ties at one tick need reordering by
+// program index, so no full O(n log n) sort runs. With KeepSpans off no
+// span storage is allocated at all.
 func (s *schedState) buildProfile() *profile.Profile {
 	p := profile.New(s.prog.Name)
-	if s.opts.KeepSpans {
-		p.Spans = make([]profile.Span, 0, len(s.prog.Instrs))
-	}
+	// Per-path and per-precision sums accumulate in dense arrays (program
+	// order per key, so float sums match a direct map accumulation bit
+	// for bit — lattice sums are exact anyway) and flush to the profile
+	// maps once per present key instead of once per instruction.
+	var pathBytes [hw.NumLevels][hw.NumLevels]int64
+	var pathBusy [hw.NumLevels][hw.NumLevels]float64
+	var pathSeen [hw.NumLevels][hw.NumLevels]bool
+	var precOps [numUnits][numPrec]int64
+	var precBusy [numUnits][numPrec]float64
+	var precSeen [numUnits][numPrec]bool
 	for i := range s.prog.Instrs {
 		in := &s.prog.Instrs[i]
 		c := s.comp[i]
-		p.Busy[c] += s.dur[i]
+		d := FromTicks(s.dur[i])
+		p.Busy[c] += d
 		p.InstrCount[c]++
-		if s.ends[i] > p.TotalTime {
-			p.TotalTime = s.ends[i]
+		if e := FromTicks(s.ends[i]); e > p.TotalTime {
+			p.TotalTime = e
 		}
 		switch in.Kind {
 		case isa.KindTransfer:
-			p.PathBytes[in.Path] += in.Bytes
-			p.PathBusy[in.Path] += s.dur[i]
+			src, dst := in.Path.Src, in.Path.Dst // routable, so in range
+			pathBytes[src][dst] += in.Bytes
+			pathBusy[src][dst] += d
+			pathSeen[src][dst] = true
 		case isa.KindCompute:
-			up := hw.UnitPrec{Unit: in.Unit, Prec: in.Prec}
-			p.PrecOps[up] += in.Ops
-			p.PrecBusy[up] += s.dur[i]
+			if u, pr := int(in.Unit), int(in.Prec); pr >= 0 && pr < numPrec {
+				precOps[u][pr] += in.Ops
+				precBusy[u][pr] += d
+				precSeen[u][pr] = true
+			} else { // exotic precision outside the dense table
+				up := hw.UnitPrec{Unit: in.Unit, Prec: in.Prec}
+				p.PrecOps[up] += in.Ops
+				p.PrecBusy[up] += d
+			}
 		}
-		if s.opts.KeepSpans {
+	}
+	for src := 0; src < hw.NumLevels; src++ {
+		for dst := 0; dst < hw.NumLevels; dst++ {
+			if pathSeen[src][dst] {
+				path := hw.Path{Src: hw.Level(src), Dst: hw.Level(dst)}
+				p.PathBytes[path] = pathBytes[src][dst]
+				p.PathBusy[path] = pathBusy[src][dst]
+			}
+		}
+	}
+	for u := 0; u < numUnits; u++ {
+		for pr := 0; pr < numPrec; pr++ {
+			if precSeen[u][pr] {
+				up := hw.UnitPrec{Unit: hw.Unit(u), Prec: hw.Precision(pr)}
+				p.PrecOps[up] = precOps[u][pr]
+				p.PrecBusy[up] = precBusy[u][pr]
+			}
+		}
+	}
+	if !s.opts.KeepSpans {
+		return p
+	}
+	n := len(s.prog.Instrs)
+	p.Spans = make([]profile.Span, 0, n)
+	// Fix start-tick ties: within one tick, starts happened in
+	// component order but spans sort by program index.
+	for lo := 0; lo < len(s.startSeq); {
+		hi := lo + 1
+		t := s.starts[s.startSeq[lo]]
+		for hi < len(s.startSeq) && s.starts[s.startSeq[hi]] == t {
+			hi++
+		}
+		if hi-lo > 1 {
+			tie := s.startSeq[lo:hi]
+			sort.Slice(tie, func(a, b int) bool { return tie[a] < tie[b] })
+		}
+		for _, i32 := range s.startSeq[lo:hi] {
+			i := int(i32)
+			in := &s.prog.Instrs[i]
 			p.Spans = append(p.Spans, profile.Span{
-				Comp:  c,
+				Comp:  s.comp[i],
 				Kind:  in.Kind,
 				Index: i,
-				Start: s.starts[i],
-				End:   s.ends[i],
+				Start: FromTicks(s.starts[i]),
+				End:   FromTicks(s.ends[i]),
 				Label: in.Label,
 			})
 		}
-	}
-	if s.opts.KeepSpans {
-		sort.Slice(p.Spans, func(a, b int) bool {
-			if p.Spans[a].Start != p.Spans[b].Start {
-				return p.Spans[a].Start < p.Spans[b].Start
-			}
-			return p.Spans[a].Index < p.Spans[b].Index
-		})
+		lo = hi
 	}
 	return p
 }

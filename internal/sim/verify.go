@@ -69,10 +69,14 @@ func VerifySchedule(chip *hw.Chip, prog *isa.Program, p *profile.Profile) error 
 
 	// Rule 2: dispatch. (Lower bound only; exact times are dynamic with
 	// finite queues, but never earlier than the unbounded-queue times.)
+	// The scheduler accrues dispatch delay on the tick lattice, so the
+	// bound uses the lattice image of DispatchLatency — otherwise the
+	// sub-tick rounding would accumulate across i and exceed the epsilon.
+	latticeDL := FromTicks(ToTicks(chip.DispatchLatency))
 	for i := 0; i < n; i++ {
-		if starts[i]+1e-9 < float64(i+1)*chip.DispatchLatency {
+		if starts[i]+1e-9 < float64(i+1)*latticeDL {
 			return fmt.Errorf("verify: instruction %d starts %.3f before dispatch %.3f",
-				i, starts[i], float64(i+1)*chip.DispatchLatency)
+				i, starts[i], float64(i+1)*latticeDL)
 		}
 	}
 
@@ -189,7 +193,7 @@ func VerifySchedule(chip *hw.Chip, prog *isa.Program, p *profile.Profile) error 
 		}
 	}
 	for i := 0; i < n; i++ {
-		bounds := []float64{float64(i+1) * chip.DispatchLatency}
+		bounds := []float64{float64(i+1) * latticeDL}
 		if p := prevInQueue[i]; p >= 0 {
 			bounds = append(bounds, ends[p])
 		}

@@ -35,6 +35,27 @@ echo "== fuzz (short budget) =="
 go test -run '^$' -fuzz FuzzVerifySchedule -fuzztime 10s -fuzzminimizetime 5s ./internal/sim
 go test -run '^$' -fuzz FuzzDiff -fuzztime 10s -fuzzminimizetime 5s ./internal/check
 
+echo "== benchmark smoke =="
+# Compile and execute every scheduler/engine benchmark for one
+# iteration: catches benchmarks that no longer build or that fail at
+# runtime, without paying for a real measurement.
+go test -run '^$' -bench . -benchtime 1x ./internal/sim ./internal/engine
+
+# Non-blocking benchstat comparison against the committed baseline,
+# only when the tool is installed (golang.org/x/perf is not vendored).
+if command -v benchstat > /dev/null; then
+    echo "== benchstat vs committed baseline (non-blocking) =="
+    benchdir="$(mktemp -d)"
+    go test -run '^$' -bench . -benchtime 100x -count 5 ./internal/sim \
+        > "$benchdir/new.txt" || true
+    if [ -f BENCH_sim.txt ]; then
+        benchstat BENCH_sim.txt "$benchdir/new.txt" || true
+    else
+        benchstat "$benchdir/new.txt" || true
+    fi
+    rm -rf "$benchdir"
+fi
+
 echo "== trace schema check =="
 # Emit a real trace and validate it against the FORMATS.md §6 schema —
 # the executable form of the "loads in Perfetto" guarantee.
