@@ -24,6 +24,7 @@ import (
 	"os"
 	"time"
 
+	"ascendperf/internal/cliutil"
 	"ascendperf/internal/engine"
 	"ascendperf/internal/experiments"
 	"ascendperf/internal/hw"
@@ -64,8 +65,13 @@ func main() {
 		cacheCap = flag.Int("cache", engine.DefaultCacheCapacity, "simulation cache capacity in entries (0 disables)")
 		cacheDir = flag.String("cachedir", "", "persistent simulation cache directory (default ASCENDPERF_CACHE_DIR); successive invocations warm-start from it")
 		jsonPath = flag.String("json", "", "benchmark the execution engine (serial vs parallel vs cached) and write the timing comparison as JSON to this path")
+		version  = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(cliutil.BuildInfo("ascendbench"))
+		return
+	}
 	engine.SetWorkers(*workers)
 	engine.SetCacheCapacity(*cacheCap)
 	if *cacheDir != "" {

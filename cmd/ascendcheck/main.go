@@ -92,8 +92,13 @@ func main() {
 		jsonPath    = flag.String("json", "", "write the FORMATS.md §7 JSON report to this file")
 		verbose     = flag.Bool("v", false, "print every case, not just failures")
 		cacheDir    = flag.String("cachedir", "", "persistent simulation cache directory (default ASCENDPERF_CACHE_DIR); successive runs warm-start the production scheduler's side of the diff")
+		version     = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(cliutil.BuildInfo("ascendcheck"))
+		return
+	}
 	if *cacheDir != "" {
 		if err := engine.SetDiskCacheDir(*cacheDir); err != nil {
 			fmt.Fprintln(os.Stderr, "ascendcheck:", err)

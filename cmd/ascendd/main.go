@@ -1,0 +1,115 @@
+// Command ascendd is the analysis daemon: it serves the full pipeline
+// (simulate, roofline, optimize, trace, whole-model analysis) as JSON
+// over HTTP, with request coalescing, bounded admission and live
+// Prometheus metrics. One warmed daemon amortizes simulation cost
+// across every client; see FORMATS.md §8 for the API.
+//
+// Usage:
+//
+//	ascendd -addr 127.0.0.1:8372
+//	ascendd -addr 127.0.0.1:0      # pick a free port, printed on stdout
+//	ascendd -concurrency 4 -queue 128 -timeout 60s
+//
+// SIGINT/SIGTERM drain in-flight requests before exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ascendperf/internal/cliutil"
+	"ascendperf/internal/engine"
+	"ascendperf/internal/serve"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:8372", "listen address (port 0 picks a free port)")
+		concurrency = flag.Int("concurrency", 0, "max simultaneously executing analyses (0 = GOMAXPROCS)")
+		queue       = flag.Int("queue", 0, "max queued requests before shedding with 429 (0 = 64)")
+		timeout     = flag.Duration("timeout", 0, "per-request deadline covering queue wait and execution (0 = 30s)")
+		respCache   = flag.Int("respcache", 0, "encoded-response LRU capacity in entries (0 = 512, negative disables)")
+		drainWait   = flag.Duration("drain", 30*time.Second, "max time to wait for in-flight requests on shutdown")
+		workers     = flag.Int("workers", 0, "engine worker pool size (0 = ASCENDPERF_WORKERS or GOMAXPROCS)")
+		cacheCap    = flag.Int("cache", engine.DefaultCacheCapacity, "simulation cache capacity in entries (0 disables)")
+		cacheDir    = flag.String("cachedir", "", "persistent simulation cache directory (default ASCENDPERF_CACHE_DIR); restarts warm-start from it")
+		version     = flag.Bool("version", false, "print build information and exit")
+	)
+	flag.Parse()
+	if *version {
+		fmt.Println(cliutil.BuildInfo("ascendd"))
+		return
+	}
+	engine.SetWorkers(*workers)
+	engine.SetCacheCapacity(*cacheCap)
+	if *cacheDir != "" {
+		if err := engine.SetDiskCacheDir(*cacheDir); err != nil {
+			fmt.Fprintln(os.Stderr, "ascendd:", err)
+			os.Exit(1)
+		}
+	}
+	if err := run(*addr, serve.Config{
+		Concurrency:   *concurrency,
+		QueueDepth:    *queue,
+		Timeout:       *timeout,
+		ResponseCache: *respCache,
+	}, *drainWait); err != nil {
+		fmt.Fprintln(os.Stderr, "ascendd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, cfg serve.Config, drainWait time.Duration) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	return serveOn(ln, serve.New(cfg), drainWait, sigc)
+}
+
+// serveOn serves on ln until stop fires, then drains in-flight work and
+// shuts the listener down. Split from run so tests can drive it with a
+// synthetic stop channel and a port-0 listener.
+func serveOn(ln net.Listener, svc *serve.Server, drainWait time.Duration, stop <-chan os.Signal) error {
+	// The resolved address line is machine-parseable: the CI smoke test
+	// (and any script using -addr :0) reads the port from it.
+	fmt.Printf("ascendd: listening on http://%s\n", ln.Addr())
+
+	httpSrv := &http.Server{Handler: svc.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case sig := <-stop:
+		fmt.Printf("ascendd: %v: draining\n", sig)
+	case err := <-serveErr:
+		return err
+	}
+
+	// Drain first so /readyz fails and new analyses are shed while
+	// in-flight ones finish, then close the listener.
+	ctx, cancel := context.WithTimeout(context.Background(), drainWait)
+	defer cancel()
+	if err := svc.Drain(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "ascendd:", err)
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		return err
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Println("ascendd: shutdown complete")
+	return nil
+}

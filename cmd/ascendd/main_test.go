@@ -1,0 +1,86 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"ascendperf/internal/serve"
+)
+
+// TestServeOnLifecycle drives the daemon loop end to end: listen on a
+// free port, answer requests, then shut down cleanly on a signal with
+// in-flight work drained.
+func TestServeOnLifecycle(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := fmt.Sprintf("http://%s", ln.Addr())
+	stop := make(chan os.Signal, 1)
+	done := make(chan error, 1)
+	go func() { done <- serveOn(ln, serve.New(serve.Config{}), 5*time.Second, stop) }()
+
+	// The daemon must come up ready...
+	var resp *http.Response
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err = http.Get(base + "/readyz")
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never came up: %v", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("readyz = %d", resp.StatusCode)
+	}
+
+	// ...serve an analysis...
+	resp, err = http.Post(base+"/v1/simulate", "application/json",
+		strings.NewReader(`{"chip":"training","op":"mul"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("simulate = %d: %s", resp.StatusCode, body)
+	}
+	var out struct {
+		TotalTimeNS float64 `json:"total_time_ns"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil || out.TotalTimeNS <= 0 {
+		t.Fatalf("bad simulate body %s: %v", body, err)
+	}
+
+	// ...and exit cleanly on SIGTERM.
+	stop <- syscall.SIGTERM
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Error("listener still accepting after shutdown")
+	}
+}
+
+func TestRunBadAddr(t *testing.T) {
+	if err := run("256.256.256.256:99999", serve.Config{}, time.Second); err == nil {
+		t.Error("bogus listen address accepted")
+	}
+}

@@ -24,8 +24,13 @@ func main() {
 	var (
 		chipName   = flag.String("chip", "training", "chip preset: training, inference or tpu")
 		thresholds = flag.Bool("thresholds", false, "also print measurement-derived bound thresholds")
+		version    = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(cliutil.BuildInfo("ascendert"))
+		return
+	}
 	if err := run(*chipName, *thresholds); err != nil {
 		fmt.Fprintln(os.Stderr, "ascendert:", err)
 		os.Exit(1)

@@ -1,0 +1,101 @@
+// Command ascendload is the load generator for ascendd: it replays the
+// built-in model workloads (or the whole operator registry) against a
+// live daemon, measuring a cold pass and then an open-loop warm phase
+// at a target QPS. The cold/warm latency split is the serving layer's
+// value proposition made measurable — warm requests ride the engine
+// cache and request coalescing.
+//
+// Usage:
+//
+//	ascendload -base http://127.0.0.1:8372
+//	ascendload -base http://... -endpoint roofline -qps 500 -duration 5s
+//	ascendload -base http://... -json BENCH_serve.json \
+//	    -maxerrors 0 -minhitrate 0.5 -minspeedup 10   # CI assertions
+//
+// The assertion flags turn the run into a pass/fail gate: the process
+// exits nonzero when the measured report violates any bound.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ascendperf/internal/cliutil"
+	"ascendperf/internal/serve"
+)
+
+func main() {
+	var (
+		base        = flag.String("base", "http://127.0.0.1:8372", "ascendd base URL")
+		endpoint    = flag.String("endpoint", "model", `request mix: "model" (11 built-in workloads) or "roofline" (every registry operator)`)
+		chip        = flag.String("chip", "training", "chip preset named in every request")
+		topN        = flag.Int("topn", 0, "with -endpoint model: optimize the N hottest operator types per request (0 = analysis only)")
+		qps         = flag.Float64("qps", 100, "warm-phase target request rate")
+		duration    = flag.Duration("duration", 2*time.Second, "warm-phase length")
+		concurrency = flag.Int("concurrency", 0, "max in-flight requests (0 = 4*GOMAXPROCS)")
+		timeout     = flag.Duration("timeout", 60*time.Second, "per-request client timeout")
+		jsonPath    = flag.String("json", "", "write the FORMATS.md §8 bench-serve JSON report to this file")
+		maxErrors   = flag.Int("maxerrors", -1, "fail when client-observed errors exceed this (-1 disables)")
+		minHitRate  = flag.Float64("minhitrate", -1, "fail when the server's response cache hit rate is below this fraction (-1 disables)")
+		minSpeedup  = flag.Float64("minspeedup", -1, "fail when warm p50 is not at least this many times faster than cold p50 (-1 disables)")
+		version     = flag.Bool("version", false, "print build information and exit")
+	)
+	flag.Parse()
+	if *version {
+		fmt.Println(cliutil.BuildInfo("ascendload"))
+		return
+	}
+	rep, err := serve.RunLoad(serve.LoadConfig{
+		BaseURL:     *base,
+		Endpoint:    *endpoint,
+		Chip:        *chip,
+		TopN:        *topN,
+		QPS:         *qps,
+		Duration:    *duration,
+		Concurrency: *concurrency,
+		Timeout:     *timeout,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ascendload:", err)
+		os.Exit(1)
+	}
+	fmt.Print(rep.Format())
+	if *jsonPath != "" {
+		body, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ascendload:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonPath, append(body, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "ascendload:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *jsonPath)
+	}
+
+	if fails := gates(rep, *maxErrors, *minHitRate, *minSpeedup); len(fails) > 0 {
+		for _, f := range fails {
+			fmt.Fprintln(os.Stderr, "ascendload: FAIL:", f)
+		}
+		os.Exit(1)
+	}
+}
+
+// gates evaluates the CI assertion flags against a measured report and
+// returns the violated bounds (a negative bound disables its check).
+func gates(rep *serve.LoadReport, maxErrors int, minHitRate, minSpeedup float64) []string {
+	var fails []string
+	if maxErrors >= 0 && rep.Errors > maxErrors {
+		fails = append(fails, fmt.Sprintf("%d errors > limit %d", rep.Errors, maxErrors))
+	}
+	if minHitRate >= 0 && rep.RespCacheHitRate < minHitRate {
+		fails = append(fails, fmt.Sprintf("response cache hit rate %.3f < floor %.3f", rep.RespCacheHitRate, minHitRate))
+	}
+	if minSpeedup >= 0 && rep.WarmSpeedupP50 < minSpeedup {
+		fails = append(fails, fmt.Sprintf("warm speedup %.1fx < floor %.1fx", rep.WarmSpeedupP50, minSpeedup))
+	}
+	return fails
+}

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"ascendperf/internal/serve"
+)
+
+func TestGates(t *testing.T) {
+	rep := &serve.LoadReport{
+		Errors:           2,
+		RespCacheHitRate: 0.40,
+		WarmSpeedupP50:   8,
+	}
+	// All checks disabled: nothing fails.
+	if fails := gates(rep, -1, -1, -1); len(fails) != 0 {
+		t.Fatalf("disabled gates failed: %v", fails)
+	}
+	// All bounds violated.
+	fails := gates(rep, 0, 0.5, 10)
+	if len(fails) != 3 {
+		t.Fatalf("want 3 failures, got %v", fails)
+	}
+	for _, want := range []string{"errors", "hit rate", "speedup"} {
+		found := false
+		for _, f := range fails {
+			if strings.Contains(f, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no failure mentions %q: %v", want, fails)
+		}
+	}
+	// All bounds satisfied.
+	if fails := gates(rep, 2, 0.4, 8); len(fails) != 0 {
+		t.Fatalf("satisfied gates failed: %v", fails)
+	}
+}

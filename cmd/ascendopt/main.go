@@ -96,8 +96,13 @@ func main() {
 		workers   = flag.Int("workers", 0, "parallel analysis workers (0 = ASCENDPERF_WORKERS or GOMAXPROCS)")
 		cacheCap  = flag.Int("cache", engine.DefaultCacheCapacity, "simulation cache capacity in entries (0 disables)")
 		cacheDir  = flag.String("cachedir", "", "persistent simulation cache directory (default ASCENDPERF_CACHE_DIR); successive invocations warm-start from it")
+		version   = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(cliutil.BuildInfo("ascendopt"))
+		return
+	}
 	engine.SetWorkers(*workers)
 	engine.SetCacheCapacity(*cacheCap)
 	if *cacheDir != "" {
@@ -162,7 +167,7 @@ func run(opName, modelName, workloadPath, chipName string, top int, tune, usePas
 				return err
 			}
 			defer f.Close()
-			m, err = model.ReadWorkload(f)
+			m, err = model.ReadWorkloadNamed(workloadPath, f)
 			if err != nil {
 				return err
 			}

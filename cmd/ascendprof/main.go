@@ -64,6 +64,7 @@ func main() {
 		diffPath   = flag.String("diff", "", "with -analyze: compare against a second saved profile")
 		checkTrace = flag.String("checktrace", "", "validate a trace JSON file against the FORMATS.md §6 schema and exit")
 		cacheSize  = flag.Int("cache", engine.DefaultCacheCapacity, "simulation cache capacity in entries (0 disables)")
+		version    = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.StringVar(&o.op, "op", "", "operator name (empty lists all)")
 	flag.StringVar(&o.chip, "chip", "training", "chip preset (training, inference, tpu) or a chip-spec JSON file")
@@ -80,6 +81,10 @@ func main() {
 	flag.StringVar(&o.htmlPath, "html", "", "write a self-contained HTML report")
 	flag.StringVar(&o.asm, "asm", "", "profile a hand-written program file (Disassemble format) instead of a library operator")
 	flag.Parse()
+	if *version {
+		fmt.Println(cliutil.BuildInfo("ascendprof"))
+		return
+	}
 	engine.SetCacheCapacity(*cacheSize)
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "ascendprof:", err)

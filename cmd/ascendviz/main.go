@@ -36,8 +36,13 @@ func main() {
 		optimized = flag.Bool("optimized", false, "render the optimized variant")
 		outPath   = flag.String("o", "", "output path (default stdout)")
 		htmlPath  = flag.String("html", "", "write a full HTML report with the embedded timeline instead of a bare SVG")
+		version   = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(cliutil.BuildInfo("ascendviz"))
+		return
+	}
 	if err := run(*opName, *chipName, *optimized, *outPath, *htmlPath); err != nil {
 		fmt.Fprintln(os.Stderr, "ascendviz:", err)
 		os.Exit(1)

@@ -1,14 +1,63 @@
 // Package cliutil holds the small helpers shared by the command-line
-// tools: chip resolution (preset name or spec file) and model lookup.
+// tools: chip resolution (preset name or spec file), model lookup and
+// build identification.
 package cliutil
 
 import (
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/debug"
+	"strings"
 
 	"ascendperf/internal/hw"
 	"ascendperf/internal/model"
 )
+
+// BuildInfo returns a one-line build identifier for a deployed binary,
+// stamped from runtime/debug.ReadBuildInfo: module version, VCS
+// revision and commit time when the binary was built from a checkout,
+// and the Go toolchain version. Every command prints it under
+// -version, so a binary on a serving host can always be traced back to
+// a commit.
+func BuildInfo(tool string) string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return fmt.Sprintf("%s (no build info; built without module support)", tool)
+	}
+	version := bi.Main.Version
+	if version == "" || version == "(devel)" {
+		version = "devel"
+	}
+	var parts []string
+	parts = append(parts, fmt.Sprintf("%s %s", tool, version))
+	var rev, at string
+	dirty := false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.time":
+			at = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		if dirty {
+			rev += "+dirty"
+		}
+		parts = append(parts, "rev "+rev)
+	}
+	if at != "" {
+		parts = append(parts, at)
+	}
+	parts = append(parts, runtime.Version())
+	return strings.Join(parts, ", ")
+}
 
 // ChipByName resolves a chip preset name (training, inference, tpu) or,
 // when the argument names a readable file, loads it as a chip

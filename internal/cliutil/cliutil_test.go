@@ -3,6 +3,8 @@ package cliutil
 import (
 	"os"
 	"path/filepath"
+	"runtime"
+	"strings"
 	"testing"
 
 	"ascendperf/internal/hw"
@@ -54,5 +56,17 @@ func TestModelByName(t *testing.T) {
 	}
 	if _, err := ModelByName("SkyNet"); err == nil {
 		t.Error("unknown model accepted")
+	}
+}
+
+func TestBuildInfo(t *testing.T) {
+	s := BuildInfo("ascendprof")
+	if !strings.HasPrefix(s, "ascendprof") {
+		t.Errorf("missing tool name: %q", s)
+	}
+	// Tests always run with module support, so the Go toolchain version
+	// must be present.
+	if !strings.Contains(s, runtime.Version()) {
+		t.Errorf("missing go version: %q", s)
 	}
 }

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
+	"strings"
 
 	"ascendperf/internal/kernels"
 )
@@ -13,7 +15,11 @@ import (
 // the library's operator names, with optional per-row shape scaling and
 // retiling. This is the import path for real profiling data — export an
 // operator histogram from msprof, map the names, and run the whole
-// Section 6 analysis on it.
+// Section 6 analysis on it. The same format arrives over the network as
+// the inline `workload` field of ascendd's /v1/model endpoint, so every
+// parse error names the source, the position (line/column or row index
+// plus operator), and the offending value — the user fixing a file or a
+// request body never has to bisect it by hand.
 
 type jsonWorkload struct {
 	Name         string           `json:"name"`
@@ -40,11 +46,100 @@ type jsonWorkloadOp struct {
 	Rename string `json:"rename,omitempty"`
 }
 
-// ReadWorkload parses and validates a workload file.
+// lineCol converts a byte offset into 1-based line and column numbers.
+func lineCol(data []byte, offset int64) (line, col int) {
+	line, col = 1, 1
+	for i := int64(0); i < offset && i < int64(len(data)); i++ {
+		if data[i] == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+	}
+	return line, col
+}
+
+// nearestOp suggests the registry operator closest to name (small edit
+// distance), or "" when nothing is close enough to be a plausible typo.
+func nearestOp(name string, reg map[string]kernels.Kernel) string {
+	best, bestDist := "", 3 // suggest only within 2 edits
+	names := make([]string, 0, len(reg))
+	for n := range reg {
+		names = append(names, n)
+	}
+	sort.Strings(names) // deterministic tie-break
+	for _, n := range names {
+		if d := editDistance(name, n); d < bestDist {
+			best, bestDist = n, d
+		}
+	}
+	return best
+}
+
+// editDistance is the Levenshtein distance between two short names.
+func editDistance(a, b string) int {
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min(cur[j-1]+1, prev[j]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+// ReadWorkload parses and validates a workload file. Errors name the
+// generic source "workload"; use ReadWorkloadNamed to attribute them to
+// a file path or request origin.
 func ReadWorkload(r io.Reader) (*Model, error) {
+	return ReadWorkloadNamed("workload", r)
+}
+
+// ReadWorkloadNamed parses and validates a workload document, naming
+// src (a file path, or a request origin like "request workload") in
+// every error. Syntax and type errors carry line:column positions; row
+// errors carry the row index, the operator name and the offending
+// value.
+func ReadWorkloadNamed(src string, r io.Reader) (*Model, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("model: %s: read: %w", src, err)
+	}
 	var in jsonWorkload
-	if err := json.NewDecoder(r).Decode(&in); err != nil {
-		return nil, fmt.Errorf("model: decode workload: %w", err)
+	if err := json.Unmarshal(data, &in); err != nil {
+		switch e := err.(type) {
+		case *json.SyntaxError:
+			line, col := lineCol(data, e.Offset)
+			return nil, fmt.Errorf("model: %s:%d:%d: invalid JSON: %v", src, line, col, e)
+		case *json.UnmarshalTypeError:
+			line, col := lineCol(data, e.Offset)
+			field := e.Field
+			if field == "" {
+				field = "document"
+			}
+			return nil, fmt.Errorf("model: %s:%d:%d: field %q: cannot use JSON %s as %s",
+				src, line, col, field, e.Value, e.Type)
+		}
+		return nil, fmt.Errorf("model: %s: decode workload: %w", src, err)
+	}
+	if in.Name == "" {
+		return nil, fmt.Errorf("model: %s: missing required field \"name\"", src)
+	}
+	if len(in.Ops) == 0 {
+		return nil, fmt.Errorf("model: %s: empty \"ops\" list (at least one operator row is required)", src)
+	}
+	if in.OverheadFrac < 0 || in.OverheadFrac >= 1 {
+		return nil, fmt.Errorf("model: %s: overhead_frac %v out of range [0, 1)", src, in.OverheadFrac)
 	}
 	m := &Model{
 		Name:         in.Name,
@@ -67,10 +162,34 @@ func ReadWorkload(r io.Reader) (*Model, error) {
 		m.NPUs = 8
 	}
 	reg := kernels.Registry()
+	// rowErr attributes an error to source, row and operator.
+	rowErr := func(i int, op string, format string, args ...any) error {
+		loc := fmt.Sprintf("model: %s: ops[%d]", src, i)
+		if op != "" {
+			loc += fmt.Sprintf(" (op %q)", op)
+		}
+		return fmt.Errorf("%s: %s", loc, fmt.Sprintf(format, args...))
+	}
 	for i, row := range in.Ops {
+		if strings.TrimSpace(row.Op) == "" {
+			return nil, rowErr(i, "", "missing required field \"op\"")
+		}
 		base := reg[row.Op]
 		if base == nil {
-			return nil, fmt.Errorf("model: ops[%d]: unknown operator %q", i, row.Op)
+			msg := fmt.Sprintf("unknown operator %q", row.Op)
+			if near := nearestOp(row.Op, reg); near != "" {
+				msg += fmt.Sprintf(" (did you mean %q?)", near)
+			}
+			return nil, rowErr(i, row.Op, "%s", msg)
+		}
+		if row.Count <= 0 {
+			return nil, rowErr(i, row.Op, "count %d must be positive", row.Count)
+		}
+		if row.Scale < 0 {
+			return nil, rowErr(i, row.Op, "scale %v must be non-negative", row.Scale)
+		}
+		if row.TileElems < 0 {
+			return nil, rowErr(i, row.Op, "tile_elems %d must be non-negative", row.TileElems)
 		}
 		k := base
 		scale := row.Scale
@@ -89,37 +208,47 @@ func ReadWorkload(r io.Reader) (*Model, error) {
 			k = c
 		case *kernels.CubeMatMul:
 			c := scaleMM(kk, scale)
+			if row.TileElems > 0 {
+				return nil, rowErr(i, row.Op, "tile_elems %d not supported (matrix operators tile by blocks)", row.TileElems)
+			}
 			if row.Rename != "" {
 				c.OpName = row.Rename
 			}
 			k = c
 		case *kernels.CubeConv:
 			c := scaleConv(kk, scale)
+			if row.TileElems > 0 {
+				return nil, rowErr(i, row.Op, "tile_elems %d not supported (convolutions tile by blocks)", row.TileElems)
+			}
 			if row.Rename != "" {
 				c.OpName = row.Rename
 			}
 			k = c
 		case *kernels.AvgPool:
 			k = scaleAvgPool(kk, scale)
-			if row.Rename != "" || row.TileElems > 0 {
-				// Reduction variants keep their library identity; only
-				// the tile count scales.
-				if row.TileElems > 0 {
-					return nil, fmt.Errorf("model: ops[%d]: %q does not support tile_elems", i, row.Op)
-				}
-				if row.Rename != "" {
-					return nil, fmt.Errorf("model: ops[%d]: %q does not support rename", i, row.Op)
-				}
+			// Reduction variants keep their library identity; only the
+			// tile count scales.
+			if row.TileElems > 0 {
+				return nil, rowErr(i, row.Op, "tile_elems %d not supported for reductions", row.TileElems)
+			}
+			if row.Rename != "" {
+				return nil, rowErr(i, row.Op, "rename %q not supported for reductions", row.Rename)
 			}
 		default:
-			if scale != 1 || row.TileElems > 0 || row.Rename != "" {
-				return nil, fmt.Errorf("model: ops[%d]: %q does not support scaling", i, row.Op)
+			if scale != 1 {
+				return nil, rowErr(i, row.Op, "scale %v not supported for this operator", row.Scale)
+			}
+			if row.TileElems > 0 {
+				return nil, rowErr(i, row.Op, "tile_elems %d not supported for this operator", row.TileElems)
+			}
+			if row.Rename != "" {
+				return nil, rowErr(i, row.Op, "rename %q not supported for this operator", row.Rename)
 			}
 		}
 		m.Ops = append(m.Ops, OpInstance{Kernel: k, Count: row.Count})
 	}
 	if err := m.Validate(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("model: %s: %w", src, err)
 	}
 	return m, nil
 }

@@ -105,3 +105,90 @@ func TestShippedWorkloadFiles(t *testing.T) {
 		}
 	}
 }
+
+// TestReadWorkloadErrorDetail locks the diagnostic quality of workload
+// parse errors: every message names the source, the position (line and
+// column for JSON-level errors, row index and operator for semantic
+// ones) and the offending value, because the same parser now fronts
+// both the -workload CLI path and ascendd's /v1/model request bodies.
+func TestReadWorkloadErrorDetail(t *testing.T) {
+	cases := []struct {
+		name    string
+		payload string
+		want    []string
+	}{
+		{
+			name:    "syntax error carries line and column",
+			payload: "{\n  \"name\": \"x\",\n  \"ops\": [!]\n}",
+			want:    []string{"bad.json:3:12", "invalid JSON"},
+		},
+		{
+			name:    "type error names the field and both types",
+			payload: `{"name":"x","ops":[{"op":"mul","count":"three"}]}`,
+			want:    []string{"bad.json:1:47", `"ops.count"`, "cannot use JSON string", "int"},
+		},
+		{
+			name:    "unknown operator suggests the nearest name",
+			payload: `{"name":"x","ops":[{"op":"matmull","count":1}]}`,
+			want:    []string{"ops[0]", `unknown operator "matmull"`, `did you mean "matmul"?`},
+		},
+		{
+			name:    "non-positive count reports the value",
+			payload: `{"name":"x","ops":[{"op":"mul","count":1},{"op":"add","count":-2}]}`,
+			want:    []string{"ops[1]", `(op "add")`, "count -2 must be positive"},
+		},
+		{
+			name:    "negative scale reports the value",
+			payload: `{"name":"x","ops":[{"op":"mul","count":1,"scale":-0.5}]}`,
+			want:    []string{"ops[0]", `(op "mul")`, "scale -0.5 must be non-negative"},
+		},
+		{
+			name:    "missing op field",
+			payload: `{"name":"x","ops":[{"count":3}]}`,
+			want:    []string{"ops[0]", `missing required field "op"`},
+		},
+		{
+			name:    "missing name",
+			payload: `{"ops":[{"op":"mul","count":1}]}`,
+			want:    []string{"bad.json", `missing required field "name"`},
+		},
+		{
+			name:    "empty ops list",
+			payload: `{"name":"x","ops":[]}`,
+			want:    []string{"bad.json", `empty "ops" list`},
+		},
+		{
+			name:    "overhead fraction out of range",
+			payload: `{"name":"x","overhead_frac":1.5,"ops":[{"op":"mul","count":1}]}`,
+			want:    []string{"overhead_frac 1.5 out of range"},
+		},
+		{
+			name:    "tile_elems on a matrix operator",
+			payload: `{"name":"x","ops":[{"op":"matmul","count":1,"tile_elems":4096}]}`,
+			want:    []string{`(op "matmul")`, "tile_elems 4096 not supported"},
+		},
+		{
+			name:    "rename on a reduction",
+			payload: `{"name":"x","ops":[{"op":"avgpool","count":1,"rename":"pool2"}]}`,
+			want:    []string{`(op "avgpool")`, `rename "pool2" not supported`},
+		},
+		{
+			name:    "unsupported scale on plain operators",
+			payload: `{"name":"x","ops":[{"op":"quant_matmul","count":1,"scale":2}]}`,
+			want:    []string{`(op "quant_matmul")`, "scale 2 not supported"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadWorkloadNamed("bad.json", strings.NewReader(tc.payload))
+			if err == nil {
+				t.Fatalf("accepted %q", tc.payload)
+			}
+			for _, want := range tc.want {
+				if !strings.Contains(err.Error(), want) {
+					t.Errorf("error %q missing %q", err.Error(), want)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,72 @@
+package serve
+
+import (
+	"errors"
+	"sync/atomic"
+)
+
+// Load-shedding sentinels. The HTTP layer maps errQueueFull to 429 (the
+// client should back off and retry) and errDraining / errTimeout to 503
+// (the server is going away or could not schedule the work in time).
+var (
+	errQueueFull = errors.New("admission queue full")
+	errDraining  = errors.New("server draining")
+	errTimeout   = errors.New("request timed out")
+)
+
+// admission is the bounded execution gate in front of the analysis
+// pipeline: at most `slots` simulations run at once, at most `depth`
+// flight leaders wait for a slot, and anything beyond that is shed
+// immediately with 429 instead of queuing without bound. Coalesced
+// followers bypass admission entirely — they wait on their leader, not
+// on a slot — so the queue bounds distinct concurrent work, not client
+// connections.
+type admission struct {
+	slots   chan struct{}
+	depth   int64
+	waiting atomic.Int64
+}
+
+// newAdmission builds a gate with the given concurrency and queue depth
+// (both forced to at least 1).
+func newAdmission(concurrency, depth int) *admission {
+	if concurrency < 1 {
+		concurrency = 1
+	}
+	if depth < 1 {
+		depth = 1
+	}
+	return &admission{slots: make(chan struct{}, concurrency), depth: int64(depth)}
+}
+
+// Waiting returns the number of leaders currently queued for a slot.
+func (a *admission) Waiting() int64 { return a.waiting.Load() }
+
+// InFlight returns the number of occupied execution slots.
+func (a *admission) InFlight() int { return len(a.slots) }
+
+// acquire claims an execution slot, queuing until one frees or done
+// fires. It fails fast with errQueueFull when the wait queue is at
+// depth.
+func (a *admission) acquire(done <-chan struct{}) error {
+	// Fast path: a free slot means no queuing at all.
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	if a.waiting.Add(1) > a.depth {
+		a.waiting.Add(-1)
+		return errQueueFull
+	}
+	defer a.waiting.Add(-1)
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	case <-done:
+		return errTimeout
+	}
+}
+
+// release frees a slot claimed by acquire.
+func (a *admission) release() { <-a.slots }

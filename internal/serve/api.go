@@ -1,0 +1,250 @@
+// Package serve exposes the analysis pipeline — simulate, component
+// roofline, optimize, trace export, whole-workload runs — as a
+// long-running HTTP service (cmd/ascendd). Everything the one-shot CLIs
+// compute is reachable as a JSON endpoint layered on internal/engine,
+// with three serving mechanisms the CLIs never needed:
+//
+//   - request coalescing: identical concurrent requests share a single
+//     simulation (flightGroup);
+//   - admission control: a bounded concurrency/queue gate that sheds
+//     overload with 429/503 instead of queuing without bound;
+//   - live observability: /metrics (Prometheus text format) exports
+//     request counters and latency histograms alongside the engine's
+//     cache and scheduler counters, and /v1/stats returns the same as
+//     JSON.
+//
+// The request/response schemas are documented in FORMATS.md §8 and
+// locked by a golden-file test.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// apiError is an error with an HTTP status and a stable machine code;
+// handlers return it to drive the error envelope.
+type apiError struct {
+	status  int
+	code    string
+	message string
+}
+
+func (e *apiError) Error() string { return e.message }
+
+// badRequest builds a 400 apiError.
+func badRequest(format string, args ...any) *apiError {
+	return &apiError{status: http.StatusBadRequest, code: "bad_request", message: fmt.Sprintf(format, args...)}
+}
+
+// notFound builds a 404 apiError.
+func notFound(format string, args ...any) *apiError {
+	return &apiError{status: http.StatusNotFound, code: "not_found", message: fmt.Sprintf(format, args...)}
+}
+
+// errorEnvelope is the uniform error response body (FORMATS.md §8).
+type errorEnvelope struct {
+	Error errorDetail `json:"error"`
+}
+
+type errorDetail struct {
+	// Code is a stable machine-readable identifier: bad_request,
+	// not_found, queue_full, draining, timeout, internal.
+	Code string `json:"code"`
+	// Message is the human-readable detail.
+	Message string `json:"message"`
+}
+
+// SimulateRequest selects a chip preset and a program to simulate:
+// either a library operator (with optional fully-optimized variant) or
+// an inline program in the FORMATS.md §4 text format.
+type SimulateRequest struct {
+	// Chip is a preset name: training, inference or tpu. The service
+	// deliberately resolves presets only — it never opens server-side
+	// files on behalf of a request.
+	Chip string `json:"chip"`
+	// Op names a registry operator (mutually exclusive with Program).
+	Op string `json:"op,omitempty"`
+	// Optimized builds the fully optimized variant instead of the
+	// shipped baseline.
+	Optimized bool `json:"optimized,omitempty"`
+	// Program is an inline program text (FORMATS.md §4), the service
+	// form of `ascendprof -asm`.
+	Program string `json:"program,omitempty"`
+	// DisableHazards turns off spatial-dependency modelling.
+	DisableHazards bool `json:"disable_hazards,omitempty"`
+}
+
+// ComponentTime is one component's execution summary.
+type ComponentTime struct {
+	Component string  `json:"component"`
+	BusyNS    float64 `json:"busy_ns"`
+	Instrs    int     `json:"instrs"`
+}
+
+// SimulateResponse summarizes one simulation.
+type SimulateResponse struct {
+	Name        string          `json:"name"`
+	Chip        string          `json:"chip"`
+	TotalTimeNS float64         `json:"total_time_ns"`
+	Components  []ComponentTime `json:"components"`
+}
+
+// RooflineRequest is SimulateRequest for the analysis endpoint.
+type RooflineRequest = SimulateRequest
+
+// ComponentRoofline is one component's roofline statistics (Eqs. 1-9).
+type ComponentRoofline struct {
+	Component   string  `json:"component"`
+	Work        float64 `json:"work"`
+	BusyNS      float64 `json:"busy_ns"`
+	IdealNS     float64 `json:"ideal_ns"`
+	Actual      float64 `json:"actual"`
+	Ideal       float64 `json:"ideal"`
+	Utilization float64 `json:"utilization"`
+	TimeRatio   float64 `json:"time_ratio"`
+}
+
+// RooflineResponse is the component-based roofline analysis of one
+// simulation.
+type RooflineResponse struct {
+	Name        string  `json:"name"`
+	Chip        string  `json:"chip"`
+	TotalTimeNS float64 `json:"total_time_ns"`
+	// Cause is the classified bottleneck cause; CauseAbbrev the
+	// figure-legend abbreviation (IP, MB, CB, IM, IC, ID).
+	Cause       string `json:"cause"`
+	CauseAbbrev string `json:"cause_abbrev"`
+	// Bound names the bounding component for compute/MTE-bound causes;
+	// Culprit the inefficient component for inefficiency causes.
+	Bound   string `json:"bound,omitempty"`
+	Culprit string `json:"culprit,omitempty"`
+	// MaxUtil/MaxRatio are the paper's headline component statistics.
+	MaxUtil      float64 `json:"max_util"`
+	MaxUtilComp  string  `json:"max_util_component"`
+	MaxRatio     float64 `json:"max_ratio"`
+	MaxRatioComp string  `json:"max_ratio_component"`
+	// HeadroomX is the speed-of-light speedup still available.
+	HeadroomX  float64             `json:"headroom_x"`
+	Components []ComponentRoofline `json:"components"`
+}
+
+// OptimizeRequest runs the advisor-driven optimization loop on one
+// operator.
+type OptimizeRequest struct {
+	Chip string `json:"chip"`
+	Op   string `json:"op"`
+}
+
+// OptimizeStep is one accepted loop iteration.
+type OptimizeStep struct {
+	Iteration int     `json:"iteration"`
+	Cause     string  `json:"cause"`
+	Applied   string  `json:"applied"`
+	BeforeNS  float64 `json:"before_ns"`
+	AfterNS   float64 `json:"after_ns"`
+}
+
+// OptimizeResponse is the outcome of the optimization loop.
+type OptimizeResponse struct {
+	Kernel        string         `json:"kernel"`
+	Chip          string         `json:"chip"`
+	InitialTimeNS float64        `json:"initial_time_ns"`
+	FinalTimeNS   float64        `json:"final_time_ns"`
+	Speedup       float64        `json:"speedup"`
+	InitialCause  string         `json:"initial_cause"`
+	FinalCause    string         `json:"final_cause"`
+	Steps         []OptimizeStep `json:"steps"`
+	Applied       []string       `json:"applied"`
+}
+
+// TraceRequest exports the Perfetto timeline of one simulation
+// (FORMATS.md §6); the response body is the trace document itself.
+type TraceRequest = SimulateRequest
+
+// ModelRequest analyzes a whole workload: a built-in Table 2 model by
+// name, or an inline workload file (FORMATS.md §3).
+type ModelRequest struct {
+	Chip string `json:"chip"`
+	// Model names a built-in workload (mutually exclusive with
+	// Workload).
+	Model string `json:"model,omitempty"`
+	// Workload is an inline workload JSON document.
+	Workload json.RawMessage `json:"workload,omitempty"`
+	// TopN optimizes the N longest-running operator types (the paper's
+	// prioritization rule); 0 analyzes the shipped baseline only, -1
+	// optimizes everything.
+	TopN int `json:"top_n,omitempty"`
+}
+
+// ModelOp is one operator row of a workload run.
+type ModelOp struct {
+	Name          string   `json:"name"`
+	Count         int      `json:"count"`
+	BaselineNS    float64  `json:"baseline_ns"`
+	OptimizedNS   float64  `json:"optimized_ns"`
+	Speedup       float64  `json:"speedup"`
+	BaselineCause string   `json:"baseline_cause"`
+	FinalCause    string   `json:"final_cause"`
+	Applied       []string `json:"applied,omitempty"`
+}
+
+// ModelResponse is the outcome of a workload run.
+type ModelResponse struct {
+	Model                string             `json:"model"`
+	Chip                 string             `json:"chip"`
+	Operators            int                `json:"operators"`
+	BaselineComputeNS    float64            `json:"baseline_compute_ns"`
+	OptimizedComputeNS   float64            `json:"optimized_compute_ns"`
+	OverheadNS           float64            `json:"overhead_ns"`
+	ComputeSpeedup       float64            `json:"compute_speedup"`
+	OverallSpeedup       float64            `json:"overall_speedup"`
+	BaselineDistribution map[string]float64 `json:"baseline_distribution"`
+	FinalDistribution    map[string]float64 `json:"final_distribution"`
+	Ops                  []ModelOp          `json:"ops"`
+}
+
+// ServeStats is the serving-layer counter snapshot inside
+// StatsResponse.
+type ServeStats struct {
+	// Requests counts completed requests per endpoint; Errors those
+	// with status >= 400.
+	Requests map[string]uint64 `json:"requests"`
+	Errors   uint64            `json:"errors"`
+	// CoalesceLeaders counts executions started; CoalesceFollowers
+	// requests served by attaching to one.
+	CoalesceLeaders   uint64 `json:"coalesce_leaders"`
+	CoalesceFollowers uint64 `json:"coalesce_followers"`
+	// RespCacheHits counts requests answered from the encoded-response
+	// LRU without executing (or joining) an analysis.
+	RespCacheHits    uint64 `json:"resp_cache_hits"`
+	RespCacheMisses  uint64 `json:"resp_cache_misses"`
+	RespCacheEntries int    `json:"resp_cache_entries"`
+	// Shed counts load-shedded requests by reason.
+	Shed map[string]uint64 `json:"shed,omitempty"`
+	// InFlight and Queued are scrape-time gauges.
+	InFlight int   `json:"in_flight"`
+	Queued   int64 `json:"queued"`
+}
+
+// EngineStats mirrors engine.ProcessStats with stable JSON names.
+type EngineStats struct {
+	CacheHits      uint64  `json:"cache_hits"`
+	CacheMisses    uint64  `json:"cache_misses"`
+	CacheEvictions uint64  `json:"cache_evictions"`
+	CacheEntries   int     `json:"cache_entries"`
+	CacheHitRate   float64 `json:"cache_hit_rate"`
+	DiskHits       uint64  `json:"disk_hits"`
+	DiskWrites     uint64  `json:"disk_writes"`
+	SchedRuns      uint64  `json:"sched_runs"`
+	SchedEvents    uint64  `json:"sched_events"`
+	SchedStarts    uint64  `json:"sched_starts"`
+}
+
+// StatsResponse is the /v1/stats payload: the serving counters plus the
+// engine.Stats() snapshot.
+type StatsResponse struct {
+	Serve  ServeStats  `json:"serve"`
+	Engine EngineStats `json:"engine"`
+}

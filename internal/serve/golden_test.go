@@ -1,0 +1,56 @@
+package serve
+
+import (
+	"bytes"
+	"flag"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestRooflineGolden locks the canonical FORMATS.md §8 response: the
+// component-roofline analysis of add_relu on the training chip. Any
+// field rename, reorder or numeric drift in the API surface shows up as
+// a golden diff — run with -update to accept an intentional change and
+// update FORMATS.md alongside.
+func TestRooflineGolden(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Post(ts.URL+"/v1/roofline", "application/json",
+		strings.NewReader(`{"chip":"training","op":"add_relu"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 {
+		t.Fatalf("roofline = %d: %s", resp.StatusCode, got)
+	}
+
+	golden := filepath.Join("testdata", "roofline_add_relu.golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", golden)
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("response drifted from %s (run with -update if intentional)\ngot:\n%s\nwant:\n%s",
+			golden, got, want)
+	}
+}

@@ -1,0 +1,411 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"sort"
+	"strings"
+
+	"ascendperf/internal/core"
+	"ascendperf/internal/critpath"
+	"ascendperf/internal/engine"
+	"ascendperf/internal/hw"
+	"ascendperf/internal/isa"
+	"ascendperf/internal/kernels"
+	"ascendperf/internal/model"
+	"ascendperf/internal/opt"
+	"ascendperf/internal/profile"
+	"ascendperf/internal/sim"
+	"ascendperf/internal/trace"
+)
+
+// chipPresets maps the names the service accepts to constructors. The
+// service resolves presets only — unlike the CLIs it never opens
+// server-side files from request input.
+var chipPresets = map[string]func() *hw.Chip{
+	"training":  hw.TrainingChip,
+	"inference": hw.InferenceChip,
+	"tpu":       hw.TPUStyleChip,
+}
+
+// chipByPreset resolves a preset name, defaulting to training.
+func chipByPreset(name string) (*hw.Chip, error) {
+	if name == "" {
+		name = "training"
+	}
+	mk, ok := chipPresets[name]
+	if !ok {
+		return nil, notFound("unknown chip %q (presets: inference, tpu, training)", name)
+	}
+	return mk(), nil
+}
+
+// decodeStrict unmarshals body into v rejecting unknown fields, so a
+// typoed request field fails loudly instead of silently analyzing the
+// wrong thing.
+func decodeStrict(body []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return badRequest("decode request: %v", err)
+	}
+	// A second document in the body is almost certainly a client bug.
+	if dec.More() {
+		return badRequest("decode request: trailing data after JSON document")
+	}
+	return nil
+}
+
+// canonicalKey re-marshals the typed request: two requests differing
+// only in field order or whitespace coalesce onto the same flight.
+func canonicalKey(v any) string {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return ""
+	}
+	return string(b)
+}
+
+// buildProgram resolves the (chip, program) pair of a SimulateRequest.
+func buildProgram(chip *hw.Chip, req SimulateRequest) (*isa.Program, error) {
+	switch {
+	case req.Op != "" && req.Program != "":
+		return nil, badRequest("op and program are mutually exclusive")
+	case req.Op == "" && req.Program == "":
+		return nil, badRequest("one of op or program is required")
+	case req.Op != "":
+		k := kernels.Registry()[req.Op]
+		if k == nil {
+			return nil, notFound("unknown operator %q (GET /v1/ops lists them)", req.Op)
+		}
+		opts := k.Baseline()
+		if req.Optimized {
+			opts = kernels.FullyOptimized(k)
+		}
+		prog, err := k.Build(chip, opts)
+		if err != nil {
+			return nil, badRequest("build %s: %v", req.Op, err)
+		}
+		return prog, nil
+	default:
+		prog, err := isa.Parse("request", strings.NewReader(req.Program))
+		if err != nil {
+			return nil, badRequest("parse program: %v", err)
+		}
+		if err := prog.Validate(chip); err != nil {
+			return nil, badRequest("validate program: %v", err)
+		}
+		return prog, nil
+	}
+}
+
+// simulateFor runs the (cached, coalesced) simulation of a request.
+func simulateFor(chip *hw.Chip, req SimulateRequest, keepSpans bool) (*isa.Program, *profile.Profile, error) {
+	prog, err := buildProgram(chip, req)
+	if err != nil {
+		return nil, nil, err
+	}
+	p, err := engine.Simulate(chip, prog, sim.Options{DisableHazards: req.DisableHazards, KeepSpans: keepSpans})
+	if err != nil {
+		return nil, nil, &apiError{status: http.StatusInternalServerError, code: "internal", message: err.Error()}
+	}
+	return prog, p, nil
+}
+
+// encode marshals a response body in the indented form every endpoint
+// uses (and the golden file locks).
+func encode(v any) ([]byte, error) {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// parseSimulate handles POST /v1/simulate.
+func parseSimulate(body []byte) (*parsedRequest, error) {
+	var req SimulateRequest
+	if err := decodeStrict(body, &req); err != nil {
+		return nil, err
+	}
+	return &parsedRequest{
+		key: canonicalKey(req),
+		run: func(context.Context) ([]byte, error) {
+			chip, err := chipByPreset(req.Chip)
+			if err != nil {
+				return nil, err
+			}
+			_, p, err := simulateFor(chip, req, false)
+			if err != nil {
+				return nil, err
+			}
+			resp := SimulateResponse{Name: p.Name, Chip: chip.Name, TotalTimeNS: p.TotalTime}
+			for c := 0; c < int(hw.NumComponents); c++ {
+				if p.Busy[c] == 0 && p.InstrCount[c] == 0 {
+					continue
+				}
+				resp.Components = append(resp.Components, ComponentTime{
+					Component: hw.Component(c).String(),
+					BusyNS:    p.Busy[c],
+					Instrs:    p.InstrCount[c],
+				})
+			}
+			return encode(resp)
+		},
+	}, nil
+}
+
+// parseRoofline handles POST /v1/roofline.
+func parseRoofline(body []byte) (*parsedRequest, error) {
+	var req RooflineRequest
+	if err := decodeStrict(body, &req); err != nil {
+		return nil, err
+	}
+	return &parsedRequest{
+		key: canonicalKey(req),
+		run: func(context.Context) ([]byte, error) {
+			chip, err := chipByPreset(req.Chip)
+			if err != nil {
+				return nil, err
+			}
+			_, p, err := simulateFor(chip, req, false)
+			if err != nil {
+				return nil, err
+			}
+			a := core.Analyze(p, chip, core.DefaultThresholds())
+			resp := RooflineResponse{
+				Name:         a.Name,
+				Chip:         chip.Name,
+				TotalTimeNS:  a.TotalTime,
+				Cause:        a.Cause.String(),
+				CauseAbbrev:  a.Cause.Abbrev(),
+				MaxUtil:      a.MaxUtil,
+				MaxUtilComp:  a.MaxUtilComp.String(),
+				MaxRatio:     a.MaxRatio,
+				MaxRatioComp: a.MaxRatioComp.String(),
+				HeadroomX:    a.Headroom(),
+			}
+			switch a.Cause {
+			case core.CauseComputeBound, core.CauseMTEBound:
+				resp.Bound = a.Bound.String()
+			case core.CauseInefficientCompute, core.CauseInefficientMTE:
+				resp.Culprit = a.Culprit.String()
+			}
+			for _, st := range a.Components {
+				resp.Components = append(resp.Components, ComponentRoofline{
+					Component:   st.Comp.String(),
+					Work:        st.Work,
+					BusyNS:      st.BusyTime,
+					IdealNS:     st.IdealTime,
+					Actual:      st.Actual,
+					Ideal:       st.Ideal,
+					Utilization: st.Utilization,
+					TimeRatio:   st.TimeRatio,
+				})
+			}
+			return encode(resp)
+		},
+	}, nil
+}
+
+// parseOptimize handles POST /v1/optimize.
+func parseOptimize(body []byte) (*parsedRequest, error) {
+	var req OptimizeRequest
+	if err := decodeStrict(body, &req); err != nil {
+		return nil, err
+	}
+	if req.Op == "" {
+		return nil, badRequest("op is required")
+	}
+	return &parsedRequest{
+		key: canonicalKey(req),
+		run: func(context.Context) ([]byte, error) {
+			chip, err := chipByPreset(req.Chip)
+			if err != nil {
+				return nil, err
+			}
+			k := kernels.Registry()[req.Op]
+			if k == nil {
+				return nil, notFound("unknown operator %q (GET /v1/ops lists them)", req.Op)
+			}
+			res, err := opt.New(chip).Optimize(k)
+			if err != nil {
+				return nil, &apiError{status: http.StatusInternalServerError, code: "internal", message: err.Error()}
+			}
+			resp := OptimizeResponse{
+				Kernel:        res.Kernel,
+				Chip:          chip.Name,
+				InitialTimeNS: res.InitialTime,
+				FinalTimeNS:   res.FinalTime,
+				Speedup:       res.Speedup(),
+				InitialCause:  res.InitialAnalysis.Cause.String(),
+				FinalCause:    res.FinalAnalysis.Cause.String(),
+				Applied:       []string{},
+			}
+			for _, st := range res.Steps {
+				resp.Steps = append(resp.Steps, OptimizeStep{
+					Iteration: st.Iteration,
+					Cause:     st.Analysis.Cause.String(),
+					Applied:   st.Applied.String(),
+					BeforeNS:  st.TimeBefore,
+					AfterNS:   st.TimeAfter,
+				})
+				resp.Applied = append(resp.Applied, st.Applied.String())
+			}
+			return encode(resp)
+		},
+	}, nil
+}
+
+// parseTrace handles POST /v1/trace: the body of a 200 response is the
+// FORMATS.md §6 Perfetto trace document with the critical path
+// highlighted, ready to load in chrome://tracing.
+func parseTrace(body []byte) (*parsedRequest, error) {
+	var req TraceRequest
+	if err := decodeStrict(body, &req); err != nil {
+		return nil, err
+	}
+	return &parsedRequest{
+		key: canonicalKey(req),
+		run: func(context.Context) ([]byte, error) {
+			chip, err := chipByPreset(req.Chip)
+			if err != nil {
+				return nil, err
+			}
+			prog, p, err := simulateFor(chip, req, true)
+			if err != nil {
+				return nil, err
+			}
+			cp, err := critpath.Compute(chip, prog, p)
+			if err != nil {
+				return nil, &apiError{status: http.StatusInternalServerError, code: "internal", message: err.Error()}
+			}
+			var buf bytes.Buffer
+			if err := trace.Write(&buf, chip, prog, p, trace.Options{CritPath: cp}); err != nil {
+				return nil, &apiError{status: http.StatusInternalServerError, code: "internal", message: err.Error()}
+			}
+			return buf.Bytes(), nil
+		},
+	}, nil
+}
+
+// parseModel handles POST /v1/model: a whole-workload run, the service
+// form of `ascendopt -model` / `-workload`.
+func parseModel(body []byte) (*parsedRequest, error) {
+	var req ModelRequest
+	if err := decodeStrict(body, &req); err != nil {
+		return nil, err
+	}
+	switch {
+	case req.Model != "" && len(req.Workload) > 0:
+		return nil, badRequest("model and workload are mutually exclusive")
+	case req.Model == "" && len(req.Workload) == 0:
+		return nil, badRequest("one of model or workload is required")
+	}
+	return &parsedRequest{
+		key: canonicalKey(req),
+		run: func(context.Context) ([]byte, error) {
+			chip, err := chipByPreset(req.Chip)
+			if err != nil {
+				return nil, err
+			}
+			var m *model.Model
+			if req.Model != "" {
+				for _, cand := range model.All() {
+					if cand.Name == req.Model {
+						m = cand
+						break
+					}
+				}
+				if m == nil {
+					return nil, notFound("unknown model %q (GET /v1/models lists them)", req.Model)
+				}
+			} else {
+				m, err = model.ReadWorkloadNamed("request workload", bytes.NewReader(req.Workload))
+				if err != nil {
+					return nil, badRequest("%v", err)
+				}
+			}
+			r := model.NewRunner(chip)
+			var res *model.RunResult
+			switch {
+			case req.TopN < 0:
+				res, err = r.Optimize(m)
+			case req.TopN == 0:
+				res, err = r.Run(m)
+			default:
+				res, err = r.OptimizeTop(m, req.TopN)
+			}
+			if err != nil {
+				return nil, &apiError{status: http.StatusInternalServerError, code: "internal", message: err.Error()}
+			}
+			resp := ModelResponse{
+				Model:                res.Model.Name,
+				Chip:                 res.Chip,
+				Operators:            len(res.Ops),
+				BaselineComputeNS:    res.BaselineComputeTime,
+				OptimizedComputeNS:   res.OptimizedComputeTime,
+				OverheadNS:           res.OverheadTime,
+				ComputeSpeedup:       res.ComputeSpeedup(),
+				OverallSpeedup:       res.OverallSpeedup(),
+				BaselineDistribution: distributionJSON(res.BaselineDistribution),
+				FinalDistribution:    distributionJSON(res.OptimizedDistribution),
+			}
+			for _, op := range res.Ops {
+				row := ModelOp{
+					Name:          op.Name,
+					Count:         op.Count,
+					BaselineNS:    op.BaselineTime,
+					OptimizedNS:   op.OptimizedTime,
+					Speedup:       op.Speedup(),
+					BaselineCause: op.BaselineCause.String(),
+					FinalCause:    op.OptimizedCause.String(),
+				}
+				for _, st := range op.Applied {
+					row.Applied = append(row.Applied, st.String())
+				}
+				resp.Ops = append(resp.Ops, row)
+			}
+			return encode(resp)
+		},
+	}, nil
+}
+
+// distributionJSON keys a cause histogram by figure-legend abbreviation.
+func distributionJSON(d model.Distribution) map[string]float64 {
+	out := make(map[string]float64, len(d))
+	for _, c := range core.Causes() {
+		if v, ok := d[c]; ok {
+			out[c.Abbrev()] = v
+		}
+	}
+	return out
+}
+
+// handleOps lists the registry operators.
+func (s *Server) handleOps(w http.ResponseWriter, _ *http.Request) {
+	reg := kernels.Registry()
+	names := make([]string, 0, len(reg))
+	for n := range reg {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	writeJSON(w, http.StatusOK, map[string]any{"ops": names})
+}
+
+// handleModels lists the built-in Table 2 workloads.
+func (s *Server) handleModels(w http.ResponseWriter, _ *http.Request) {
+	var names []string
+	for _, m := range model.All() {
+		names = append(names, m.Name)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"models": names})
+}
+
+// handleChips lists the chip presets.
+func (s *Server) handleChips(w http.ResponseWriter, _ *http.Request) {
+	names := sortedKeys(chipPresets)
+	writeJSON(w, http.StatusOK, map[string]any{"chips": names})
+}

@@ -1,0 +1,317 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"ascendperf/internal/kernels"
+	"ascendperf/internal/model"
+)
+
+// LoadConfig configures a load-generation run against a live ascendd.
+type LoadConfig struct {
+	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8372".
+	BaseURL string
+	// Endpoint selects the replayed request mix: "model" (default)
+	// replays the 11 built-in workloads through /v1/model; "roofline"
+	// replays every registry operator through /v1/roofline.
+	Endpoint string
+	// Chip is the preset named in every request (default training).
+	Chip string
+	// TopN is passed through to /v1/model requests (0 = baseline
+	// analysis only).
+	TopN int
+	// QPS is the warm-phase target request rate (default 100).
+	QPS float64
+	// Duration is the warm-phase length (default 2s).
+	Duration time.Duration
+	// Concurrency bounds in-flight requests (default 4*GOMAXPROCS).
+	Concurrency int
+	// Timeout is the per-request client timeout (default 60s).
+	Timeout time.Duration
+}
+
+func (c LoadConfig) withDefaults() LoadConfig {
+	if c.Endpoint == "" {
+		c.Endpoint = "model"
+	}
+	if c.Chip == "" {
+		c.Chip = "training"
+	}
+	if c.QPS <= 0 {
+		c.QPS = 100
+	}
+	if c.Duration <= 0 {
+		c.Duration = 2 * time.Second
+	}
+	if c.Concurrency <= 0 {
+		c.Concurrency = 4 * runtime.GOMAXPROCS(0)
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 60 * time.Second
+	}
+	return c
+}
+
+// LoadReport is the outcome of a load run: a cold pass that issues each
+// distinct request once against an empty-cache daemon, then an
+// open-loop warm phase replaying the same requests at the target QPS.
+// The cold/warm split is the service's whole value proposition made
+// measurable: cold requests pay for real simulation, warm ones ride
+// the engine cache and request coalescing. Committed as
+// BENCH_serve.json (FORMATS.md §8).
+type LoadReport struct {
+	Schema     string  `json:"schema"`
+	Endpoint   string  `json:"endpoint"`
+	Chip       string  `json:"chip"`
+	Requests   int     `json:"requests"`
+	Errors     int     `json:"errors"`
+	Distinct   int     `json:"distinct_requests"`
+	TargetQPS  float64 `json:"target_qps"`
+	DurationMS float64 `json:"duration_ms"`
+
+	ColdRequests int   `json:"cold_requests"`
+	ColdP50NS    int64 `json:"cold_p50_ns"`
+	ColdP99NS    int64 `json:"cold_p99_ns"`
+	ColdMaxNS    int64 `json:"cold_max_ns"`
+
+	WarmRequests int     `json:"warm_requests"`
+	WarmP50NS    int64   `json:"warm_p50_ns"`
+	WarmP99NS    int64   `json:"warm_p99_ns"`
+	WarmMaxNS    int64   `json:"warm_max_ns"`
+	AchievedQPS  float64 `json:"achieved_qps"`
+
+	// WarmSpeedupP50 is ColdP50NS / WarmP50NS — the headline
+	// cold-vs-cached latency drop.
+	WarmSpeedupP50 float64 `json:"warm_speedup_p50"`
+	// SubMSShare is the fraction of warm requests under one
+	// millisecond.
+	SubMSShare float64 `json:"warm_sub_ms_share"`
+
+	// Server-side counters scraped from /v1/stats after the run.
+	// CacheHitRate is the engine simulation cache's rate; the response
+	// cache is the serving layer's own hit rate — the fraction of
+	// requests answered without re-executing any analysis, which is
+	// what the CI floor gates on.
+	CacheHitRate      float64 `json:"cache_hit_rate"`
+	RespCacheHitRate  float64 `json:"resp_cache_hit_rate"`
+	RespCacheHits     uint64  `json:"resp_cache_hits"`
+	RespCacheMisses   uint64  `json:"resp_cache_misses"`
+	CoalesceLeaders   uint64  `json:"coalesce_leaders"`
+	CoalesceFollowers uint64  `json:"coalesce_followers"`
+	ServerErrors      uint64  `json:"server_errors"`
+}
+
+// SchemaLoadReport identifies the report format.
+const SchemaLoadReport = "ascendperf/bench-serve/v1"
+
+// loadRequest is one replayable request body.
+type loadRequest struct {
+	path string
+	body []byte
+}
+
+// buildRequests assembles the replay mix.
+func buildRequests(cfg LoadConfig) ([]loadRequest, error) {
+	var out []loadRequest
+	switch cfg.Endpoint {
+	case "model":
+		for _, m := range model.All() {
+			body, err := json.Marshal(ModelRequest{Chip: cfg.Chip, Model: m.Name, TopN: cfg.TopN})
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, loadRequest{path: "/v1/model", body: body})
+		}
+	case "roofline":
+		reg := kernels.Registry()
+		names := make([]string, 0, len(reg))
+		for n := range reg {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			body, err := json.Marshal(RooflineRequest{Chip: cfg.Chip, Op: n})
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, loadRequest{path: "/v1/roofline", body: body})
+		}
+	default:
+		return nil, fmt.Errorf("serve: loadgen: unknown endpoint %q (model, roofline)", cfg.Endpoint)
+	}
+	return out, nil
+}
+
+// percentile returns the p-th percentile (0..1) of sorted durations.
+func percentile(sorted []time.Duration, p float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p * float64(len(sorted)-1))
+	return sorted[idx].Nanoseconds()
+}
+
+// RunLoad executes the cold pass and the warm phase against a live
+// daemon and returns the measured report.
+func RunLoad(cfg LoadConfig) (*LoadReport, error) {
+	cfg = cfg.withDefaults()
+	reqs, err := buildRequests(cfg)
+	if err != nil {
+		return nil, err
+	}
+	// Default transports keep only two idle connections per host; a warm
+	// phase at high QPS would then measure TCP handshakes, not the
+	// server. Size the keep-alive pool to the concurrency bound.
+	client := &http.Client{
+		Timeout: cfg.Timeout,
+		Transport: &http.Transport{
+			MaxIdleConns:        cfg.Concurrency + 4,
+			MaxIdleConnsPerHost: cfg.Concurrency + 4,
+		},
+	}
+	rep := &LoadReport{
+		Schema:     SchemaLoadReport,
+		Endpoint:   cfg.Endpoint,
+		Chip:       cfg.Chip,
+		Distinct:   len(reqs),
+		TargetQPS:  cfg.QPS,
+		DurationMS: float64(cfg.Duration.Milliseconds()),
+	}
+
+	post := func(r loadRequest) (time.Duration, error) {
+		start := time.Now()
+		resp, err := client.Post(cfg.BaseURL+r.path, "application/json", bytes.NewReader(r.body))
+		if err != nil {
+			return 0, err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return 0, fmt.Errorf("%s: HTTP %d", r.path, resp.StatusCode)
+		}
+		return time.Since(start), nil
+	}
+
+	// Cold pass: each distinct request once, serially, against whatever
+	// cache state the daemon starts with (a fresh daemon = real
+	// simulations).
+	var cold []time.Duration
+	for _, r := range reqs {
+		d, err := post(r)
+		if err != nil {
+			rep.Errors++
+			continue
+		}
+		cold = append(cold, d)
+	}
+	rep.ColdRequests = len(cold)
+	rep.Requests += len(cold)
+	sort.Slice(cold, func(i, j int) bool { return cold[i] < cold[j] })
+	rep.ColdP50NS = percentile(cold, 0.5)
+	rep.ColdP99NS = percentile(cold, 0.99)
+	rep.ColdMaxNS = percentile(cold, 1)
+
+	// Warm phase: open-loop replay at the target QPS. The ticker keeps
+	// issuing regardless of response latency (bounded by Concurrency),
+	// so a daemon that cannot keep up shows as achieved < target.
+	var (
+		mu     sync.Mutex
+		warm   []time.Duration
+		wg     sync.WaitGroup
+		sem    = make(chan struct{}, cfg.Concurrency)
+		ticker = time.NewTicker(time.Duration(float64(time.Second) / cfg.QPS))
+	)
+	warmStart := time.Now()
+	deadline := warmStart.Add(cfg.Duration)
+	for i := 0; time.Now().Before(deadline); i++ {
+		<-ticker.C
+		r := reqs[i%len(reqs)]
+		sem <- struct{}{}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			d, err := post(r)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				rep.Errors++
+				return
+			}
+			warm = append(warm, d)
+		}()
+	}
+	ticker.Stop()
+	wg.Wait()
+	warmElapsed := time.Since(warmStart)
+
+	rep.WarmRequests = len(warm)
+	rep.Requests += len(warm)
+	sort.Slice(warm, func(i, j int) bool { return warm[i] < warm[j] })
+	rep.WarmP50NS = percentile(warm, 0.5)
+	rep.WarmP99NS = percentile(warm, 0.99)
+	rep.WarmMaxNS = percentile(warm, 1)
+	if warmElapsed > 0 {
+		rep.AchievedQPS = float64(len(warm)) / warmElapsed.Seconds()
+	}
+	if rep.WarmP50NS > 0 {
+		rep.WarmSpeedupP50 = float64(rep.ColdP50NS) / float64(rep.WarmP50NS)
+	}
+	var subMS int
+	for _, d := range warm {
+		if d < time.Millisecond {
+			subMS++
+		}
+	}
+	if len(warm) > 0 {
+		rep.SubMSShare = float64(subMS) / float64(len(warm))
+	}
+
+	// Scrape the daemon's own counters: cache effectiveness and
+	// coalescing are server-side facts the client cannot infer.
+	resp, err := client.Get(cfg.BaseURL + "/v1/stats")
+	if err != nil {
+		return rep, fmt.Errorf("serve: loadgen: stats scrape: %w", err)
+	}
+	defer resp.Body.Close()
+	var stats StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		return rep, fmt.Errorf("serve: loadgen: stats decode: %w", err)
+	}
+	rep.CacheHitRate = stats.Engine.CacheHitRate
+	rep.RespCacheHits = stats.Serve.RespCacheHits
+	rep.RespCacheMisses = stats.Serve.RespCacheMisses
+	if total := rep.RespCacheHits + rep.RespCacheMisses; total > 0 {
+		rep.RespCacheHitRate = float64(rep.RespCacheHits) / float64(total)
+	}
+	rep.CoalesceLeaders = stats.Serve.CoalesceLeaders
+	rep.CoalesceFollowers = stats.Serve.CoalesceFollowers
+	rep.ServerErrors = stats.Serve.Errors
+	return rep, nil
+}
+
+// Format renders the report for the terminal.
+func (r *LoadReport) Format() string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "loadgen: %d requests (%d distinct %s/%s), %d errors\n",
+		r.Requests, r.Distinct, r.Endpoint, r.Chip, r.Errors)
+	fmt.Fprintf(&b, "  cold  (%4d reqs): p50 %8.3f ms  p99 %8.3f ms  max %8.3f ms\n",
+		r.ColdRequests, float64(r.ColdP50NS)/1e6, float64(r.ColdP99NS)/1e6, float64(r.ColdMaxNS)/1e6)
+	fmt.Fprintf(&b, "  warm  (%4d reqs): p50 %8.3f ms  p99 %8.3f ms  max %8.3f ms  (%.0f/%.0f qps)\n",
+		r.WarmRequests, float64(r.WarmP50NS)/1e6, float64(r.WarmP99NS)/1e6, float64(r.WarmMaxNS)/1e6,
+		r.AchievedQPS, r.TargetQPS)
+	fmt.Fprintf(&b, "  warm vs cold p50: %.1fx faster; %.1f%% of warm requests under 1 ms\n",
+		r.WarmSpeedupP50, 100*r.SubMSShare)
+	fmt.Fprintf(&b, "  server: response cache hit rate %.1f%%, engine cache %.1f%%, coalesced %d/%d, errors %d\n",
+		100*r.RespCacheHitRate, 100*r.CacheHitRate,
+		r.CoalesceFollowers, r.CoalesceFollowers+r.CoalesceLeaders, r.ServerErrors)
+	return b.String()
+}

@@ -1,0 +1,84 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRunLoadRoofline(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	rep, err := RunLoad(LoadConfig{
+		BaseURL:  ts.URL,
+		Endpoint: "roofline",
+		QPS:      200,
+		Duration: 300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("load run saw %d errors", rep.Errors)
+	}
+	if rep.Distinct == 0 || rep.ColdRequests != rep.Distinct {
+		t.Fatalf("cold pass covered %d/%d distinct requests", rep.ColdRequests, rep.Distinct)
+	}
+	if rep.WarmRequests == 0 {
+		t.Fatal("warm phase issued no requests")
+	}
+	if rep.ColdP50NS <= 0 || rep.WarmP50NS <= 0 {
+		t.Fatalf("degenerate percentiles: cold %d warm %d", rep.ColdP50NS, rep.WarmP50NS)
+	}
+	if rep.Schema != SchemaLoadReport {
+		t.Fatalf("schema = %q", rep.Schema)
+	}
+	// The warm phase replays requests the cold pass already answered, so
+	// every warm request is an engine-cache hit or a coalesced follower.
+	if rep.CacheHitRate <= 0 && rep.CoalesceFollowers == 0 {
+		t.Error("warm phase shows neither cache hits nor coalescing")
+	}
+	if out := rep.Format(); out == "" {
+		t.Error("empty formatted report")
+	}
+}
+
+func TestRunLoadModels(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-model cold pass in -short mode")
+	}
+	_, ts := newTestServer(t, Config{})
+	rep, err := RunLoad(LoadConfig{
+		BaseURL:  ts.URL,
+		Endpoint: "model",
+		QPS:      100,
+		Duration: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("load run saw %d errors", rep.Errors)
+	}
+	if rep.Distinct != 11 {
+		t.Fatalf("model mix has %d distinct requests, want the 11 built-in workloads", rep.Distinct)
+	}
+}
+
+func TestBuildRequestsUnknownEndpoint(t *testing.T) {
+	_, err := buildRequests(LoadConfig{Endpoint: "nope"}.withDefaults())
+	if err == nil {
+		t.Fatal("unknown endpoint accepted")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	sorted := []time.Duration{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if got := percentile(sorted, 0.5); got != 5 {
+		t.Errorf("p50 = %d", got)
+	}
+	if got := percentile(sorted, 1); got != 10 {
+		t.Errorf("p100 = %d", got)
+	}
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Errorf("empty p50 = %d", got)
+	}
+}

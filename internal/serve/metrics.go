@@ -1,0 +1,221 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"ascendperf/internal/engine"
+)
+
+// durationBuckets are the histogram upper bounds in seconds. The low
+// end resolves the sub-millisecond cache-hit/coalesced band the daemon
+// exists to serve; the high end covers cold whole-model analyses.
+var durationBuckets = []float64{
+	0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// metricsRegistry accumulates the daemon's serving counters and renders
+// them in Prometheus text exposition format. It is deliberately tiny —
+// counters, one histogram family, and scrape-time gauges lifted from
+// engine.Stats() — so the repository stays dependency-free.
+type metricsRegistry struct {
+	mu sync.Mutex
+
+	// requests[endpoint][status] counts completed HTTP requests.
+	requests map[string]map[int]uint64
+	// shed[reason] counts load-shedded requests (queue_full, draining,
+	// timeout).
+	shed map[string]uint64
+	// coalesced[endpoint] counts requests served as flight followers.
+	coalesced map[string]uint64
+	// hist[endpoint] holds cumulative latency bucket counts plus sum
+	// and count.
+	hist map[string]*endpointHist
+}
+
+type endpointHist struct {
+	buckets []uint64 // one per durationBuckets entry, non-cumulative
+	sum     float64
+	count   uint64
+}
+
+func newMetricsRegistry() *metricsRegistry {
+	return &metricsRegistry{
+		requests:  make(map[string]map[int]uint64),
+		shed:      make(map[string]uint64),
+		coalesced: make(map[string]uint64),
+		hist:      make(map[string]*endpointHist),
+	}
+}
+
+// observe records one completed request.
+func (m *metricsRegistry) observe(endpoint string, status int, seconds float64, shared bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	byCode := m.requests[endpoint]
+	if byCode == nil {
+		byCode = make(map[int]uint64)
+		m.requests[endpoint] = byCode
+	}
+	byCode[status]++
+	if shared {
+		m.coalesced[endpoint]++
+	}
+	h := m.hist[endpoint]
+	if h == nil {
+		h = &endpointHist{buckets: make([]uint64, len(durationBuckets))}
+		m.hist[endpoint] = h
+	}
+	for i, ub := range durationBuckets {
+		if seconds <= ub {
+			h.buckets[i]++
+			break
+		}
+	}
+	h.sum += seconds
+	h.count++
+}
+
+// observeShed records one load-shedded request.
+func (m *metricsRegistry) observeShed(reason string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.shed[reason]++
+}
+
+// writeCounter emits one labelled counter sample.
+func writeCounter(b *strings.Builder, name, labels string, v uint64) {
+	if labels == "" {
+		fmt.Fprintf(b, "%s %d\n", name, v)
+		return
+	}
+	fmt.Fprintf(b, "%s{%s} %d\n", name, labels, v)
+}
+
+// Render emits the full exposition page. The arguments supply
+// scrape-time process state (in-flight slots, queue length, drain flag,
+// response-cache counters); engine cache and scheduler counters are
+// read directly from engine.Stats().
+func (m *metricsRegistry) Render(inflight, queued int64, draining bool, resp *respCache) string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var b strings.Builder
+
+	b.WriteString("# HELP ascendd_requests_total Completed HTTP requests by endpoint and status code.\n")
+	b.WriteString("# TYPE ascendd_requests_total counter\n")
+	for _, ep := range sortedKeys(m.requests) {
+		codes := make([]int, 0, len(m.requests[ep]))
+		for c := range m.requests[ep] {
+			codes = append(codes, c)
+		}
+		sort.Ints(codes)
+		for _, c := range codes {
+			writeCounter(&b, "ascendd_requests_total",
+				fmt.Sprintf("endpoint=%q,code=\"%d\"", ep, c), m.requests[ep][c])
+		}
+	}
+
+	b.WriteString("# HELP ascendd_coalesced_total Requests answered by attaching to an identical in-flight request.\n")
+	b.WriteString("# TYPE ascendd_coalesced_total counter\n")
+	for _, ep := range sortedKeys(m.coalesced) {
+		writeCounter(&b, "ascendd_coalesced_total", fmt.Sprintf("endpoint=%q", ep), m.coalesced[ep])
+	}
+
+	b.WriteString("# HELP ascendd_shed_total Requests rejected by admission control.\n")
+	b.WriteString("# TYPE ascendd_shed_total counter\n")
+	for _, reason := range sortedKeys(m.shed) {
+		writeCounter(&b, "ascendd_shed_total", fmt.Sprintf("reason=%q", reason), m.shed[reason])
+	}
+
+	b.WriteString("# HELP ascendd_request_duration_seconds Request latency by endpoint.\n")
+	b.WriteString("# TYPE ascendd_request_duration_seconds histogram\n")
+	for _, ep := range sortedKeys(m.hist) {
+		h := m.hist[ep]
+		var cum uint64
+		for i, ub := range durationBuckets {
+			cum += h.buckets[i]
+			fmt.Fprintf(&b, "ascendd_request_duration_seconds_bucket{endpoint=%q,le=\"%g\"} %d\n", ep, ub, cum)
+		}
+		fmt.Fprintf(&b, "ascendd_request_duration_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", ep, h.count)
+		fmt.Fprintf(&b, "ascendd_request_duration_seconds_sum{endpoint=%q} %g\n", ep, h.sum)
+		fmt.Fprintf(&b, "ascendd_request_duration_seconds_count{endpoint=%q} %d\n", ep, h.count)
+	}
+
+	b.WriteString("# HELP ascendd_inflight_requests Analysis executions currently holding an admission slot.\n")
+	b.WriteString("# TYPE ascendd_inflight_requests gauge\n")
+	fmt.Fprintf(&b, "ascendd_inflight_requests %d\n", inflight)
+	b.WriteString("# HELP ascendd_queued_requests Flight leaders waiting for an admission slot.\n")
+	b.WriteString("# TYPE ascendd_queued_requests gauge\n")
+	fmt.Fprintf(&b, "ascendd_queued_requests %d\n", queued)
+	b.WriteString("# HELP ascendd_draining Whether the server is draining (1) or serving (0).\n")
+	b.WriteString("# TYPE ascendd_draining gauge\n")
+	d := 0
+	if draining {
+		d = 1
+	}
+	fmt.Fprintf(&b, "ascendd_draining %d\n", d)
+
+	respHits, respMisses, respEntries := resp.Stats()
+	b.WriteString("# HELP ascendd_response_cache_hits_total Requests answered from the encoded-response LRU.\n")
+	b.WriteString("# TYPE ascendd_response_cache_hits_total counter\n")
+	fmt.Fprintf(&b, "ascendd_response_cache_hits_total %d\n", respHits)
+	b.WriteString("# HELP ascendd_response_cache_misses_total Requests that had to execute (or join) an analysis.\n")
+	b.WriteString("# TYPE ascendd_response_cache_misses_total counter\n")
+	fmt.Fprintf(&b, "ascendd_response_cache_misses_total %d\n", respMisses)
+	b.WriteString("# HELP ascendd_response_cache_entries Encoded responses currently cached.\n")
+	b.WriteString("# TYPE ascendd_response_cache_entries gauge\n")
+	fmt.Fprintf(&b, "ascendd_response_cache_entries %d\n", respEntries)
+
+	// Execution-layer counters: the same snapshot ascendbench -json
+	// records, exposed live so cache effectiveness and scheduler
+	// behaviour are observable while serving.
+	snap := engine.Stats()
+	b.WriteString("# HELP ascendd_engine_cache_hits_total Memory simulation cache hits.\n")
+	b.WriteString("# TYPE ascendd_engine_cache_hits_total counter\n")
+	fmt.Fprintf(&b, "ascendd_engine_cache_hits_total %d\n", snap.Cache.Hits)
+	b.WriteString("# HELP ascendd_engine_cache_misses_total Memory simulation cache misses.\n")
+	b.WriteString("# TYPE ascendd_engine_cache_misses_total counter\n")
+	fmt.Fprintf(&b, "ascendd_engine_cache_misses_total %d\n", snap.Cache.Misses)
+	b.WriteString("# HELP ascendd_engine_cache_evictions_total Memory simulation cache evictions.\n")
+	b.WriteString("# TYPE ascendd_engine_cache_evictions_total counter\n")
+	fmt.Fprintf(&b, "ascendd_engine_cache_evictions_total %d\n", snap.Cache.Evictions)
+	b.WriteString("# HELP ascendd_engine_cache_entries Memory simulation cache resident entries.\n")
+	b.WriteString("# TYPE ascendd_engine_cache_entries gauge\n")
+	fmt.Fprintf(&b, "ascendd_engine_cache_entries %d\n", snap.Cache.Entries)
+	b.WriteString("# HELP ascendd_engine_disk_cache_hits_total Disk simulation cache hits.\n")
+	b.WriteString("# TYPE ascendd_engine_disk_cache_hits_total counter\n")
+	fmt.Fprintf(&b, "ascendd_engine_disk_cache_hits_total %d\n", snap.Disk.Hits)
+	b.WriteString("# HELP ascendd_engine_disk_cache_writes_total Disk simulation cache entries persisted.\n")
+	b.WriteString("# TYPE ascendd_engine_disk_cache_writes_total counter\n")
+	fmt.Fprintf(&b, "ascendd_engine_disk_cache_writes_total %d\n", snap.Disk.Writes)
+
+	sched := []struct {
+		name, help string
+		v          uint64
+	}{
+		{"ascendd_sched_runs_total", "Completed simulations.", snap.Sched.Runs},
+		{"ascendd_sched_events_total", "Scheduler event-loop rounds.", snap.Sched.Events},
+		{"ascendd_sched_starts_total", "Instruction starts.", snap.Sched.Starts},
+		{"ascendd_sched_elig_checks_total", "Queue-head eligibility checks.", snap.Sched.EligChecks},
+		{"ascendd_sched_wakes_total", "Wake-list re-queues.", snap.Sched.Wakes},
+		{"ascendd_sched_pool_hits_total", "Pooled scheduler-state reuses.", snap.Sched.PoolHits},
+		{"ascendd_sched_pool_misses_total", "Fresh scheduler-state allocations.", snap.Sched.PoolMisses},
+	}
+	for _, s := range sched {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", s.name, s.help, s.name, s.name, s.v)
+	}
+	return b.String()
+}
+
+// sortedKeys returns the sorted keys of a string-keyed map.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

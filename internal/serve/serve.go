@@ -1,0 +1,322 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ascendperf/internal/engine"
+)
+
+// Config bounds the daemon's serving behaviour.
+type Config struct {
+	// Concurrency is the maximum number of simultaneously executing
+	// analyses (admission slots); 0 defaults to GOMAXPROCS. Each
+	// analysis fans out internally over the engine worker pool, so one
+	// slot already saturates multiple cores on a cold whole-model run.
+	Concurrency int
+
+	// QueueDepth is the maximum number of flight leaders waiting for a
+	// slot before new work is shed with 429; 0 defaults to 64.
+	QueueDepth int
+
+	// Timeout is the per-request deadline covering queue wait and
+	// execution; 0 defaults to 30s.
+	Timeout time.Duration
+
+	// ResponseCache is the response-level LRU capacity in entries:
+	// encoded 200 bodies keyed by canonical request, so repeats of a
+	// completed request skip re-analysis and admission entirely. 0
+	// defaults to 512; negative disables the cache.
+	ResponseCache int
+}
+
+// withDefaults resolves zero fields.
+func (c Config) withDefaults() Config {
+	if c.Concurrency <= 0 {
+		c.Concurrency = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 30 * time.Second
+	}
+	if c.ResponseCache == 0 {
+		c.ResponseCache = 512
+	}
+	return c
+}
+
+// maxBodyBytes bounds request bodies; workload files are a few KB, so
+// 4 MiB leaves generous room for large inline programs.
+const maxBodyBytes = 4 << 20
+
+// Server is the analysis service: an http.Handler exposing the full
+// pipeline as JSON endpoints with coalescing, admission control and
+// live metrics. Create with New, mount via Handler, stop with Drain.
+type Server struct {
+	cfg      Config
+	mux      *http.ServeMux
+	metrics  *metricsRegistry
+	flights  *flightGroup
+	adm      *admission
+	resp     *respCache
+	draining atomic.Bool
+	inflight sync.WaitGroup
+	errors   atomic.Uint64
+}
+
+// New builds a server with the given config.
+func New(cfg Config) *Server {
+	s := &Server{
+		cfg:     cfg.withDefaults(),
+		mux:     http.NewServeMux(),
+		metrics: newMetricsRegistry(),
+		flights: newFlightGroup(),
+	}
+	s.adm = newAdmission(s.cfg.Concurrency, s.cfg.QueueDepth)
+	s.resp = newRespCache(s.cfg.ResponseCache)
+
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.HandleFunc("/v1/ops", s.handleOps)
+	s.mux.HandleFunc("/v1/models", s.handleModels)
+	s.mux.HandleFunc("/v1/chips", s.handleChips)
+	s.mux.HandleFunc("/v1/simulate", s.analysis("simulate", parseSimulate))
+	s.mux.HandleFunc("/v1/roofline", s.analysis("roofline", parseRoofline))
+	s.mux.HandleFunc("/v1/optimize", s.analysis("optimize", parseOptimize))
+	s.mux.HandleFunc("/v1/trace", s.analysis("trace", parseTrace))
+	s.mux.HandleFunc("/v1/model", s.analysis("model", parseModel))
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Drain flips the server into draining mode — /readyz starts failing
+// and new analysis requests are shed with 503 — then waits for every
+// in-flight request to finish or ctx to expire. Call before shutting
+// down the listening http.Server so load balancers stop routing first.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: drain: %w", ctx.Err())
+	}
+}
+
+// Draining reports whether Drain has been initiated.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// parsedRequest is a validated analysis request: a canonical coalescing
+// key plus the work closure. run returns the already-encoded response
+// body so a coalesced result can be shared between followers without
+// any aliasing hazard.
+type parsedRequest struct {
+	key string
+	run func(ctx context.Context) ([]byte, error)
+}
+
+// analysis wraps one POST endpoint with the serving mechanisms:
+// draining check, body limit, strict parse, per-request timeout,
+// coalescing, admission, error envelope and metrics.
+func (s *Server) analysis(endpoint string, parse func(body []byte) (*parsedRequest, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.inflight.Add(1)
+		defer s.inflight.Done()
+
+		if r.Method != http.MethodPost {
+			s.writeError(w, endpoint, start, false,
+				&apiError{status: http.StatusMethodNotAllowed, code: "bad_request", message: "POST required"})
+			return
+		}
+		if s.draining.Load() {
+			s.metrics.observeShed("draining")
+			s.writeError(w, endpoint, start, false, errDraining)
+			return
+		}
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+		if err != nil {
+			s.writeError(w, endpoint, start, false, badRequest("read body: %v", err))
+			return
+		}
+		preq, err := parse(body)
+		if err != nil {
+			s.writeError(w, endpoint, start, false, err)
+			return
+		}
+
+		fullKey := endpoint + "\x00" + preq.key
+		if cached, ok := s.resp.get(fullKey); ok {
+			w.Header().Set("X-Ascendd-Cache", "hit")
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusOK)
+			w.Write(cached)
+			s.metrics.observe(endpoint, http.StatusOK, time.Since(start).Seconds(), false)
+			return
+		}
+
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
+		defer cancel()
+		val, shared, err := s.flights.Do(ctx, fullKey, func(ctx context.Context) (any, error) {
+			if err := s.adm.acquire(ctx.Done()); err != nil {
+				return nil, err
+			}
+			defer s.adm.release()
+			return preq.run(ctx)
+		})
+		if err != nil {
+			if errors.Is(err, errQueueFull) {
+				s.metrics.observeShed("queue_full")
+			} else if errors.Is(err, errTimeout) || errors.Is(err, context.DeadlineExceeded) {
+				s.metrics.observeShed("timeout")
+			}
+			s.writeError(w, endpoint, start, shared, err)
+			return
+		}
+		s.resp.put(fullKey, val.([]byte))
+		if shared {
+			w.Header().Set("X-Ascendd-Coalesced", "1")
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		w.Write(val.([]byte))
+		s.metrics.observe(endpoint, http.StatusOK, time.Since(start).Seconds(), shared)
+	}
+}
+
+// writeError renders the uniform error envelope and records metrics.
+func (s *Server) writeError(w http.ResponseWriter, endpoint string, start time.Time, shared bool, err error) {
+	status, code := http.StatusInternalServerError, "internal"
+	switch {
+	case errors.Is(err, errQueueFull):
+		status, code = http.StatusTooManyRequests, "queue_full"
+		w.Header().Set("Retry-After", "1")
+	case errors.Is(err, errDraining):
+		status, code = http.StatusServiceUnavailable, "draining"
+	case errors.Is(err, errTimeout), errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		status, code = http.StatusServiceUnavailable, "timeout"
+	default:
+		var ae *apiError
+		if errors.As(err, &ae) {
+			status, code = ae.status, ae.code
+		}
+	}
+	s.errors.Add(1)
+	body, _ := json.Marshal(errorEnvelope{Error: errorDetail{Code: code, Message: err.Error()}})
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(body)
+	s.metrics.observe(endpoint, status, time.Since(start).Seconds(), shared)
+}
+
+// handleHealthz reports liveness: the process is up and serving HTTP.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz reports readiness: 200 while accepting work, 503 once
+// draining so load balancers stop routing before shutdown.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}
+
+// handleMetrics renders the Prometheus exposition page.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	io.WriteString(w, s.metrics.Render(int64(s.adm.InFlight()), s.adm.Waiting(), s.draining.Load(), s.resp))
+}
+
+// StatsSnapshot returns the machine-readable counterpart of /metrics.
+func (s *Server) StatsSnapshot() StatsResponse {
+	leaders, followers := s.flights.Stats()
+	s.metrics.mu.Lock()
+	reqs := make(map[string]uint64, len(s.metrics.requests))
+	for ep, byCode := range s.metrics.requests {
+		for _, n := range byCode {
+			reqs[ep] += n
+		}
+	}
+	shed := make(map[string]uint64, len(s.metrics.shed))
+	for reason, n := range s.metrics.shed {
+		shed[reason] = n
+	}
+	s.metrics.mu.Unlock()
+
+	respHits, respMisses, respEntries := s.resp.Stats()
+	snap := engine.Stats()
+	return StatsResponse{
+		Serve: ServeStats{
+			Requests:          reqs,
+			Errors:            s.errors.Load(),
+			CoalesceLeaders:   leaders,
+			CoalesceFollowers: followers,
+			RespCacheHits:     respHits,
+			RespCacheMisses:   respMisses,
+			RespCacheEntries:  respEntries,
+			Shed:              shed,
+			InFlight:          s.adm.InFlight(),
+			Queued:            s.adm.Waiting(),
+		},
+		Engine: EngineStats{
+			CacheHits:      snap.Cache.Hits,
+			CacheMisses:    snap.Cache.Misses,
+			CacheEvictions: snap.Cache.Evictions,
+			CacheEntries:   snap.Cache.Entries,
+			CacheHitRate:   snap.Cache.HitRate(),
+			DiskHits:       snap.Disk.Hits,
+			DiskWrites:     snap.Disk.Writes,
+			SchedRuns:      snap.Sched.Runs,
+			SchedEvents:    snap.Sched.Events,
+			SchedStarts:    snap.Sched.Starts,
+		},
+	}
+}
+
+// handleStats serves StatsSnapshot as JSON.
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.StatsSnapshot())
+}
+
+// writeJSON marshals v (indented, for human inspection with curl) and
+// writes it with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	body, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(body, '\n'))
+}

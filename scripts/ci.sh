@@ -65,4 +65,43 @@ go run ./cmd/ascendprof -op add_relu -chip training \
     -trace "$tracedir/add_relu.json" > /dev/null
 go run ./cmd/ascendprof -checktrace "$tracedir/add_relu.json"
 
+echo "== serving smoke (ascendd + ascendload) =="
+# End-to-end gate on the analysis service: build the daemon and the
+# load generator, start the daemon on a random port, replay the 11
+# built-in workloads against it, and require zero errors, a warm
+# cache-hit floor and a >=10x warm-vs-cold p50 latency drop (the
+# coalescing + cache value proposition, measured). Then SIGTERM it and
+# require a clean drain.
+servedir="$(mktemp -d)"
+go build -o "$servedir/ascendd" ./cmd/ascendd
+go build -o "$servedir/ascendload" ./cmd/ascendload
+"$servedir/ascendd" -addr 127.0.0.1:0 > "$servedir/ascendd.log" 2>&1 &
+ascendd_pid=$!
+cleanup_ascendd() {
+    kill "$ascendd_pid" 2> /dev/null || true
+    rm -rf "$tracedir" "$servedir"
+}
+trap cleanup_ascendd EXIT
+base=""
+for _ in $(seq 1 100); do
+    base="$(sed -n 's/^ascendd: listening on \(http:.*\)$/\1/p' "$servedir/ascendd.log")"
+    [ -n "$base" ] && break
+    sleep 0.1
+done
+if [ -z "$base" ]; then
+    echo "ascendd never printed its address" >&2
+    cat "$servedir/ascendd.log" >&2
+    exit 1
+fi
+"$servedir/ascendload" -base "$base" -endpoint model -topn 3 -qps 200 -duration 3s \
+    -json "$servedir/bench_serve.json" \
+    -maxerrors 0 -minhitrate 0.5 -minspeedup 10
+kill -TERM "$ascendd_pid"
+wait "$ascendd_pid"
+grep -q "shutdown complete" "$servedir/ascendd.log" || {
+    echo "ascendd did not shut down cleanly" >&2
+    cat "$servedir/ascendd.log" >&2
+    exit 1
+}
+
 echo "CI OK"
