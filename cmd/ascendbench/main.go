@@ -22,6 +22,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"sort"
+	"strings"
 	"time"
 
 	"ascendperf/internal/cliutil"
@@ -64,7 +68,10 @@ func main() {
 		workers  = flag.Int("workers", 0, "parallel analysis workers (0 = ASCENDPERF_WORKERS or GOMAXPROCS)")
 		cacheCap = flag.Int("cache", engine.DefaultCacheCapacity, "simulation cache capacity in entries (0 disables)")
 		cacheDir = flag.String("cachedir", "", "persistent simulation cache directory (default ASCENDPERF_CACHE_DIR); successive invocations warm-start from it")
-		jsonPath = flag.String("json", "", "benchmark the execution engine (serial vs parallel vs cached) and write the timing comparison as JSON to this path")
+		jsonPath = flag.String("json", "", "benchmark the execution engine (worker sweep, parallel and cached passes) and write the timing comparison as JSON to this path")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the workload to this path (inspect with go tool pprof)")
+		mtxProf  = flag.String("mutexprofile", "", "write a mutex-contention profile of the workload to this path")
+		minScale = flag.Float64("minscaling", 0, "with -json: fail unless the workers=4 sweep point reaches this speedup over workers=1 (0 disables; the CI parallel-scaling gate)")
 		version  = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
@@ -80,8 +87,39 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ascendbench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "ascendbench:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *mtxProf != "" {
+		// Sample every fifth contention event; the default of 0 records
+		// nothing.
+		runtime.SetMutexProfileFraction(5)
+		defer func() {
+			f, err := os.Create(*mtxProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ascendbench:", err)
+				return
+			}
+			defer f.Close()
+			if err := pprof.Lookup("mutex").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "ascendbench:", err)
+			}
+		}()
+	}
 	if *jsonPath != "" {
-		if err := benchEngine(*jsonPath); err != nil {
+		if err := benchEngine(*jsonPath, *minScale); err != nil {
 			fmt.Fprintln(os.Stderr, "ascendbench:", err)
 			os.Exit(1)
 		}
@@ -94,9 +132,9 @@ func main() {
 }
 
 // engineBench is the BENCH_engine.json record: the wall-clock of the
-// same multi-workload analysis (all Table 2 models) executed serially,
-// in parallel, and in parallel against a warm simulation cache, plus
-// the cache counters of the cached pass and of an iterative optimize
+// same multi-workload analysis (all Table 2 models) swept over worker
+// counts, run in parallel against a warm simulation cache, plus the
+// cache counters of the cached pass and of an iterative optimize
 // loop, the disk cache counters, and the scheduler core's event
 // counters over the whole benchmark. FORMATS.md §5 documents the
 // schema; the file is a trajectory point for tracking the engine
@@ -107,6 +145,14 @@ func main() {
 // setup, before the passes ran, so a worker override applied between
 // setup and measurement was misreported); adds the disk_* and sched_*
 // counter fields.
+//
+// Schema v3: adds the worker_sweep array (wall clock per worker count
+// over 1, 2, 4 and GOMAXPROCS) and the deterministic flag (every sweep
+// pass rendered byte-identical reports). All timed simulation passes
+// now run after one untimed warm-up pass, so the memoized program
+// builds and validations warm once instead of being charged to
+// whichever pass ran first (v2 charged them to the serial pass, which
+// inflated parallel_speedup).
 type engineBench struct {
 	Schema          string  `json:"schema"`
 	Chip            string  `json:"chip"`
@@ -118,6 +164,13 @@ type engineBench struct {
 	CachedNS        int64   `json:"cached_ns"`
 	ParallelSpeedup float64 `json:"parallel_speedup"`
 	CachedSpeedup   float64 `json:"cached_speedup"`
+
+	// Sweep is the worker-count sweep: the same uncached multi-workload
+	// analysis at each worker count. Deterministic reports whether every
+	// sweep pass rendered a byte-identical result report.
+	Sweep         []sweepPoint `json:"worker_sweep"`
+	Deterministic bool         `json:"deterministic"`
+
 	CacheHits       uint64  `json:"cache_hits"`
 	CacheMisses     uint64  `json:"cache_misses"`
 	CacheEvictions  uint64  `json:"cache_evictions"`
@@ -143,16 +196,30 @@ type engineBench struct {
 	SchedPoolMisses    uint64 `json:"sched_pool_misses"`
 }
 
-// benchEngine times the analysis of every Table 2 workload in three
-// configurations and writes the comparison to path.
-func benchEngine(path string) error {
+// sweepPoint is one worker count's measurement in the sweep.
+type sweepPoint struct {
+	Workers int   `json:"workers"`
+	NS      int64 `json:"ns"`
+	// Speedup is the serial (workers=1) time divided by this point's
+	// time.
+	Speedup float64 `json:"speedup"`
+}
+
+// benchEngine times the analysis of every Table 2 workload — uncached
+// at a sweep of worker counts, then in parallel against a warm
+// simulation cache — and writes the comparison to path. A positive
+// minScaling turns the sweep into a gate: the workers=4 point must
+// reach that speedup over workers=1.
+func benchEngine(path string, minScaling float64) error {
 	chip := hw.TrainingChip()
 	models := model.All()
 	sim.ResetCounters()
-	// analyze reports the wall clock and the worker count it actually
-	// resolved, so the record describes the measured run, not the
-	// configuration at record-setup time.
-	analyze := func(workers int) (time.Duration, int, error) {
+	// analyze reports the wall clock, the worker count it actually
+	// resolved (so the record describes the measured run, not the
+	// configuration at record-setup time), and the rendered reports of
+	// every workload, which the sweep compares byte-for-byte across
+	// worker counts.
+	analyze := func(workers int) (time.Duration, int, string, error) {
 		r := model.NewRunner(chip)
 		r.Workers = workers
 		resolved := workers
@@ -160,14 +227,20 @@ func benchEngine(path string) error {
 			resolved = engine.Workers()
 		}
 		start := time.Now()
-		if _, err := r.RunAll(models); err != nil {
-			return 0, 0, err
+		results, err := r.RunAll(models)
+		elapsed := time.Since(start)
+		if err != nil {
+			return 0, 0, "", err
 		}
-		return time.Since(start), resolved, nil
+		var b strings.Builder
+		for _, res := range results {
+			b.WriteString(res.Report())
+		}
+		return elapsed, resolved, b.String(), nil
 	}
 
 	rec := engineBench{
-		Schema:    "ascendperf/bench-engine/v2",
+		Schema:    "ascendperf/bench-engine/v3",
 		Chip:      chip.Name,
 		Workloads: len(models),
 	}
@@ -175,29 +248,83 @@ func benchEngine(path string) error {
 		rec.Operators += len(m.Ops)
 	}
 
-	// Serial and parallel passes run uncached — memory and disk — so
-	// they time raw simulation throughput.
+	// The sweep passes run uncached — memory and disk — so they time
+	// raw simulation throughput at each worker count.
+	resolvedDefault := engine.Workers()
 	prevDisk := engine.SwapDiskCache(nil)
 	engine.SetCacheCapacity(0)
-	serial, _, err := analyze(1)
-	if err != nil {
-		engine.SwapDiskCache(prevDisk)
-		return err
-	}
-	parallel, resolvedWorkers, err := analyze(0)
+	sweepErr := func() error {
+		// One untimed warm-up pass: program builds, validation memos and
+		// scheduler-state pools warm here, so every timed pass measures
+		// the same steady state instead of the first pass absorbing the
+		// one-time costs.
+		if _, _, _, err := analyze(1); err != nil {
+			return err
+		}
+
+		// Worker counts: 1, 2, 4 and the machine width, deduplicated.
+		counts := []int{1, 2, 4, resolvedDefault}
+		sort.Ints(counts)
+		seen := map[int]bool{}
+		var reference string
+		rec.Deterministic = true
+		for _, w := range counts {
+			if w < 1 || seen[w] {
+				continue
+			}
+			seen[w] = true
+			elapsed, _, report, err := analyze(w)
+			if err != nil {
+				return err
+			}
+			if reference == "" {
+				reference = report
+			} else if report != reference {
+				rec.Deterministic = false
+			}
+			rec.Sweep = append(rec.Sweep, sweepPoint{Workers: w, NS: elapsed.Nanoseconds()})
+		}
+		return nil
+	}()
 	engine.SwapDiskCache(prevDisk)
-	if err != nil {
-		return err
+	if sweepErr != nil {
+		return sweepErr
 	}
-	rec.Workers = resolvedWorkers
+	if !rec.Deterministic {
+		return fmt.Errorf("worker sweep produced diverging reports across worker counts")
+	}
+	serialNS := rec.Sweep[0].NS
+	for i := range rec.Sweep {
+		if rec.Sweep[i].NS > 0 {
+			rec.Sweep[i].Speedup = float64(serialNS) / float64(rec.Sweep[i].NS)
+		}
+	}
+	if minScaling > 0 {
+		for _, pt := range rec.Sweep {
+			if pt.Workers == 4 && pt.Speedup < minScaling {
+				return fmt.Errorf("parallel scaling gate: workers=4 speedup %.2fx below the %.2fx floor", pt.Speedup, minScaling)
+			}
+		}
+	}
+	serial := time.Duration(serialNS)
+	// The headline parallel pass is the sweep point at the resolved
+	// default worker count (always present in the sweep).
+	parallel := serial
+	rec.Workers = 1
+	for _, pt := range rec.Sweep {
+		if pt.Workers == resolvedDefault {
+			parallel = time.Duration(pt.NS)
+			rec.Workers = pt.Workers
+		}
+	}
 
 	// The cached pass runs against a freshly warmed cache: one warming
 	// pass (all misses), then the measured pass (all hits).
 	engine.SetCacheCapacity(engine.DefaultCacheCapacity)
-	if _, _, err := analyze(0); err != nil {
+	if _, _, _, err := analyze(0); err != nil {
 		return err
 	}
-	cached, _, err := analyze(0)
+	cached, _, _, err := analyze(0)
 	if err != nil {
 		return err
 	}
@@ -253,10 +380,12 @@ func benchEngine(path string) error {
 	}
 	fmt.Printf("engine benchmark: %d workloads (%d operators) on %s, %d workers\n",
 		rec.Workloads, rec.Operators, rec.Chip, rec.Workers)
-	fmt.Printf("  serial   %12s\n", serial)
-	fmt.Printf("  parallel %12s  (%.2fx)\n", parallel, rec.ParallelSpeedup)
+	for _, pt := range rec.Sweep {
+		fmt.Printf("  workers=%-3d %12s  (%.2fx)\n", pt.Workers, time.Duration(pt.NS), pt.Speedup)
+	}
 	fmt.Printf("  cached   %12s  (%.2fx, hit rate %.1f%%)\n", cached, rec.CachedSpeedup, 100*rec.CacheHitRate)
 	fmt.Printf("  optimize loop cache hit rate %.1f%% (%d hits)\n", 100*rec.OptimizeHitRate, rec.OptimizeHits)
+	fmt.Println("  sweep reports byte-identical across worker counts")
 	fmt.Println("wrote", path)
 	return nil
 }

@@ -212,7 +212,7 @@ func run(opName, modelName, workloadPath, chipName string, top int, tune, usePas
 			fmt.Println("  " + n)
 		}
 		fmt.Println("models:")
-		for _, m := range model.All() {
+		for _, m := range model.Extended() {
 			fmt.Printf("  %s (%s, %s)\n", m.Name, m.Type, m.Params)
 		}
 		return nil

@@ -7,6 +7,7 @@ import (
 
 	"ascendperf/internal/hw"
 	"ascendperf/internal/isa"
+	"ascendperf/internal/profile"
 	"ascendperf/internal/sim"
 )
 
@@ -83,9 +84,9 @@ func TestDiffPinpointsFirstDivergence(t *testing.T) {
 	}
 	// Perturb the span of instruction 12.
 	const victim = 12
-	for i := range prof.Spans {
-		if prof.Spans[i].Index == victim {
-			prof.Spans[i].End += 5
+	for i := range prof.Timeline.Index {
+		if prof.Timeline.Index[i] == victim {
+			prof.Timeline.End[i] += 5 * profile.TickScale
 		}
 	}
 	rep = Diff(chip.Name, prof, ref)

@@ -148,18 +148,18 @@ func Diff(chipName string, prof *profile.Profile, ref *Result) *Report {
 
 	// Span-level comparison: pinpoint the first diverging instruction.
 	n := len(ref.Starts)
-	if len(prof.Spans) == 0 || n == 0 {
+	if prof.NumSpans() == 0 || n == 0 {
 		return rep
 	}
-	if len(prof.Spans) != n {
-		add("span_count", "", -1, float64(len(prof.Spans)), float64(n))
+	if prof.NumSpans() != n {
+		add("span_count", "", -1, float64(prof.NumSpans()), float64(n))
 		return rep
 	}
 	starts := make([]float64, n)
 	ends := make([]float64, n)
 	comps := make([]hw.Component, n)
 	seen := make([]bool, n)
-	for _, s := range prof.Spans {
+	for s := range prof.Spans() {
 		if s.Index < 0 || s.Index >= n || seen[s.Index] {
 			add("span_count", fmt.Sprintf("bad or duplicate index %d", s.Index), -1, 0, 0)
 			return rep

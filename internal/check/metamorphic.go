@@ -209,8 +209,8 @@ func PropOptionsDeterminism(chip *hw.Chip, prog *isa.Program, rng *rand.Rand) er
 	if err := aggregatesEqual(with, without); err != nil {
 		return fmt.Errorf("KeepSpans changed aggregates: %w", err)
 	}
-	if len(without.Spans) != 0 {
-		return fmt.Errorf("spanless run kept %d spans", len(without.Spans))
+	if without.NumSpans() != 0 {
+		return fmt.Errorf("spanless run kept %d spans", without.NumSpans())
 	}
 	return nil
 }
@@ -287,13 +287,13 @@ func PropSpanBounds(chip *hw.Chip, prog *isa.Program, rng *rand.Rand) error {
 		return fmt.Errorf("run: %w", err)
 	}
 	n := len(prog.Instrs)
-	if len(p.Spans) != n {
-		return fmt.Errorf("%d spans for %d instructions", len(p.Spans), n)
+	if p.NumSpans() != n {
+		return fmt.Errorf("%d spans for %d instructions", p.NumSpans(), n)
 	}
 	seen := make([]bool, n)
 	var lastEnd [hw.NumComponents]float64
 	var lastStart float64
-	for _, s := range p.Spans {
+	for s := range p.Spans() {
 		if s.Index < 0 || s.Index >= n {
 			return fmt.Errorf("span index %d out of range", s.Index)
 		}

@@ -79,9 +79,9 @@ func ChipByName(name string) (*hw.Chip, error) {
 	return hw.ReadChipJSON(f)
 }
 
-// ModelByName finds a Table 2 workload by its name.
+// ModelByName finds a built-in workload (Table 2 or extended) by name.
 func ModelByName(name string) (*model.Model, error) {
-	for _, m := range model.All() {
+	for _, m := range model.Extended() {
 		if m.Name == name {
 			return m, nil
 		}

@@ -127,10 +127,10 @@ type flagKey struct {
 // instruction and assembles the dependency view.
 func newSchedView(chip *hw.Chip, prog *isa.Program, p *profile.Profile) (*schedView, error) {
 	n := len(prog.Instrs)
-	if n == 0 || p == nil || len(p.Spans) != n {
+	if n == 0 || p == nil || p.NumSpans() != n {
 		have := 0
 		if p != nil {
-			have = len(p.Spans)
+			have = p.NumSpans()
 		}
 		return nil, fmt.Errorf("critpath: need one span per instruction (have %d of %d)", have, n)
 	}
@@ -144,7 +144,7 @@ func newSchedView(chip *hw.Chip, prog *isa.Program, p *profile.Profile) (*schedV
 		sets:    map[flagKey][]int{},
 		waitSeq: make([]int, n),
 	}
-	for _, s := range p.Spans {
+	for s := range p.Spans() {
 		v.starts[s.Index] = s.Start
 		v.ends[s.Index] = s.End
 		v.comp[s.Index] = s.Comp

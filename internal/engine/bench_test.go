@@ -5,7 +5,9 @@ import (
 
 	"ascendperf/internal/engine"
 	"ascendperf/internal/hw"
+	"ascendperf/internal/kernels"
 	"ascendperf/internal/model"
+	"ascendperf/internal/sim"
 )
 
 // benchAnalysis runs the full Table 2 workload analysis once per
@@ -37,4 +39,31 @@ func BenchmarkModelAnalysisSerial(b *testing.B)   { benchAnalysis(b, 1, 0) }
 func BenchmarkModelAnalysisParallel(b *testing.B) { benchAnalysis(b, 0, 0) }
 func BenchmarkModelAnalysisCached(b *testing.B) {
 	benchAnalysis(b, 0, engine.DefaultCacheCapacity)
+}
+
+// BenchmarkCacheHitPath pins the cost of a steady-state simulation
+// cache hit: memoized program fingerprint, key assembly, sharded
+// lookup, and the defensive profile clone. This path gates the cached
+// analysis speedup — before the fingerprint memo it re-hashed the
+// whole instruction stream per hit and the "cached" pass was barely
+// faster than simulating.
+func BenchmarkCacheHitPath(b *testing.B) {
+	defer engine.SetCacheCapacity(engine.DefaultCacheCapacity)
+	engine.SetCacheCapacity(engine.DefaultCacheCapacity)
+	chip := hw.TrainingChip()
+	k := kernels.NewAddReLU()
+	prog, err := k.Build(chip, k.Baseline())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := engine.Simulate(chip, prog, sim.Options{}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.Simulate(chip, prog, sim.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
 }

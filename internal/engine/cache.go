@@ -41,7 +41,29 @@ func (s CacheStats) HitRate() float64 {
 //
 // Chip fingerprints are memoized per *hw.Chip pointer, relying on the
 // documented Chip contract of immutability after construction.
+//
+// Internally the cache is sharded: each shard owns a slice of the
+// capacity, its own LRU list and its own mutex, so concurrent workers
+// hitting different keys never contend on one lock. Small caches (under
+// one shard's worth of entries) collapse to a single shard and keep
+// exact global-LRU semantics.
 type Cache struct {
+	shards []cacheShard
+}
+
+// shardTarget is the approximate per-shard capacity used to pick the
+// shard count: capacity/shardTarget shards, clamped to [1, maxShards].
+// The floor keeps small caches single-sharded (exact LRU, the behavior
+// unit tests pin); the ceiling bounds per-shard bookkeeping overhead.
+const (
+	shardTarget = 64
+	maxShards   = 16
+)
+
+// cacheShard is one independently locked LRU slice of the cache. The
+// pad keeps neighboring shards' mutexes and counters on distinct cache
+// lines so workers on different shards never false-share.
+type cacheShard struct {
 	mu        sync.Mutex
 	capacity  int
 	ll        *list.List // front = most recently used
@@ -49,6 +71,7 @@ type Cache struct {
 	hits      uint64
 	misses    uint64
 	evictions uint64
+	_         [40]byte
 }
 
 // chipFPs memoizes fingerprints per chip pointer, shared by every cache
@@ -91,21 +114,62 @@ func NewCache(capacity int) *Cache {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &Cache{
-		capacity: capacity,
-		ll:       list.New(),
-		byKey:    make(map[string]*list.Element, capacity),
+	n := capacity / shardTarget
+	if n < 1 {
+		n = 1
 	}
+	if n > maxShards {
+		n = maxShards
+	}
+	c := &Cache{shards: make([]cacheShard, n)}
+	base, extra := capacity/n, capacity%n
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.capacity = base
+		if i < extra {
+			s.capacity++
+		}
+		s.ll = list.New()
+		s.byKey = make(map[string]*list.Element, s.capacity)
+	}
+	return c
 }
 
-// Stats returns a snapshot of the hit/miss/eviction counters.
-func (c *Cache) Stats() CacheStats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return CacheStats{
-		Hits: c.hits, Misses: c.misses, Evictions: c.evictions,
-		Entries: c.ll.Len(),
+// shard routes a key to its shard via FNV-1a over the key bytes. The
+// key's leading chip fingerprint is shared across a run's lookups, so
+// the whole key participates to spread program fingerprints evenly.
+func (c *Cache) shard(key string) *cacheShard {
+	if len(c.shards) == 1 {
+		return &c.shards[0]
 	}
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return &c.shards[h%uint64(len(c.shards))]
+}
+
+// Stats returns a snapshot of the hit/miss/eviction counters summed
+// across shards. Each shard snapshots atomically under its own lock;
+// the sum is a consistent total for any quiescent cache and a close
+// approximation under concurrent traffic.
+func (c *Cache) Stats() CacheStats {
+	var st CacheStats
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		st.Hits += s.hits
+		st.Misses += s.misses
+		st.Evictions += s.evictions
+		st.Entries += s.ll.Len()
+		s.mu.Unlock()
+	}
+	return st
 }
 
 // cacheKey builds the cache key shared by the memory and disk layers;
@@ -127,35 +191,44 @@ func cacheKey(chip *hw.Chip, prog *isa.Program, opts sim.Options) (string, bool)
 }
 
 // lookup returns a deep copy of the cached profile for key, or nil.
+// The deep copy happens outside the shard lock: cached profiles are
+// immutable once inserted (inserts store private copies, hits hand out
+// clones), so the pointer stays valid after unlock even if the entry
+// is evicted concurrently — and the lock is held only for the map
+// probe and LRU bump, not the profile copy.
 func (c *Cache) lookup(key string) *profile.Profile {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.byKey[key]
+	s := c.shard(key)
+	s.mu.Lock()
+	el, ok := s.byKey[key]
 	if !ok {
-		c.misses++
+		s.misses++
+		s.mu.Unlock()
 		return nil
 	}
-	c.hits++
-	c.ll.MoveToFront(el)
-	return el.Value.(*cacheEntry).prof.Clone()
+	s.hits++
+	s.ll.MoveToFront(el)
+	prof := el.Value.(*cacheEntry).prof
+	s.mu.Unlock()
+	return prof.Clone()
 }
 
 // insert stores prof (which must be private to the cache) under key,
-// evicting the least recently used entry beyond capacity.
+// evicting the least recently used entry beyond the shard's capacity.
 func (c *Cache) insert(key string, prof *profile.Profile) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.byKey[key]; ok {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.byKey[key]; ok {
 		// Lost a race with another inserter; keep the existing entry.
-		c.ll.MoveToFront(el)
+		s.ll.MoveToFront(el)
 		return
 	}
-	c.byKey[key] = c.ll.PushFront(&cacheEntry{key: key, prof: prof})
-	for c.ll.Len() > c.capacity {
-		oldest := c.ll.Back()
-		c.ll.Remove(oldest)
-		delete(c.byKey, oldest.Value.(*cacheEntry).key)
-		c.evictions++
+	s.byKey[key] = s.ll.PushFront(&cacheEntry{key: key, prof: prof})
+	for s.ll.Len() > s.capacity {
+		oldest := s.ll.Back()
+		s.ll.Remove(oldest)
+		delete(s.byKey, oldest.Value.(*cacheEntry).key)
+		s.evictions++
 	}
 }
 

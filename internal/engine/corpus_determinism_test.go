@@ -1,0 +1,98 @@
+package engine_test
+
+import (
+	"strings"
+	"testing"
+
+	"ascendperf/internal/engine"
+	"ascendperf/internal/hw"
+	"ascendperf/internal/kernels"
+	"ascendperf/internal/model"
+)
+
+// TestCorpusWorkerSweepDeterminism runs the full built-in workload
+// corpus (Table 2 plus the extended inference workloads) at 1, 4 and 8
+// workers and requires byte-identical reports at every width. This is
+// the contract the ascendbench worker sweep publishes — run it under
+// -race to also exercise the sharded cache and striped counters with
+// real contention.
+func TestCorpusWorkerSweepDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full corpus sweep")
+	}
+	defer engine.SetCacheCapacity(engine.DefaultCacheCapacity)
+	// Fresh cache: the workers=1 pass fills it, the wide passes mix
+	// hits with concurrent misses — the interleaving the sweep must be
+	// insensitive to.
+	engine.SetCacheCapacity(engine.DefaultCacheCapacity)
+	chip := hw.TrainingChip()
+	models := model.Extended()
+
+	var want []string
+	for _, workers := range []int{1, 4, 8} {
+		r := model.NewRunner(chip)
+		r.Workers = workers
+		results, err := r.RunAll(models)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		reports := make([]string, len(results))
+		for i, res := range results {
+			reports[i] = res.Report()
+		}
+		if want == nil {
+			want = reports
+			continue
+		}
+		for i := range reports {
+			if reports[i] != want[i] {
+				t.Errorf("workers=%d: %s report differs from workers=1\nworkers=1:\n%s\nworkers=%d:\n%s",
+					workers, models[i].Name, want[i], workers, reports[i])
+			}
+		}
+	}
+}
+
+// TestRunFirstErrorDeterministic induces operator build failures mid
+// inventory and requires every worker count to surface the same error:
+// the lowest-index failure, exactly as a serial run would report it.
+func TestRunFirstErrorDeterministic(t *testing.T) {
+	chip := hw.TrainingChip()
+	bad := func(name string) kernels.Kernel {
+		return &kernels.CubeMatMul{OpName: name, Steps: 0}
+	}
+	m := &model.Model{
+		Name: "induced-failure", Type: "Test", Params: "0",
+		Ops: []model.OpInstance{
+			{Kernel: kernels.NewAdd(), Count: 1},
+			{Kernel: kernels.NewMul(), Count: 1},
+			{Kernel: kernels.NewCast(), Count: 1},
+			{Kernel: bad("bad_first"), Count: 1},
+			{Kernel: kernels.NewGeLU(), Count: 1},
+			{Kernel: kernels.NewSoftmax(), Count: 1},
+			{Kernel: bad("bad_second"), Count: 1},
+			{Kernel: kernels.NewAddN(), Count: 1},
+		},
+	}
+
+	var want string
+	for _, workers := range []int{1, 4, 8} {
+		r := model.NewRunner(chip)
+		r.Workers = workers
+		_, err := r.Run(m)
+		if err == nil {
+			t.Fatalf("workers=%d: expected an error", workers)
+		}
+		if !strings.Contains(err.Error(), "bad_first") {
+			t.Errorf("workers=%d: error is not the lowest-index failure: %v", workers, err)
+		}
+		if strings.Contains(err.Error(), "bad_second") {
+			t.Errorf("workers=%d: error leaked a later failure: %v", workers, err)
+		}
+		if want == "" {
+			want = err.Error()
+		} else if err.Error() != want {
+			t.Errorf("workers=%d: error differs from workers=1:\n%q\nvs\n%q", workers, err.Error(), want)
+		}
+	}
+}

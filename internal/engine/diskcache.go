@@ -178,7 +178,7 @@ func fromProfile(p *profile.Profile) diskProfile {
 		TotalTime:  p.TotalTime,
 		Busy:       append([]float64(nil), p.Busy[:]...),
 		InstrCount: append([]int(nil), p.InstrCount[:]...),
-		HasSpans:   p.Spans != nil,
+		HasSpans:   p.HasSpans(),
 	}
 	// Paths and precisions merge the byte/op and busy maps; iterate the
 	// union so an entry present in only one map still round-trips.
@@ -214,7 +214,7 @@ func fromProfile(p *profile.Profile) diskProfile {
 			})
 		}
 	}
-	for _, s := range p.Spans {
+	for s := range p.Spans() {
 		dp.Spans = append(dp.Spans, diskSpan{
 			Comp: int(s.Comp), Kind: int(s.Kind), Index: s.Index,
 			Start: s.Start, End: s.End, Label: s.Label,
@@ -248,10 +248,12 @@ func (dp diskProfile) toProfile() *profile.Profile {
 	}
 	if dp.HasSpans {
 		// Normalize: a KeepSpans profile has a non-nil (possibly empty)
-		// span slice, and downstream consumers key off that.
-		p.Spans = make([]profile.Span, 0, len(dp.Spans))
+		// timeline, and downstream consumers key off that.
+		q := &profile.SpanSeq{}
+		q.Grow(len(dp.Spans))
+		p.Timeline = q
 		for _, s := range dp.Spans {
-			p.Spans = append(p.Spans, profile.Span{
+			q.Append(profile.Span{
 				Comp: hw.Component(s.Comp), Kind: isa.Kind(s.Kind),
 				Index: s.Index, Start: s.Start, End: s.End, Label: s.Label,
 			})

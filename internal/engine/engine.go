@@ -71,12 +71,18 @@ func Workers() int {
 // workers == 1 (or n == 1) degenerates to a plain serial loop with no
 // goroutines.
 //
+// Workers claim indices in increasing order, a small contiguous chunk
+// at a time: one atomic fetch-add hands out a whole chunk, so cheap
+// per-index bodies do not serialize on the claim counter, and the only
+// per-call allocation beyond the result slice is the fixed-size worker
+// pool itself.
+//
 // Error propagation is deterministic: when any calls fail, the error of
-// the lowest failing index is returned (and results is nil). Indices
-// are claimed in increasing order and a claimed index always runs to
-// completion; after the first observed failure no further indices are
-// claimed, which cannot skip the lowest failing index because every
-// index below an observed failure was already claimed.
+// the lowest failing index is returned (and results is nil). Chunks are
+// claimed in increasing order and a claimed chunk always runs all its
+// indices to completion; after the first observed failure no further
+// chunks are claimed, which cannot skip the lowest failing index
+// because every index below an observed failure was already claimed.
 func ParallelMap[R any](workers, n int, fn func(i int) (R, error)) ([]R, error) {
 	if n <= 0 {
 		return nil, nil
@@ -98,10 +104,22 @@ func ParallelMap[R any](workers, n int, fn func(i int) (R, error)) ([]R, error) 
 		}
 		return results, nil
 	}
-	errs := make([]error, n)
-	var next atomic.Int64
-	var failed atomic.Bool
-	var wg sync.WaitGroup
+	// Chunk size balances claim traffic against load balance and wasted
+	// post-failure work: at least 4 claims per worker keeps the pool
+	// busy when per-index costs are skewed.
+	chunk := n / (workers * 4)
+	if chunk < 1 {
+		chunk = 1
+	}
+	var (
+		next   atomic.Int64
+		failed atomic.Bool
+		wg     sync.WaitGroup
+
+		errMu    sync.Mutex
+		firstErr error
+		firstIdx int = -1
+	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -110,25 +128,33 @@ func ParallelMap[R any](workers, n int, fn func(i int) (R, error)) ([]R, error) 
 				if failed.Load() {
 					return
 				}
-				i := int(next.Add(1)) - 1
-				if i >= n {
+				lo := int(next.Add(int64(chunk))) - chunk
+				if lo >= n {
 					return
 				}
-				r, err := fn(i)
-				if err != nil {
-					errs[i] = err
-					failed.Store(true)
-					continue
+				hi := lo + chunk
+				if hi > n {
+					hi = n
 				}
-				results[i] = r
+				for i := lo; i < hi; i++ {
+					r, err := fn(i)
+					if err != nil {
+						errMu.Lock()
+						if firstIdx < 0 || i < firstIdx {
+							firstIdx, firstErr = i, err
+						}
+						errMu.Unlock()
+						failed.Store(true)
+						continue
+					}
+					results[i] = r
+				}
 			}
 		}()
 	}
 	wg.Wait()
-	for i := range errs {
-		if errs[i] != nil {
-			return nil, errs[i]
-		}
+	if failed.Load() {
+		return nil, firstErr
 	}
 	return results, nil
 }

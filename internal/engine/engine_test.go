@@ -118,7 +118,7 @@ func TestCacheHitReturnsEqualProfile(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if miss.TotalTime != hit.TotalTime || len(miss.Spans) != len(hit.Spans) {
+	if miss.TotalTime != hit.TotalTime || miss.NumSpans() != hit.NumSpans() {
 		t.Fatalf("hit differs from miss: %v vs %v", hit, miss)
 	}
 	st := c.Stats()
@@ -146,7 +146,7 @@ func TestCacheHitIsDeepCopy(t *testing.T) {
 	wantBytes := first.PathBytes[hw.PathGMToUB]
 	first.TotalTime = -1
 	first.PathBytes[hw.PathGMToUB] = -1
-	first.Spans[0].Label = "corrupted"
+	first.Timeline.Start[0] = -1
 
 	second, err := c.Simulate(chip, prog, opts)
 	if err != nil {
@@ -155,7 +155,7 @@ func TestCacheHitIsDeepCopy(t *testing.T) {
 	if second.TotalTime != wantTotal || second.PathBytes[hw.PathGMToUB] != wantBytes {
 		t.Fatalf("cached entry corrupted by miss-result mutation: %+v", second)
 	}
-	if second.Spans[0].Label == "corrupted" {
+	if second.Timeline.Start[0] == -1 {
 		t.Fatal("cached spans share memory with the miss result")
 	}
 

@@ -13,7 +13,16 @@ import (
 // is what makes simulation results memoizable (engine package). The
 // encoding is length-prefixed and field-ordered, so it is injective up
 // to hash collisions.
+//
+// The digest is memoized per Program: repeated calls on an unmodified
+// program return the stored string without rehashing (the memoized
+// lookup path of the engine's simulation cache calls this once per
+// lookup, and the hash itself dominated the hit path before the memo).
+// Appending invalidates the memo via the instruction count.
 func (p *Program) Fingerprint() string {
+	if m := p.fp.Load(); m != nil && m.n == len(p.Instrs) {
+		return m.fp
+	}
 	h := sha256.New()
 	var buf [8]byte
 	num := func(v int64) {
@@ -53,5 +62,7 @@ func (p *Program) Fingerprint() string {
 		num(int64(in.Scope))
 		num(int64(in.Pipe))
 	}
-	return hex.EncodeToString(h.Sum(nil))
+	fp := hex.EncodeToString(h.Sum(nil))
+	p.fp.Store(&fpMemo{n: len(p.Instrs), fp: fp})
+	return fp
 }

@@ -25,6 +25,7 @@ package isa
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"ascendperf/internal/hw"
 )
@@ -261,6 +262,19 @@ type Program struct {
 	// Name identifies the kernel and variant, e.g. "add_relu/baseline".
 	Name   string
 	Instrs []Instr
+
+	// fp memoizes Fingerprint. Programs are append-only after
+	// construction (Append is the only mutation path; transformation
+	// passes build fresh programs), so a memo taken at one instruction
+	// count stays valid until the count changes.
+	fp atomic.Pointer[fpMemo]
+}
+
+// fpMemo pairs a computed fingerprint with the instruction count it was
+// computed at.
+type fpMemo struct {
+	n  int
+	fp string
 }
 
 // Append adds instructions to the program.

@@ -1,0 +1,69 @@
+package kernels
+
+import (
+	"reflect"
+	"sync"
+	"sync/atomic"
+
+	"ascendperf/internal/hw"
+	"ascendperf/internal/isa"
+)
+
+// BuildCached is the memoized Kernel.Build: repeated builds of the same
+// (chip, kernel, options) triple return one shared *isa.Program instead
+// of re-emitting the instruction stream. The multi-pass pipelines
+// (model runner passes, the optimizer's re-evaluations, benchmark
+// warm/measure pairs) rebuild identical programs constantly; with the
+// memo the rebuild costs a map lookup, and downstream per-Program memos
+// (isa.Fingerprint, the simulator's validation memo) keep paying off
+// because the pointer is stable across passes.
+//
+// The returned program is shared between callers and MUST NOT be
+// mutated; every current consumer only simulates or inspects it.
+// Transformation passes that edit instruction streams (internal/check
+// generators) construct their own programs and are unaffected.
+//
+// Kernels key by interface identity, so two kernel objects built from
+// the same constructor memoize separately — correct (options captured
+// in the kernel value, like tile size or unit count, are part of the
+// object) at the cost of misses when callers mint fresh kernels per
+// call. Kernels whose dynamic type is not comparable cannot be map
+// keys and build directly. Build errors are never cached.
+func BuildCached(chip *hw.Chip, k Kernel, opts Options) (*isa.Program, error) {
+	if !reflect.TypeOf(k).Comparable() {
+		return k.Build(chip, opts)
+	}
+	key := buildKey{chip: chip, kernel: k, opts: opts}
+	if v, ok := buildCache.Load(key); ok {
+		return v.(*isa.Program), nil
+	}
+	prog, err := k.Build(chip, opts)
+	if err != nil {
+		return nil, err
+	}
+	// Bound the memo so workloads minting unbounded kernel/chip objects
+	// cannot grow it without limit; past the bound builds stop memoizing.
+	if buildCacheCount.Load() < maxBuildCache {
+		if _, loaded := buildCache.LoadOrStore(key, prog); !loaded {
+			buildCacheCount.Add(1)
+		} else if v, ok := buildCache.Load(key); ok {
+			// Lost an insert race: hand out the stored program so every
+			// caller shares one pointer.
+			return v.(*isa.Program), nil
+		}
+	}
+	return prog, nil
+}
+
+type buildKey struct {
+	chip   *hw.Chip
+	kernel Kernel
+	opts   Options
+}
+
+var (
+	buildCache      sync.Map // buildKey -> *isa.Program
+	buildCacheCount atomic.Int64
+)
+
+const maxBuildCache = 4096

@@ -1,0 +1,132 @@
+package kernels
+
+import (
+	"testing"
+
+	"ascendperf/internal/core"
+	"ascendperf/internal/hw"
+)
+
+// TestFlashAttentionTraffic checks the memory shape that defines the
+// tiled-attention algorithm: K and V cross the GM link exactly once,
+// and the output is written exactly once, regardless of options.
+func TestFlashAttentionTraffic(t *testing.T) {
+	chip := hw.TrainingChip()
+	k := NewFlashAttention()
+	wantIn := k.QBytes + int64(k.KVTiles)*(k.KTileBytes+k.VTileBytes)
+	for _, opts := range []Options{k.Baseline(), FullyOptimized(k)} {
+		p := runKernel(t, chip, k, opts)
+		if got := p.PathBytes[hw.PathGMToL1]; got != wantIn {
+			t.Errorf("opts %+v: GM->L1 bytes = %d, want %d", opts, got, wantIn)
+		}
+		if got := p.PathBytes[hw.PathUBToGM]; got != k.OutBytes {
+			t.Errorf("opts %+v: UB->GM bytes = %d, want %d", opts, got, k.OutBytes)
+		}
+	}
+}
+
+// TestFlashAttentionWorkflow: the shipped implementation separates the
+// QK product, softmax and PV product with full barriers and
+// single-buffers the K/V stream; RUS+PP+AIS pipeline the tiles.
+func TestFlashAttentionWorkflow(t *testing.T) {
+	chip := hw.TrainingChip()
+	k := NewFlashAttention()
+	base := runKernel(t, chip, k, k.Baseline())
+	opt := runKernel(t, chip, k, FullyOptimized(k))
+	if opt.TotalTime >= base.TotalTime {
+		t.Fatalf("optimization did not improve: %.1f -> %.1f us",
+			base.TotalTime/1000, opt.TotalTime/1000)
+	}
+	// The Cube work itself is invariant under the pipelining fixes.
+	if opt.OpsOf(hw.Cube) != base.OpsOf(hw.Cube) {
+		t.Errorf("cube ops changed: %d -> %d", base.OpsOf(hw.Cube), opt.OpsOf(hw.Cube))
+	}
+	// AIS elides per-tile scalar bookkeeping.
+	if opt.InstrCount[hw.CompScalar] >= base.InstrCount[hw.CompScalar] {
+		t.Errorf("AIS did not reduce scalar instructions: %d -> %d",
+			base.InstrCount[hw.CompScalar], opt.InstrCount[hw.CompScalar])
+	}
+}
+
+// TestKVCacheAppendWorkflow: the shipped per-head append serializes a
+// load/rope/store chain per head (insufficient parallelism); ITG merges
+// heads into larger transfers without changing total bytes, and the full
+// option set leaves the small-transfer residue (inefficient MTE).
+func TestKVCacheAppendWorkflow(t *testing.T) {
+	chip := hw.TrainingChip()
+	th := core.DefaultThresholds()
+	k := NewKVCacheAppend()
+
+	base := runKernel(t, chip, k, k.Baseline())
+	a0 := core.Analyze(base, chip, th)
+	if a0.Cause != core.CauseInsufficientParallelism {
+		t.Errorf("baseline cause = %s, want Insufficient Parallelism", a0.Cause)
+	}
+
+	itg := runKernel(t, chip, k, Apply(k.Baseline(), ITG))
+	if itg.TotalTime >= base.TotalTime {
+		t.Error("ITG did not improve the append")
+	}
+	if itg.InstrCount[hw.CompMTEGM] >= base.InstrCount[hw.CompMTEGM] {
+		t.Errorf("ITG did not merge loads: %d -> %d",
+			base.InstrCount[hw.CompMTEGM], itg.InstrCount[hw.CompMTEGM])
+	}
+	if itg.PathBytes[hw.PathUBToGM] != base.PathBytes[hw.PathUBToGM] {
+		t.Errorf("ITG changed total bytes: %d -> %d",
+			base.PathBytes[hw.PathUBToGM], itg.PathBytes[hw.PathUBToGM])
+	}
+
+	full := runKernel(t, chip, k, FullyOptimized(k))
+	if full.TotalTime >= itg.TotalTime {
+		t.Error("AIS+RSD on top of ITG did not improve further")
+	}
+	a1 := core.Analyze(full, chip, th)
+	if a1.Cause != core.CauseInefficientMTE {
+		t.Errorf("optimized cause = %s, want Inefficient MTE", a1.Cause)
+	}
+}
+
+// TestInt8MatMulWorkflow: the decode GEMM ships quantized (INT8 cube
+// work, no FP16) with an unfused dequantize epilogue; OP removes the
+// epilogue's GM round trip.
+func TestInt8MatMulWorkflow(t *testing.T) {
+	chip := hw.TrainingChip()
+	k := NewInt8MatMul()
+
+	base := runKernel(t, chip, k, k.Baseline())
+	if base.PrecOps[hw.UnitPrec{Unit: hw.Cube, Prec: hw.INT8}] == 0 {
+		t.Error("baseline is not INT8")
+	}
+	if base.PrecOps[hw.UnitPrec{Unit: hw.Cube, Prec: hw.FP16}] != 0 {
+		t.Error("baseline left FP16 cube work")
+	}
+
+	fused := runKernel(t, chip, k, Apply(k.Baseline(), OP))
+	if fused.PathBytes[hw.PathGMToUB] >= base.PathBytes[hw.PathGMToUB] {
+		t.Errorf("fusion did not cut GM->UB bytes: %d -> %d",
+			base.PathBytes[hw.PathGMToUB], fused.PathBytes[hw.PathGMToUB])
+	}
+	if fused.TotalTime >= base.TotalTime {
+		t.Error("fusion did not improve the decode GEMM")
+	}
+
+	full := runKernel(t, chip, k, FullyOptimized(k))
+	if full.InstrCount[hw.CompMTEUB] >= fused.InstrCount[hw.CompMTEUB] {
+		t.Errorf("ITG did not merge stores: %d -> %d",
+			fused.InstrCount[hw.CompMTEUB], full.InstrCount[hw.CompMTEUB])
+	}
+	if full.TotalTime > base.TotalTime+1e-6 {
+		t.Error("full optimization slower than baseline")
+	}
+}
+
+// TestInferenceKernelsRegistered: the inference operators are reachable
+// through the registry like every other kernel.
+func TestInferenceKernelsRegistered(t *testing.T) {
+	reg := Registry()
+	for _, name := range []string{"flash_attention", "kv_cache_append", "int8_matmul"} {
+		if reg[name] == nil {
+			t.Errorf("registry missing %s", name)
+		}
+	}
+}

@@ -83,6 +83,7 @@ func Registry() map[string]Kernel {
 		NewReLU(), NewSigmoid(), NewTanh(), NewBatchNorm(), NewReduceSum(),
 		NewMaxPool(), NewTranspose(), NewConcat(), NewEmbeddingLookup(),
 		NewQuantMatMul(),
+		NewFlashAttention(), NewKVCacheAppend(), NewInt8MatMul(),
 	}
 	out := make(map[string]Kernel, len(ks))
 	for _, k := range ks {

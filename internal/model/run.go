@@ -249,7 +249,7 @@ func (r *Runner) run(m *Model, topN int) (*RunResult, error) {
 			or.OptimizedBound = boundOf(out.FinalAnalysis)
 			or.Applied = out.Applied()
 		} else {
-			prog, err := inst.Kernel.Build(r.Chip, inst.Kernel.Baseline())
+			prog, err := kernels.BuildCached(r.Chip, inst.Kernel, inst.Kernel.Baseline())
 			if err != nil {
 				return or, fmt.Errorf("model %s: %s: %w", m.Name, or.Name, err)
 			}
@@ -302,7 +302,7 @@ func (r *Runner) RunAll(ms []*Model) ([]*RunResult, error) {
 // baseline simulates one operator at its shipped options and returns the
 // per-instance time.
 func (r *Runner) baseline(m *Model, inst OpInstance) (float64, error) {
-	prog, err := inst.Kernel.Build(r.Chip, inst.Kernel.Baseline())
+	prog, err := kernels.BuildCached(r.Chip, inst.Kernel, inst.Kernel.Baseline())
 	if err != nil {
 		return 0, fmt.Errorf("model %s: %s: %w", m.Name, inst.Kernel.Name(), err)
 	}

@@ -291,6 +291,29 @@ func PanGuAlpha() *Model {
 	}
 }
 
+// LlamaInference returns the Llama-2 7B autoregressive-decode workload:
+// per decode step the attention runs tiled over the KV cache, the new
+// token's K/V are appended to the cache, and the projection/FFN GEMMs
+// run weight-quantized at batch one. It is not one of the paper's
+// Table 2 workloads — Extended adds it for inference-serving studies —
+// so the Table 2 aggregates over All are unchanged.
+func LlamaInference() *Model {
+	return &Model{
+		Name: "Llama 2 Decode", Type: "LLM", Params: "7B",
+		Dataset: "WikiText2", NPUs: 1,
+		OverheadFrac: 0.30,
+		Ops: []OpInstance{
+			{Kernel: kernels.NewFlashAttention(), Count: 32},
+			{Kernel: kernels.NewKVCacheAppend(), Count: 32},
+			{Kernel: kernels.NewInt8MatMul(), Count: 64},
+			{Kernel: ewVariant(kernels.NewLayerNorm(), "rmsnorm", 1, 0, rsdPP), Count: 65},
+			{Kernel: ewVariant(kernels.NewGeLU(), "silu", 1, 0, kernels.NewGeLU().BaselineOpts), Count: 32},
+			{Kernel: kernels.NewAdd(), Count: 64},
+			{Kernel: kernels.NewCast(), Count: 6},
+		},
+	}
+}
+
 // All returns every Table 2 workload in table order.
 func All() []*Model {
 	return []*Model{
@@ -299,4 +322,12 @@ func All() []*Model {
 		DeepFM(), WideAndDeep(), DLRM(),
 		Llama2(), PanGuAlpha(),
 	}
+}
+
+// Extended returns All plus the workloads outside the paper's Table 2
+// (currently the LLM decode workload). Callers that reproduce paper
+// tables stay on All; lookup surfaces (the analysis daemon, workload
+// files) use Extended.
+func Extended() []*Model {
+	return append(All(), LlamaInference())
 }

@@ -190,7 +190,10 @@ func (o *Optimizer) run(k kernels.Kernel, opts kernels.Options) (*profile.Profil
 // build is the memoized k.Build. The returned program is shared between
 // hits and must not be mutated; the optimizer only simulates it, which
 // never writes. Kernels whose dynamic type is not comparable (and hence
-// cannot be a map key) build directly.
+// cannot be a map key) build directly. Misses go through the process
+// build cache (kernels.BuildCached), so programs are shared across
+// optimizer instances too; the per-optimizer memo adds error caching
+// (infeasible configurations the loops retry).
 func (o *Optimizer) build(k kernels.Kernel, opts kernels.Options) (*isa.Program, error) {
 	if !reflect.TypeOf(k).Comparable() {
 		return k.Build(o.Chip, opts)
@@ -202,7 +205,7 @@ func (o *Optimizer) build(k kernels.Kernel, opts kernels.Options) (*isa.Program,
 	if ok {
 		return r.prog, r.err
 	}
-	prog, err := k.Build(o.Chip, opts)
+	prog, err := kernels.BuildCached(o.Chip, k, opts)
 	o.buildMu.Lock()
 	if o.buildMemo == nil {
 		o.buildMemo = make(map[buildKey]buildResult)

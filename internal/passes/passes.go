@@ -203,12 +203,12 @@ func HoistLoads(chip *hw.Chip, prog *isa.Program, window int) (*isa.Program, err
 // passes in this package.
 func CheckOrdering(chip *hw.Chip, prog *isa.Program, p *profile.Profile) error {
 	n := len(prog.Instrs)
-	if len(p.Spans) != n {
+	if p.NumSpans() != n {
 		return fmt.Errorf("passes: need spans for all %d instructions", n)
 	}
 	starts := make([]float64, n)
 	ends := make([]float64, n)
-	for _, s := range p.Spans {
+	for s := range p.Spans() {
 		starts[s.Index] = s.Start
 		ends[s.Index] = s.End
 	}

@@ -211,11 +211,12 @@ func TestCheckOrderingCatchesViolation(t *testing.T) {
 		t.Fatalf("clean schedule rejected: %v", err)
 	}
 	// Corrupt: pull the compute to time zero.
-	for i := range p.Spans {
-		if p.Spans[i].Index == 3 {
-			d := p.Spans[i].End - p.Spans[i].Start
-			p.Spans[i].Start = 0
-			p.Spans[i].End = d
+	q := p.Timeline
+	for i := range q.Index {
+		if q.Index[i] == 3 {
+			d := q.End[i] - q.Start[i]
+			q.Start[i] = 0
+			q.End[i] = d
 		}
 	}
 	if err := CheckOrdering(chip, prog, p); err == nil {

@@ -105,7 +105,7 @@ func (p *Profile) WriteJSON(w io.Writer) error {
 			}
 		}
 	}
-	for _, s := range p.Spans {
+	for s := range p.Spans() {
 		out.Spans = append(out.Spans, jsonSpan{
 			Comp: s.Comp.String(), Kind: s.Kind.String(), Index: s.Index,
 			Start: s.Start, End: s.End, Label: s.Label,
@@ -166,7 +166,7 @@ func ReadJSON(r io.Reader) (*Profile, error) {
 		if !okC || !okK {
 			return nil, fmt.Errorf("profile: unknown span %s/%s", s.Comp, s.Kind)
 		}
-		p.Spans = append(p.Spans, Span{
+		p.AppendSpan(Span{
 			Comp: c, Kind: k, Index: s.Index, Start: s.Start, End: s.End, Label: s.Label,
 		})
 	}

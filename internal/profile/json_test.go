@@ -52,12 +52,12 @@ func TestJSONRoundTrip(t *testing.T) {
 			t.Errorf("%s busy %v != %v", path, back.PathBusy[path], busy)
 		}
 	}
-	if len(back.Spans) != len(orig.Spans) {
-		t.Fatalf("span count %d != %d", len(back.Spans), len(orig.Spans))
+	if back.NumSpans() != orig.NumSpans() {
+		t.Fatalf("span count %d != %d", back.NumSpans(), orig.NumSpans())
 	}
-	for i := range orig.Spans {
-		if back.Spans[i] != orig.Spans[i] {
-			t.Errorf("span %d: %+v != %+v", i, back.Spans[i], orig.Spans[i])
+	for i := 0; i < orig.NumSpans(); i++ {
+		if back.SpanAt(i) != orig.SpanAt(i) {
+			t.Errorf("span %d: %+v != %+v", i, back.SpanAt(i), orig.SpanAt(i))
 		}
 	}
 	// The round-tripped profile still validates.

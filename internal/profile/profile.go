@@ -17,6 +17,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"iter"
+	"math"
 	"sort"
 	"strings"
 
@@ -55,6 +57,141 @@ type Span struct {
 // Duration returns the span length in nanoseconds.
 func (s Span) Duration() float64 { return s.End - s.Start }
 
+// TickScale is the integer quantization of the compact span timeline:
+// 2^20 ticks per nanosecond, the same lattice the simulator schedules
+// on (sim.TickScale) and internal/trace decomposes on. Lattice values
+// are dyadic rationals, so tick<->ns conversion is exact in float64 for
+// any schedule shorter than 2^33 ns (~8.6 s).
+const TickScale = 1 << 20
+
+// ToTicks quantizes a time in nanoseconds to the tick lattice; exact
+// (a pure representation change) for values produced by FromTicks.
+func ToTicks(ns float64) int64 { return int64(math.Round(ns * TickScale)) }
+
+// FromTicks converts ticks to nanoseconds, exactly for |t| < 2^53.
+func FromTicks(t int64) float64 { return float64(t) / TickScale }
+
+// SpanSeq is the compact span timeline: parallel arrays in start order,
+// with times held as integer ticks on the 2^-20 ns lattice. It is the
+// storage format the simulator emits directly from its pooled integer
+// schedule — five dense arrays and a label column instead of one
+// 64-byte struct per instruction — and the format tick-exact consumers
+// (internal/trace, internal/check) read without re-expanding to float
+// spans. Casual consumers materialize Span values via Profile.Spans or
+// SpanSeq.At.
+type SpanSeq struct {
+	// Index is the instruction's position in program order.
+	Index []int32
+	// Comp is the component queue (hw.Component) per span.
+	Comp []uint8
+	// Kind is the instruction class (isa.Kind) per span.
+	Kind []uint8
+	// Start and End bound execution in ticks (2^-20 ns).
+	Start []int64
+	End   []int64
+	// Label carries the optional source annotation per span. It is nil
+	// (not merely empty) when no span carries a label — the common
+	// case — so fully unlabeled timelines hold no pointer array for the
+	// GC to scan. Read through LabelAt, which maps nil to "".
+	Label []string
+}
+
+// Len returns the number of spans.
+func (q *SpanSeq) Len() int {
+	if q == nil {
+		return 0
+	}
+	return len(q.Index)
+}
+
+// LabelAt returns span i's label, "" when the timeline is unlabeled.
+func (q *SpanSeq) LabelAt(i int) string {
+	if q.Label == nil {
+		return ""
+	}
+	return q.Label[i]
+}
+
+// At materializes span i with nanosecond times.
+func (q *SpanSeq) At(i int) Span {
+	return Span{
+		Comp:  hw.Component(q.Comp[i]),
+		Kind:  isa.Kind(q.Kind[i]),
+		Index: int(q.Index[i]),
+		Start: FromTicks(q.Start[i]),
+		End:   FromTicks(q.End[i]),
+		Label: q.LabelAt(i),
+	}
+}
+
+// Append adds a span, quantizing its times to the tick lattice (exact
+// for times that came off the lattice, i.e. any simulator output).
+func (q *SpanSeq) Append(s Span) {
+	if s.Label != "" && q.Label == nil {
+		q.Label = make([]string, len(q.Index), cap(q.Index)+1)
+	}
+	q.Index = append(q.Index, int32(s.Index))
+	q.Comp = append(q.Comp, uint8(s.Comp))
+	q.Kind = append(q.Kind, uint8(s.Kind))
+	q.Start = append(q.Start, ToTicks(s.Start))
+	q.End = append(q.End, ToTicks(s.End))
+	if q.Label != nil {
+		q.Label = append(q.Label, s.Label)
+	}
+}
+
+// Grow pre-sizes the arrays for n appends.
+func (q *SpanSeq) Grow(n int) {
+	if cap(q.Index) >= len(q.Index)+n {
+		return
+	}
+	c := len(q.Index) + n
+	q.Index = append(make([]int32, 0, c), q.Index...)
+	q.Comp = append(make([]uint8, 0, c), q.Comp...)
+	q.Kind = append(make([]uint8, 0, c), q.Kind...)
+	q.Start = append(make([]int64, 0, c), q.Start...)
+	q.End = append(make([]int64, 0, c), q.End...)
+	if q.Label != nil {
+		q.Label = append(make([]string, 0, c), q.Label...)
+	}
+}
+
+// NewSpanSeq builds a timeline from materialized spans — the
+// convenience path for tests and hand-assembled profiles; the
+// simulator fills the arrays directly.
+func NewSpanSeq(spans ...Span) *SpanSeq {
+	q := &SpanSeq{}
+	q.Grow(len(spans))
+	for _, s := range spans {
+		q.Append(s)
+	}
+	return q
+}
+
+// Clone returns a deep copy.
+func (q *SpanSeq) Clone() *SpanSeq {
+	if q == nil {
+		return nil
+	}
+	c := &SpanSeq{
+		Index: make([]int32, len(q.Index)),
+		Comp:  make([]uint8, len(q.Comp)),
+		Kind:  make([]uint8, len(q.Kind)),
+		Start: make([]int64, len(q.Start)),
+		End:   make([]int64, len(q.End)),
+	}
+	copy(c.Index, q.Index)
+	copy(c.Comp, q.Comp)
+	copy(c.Kind, q.Kind)
+	copy(c.Start, q.Start)
+	copy(c.End, q.End)
+	if q.Label != nil {
+		c.Label = make([]string, len(q.Label))
+		copy(c.Label, q.Label)
+	}
+	return c
+}
+
 // Profile aggregates the execution of one operator (one program run).
 type Profile struct {
 	// Name identifies the profiled program.
@@ -85,8 +222,41 @@ type Profile struct {
 	// InstrCount is the number of instructions executed per component.
 	InstrCount [hw.NumComponents]int
 
-	// Spans is the full execution timeline, ordered by start time.
-	Spans []Span
+	// Timeline is the full execution timeline in compact form, ordered
+	// by start time. nil when the simulation did not keep spans. Use
+	// Spans / SpanAt / NumSpans to consume it as materialized Span
+	// values, or read the tick arrays directly for exact arithmetic.
+	Timeline *SpanSeq
+}
+
+// NumSpans returns the number of recorded spans (0 when the timeline
+// was not kept).
+func (p *Profile) NumSpans() int { return p.Timeline.Len() }
+
+// HasSpans reports whether the run kept its timeline. A kept timeline
+// can still be empty (zero-instruction program).
+func (p *Profile) HasSpans() bool { return p.Timeline != nil }
+
+// SpanAt materializes span i of the timeline.
+func (p *Profile) SpanAt(i int) Span { return p.Timeline.At(i) }
+
+// Spans iterates the timeline in start order, materializing each span.
+func (p *Profile) Spans() iter.Seq[Span] {
+	return func(yield func(Span) bool) {
+		for i := 0; i < p.Timeline.Len(); i++ {
+			if !yield(p.Timeline.At(i)) {
+				return
+			}
+		}
+	}
+}
+
+// AppendSpan adds a span to the timeline, allocating it if needed.
+func (p *Profile) AppendSpan(s Span) {
+	if p.Timeline == nil {
+		p.Timeline = &SpanSeq{}
+	}
+	p.Timeline.Append(s)
 }
 
 // New returns an empty profile with allocated maps.
@@ -179,22 +349,32 @@ func (p *Profile) Summary() string {
 // (e.g. ping-pong buffering reduced MTE-GM waiting intervals from 14 to 3).
 // Requires spans to have been kept.
 func (p *Profile) Gaps(c hw.Component) (count int, idle float64) {
-	var last float64
+	// Exact tick arithmetic on the compact timeline: a gap exists iff
+	// start > last in ticks, which on the 2^-20 ns lattice coincides
+	// with the historical float test start > last+1e-9 (the smallest
+	// positive lattice gap is ~9.5e-7 ns).
+	q := p.Timeline
+	if q == nil {
+		return 0, 0
+	}
+	cc := uint8(c)
+	var last int64
+	var idleTicks int64
 	first := true
-	for _, s := range p.Spans {
-		if s.Comp != c {
+	for i, comp := range q.Comp {
+		if comp != cc {
 			continue
 		}
-		if !first && s.Start > last+1e-9 {
+		if !first && q.Start[i] > last {
 			count++
-			idle += s.Start - last
+			idleTicks += q.Start[i] - last
 		}
-		if s.End > last {
-			last = s.End
+		if q.End[i] > last {
+			last = q.End[i]
 		}
 		first = false
 	}
-	return count, idle
+	return count, FromTicks(idleTicks)
 }
 
 // chromeEvent is one Chrome trace-event record ("X" complete events).
@@ -214,8 +394,8 @@ type chromeEvent struct {
 // package produces the full documented format (FORMATS.md §6) with named
 // tracks, flag-dependency flow arrows and the critical-path overlay.
 func (p *Profile) WriteChromeTrace(w io.Writer) error {
-	events := make([]chromeEvent, 0, len(p.Spans))
-	for _, s := range p.Spans {
+	events := make([]chromeEvent, 0, p.NumSpans())
+	for s := range p.Spans() {
 		name := s.Label
 		if name == "" {
 			name = s.Kind.String()
@@ -241,7 +421,7 @@ func (p *Profile) WriteCSV(w io.Writer) error {
 	if _, err := fmt.Fprintln(w, "index,component,kind,start_ns,end_ns,duration_ns,label"); err != nil {
 		return err
 	}
-	for _, s := range p.Spans {
+	for s := range p.Spans() {
 		if _, err := fmt.Fprintf(w, "%d,%s,%s,%.3f,%.3f,%.3f,%s\n",
 			s.Index, s.Comp, s.Kind, s.Start, s.End, s.Duration(), s.Label); err != nil {
 			return err
@@ -271,10 +451,7 @@ func (p *Profile) Clone() *Profile {
 	for k, v := range p.PrecBusy {
 		q.PrecBusy[k] = v
 	}
-	if p.Spans != nil {
-		q.Spans = make([]Span, len(p.Spans))
-		copy(q.Spans, p.Spans)
-	}
+	q.Timeline = p.Timeline.Clone()
 	return &q
 }
 
@@ -322,7 +499,8 @@ func (p *Profile) Validate() error {
 	}
 	var lastEnd [hw.NumComponents]float64
 	var lastStart float64
-	for i, s := range p.Spans {
+	for i := 0; i < p.NumSpans(); i++ {
+		s := p.SpanAt(i)
 		if s.Start < lastStart-eps {
 			return fmt.Errorf("profile %s: span %d out of order", p.Name, i)
 		}

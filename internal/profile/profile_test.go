@@ -25,12 +25,12 @@ func sample() *Profile {
 	p.PrecOps[hw.UnitPrec{Unit: hw.Vector, Prec: hw.FP32}] = 100
 	p.PrecBusy[hw.UnitPrec{Unit: hw.Vector, Prec: hw.FP16}] = 250
 	p.PathBusy[hw.PathGMToUB] = 400
-	p.Spans = []Span{
-		{Comp: hw.CompMTEGM, Kind: isa.KindTransfer, Index: 0, Start: 0, End: 400, Label: "load-a"},
-		{Comp: hw.CompVector, Kind: isa.KindCompute, Index: 1, Start: 400, End: 600},
-		{Comp: hw.CompMTEGM, Kind: isa.KindTransfer, Index: 2, Start: 500, End: 800},
-		{Comp: hw.CompVector, Kind: isa.KindCompute, Index: 3, Start: 800, End: 1000},
-	}
+	p.Timeline = NewSpanSeq(
+		Span{Comp: hw.CompMTEGM, Kind: isa.KindTransfer, Index: 0, Start: 0, End: 400, Label: "load-a"},
+		Span{Comp: hw.CompVector, Kind: isa.KindCompute, Index: 1, Start: 400, End: 600},
+		Span{Comp: hw.CompMTEGM, Kind: isa.KindTransfer, Index: 2, Start: 500, End: 800},
+		Span{Comp: hw.CompVector, Kind: isa.KindCompute, Index: 3, Start: 800, End: 1000},
+	)
 	return p
 }
 
@@ -217,31 +217,31 @@ func TestValidateDetectsCorruption(t *testing.T) {
 	}
 
 	overlap := sample()
-	overlap.Spans = []Span{
-		{Comp: hw.CompVector, Start: 0, End: 100},
-		{Comp: hw.CompVector, Start: 50, End: 150},
-	}
+	overlap.Timeline = NewSpanSeq(
+		Span{Comp: hw.CompVector, Start: 0, End: 100},
+		Span{Comp: hw.CompVector, Start: 50, End: 150},
+	)
 	if overlap.Validate() == nil {
 		t.Error("overlapping spans accepted")
 	}
 
 	unsorted := sample()
-	unsorted.Spans = []Span{
-		{Comp: hw.CompVector, Start: 100, End: 150},
-		{Comp: hw.CompMTEGM, Start: 0, End: 50},
-	}
+	unsorted.Timeline = NewSpanSeq(
+		Span{Comp: hw.CompVector, Start: 100, End: 150},
+		Span{Comp: hw.CompMTEGM, Start: 0, End: 50},
+	)
 	if unsorted.Validate() == nil {
 		t.Error("unsorted spans accepted")
 	}
 
 	negDur := sample()
-	negDur.Spans = []Span{{Comp: hw.CompVector, Start: 100, End: 50}}
+	negDur.Timeline = NewSpanSeq(Span{Comp: hw.CompVector, Start: 100, End: 50})
 	if negDur.Validate() == nil {
 		t.Error("negative-duration span accepted")
 	}
 
 	pastEnd := sample()
-	pastEnd.Spans = []Span{{Comp: hw.CompVector, Start: 0, End: 5000}}
+	pastEnd.Timeline = NewSpanSeq(Span{Comp: hw.CompVector, Start: 0, End: 5000})
 	if pastEnd.Validate() == nil {
 		t.Error("span past total accepted")
 	}

@@ -313,7 +313,7 @@ func parseModel(body []byte) (*parsedRequest, error) {
 			}
 			var m *model.Model
 			if req.Model != "" {
-				for _, cand := range model.All() {
+				for _, cand := range model.Extended() {
 					if cand.Name == req.Model {
 						m = cand
 						break
@@ -395,10 +395,11 @@ func (s *Server) handleOps(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"ops": names})
 }
 
-// handleModels lists the built-in Table 2 workloads.
+// handleModels lists the built-in workloads: the Table 2 set plus the
+// extended (inference) workloads.
 func (s *Server) handleModels(w http.ResponseWriter, _ *http.Request) {
 	var names []string
-	for _, m := range model.All() {
+	for _, m := range model.Extended() {
 		names = append(names, m.Name)
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"models": names})

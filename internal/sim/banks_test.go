@@ -34,8 +34,8 @@ func TestBankConflictSerializes(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Serial: the second transfer starts after the first ends.
-	if p.Spans[1].Start < p.Spans[0].End-1e-9 {
-		t.Errorf("bank-aliased transfers overlapped: %v vs %v", p.Spans[1].Start, p.Spans[0].End)
+	if p.SpanAt(1).Start < p.SpanAt(0).End-1e-9 {
+		t.Errorf("bank-aliased transfers overlapped: %v vs %v", p.SpanAt(1).Start, p.SpanAt(0).End)
 	}
 
 	off := hw.TrainingChip() // banking off
@@ -64,7 +64,7 @@ func TestDifferentBanksParallel(t *testing.T) {
 	if err := VerifySchedule(chip, prog, p); err != nil {
 		t.Fatal(err)
 	}
-	if p.Spans[1].Start >= p.Spans[0].End {
+	if p.SpanAt(1).Start >= p.SpanAt(0).End {
 		t.Error("different banks should not serialize")
 	}
 }

@@ -49,7 +49,7 @@ func spansByIndex(t *testing.T, chip *hw.Chip, prog *isa.Program) at {
 		t.Fatal(err)
 	}
 	out := at{spans: make([]span, len(prog.Instrs))}
-	for _, s := range p.Spans {
+	for s := range p.Spans() {
 		out.spans[s.Index] = span{s.Start, s.End}
 	}
 	return out

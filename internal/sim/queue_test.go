@@ -37,12 +37,12 @@ func TestQueueDepthHeadOfLineBlocking(t *testing.T) {
 		t.Fatal(err)
 	}
 	var vecUnbounded, vecBounded float64
-	for _, s := range unbounded.Spans {
+	for s := range unbounded.Spans() {
 		if s.Comp == hw.CompVector {
 			vecUnbounded = s.Start
 		}
 	}
-	for _, s := range bounded.Spans {
+	for s := range bounded.Spans() {
 		if s.Comp == hw.CompVector {
 			vecBounded = s.Start
 		}

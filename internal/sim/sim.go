@@ -47,7 +47,6 @@ package sim
 import (
 	"fmt"
 	"math/bits"
-	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -55,6 +54,11 @@ import (
 	"ascendperf/internal/isa"
 	"ascendperf/internal/profile"
 )
+
+// The simulator's tick lattice must be the profile timeline's lattice:
+// buildProfile copies start/end ticks into profile.SpanSeq without
+// conversion. Fails to compile if the two constants ever diverge.
+const _ = uint((TickScale - profile.TickScale) * (profile.TickScale - TickScale))
 
 // Options tunes a simulation run.
 type Options struct {
@@ -235,23 +239,30 @@ type schedState struct {
 
 	// startSeq records instruction indices in start order; starts are
 	// non-decreasing along it, so span ordering needs only a per-tick
-	// tie fix instead of a full sort.
+	// tie fix instead of a full sort. rank is its inverse (instruction
+	// index -> timeline position), filled by buildProfile when spans
+	// are kept.
 	startSeq []int32
+	rank     []int32
 
 	// Per-run counter deltas, flushed to the package totals on success.
 	cRounds, cEligChecks, cWakes uint64
 	activeComps                  int
+	// stripe is the state's counter stripe (see ticks.go), assigned
+	// once at construction.
+	stripe uint32
 }
 
 var statePool = sync.Pool{New: func() any {
-	counters.poolMisses.Add(1)
-	return &schedState{keyID: make(map[flagKey]int32)}
+	s := &schedState{keyID: make(map[flagKey]int32), stripe: nextStripe()}
+	counterCells[s.stripe].poolMisses.Add(1)
+	return s
 }}
 
 func acquireState() *schedState {
 	s := statePool.Get().(*schedState)
 	if s.n > 0 || len(s.startSeq) > 0 {
-		counters.poolHits.Add(1)
+		counterCells[s.stripe].poolHits.Add(1)
 	}
 	return s
 }
@@ -287,6 +298,7 @@ func (s *schedState) grow(n int) {
 		s.instrWaiters = make([]uint8, c)
 		s.queueBacking = make([]int32, c)
 		s.startSeq = make([]int32, 0, c)
+		s.rank = make([]int32, c)
 	}
 }
 
@@ -828,6 +840,51 @@ func (s *schedState) deadlockError() error {
 // span storage is allocated at all.
 func (s *schedState) buildProfile() *profile.Profile {
 	p := profile.New(s.prog.Name)
+	n := len(s.prog.Instrs)
+
+	// Span preparation happens first so the main instruction loop below
+	// can emit each instruction's span as it aggregates it — one pass
+	// over the (large) instruction structs instead of two. rank inverts
+	// the recorded start sequence after fixing start-tick ties: within
+	// one tick, starts happened in component order but spans sort by
+	// program index. Tie groups are bounded by the component count, so
+	// an in-place insertion sort beats sort.Slice and sidesteps its
+	// per-call reflection swapper allocation (which used to dominate
+	// the span path's alloc count).
+	var q *profile.SpanSeq
+	if s.opts.KeepSpans {
+		for lo := 0; lo < len(s.startSeq); {
+			hi := lo + 1
+			t := s.starts[s.startSeq[lo]]
+			for hi < len(s.startSeq) && s.starts[s.startSeq[hi]] == t {
+				hi++
+			}
+			if hi-lo > 1 {
+				tie := s.startSeq[lo:hi]
+				for a := 1; a < len(tie); a++ {
+					for b := a; b > 0 && tie[b] < tie[b-1]; b-- {
+						tie[b], tie[b-1] = tie[b-1], tie[b]
+					}
+				}
+			}
+			for w := lo; w < hi; w++ {
+				s.rank[s.startSeq[w]] = int32(w)
+			}
+			lo = hi
+		}
+		// Label stays nil until a labeled instruction shows up — the
+		// common unlabeled program skips a pointer-array allocation
+		// (and its GC scanning) entirely.
+		q = &profile.SpanSeq{
+			Index: make([]int32, n),
+			Comp:  make([]uint8, n),
+			Kind:  make([]uint8, n),
+			Start: make([]int64, n),
+			End:   make([]int64, n),
+		}
+		p.Timeline = q
+	}
+
 	// Per-path and per-precision sums accumulate in dense arrays (program
 	// order per key, so float sums match a direct map accumulation bit
 	// for bit — lattice sums are exact anyway) and flush to the profile
@@ -846,6 +903,23 @@ func (s *schedState) buildProfile() *profile.Profile {
 		p.InstrCount[c]++
 		if e := FromTicks(s.ends[i]); e > p.TotalTime {
 			p.TotalTime = e
+		}
+		if q != nil {
+			// The simulator's tick lattice is the timeline's tick
+			// lattice (both 2^-20 ns), so start/end copy over without
+			// conversion and consumers read them exactly.
+			w := s.rank[i]
+			q.Index[w] = int32(i)
+			q.Comp[w] = uint8(c)
+			q.Kind[w] = uint8(in.Kind)
+			q.Start[w] = s.starts[i]
+			q.End[w] = s.ends[i]
+			if in.Label != "" {
+				if q.Label == nil {
+					q.Label = make([]string, n)
+				}
+				q.Label[w] = in.Label
+			}
 		}
 		switch in.Kind {
 		case isa.KindTransfer:
@@ -882,37 +956,6 @@ func (s *schedState) buildProfile() *profile.Profile {
 				p.PrecBusy[up] = precBusy[u][pr]
 			}
 		}
-	}
-	if !s.opts.KeepSpans {
-		return p
-	}
-	n := len(s.prog.Instrs)
-	p.Spans = make([]profile.Span, 0, n)
-	// Fix start-tick ties: within one tick, starts happened in
-	// component order but spans sort by program index.
-	for lo := 0; lo < len(s.startSeq); {
-		hi := lo + 1
-		t := s.starts[s.startSeq[lo]]
-		for hi < len(s.startSeq) && s.starts[s.startSeq[hi]] == t {
-			hi++
-		}
-		if hi-lo > 1 {
-			tie := s.startSeq[lo:hi]
-			sort.Slice(tie, func(a, b int) bool { return tie[a] < tie[b] })
-		}
-		for _, i32 := range s.startSeq[lo:hi] {
-			i := int(i32)
-			in := &s.prog.Instrs[i]
-			p.Spans = append(p.Spans, profile.Span{
-				Comp:  s.comp[i],
-				Kind:  in.Kind,
-				Index: i,
-				Start: FromTicks(s.starts[i]),
-				End:   FromTicks(s.ends[i]),
-				Label: in.Label,
-			})
-		}
-		lo = hi
 	}
 	return p
 }

@@ -244,7 +244,7 @@ func TestDispatchLatencyDelaysLateInstructions(t *testing.T) {
 	}
 	// Find the transfer span: it must start at 11*10 = 110.
 	found := false
-	for _, s := range p.Spans {
+	for s := range p.Spans() {
 		if s.Comp == hw.CompMTEGM {
 			found = true
 			if !approx(s.Start, 110) {
@@ -512,11 +512,11 @@ func TestDeterminism(t *testing.T) {
 	if a.TotalTime != b.TotalTime {
 		t.Fatalf("nondeterministic totals: %v vs %v", a.TotalTime, b.TotalTime)
 	}
-	if len(a.Spans) != len(b.Spans) {
+	if a.NumSpans() != b.NumSpans() {
 		t.Fatal("span counts differ")
 	}
-	for i := range a.Spans {
-		if a.Spans[i] != b.Spans[i] {
+	for i := 0; i < a.NumSpans(); i++ {
+		if a.SpanAt(i) != b.SpanAt(i) {
 			t.Fatalf("span %d differs", i)
 		}
 	}

@@ -71,50 +71,81 @@ type Counters struct {
 	PoolHits, PoolMisses uint64
 }
 
-// counters holds the process-wide totals, updated once per run.
-var counters struct {
+// The process totals are striped: each pooled scheduler state is bound
+// round-robin to one counterCell, and flushCounters adds into its own
+// cell. In steady state every ParallelMap worker reuses one pooled
+// state, so concurrent runs flush to distinct cache lines instead of
+// contending on one set of shared atomics; ReadCounters sums the cells.
+const counterStripes = 16
+
+// counterCell is one stripe of the scheduler totals. The pad keeps
+// neighboring cells on distinct cache lines (the eight Uint64 fields
+// fill one 64-byte line; the pad pushes the next cell a full line away
+// so adjacent-line prefetching cannot couple two stripes).
+type counterCell struct {
 	runs, events, starts, eligChecks, wakes, rescanAvoided atomic.Uint64
 	poolHits, poolMisses                                   atomic.Uint64
+	_                                                      [64]byte
 }
 
-// ReadCounters returns a snapshot of the scheduler counters.
+var (
+	counterCells [counterStripes]counterCell
+	stripeSeq    atomic.Uint32
+)
+
+// nextStripe binds a freshly minted scheduler state to a stripe.
+func nextStripe() uint32 {
+	return (stripeSeq.Add(1) - 1) % counterStripes
+}
+
+// ReadCounters returns a snapshot of the scheduler counters summed over
+// the stripes. Each stripe loads atomically; under concurrent runs the
+// sum is a close approximation, and exact whenever the simulator is
+// quiescent (the benchmark record points).
 func ReadCounters() Counters {
-	return Counters{
-		Runs:                counters.runs.Load(),
-		Events:              counters.events.Load(),
-		Starts:              counters.starts.Load(),
-		EligChecks:          counters.eligChecks.Load(),
-		Wakes:               counters.wakes.Load(),
-		RescanChecksAvoided: counters.rescanAvoided.Load(),
-		PoolHits:            counters.poolHits.Load(),
-		PoolMisses:          counters.poolMisses.Load(),
+	var t Counters
+	for i := range counterCells {
+		c := &counterCells[i]
+		t.Runs += c.runs.Load()
+		t.Events += c.events.Load()
+		t.Starts += c.starts.Load()
+		t.EligChecks += c.eligChecks.Load()
+		t.Wakes += c.wakes.Load()
+		t.RescanChecksAvoided += c.rescanAvoided.Load()
+		t.PoolHits += c.poolHits.Load()
+		t.PoolMisses += c.poolMisses.Load()
 	}
+	return t
 }
 
 // ResetCounters zeroes the scheduler counters (benchmarks and tests).
 func ResetCounters() {
-	counters.runs.Store(0)
-	counters.events.Store(0)
-	counters.starts.Store(0)
-	counters.eligChecks.Store(0)
-	counters.wakes.Store(0)
-	counters.rescanAvoided.Store(0)
-	counters.poolHits.Store(0)
-	counters.poolMisses.Store(0)
+	for i := range counterCells {
+		c := &counterCells[i]
+		c.runs.Store(0)
+		c.events.Store(0)
+		c.starts.Store(0)
+		c.eligChecks.Store(0)
+		c.wakes.Store(0)
+		c.rescanAvoided.Store(0)
+		c.poolHits.Store(0)
+		c.poolMisses.Store(0)
+	}
 }
 
-// flush accumulates one run's local counters into the process totals.
+// flush accumulates one run's local counters into the state's stripe.
 func (s *schedState) flushCounters() {
-	counters.runs.Add(1)
-	counters.events.Add(s.cRounds)
-	counters.starts.Add(uint64(len(s.startSeq)))
-	counters.eligChecks.Add(s.cEligChecks)
-	counters.wakes.Add(s.cWakes)
+	c := &counterCells[s.stripe]
+	c.runs.Add(1)
+	c.events.Add(s.cRounds)
+	c.starts.Add(uint64(len(s.startSeq)))
+	c.eligChecks.Add(s.cEligChecks)
+	c.wakes.Add(s.cWakes)
 	// The old core evaluated, per event, every non-empty component
 	// (idle heads via eligible(), busy ones via the executing check)
 	// and restarted the whole scan once per successful start.
 	oldChecks := (s.cRounds + uint64(len(s.startSeq))) * uint64(s.activeComps)
 	if have := s.cEligChecks; oldChecks > have {
-		counters.rescanAvoided.Add(oldChecks - have)
+		c.rescanAvoided.Add(oldChecks - have)
 	}
 }

@@ -38,7 +38,7 @@ func VerifySchedule(chip *hw.Chip, prog *isa.Program, p *profile.Profile) error 
 	seen := make([]bool, n)
 
 	// Rule 1: coverage, component and duration.
-	for _, s := range p.Spans {
+	for s := range p.Spans() {
 		if s.Index < 0 || s.Index >= n {
 			return fmt.Errorf("verify: span index %d out of range", s.Index)
 		}

@@ -62,12 +62,16 @@ func TestVerifyKernelSchedules(t *testing.T) {
 	}
 }
 
-// corrupt applies a mutation to a copy of the profile's spans.
+// corrupt applies a mutation to a materialized copy of the profile's
+// spans and rebuilds the compact timeline from the result.
 func corrupt(p *profile.Profile, f func(spans []profile.Span)) *profile.Profile {
 	c := *p
-	c.Spans = make([]profile.Span, len(p.Spans))
-	copy(c.Spans, p.Spans)
-	f(c.Spans)
+	spans := make([]profile.Span, 0, p.NumSpans())
+	for s := range p.Spans() {
+		spans = append(spans, s)
+	}
+	f(spans)
+	c.Timeline = profile.NewSpanSeq(spans...)
 	return &c
 }
 
@@ -160,7 +164,7 @@ func TestVerifyDetectsMissingInstruction(t *testing.T) {
 		t.Fatal(err)
 	}
 	bad := *p
-	bad.Spans = p.Spans[:1]
+	bad.Timeline = profile.NewSpanSeq(p.SpanAt(0))
 	if err := VerifySchedule(chip, prog, &bad); err == nil {
 		t.Fatal("missing span not detected")
 	}

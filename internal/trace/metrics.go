@@ -120,34 +120,38 @@ func ComputeMetrics(chip *hw.Chip, prog *isa.Program, p *profile.Profile) (*Metr
 	}
 	m := &Metrics{Name: p.Name, Chip: chip.Name, TotalNS: p.TotalTime}
 
-	// Group spans per component in start order (profile spans are
-	// already sorted by start; within one component they are serial).
-	perComp := map[hw.Component][]profile.Span{}
-	for _, s := range p.Spans {
-		perComp[s.Comp] = append(perComp[s.Comp], s)
+	// Group spans per component in start order (the timeline is already
+	// sorted by start; within one component spans are serial). The
+	// grouping holds indices into the compact timeline and the tick
+	// arithmetic below reads the simulator's ticks directly — no Span
+	// values materialize and no float re-quantization happens.
+	q := p.Timeline
+	perComp := map[hw.Component][]int32{}
+	for i, comp := range q.Comp {
+		perComp[hw.Component(comp)] = append(perComp[hw.Component(comp)], int32(i))
 	}
 	for _, c := range hw.Components() {
-		spans := perComp[c]
-		if len(spans) == 0 {
+		idxs := perComp[c]
+		if len(idxs) == 0 {
 			continue
 		}
 		cm := ComponentMetrics{
 			Comp:       c,
-			Instrs:     len(spans),
+			Instrs:     len(idxs),
 			WaitNS:     map[critpath.EdgeKind]float64{},
-			FirstStart: spans[0].Start,
-			LastEnd:    spans[len(spans)-1].End,
+			FirstStart: fromTicks(q.Start[idxs[0]]),
+			LastEnd:    fromTicks(q.End[idxs[len(idxs)-1]]),
 		}
 		// Busy, wait and idle accumulate as integer ticks so the
 		// decomposition telescopes exactly; see ComponentMetrics.
 		var busyTicks int64
 		waitTicks := map[critpath.EdgeKind]int64{}
-		prevEnd, prevEndTicks := 0.0, int64(0)
+		prevEndTicks := int64(0)
 		first := true
-		for _, s := range spans {
-			st, et := toTicks(s.Start), toTicks(s.End)
+		for _, si := range idxs {
+			st, et := q.Start[si], q.End[si]
 			if gap := st - prevEndTicks; gap > 0 {
-				kind := bindings[s.Index].Via
+				kind := bindings[q.Index[si]].Via
 				switch kind {
 				case critpath.EdgeFlag, critpath.EdgeBarrier, critpath.EdgeHazard:
 					// keep the attributed kind
@@ -160,12 +164,15 @@ func ComputeMetrics(chip *hw.Chip, prog *isa.Program, p *profile.Profile) (*Metr
 			}
 			// Gap counting matches profile.Gaps: an internal gap is one
 			// after the first span, whatever its end time — a zero-length
-			// first span ending at t=0 must not suppress the count.
-			if !first && s.Start > prevEnd+1e-9 {
+			// first span ending at t=0 must not suppress the count. On
+			// the tick lattice the historical float test start >
+			// prevEnd+1e-9 is exactly start > prevEnd in ticks (the
+			// smallest positive lattice gap is ~9.5e-7 ns).
+			if !first && st > prevEndTicks {
 				cm.Gaps++
 			}
 			busyTicks += et - st
-			prevEnd, prevEndTicks = s.End, et
+			prevEndTicks = et
 			first = false
 		}
 		cm.BusyNS = fromTicks(busyTicks)

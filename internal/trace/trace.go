@@ -89,16 +89,16 @@ type Options struct {
 // must carry one span per instruction (simulate with KeepSpans).
 func New(chip *hw.Chip, prog *isa.Program, p *profile.Profile, opts Options) (*Document, error) {
 	n := len(prog.Instrs)
-	if n == 0 || p == nil || len(p.Spans) != n {
+	if n == 0 || p == nil || p.NumSpans() != n {
 		have := 0
 		if p != nil {
-			have = len(p.Spans)
+			have = p.NumSpans()
 		}
 		return nil, fmt.Errorf("trace: need one span per instruction (have %d of %d); simulate with KeepSpans", have, n)
 	}
 	starts := make([]float64, n)
 	ends := make([]float64, n)
-	for _, s := range p.Spans {
+	for s := range p.Spans() {
 		starts[s.Index] = s.Start
 		ends[s.Index] = s.End
 	}
@@ -135,7 +135,7 @@ func New(chip *hw.Chip, prog *isa.Program, p *profile.Profile, opts Options) (*D
 	}
 
 	// One "X" complete event per span, in span (start-time) order.
-	for _, s := range p.Spans {
+	for s := range p.Spans() {
 		in := &prog.Instrs[s.Index]
 		name := s.Label
 		if name == "" {

@@ -71,7 +71,7 @@ pre { background: #f6f6f6; padding: 1em; overflow-x: auto; font-size: 0.8em; }
 	}
 	b.WriteString("</table>\n")
 
-	if r.Profile != nil && len(r.Profile.Spans) > 0 {
+	if r.Profile != nil && r.Profile.NumSpans() > 0 {
 		b.WriteString("<h2>Pipeline timeline</h2>\n")
 		b.WriteString(TimelineSVG(r.Profile, r.CritPath))
 		b.WriteString("<pre>")
@@ -122,7 +122,7 @@ func spanColor(s profile.Span) string {
 // critical-path analysis is supplied its spans are outlined in red —
 // the visual counterpart of the `ascendprof -trace` Perfetto overlay.
 func TimelineSVG(p *profile.Profile, cp *critpath.Analysis) string {
-	if p == nil || p.TotalTime <= 0 || len(p.Spans) == 0 {
+	if p == nil || p.TotalTime <= 0 || p.NumSpans() == 0 {
 		return ""
 	}
 	comps := p.ActiveComponents()
@@ -158,7 +158,7 @@ func TimelineSVG(p *profile.Profile, cp *critpath.Analysis) string {
 		fmt.Fprintf(&b, `<text x="4" y="%d" font-size="11" font-family="sans-serif">%s</text>`+"\n",
 			y+tlBarH-4, escape(c.String()))
 	}
-	for _, s := range p.Spans {
+	for s := range p.Spans() {
 		row, ok := rowOf[int(s.Comp)]
 		if !ok {
 			continue

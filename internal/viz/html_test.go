@@ -83,8 +83,8 @@ func TestTimelineSVG(t *testing.T) {
 		t.Fatal("malformed timeline SVG")
 	}
 	// One rect per span plus the background rect.
-	if got := strings.Count(svg, "<rect"); got != len(p.Spans)+1 {
-		t.Errorf("%d rects for %d spans", got, len(p.Spans))
+	if got := strings.Count(svg, "<rect"); got != p.NumSpans()+1 {
+		t.Errorf("%d rects for %d spans", got, p.NumSpans())
 	}
 	// One row label per active component.
 	for _, c := range p.ActiveComponents() {
@@ -118,7 +118,7 @@ func TestTimelineSVG(t *testing.T) {
 		t.Error("nil profile should render nothing")
 	}
 	empty := *p
-	empty.Spans = nil
+	empty.Timeline = nil
 	if TimelineSVG(&empty, nil) != "" {
 		t.Error("span-less profile should render nothing")
 	}

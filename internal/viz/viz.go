@@ -248,7 +248,7 @@ func Timeline(p *profile.Profile, width int) string {
 	if width < 20 {
 		width = 80
 	}
-	if p.TotalTime <= 0 || len(p.Spans) == 0 {
+	if p.TotalTime <= 0 || p.NumSpans() == 0 {
 		return "(empty timeline)\n"
 	}
 	var b strings.Builder
@@ -262,7 +262,7 @@ func Timeline(p *profile.Profile, width int) string {
 		for i := range row {
 			row[i] = '.'
 		}
-		for _, s := range p.Spans {
+		for s := range p.Spans() {
 			if s.Comp != c {
 				continue
 			}

@@ -41,6 +41,20 @@ echo "== benchmark smoke =="
 # runtime, without paying for a real measurement.
 go test -run '^$' -bench . -benchtime 1x ./internal/sim ./internal/engine
 
+echo "== parallel scaling smoke =="
+# The engine worker sweep: ascendbench -json errors out by itself if
+# the sweep reports diverge across worker counts, so this is always a
+# determinism gate. The scaling floor (workers=4 at least 2x workers=1)
+# is only meaningful with enough cores to actually run 4 workers, so it
+# is armed conditionally.
+scaledir="$(mktemp -d)"
+minscaling=0
+if [ "$(nproc)" -ge 4 ]; then
+    minscaling=2.0
+fi
+go run ./cmd/ascendbench -json "$scaledir/bench_engine.json" -minscaling "$minscaling"
+rm -rf "$scaledir"
+
 # Non-blocking benchstat comparison against the committed baseline,
 # only when the tool is installed (golang.org/x/perf is not vendored).
 if command -v benchstat > /dev/null; then
