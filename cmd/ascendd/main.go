@@ -9,8 +9,11 @@
 //	ascendd -addr 127.0.0.1:8372
 //	ascendd -addr 127.0.0.1:0      # pick a free port, printed on stdout
 //	ascendd -concurrency 4 -queue 128 -timeout 60s
+//	ascendd -l2 http://router:8380  # consult a shared cluster cache tier
 //
-// SIGINT/SIGTERM drain in-flight requests before exit.
+// SIGINT/SIGTERM drain in-flight requests before exit: /readyz turns
+// 503 (with Retry-After on shed analyses) while in-flight work
+// finishes, so a router in front fails new traffic over cleanly.
 package main
 
 import (
@@ -26,6 +29,7 @@ import (
 	"time"
 
 	"ascendperf/internal/cliutil"
+	"ascendperf/internal/cluster"
 	"ascendperf/internal/engine"
 	"ascendperf/internal/serve"
 )
@@ -41,6 +45,7 @@ func main() {
 		workers     = flag.Int("workers", 0, "engine worker pool size (0 = ASCENDPERF_WORKERS or GOMAXPROCS)")
 		cacheCap    = flag.Int("cache", engine.DefaultCacheCapacity, "simulation cache capacity in entries (0 disables)")
 		cacheDir    = flag.String("cachedir", "", "persistent simulation cache directory (default ASCENDPERF_CACHE_DIR); restarts warm-start from it")
+		l2          = flag.String("l2", "", "base URL of a shared L2 cache tier (an ascendrouter -l2dir or cache server); consulted on local cache miss")
 		version     = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
@@ -56,12 +61,16 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	if err := run(*addr, serve.Config{
+	cfg := serve.Config{
 		Concurrency:   *concurrency,
 		QueueDepth:    *queue,
 		Timeout:       *timeout,
 		ResponseCache: *respCache,
-	}, *drainWait); err != nil {
+	}
+	if *l2 != "" {
+		cfg.L2 = cluster.NewL2Client(*l2, 0)
+	}
+	if err := run(*addr, cfg, *drainWait); err != nil {
 		fmt.Fprintln(os.Stderr, "ascendd:", err)
 		os.Exit(1)
 	}

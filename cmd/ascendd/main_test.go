@@ -79,6 +79,102 @@ func TestServeOnLifecycle(t *testing.T) {
 	}
 }
 
+// TestDrainOrderingReadyzBeforeClose is the regression test for the
+// drain contract a cluster router depends on: after the stop signal,
+// the daemon must answer /readyz with a non-200 on the STILL-OPEN
+// listener while in-flight work finishes — the listener must not close
+// first. It also locks the shed-while-draining response shape: 503,
+// code "draining", Retry-After set.
+func TestDrainOrderingReadyzBeforeClose(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	base := "http://" + addr
+	stop := make(chan os.Signal, 1)
+	done := make(chan error, 1)
+	go func() { done <- serveOn(ln, serve.New(serve.Config{}), 10*time.Second, stop) }()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(base + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never came up: %v", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Hold an analysis in flight: a raw connection that has sent the
+	// headers but not the full body parks the handler (and the drain
+	// WaitGroup) in the body read until we finish it.
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	partial := `{"chip":"training",`
+	fmt.Fprintf(raw, "POST /v1/simulate HTTP/1.1\r\nHost: %s\r\nContent-Type: application/json\r\nContent-Length: %d\r\n\r\n%s",
+		addr, len(partial)+len(`"op":"mul"}`), partial)
+	time.Sleep(50 * time.Millisecond) // let the handler enter the body read
+
+	stop <- syscall.SIGTERM
+
+	// The listener must keep answering while the drain waits on our held
+	// request: /readyz non-200 on a fresh connection. A connection
+	// refusal here means the listener closed before readiness flipped —
+	// the exact ordering bug this test pins down.
+	deadline = time.Now().Add(3 * time.Second)
+	for {
+		resp, err := http.Get(base + "/readyz")
+		if err != nil {
+			t.Fatalf("listener closed before /readyz turned non-200: %v", err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("daemon stayed ready after the stop signal")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// New analyses are shed with the retriable draining envelope.
+	resp, err := http.Post(base+"/v1/simulate", "application/json",
+		strings.NewReader(`{"chip":"training","op":"add"}`))
+	if err != nil {
+		t.Fatalf("draining daemon refused a connection: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("shed status = %d, want 503", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), `"draining"`) {
+		t.Errorf("shed body %s lacks draining code", body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("shed response lacks Retry-After")
+	}
+
+	// Release the held request; the drain completes and shutdown
+	// proceeds.
+	io.WriteString(raw, `"op":"mul"}`)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not shut down after the held request completed")
+	}
+}
+
 func TestRunBadAddr(t *testing.T) {
 	if err := run("256.256.256.256:99999", serve.Config{}, time.Second); err == nil {
 		t.Error("bogus listen address accepted")

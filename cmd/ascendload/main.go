@@ -5,12 +5,22 @@
 // value proposition made measurable — warm requests ride the engine
 // cache and request coalescing.
 //
+// With -cluster it becomes the cluster sweep driver instead: for each
+// backend count it spawns that many in-process serving stacks behind a
+// consistent-hash router sharing one L2 cache tier, drives Zipf-skewed
+// mixed traffic through the router in a closed loop, optionally kills
+// a backend mid-load (-kill), and finishes each entry with a
+// cold-restart pass measuring shared-tier retention.
+//
 // Usage:
 //
 //	ascendload -base http://127.0.0.1:8372
 //	ascendload -base http://... -endpoint roofline -qps 500 -duration 5s
 //	ascendload -base http://... -json BENCH_serve.json \
 //	    -maxerrors 0 -minhitrate 0.5 -minspeedup 10   # CI assertions
+//	ascendload -cluster 1,2,4 -kill -json BENCH_cluster.json
+//	ascendload -cluster 1,2 -kill -maxerrors 0 -minfailover 1 -minl2 0.5
+//	ascendload -cluster attach -backends http://h1:8372,http://h2:8372
 //
 // The assertion flags turn the run into a pass/fail gate: the process
 // exits nonzero when the measured report violates any bound.
@@ -21,9 +31,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"ascendperf/internal/cliutil"
+	"ascendperf/internal/cluster"
 	"ascendperf/internal/serve"
 )
 
@@ -34,13 +47,22 @@ func main() {
 		chip        = flag.String("chip", "training", "chip preset named in every request")
 		topN        = flag.Int("topn", 0, "with -endpoint model: optimize the N hottest operator types per request (0 = analysis only)")
 		qps         = flag.Float64("qps", 100, "warm-phase target request rate")
-		duration    = flag.Duration("duration", 2*time.Second, "warm-phase length")
+		duration    = flag.Duration("duration", 2*time.Second, "warm-phase length (cluster mode: measured phase per entry)")
 		concurrency = flag.Int("concurrency", 0, "max in-flight requests (0 = 4*GOMAXPROCS)")
 		timeout     = flag.Duration("timeout", 60*time.Second, "per-request client timeout")
-		jsonPath    = flag.String("json", "", "write the FORMATS.md §8 bench-serve JSON report to this file")
+		jsonPath    = flag.String("json", "", "write the FORMATS.md §8 (or §9 in cluster mode) JSON report to this file")
 		maxErrors   = flag.Int("maxerrors", -1, "fail when client-observed errors exceed this (-1 disables)")
 		minHitRate  = flag.Float64("minhitrate", -1, "fail when the server's response cache hit rate is below this fraction (-1 disables)")
 		minSpeedup  = flag.Float64("minspeedup", -1, "fail when warm p50 is not at least this many times faster than cold p50 (-1 disables)")
+		clusterArg  = flag.String("cluster", "", `cluster sweep mode: comma-separated backend counts (e.g. "1,2,4") or "attach" with -backends`)
+		backends    = flag.String("backends", "", "with -cluster attach: comma-separated ascendd base URLs to drive")
+		zipfS       = flag.Float64("zipf", 1.1, "cluster mode: Zipf popularity skew exponent (0 = uniform)")
+		zipfN       = flag.Int("zipfn", 0, "cluster mode: cap the distinct-request population (0 = full mix)")
+		seed        = flag.Uint64("seed", 42, "cluster mode: deterministic sampler seed")
+		kill        = flag.Bool("kill", false, "cluster mode: close one backend at half-duration and keep driving load")
+		minFailover = flag.Int("minfailover", -1, "cluster mode: fail unless a killed entry records at least this many failovers (-1 disables)")
+		minL2       = flag.Float64("minl2", -1, "cluster mode: fail when any entry's L2 restart hit rate is below this fraction (-1 disables)")
+		minScaling2 = flag.Float64("minscaling2", -1, "cluster mode: fail when 2-backend throughput is not this many times the 1-backend throughput (-1 disables)")
 		version     = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
@@ -48,6 +70,13 @@ func main() {
 		fmt.Println(cliutil.BuildInfo("ascendload"))
 		return
 	}
+
+	if *clusterArg != "" {
+		runCluster(*clusterArg, *backends, *chip, *duration, *concurrency, *timeout,
+			*zipfS, *zipfN, *seed, *kill, *jsonPath, *maxErrors, *minFailover, *minL2, *minScaling2)
+		return
+	}
+
 	rep, err := serve.RunLoad(serve.LoadConfig{
 		BaseURL:     *base,
 		Endpoint:    *endpoint,
@@ -64,19 +93,58 @@ func main() {
 	}
 	fmt.Print(rep.Format())
 	if *jsonPath != "" {
-		body, err := json.MarshalIndent(rep, "", "  ")
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "ascendload:", err)
-			os.Exit(1)
-		}
-		if err := os.WriteFile(*jsonPath, append(body, '\n'), 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, "ascendload:", err)
-			os.Exit(1)
-		}
-		fmt.Println("wrote", *jsonPath)
+		writeJSON(*jsonPath, rep)
 	}
 
 	if fails := gates(rep, *maxErrors, *minHitRate, *minSpeedup); len(fails) > 0 {
+		for _, f := range fails {
+			fmt.Fprintln(os.Stderr, "ascendload: FAIL:", f)
+		}
+		os.Exit(1)
+	}
+}
+
+// runCluster executes the sweep mode and applies its gates.
+func runCluster(counts, backends, chip string, duration time.Duration, concurrency int,
+	timeout time.Duration, zipfS float64, zipfN int, seed uint64, kill bool,
+	jsonPath string, maxErrors, minFailover int, minL2, minScaling2 float64) {
+	cfg := cluster.LoadConfig{
+		Chip:        chip,
+		Duration:    duration,
+		Concurrency: concurrency,
+		ZipfS:       zipfS,
+		ZipfN:       zipfN,
+		Seed:        seed,
+		Kill:        kill,
+		Timeout:     timeout,
+		Out:         os.Stderr,
+	}
+	if counts == "attach" {
+		if backends == "" {
+			fmt.Fprintln(os.Stderr, "ascendload: -cluster attach requires -backends")
+			os.Exit(2)
+		}
+		cfg.Attach = strings.Split(backends, ",")
+	} else {
+		for _, f := range strings.Split(counts, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || n <= 0 {
+				fmt.Fprintf(os.Stderr, "ascendload: bad -cluster count %q\n", f)
+				os.Exit(2)
+			}
+			cfg.Counts = append(cfg.Counts, n)
+		}
+	}
+	rep, err := cluster.RunCluster(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ascendload:", err)
+		os.Exit(1)
+	}
+	fmt.Print(rep.Format())
+	if jsonPath != "" {
+		writeJSON(jsonPath, rep)
+	}
+	if fails := clusterGates(rep, maxErrors, minFailover, minL2, minScaling2); len(fails) > 0 {
 		for _, f := range fails {
 			fmt.Fprintln(os.Stderr, "ascendload: FAIL:", f)
 		}
@@ -98,4 +166,38 @@ func gates(rep *serve.LoadReport, maxErrors int, minHitRate, minSpeedup float64)
 		fails = append(fails, fmt.Sprintf("warm speedup %.1fx < floor %.1fx", rep.WarmSpeedupP50, minSpeedup))
 	}
 	return fails
+}
+
+// clusterGates evaluates the cluster-mode assertion flags.
+func clusterGates(rep *cluster.Report, maxErrors, minFailover int, minL2, minScaling2 float64) []string {
+	var fails []string
+	for _, e := range rep.Entries {
+		if maxErrors >= 0 && e.Errors > maxErrors {
+			fails = append(fails, fmt.Sprintf("%d backends: %d errors > limit %d", e.Backends, e.Errors, maxErrors))
+		}
+		if minFailover >= 0 && e.Killed && e.Failovers < uint64(minFailover) {
+			fails = append(fails, fmt.Sprintf("%d backends: %d failovers < floor %d on a killed entry", e.Backends, e.Failovers, minFailover))
+		}
+		if minL2 >= 0 && e.L2 != nil && e.L2RestartHitRate < minL2 {
+			fails = append(fails, fmt.Sprintf("%d backends: L2 restart hit rate %.3f < floor %.3f", e.Backends, e.L2RestartHitRate, minL2))
+		}
+	}
+	if minScaling2 >= 0 && rep.Scaling2 < minScaling2 {
+		fails = append(fails, fmt.Sprintf("2-backend scaling %.2fx < floor %.2fx", rep.Scaling2, minScaling2))
+	}
+	return fails
+}
+
+// writeJSON writes an indented report, exiting on failure.
+func writeJSON(path string, v any) {
+	body, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ascendload:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(path, append(body, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "ascendload:", err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote", path)
 }

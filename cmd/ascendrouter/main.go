@@ -1,0 +1,117 @@
+// Command ascendrouter is the cluster frontend: it consistent-hashes
+// analysis requests across a fleet of ascendd backends so equal
+// workloads always land on the same shard's caches, health-checks the
+// fleet via /readyz with jittered probes, and fails a request over to
+// the next ring node (one retry) when its owner is down or draining.
+// Clients see one endpoint, the shard API unchanged, plus
+// X-Ascendd-Route / X-Ascendd-Failover headers saying what happened.
+//
+// With -l2dir it also hosts the shared second-level cache tier: shards
+// started with -l2 pointing back at the router store and fetch encoded
+// responses there, so one shard's cold simulation warms the whole
+// fleet (and survives shard restarts). See FORMATS.md §9.
+//
+// Usage:
+//
+//	ascendrouter -backends http://h1:8372,http://h2:8372
+//	ascendrouter -addr 127.0.0.1:8380 -backends ... -l2dir /var/cache/ascend-l2
+//	ascendrouter -backends ... -replicas 256 -probe 2s
+//
+// SIGINT/SIGTERM shut down cleanly.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"ascendperf/internal/cliutil"
+	"ascendperf/internal/cluster"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8380", "listen address (port 0 picks a free port)")
+		backends = flag.String("backends", "", "comma-separated ascendd base URLs (required)")
+		replicas = flag.Int("replicas", cluster.DefaultReplicas, "virtual nodes per backend on the hash ring")
+		probe    = flag.Duration("probe", time.Second, "health-probe interval (jittered per backend)")
+		timeout  = flag.Duration("timeout", 60*time.Second, "per-proxied-request timeout")
+		l2dir    = flag.String("l2dir", "", "host the shared L2 cache tier from this directory (empty disables)")
+		version  = flag.Bool("version", false, "print build information and exit")
+	)
+	flag.Parse()
+	if *version {
+		fmt.Println(cliutil.BuildInfo("ascendrouter"))
+		return
+	}
+	if *backends == "" {
+		fmt.Fprintln(os.Stderr, "ascendrouter: -backends is required")
+		os.Exit(2)
+	}
+	rt, err := cluster.NewRouter(cluster.RouterConfig{
+		Backends:      strings.Split(*backends, ","),
+		Replicas:      *replicas,
+		ProbeInterval: *probe,
+		Timeout:       *timeout,
+		L2Dir:         *l2dir,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ascendrouter:", err)
+		os.Exit(1)
+	}
+	if err := run(*addr, rt); err != nil {
+		fmt.Fprintln(os.Stderr, "ascendrouter:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, rt *cluster.Router) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	return serveOn(ln, rt, sigc)
+}
+
+// serveOn serves on ln until stop fires. Split from run so tests can
+// drive it with a synthetic stop channel and a port-0 listener.
+func serveOn(ln net.Listener, rt *cluster.Router, stop <-chan os.Signal) error {
+	// Machine-parseable, same shape as ascendd's line: scripts read the
+	// resolved port from it.
+	fmt.Printf("ascendrouter: listening on http://%s (%d backends)\n", ln.Addr(), len(rt.Backends()))
+
+	rt.Start()
+	defer rt.Stop()
+	httpSrv := &http.Server{Handler: rt.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case sig := <-stop:
+		fmt.Printf("ascendrouter: %v: shutting down\n", sig)
+	case err := <-serveErr:
+		return err
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		return err
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Println("ascendrouter: shutdown complete")
+	return nil
+}

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"ascendperf/internal/cluster"
+	"ascendperf/internal/serve"
+)
+
+// TestServeOnLifecycle drives the router loop end to end over a real
+// serving backend: listen on a free port, proxy an analysis with the
+// route header set, then shut down cleanly on a signal.
+func TestServeOnLifecycle(t *testing.T) {
+	backend := httptest.NewServer(serve.New(serve.Config{}))
+	defer backend.Close()
+
+	rt, err := cluster.NewRouter(cluster.RouterConfig{
+		Backends:      []string{backend.URL},
+		ProbeInterval: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := fmt.Sprintf("http://%s", ln.Addr())
+	stop := make(chan os.Signal, 1)
+	done := make(chan error, 1)
+	go func() { done <- serveOn(ln, rt, stop) }()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(base + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == 200 {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("router never became ready: %v", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	resp, err := http.Post(base+"/v1/simulate", "application/json",
+		strings.NewReader(`{"chip":"training","op":"mul"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("simulate via router = %d: %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-Ascendd-Route"); got != backend.URL {
+		t.Errorf("X-Ascendd-Route = %q, want %q", got, backend.URL)
+	}
+
+	stop <- syscall.SIGTERM
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("router did not shut down")
+	}
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Error("listener still accepting after shutdown")
+	}
+}
+
+func TestRunBadAddr(t *testing.T) {
+	rt, err := cluster.NewRouter(cluster.RouterConfig{Backends: []string{"http://127.0.0.1:1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run("256.256.256.256:99999", rt); err == nil {
+		t.Error("bogus listen address accepted")
+	}
+}

@@ -1,0 +1,174 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+)
+
+// CacheServer is the shared second-level response cache: a tiny
+// GET/PUT-over-HTTP protocol in front of a disk directory, using the
+// same durability idiom as the PR 4 simulation disk cache (atomic
+// temp-file + rename, so concurrent writers and crashing peers never
+// expose a torn entry). Values are encoded ascendd response bodies;
+// keys on the wire are the hex SHA-256 of the canonical request key
+// (L2Client hashes before calling), which keeps arbitrary-length JSON
+// keys out of URLs and doubles as the filename. Like every cache tier
+// in this repository it is an accelerator, not a correctness
+// dependency: any I/O failure is a miss or a dropped store, never an
+// error surfaced to the analysis path.
+//
+// Protocol (FORMATS.md §9.3):
+//
+//	GET  /l2/{hexkey}  -> 200 + body | 404
+//	PUT  /l2/{hexkey}  -> 204
+//	GET  /l2stats      -> JSON CacheServerStats
+type CacheServer struct {
+	dir    string
+	hits   atomic.Uint64
+	misses atomic.Uint64
+	puts   atomic.Uint64
+	errors atomic.Uint64
+}
+
+// CacheServerStats is the /l2stats payload.
+type CacheServerStats struct {
+	Dir     string `json:"dir"`
+	Hits    uint64 `json:"hits"`
+	Misses  uint64 `json:"misses"`
+	Puts    uint64 `json:"puts"`
+	Errors  uint64 `json:"errors"`
+	Entries int    `json:"entries"`
+}
+
+// maxL2Body bounds stored values; response bodies are JSON documents a
+// few KB to a few hundred KB, so 8 MiB is generous.
+const maxL2Body = 8 << 20
+
+// NewCacheServer opens (creating if needed) a cache store rooted at dir.
+func NewCacheServer(dir string) (*CacheServer, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cluster: cache server: %w", err)
+	}
+	return &CacheServer{dir: dir}, nil
+}
+
+// Stats snapshots the counters and counts resident entries.
+func (c *CacheServer) Stats() CacheServerStats {
+	entries := 0
+	if names, err := os.ReadDir(c.dir); err == nil {
+		for _, n := range names {
+			if strings.HasSuffix(n.Name(), ".l2") {
+				entries++
+			}
+		}
+	}
+	return CacheServerStats{
+		Dir:     c.dir,
+		Hits:    c.hits.Load(),
+		Misses:  c.misses.Load(),
+		Puts:    c.puts.Load(),
+		Errors:  c.errors.Load(),
+		Entries: entries,
+	}
+}
+
+// validKey reports whether k is a well-formed wire key (64 hex chars —
+// a SHA-256); anything else is rejected before it can touch the
+// filesystem.
+func validKey(k string) bool {
+	if len(k) != 64 {
+		return false
+	}
+	for i := 0; i < len(k); i++ {
+		c := k[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// ServeHTTP implements the protocol. Mount under /l2/ plus /l2stats.
+func (c *CacheServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == "/l2stats" {
+		body, _ := json.MarshalIndent(c.Stats(), "", "  ")
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(append(body, '\n'))
+		return
+	}
+	key := strings.TrimPrefix(r.URL.Path, "/l2/")
+	if !validKey(key) {
+		http.Error(w, "bad cache key", http.StatusBadRequest)
+		return
+	}
+	path := filepath.Join(c.dir, key+".l2")
+	switch r.Method {
+	case http.MethodGet:
+		body, err := os.ReadFile(path)
+		if err != nil {
+			c.misses.Add(1)
+			http.Error(w, "miss", http.StatusNotFound)
+			return
+		}
+		c.hits.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(body)
+	case http.MethodPut:
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxL2Body))
+		if err != nil {
+			c.errors.Add(1)
+			http.Error(w, "read body: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := c.write(path, body); err != nil {
+			c.errors.Add(1)
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		c.puts.Add(1)
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		http.Error(w, "GET or PUT required", http.StatusMethodNotAllowed)
+	}
+}
+
+// write lands body at path atomically: temp file in the same directory,
+// then rename, so readers and concurrent writers only ever see complete
+// entries.
+func (c *CacheServer) write(path string, body []byte) error {
+	tmp, err := os.CreateTemp(c.dir, "tmp-*.l2w")
+	if err != nil {
+		return err
+	}
+	_, werr := tmp.Write(body)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		if werr != nil {
+			return werr
+		}
+		return cerr
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// WireKey maps a canonical request key to its on-the-wire (and on-disk)
+// form: hex SHA-256. Collision of distinct canonical keys is treated as
+// impossible, the same stance the engine disk cache takes for its
+// SHA-256 filenames.
+func WireKey(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(sum[:])
+}

@@ -1,0 +1,133 @@
+package cluster
+
+import (
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// health tracks backend liveness two ways: an active prober polls each
+// backend's /readyz on a jittered interval (jitter decorrelates probes
+// across backends and across router replicas, so a fleet of routers
+// does not thundering-herd a recovering shard), and the router marks a
+// backend down passively the moment a proxied request fails at the
+// transport level — failover must not wait out a probe interval.
+// Recovery is active-only: a backend comes back when a probe sees
+// /readyz 200 again, so a drained/killed shard stays out of rotation
+// until it is actually ready.
+type health struct {
+	backends []string
+	client   *http.Client
+	interval time.Duration
+
+	up       []atomic.Bool
+	probes   []atomic.Uint64
+	failures []atomic.Uint64
+
+	stopc    chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// newHealth builds the tracker; every backend starts up (optimistic:
+// the first request or probe corrects it) and Start launches the
+// probers.
+func newHealth(backends []string, interval, timeout time.Duration) *health {
+	h := &health{
+		backends: backends,
+		client:   &http.Client{Timeout: timeout},
+		interval: interval,
+		up:       make([]atomic.Bool, len(backends)),
+		probes:   make([]atomic.Uint64, len(backends)),
+		failures: make([]atomic.Uint64, len(backends)),
+		stopc:    make(chan struct{}),
+	}
+	for i := range h.up {
+		h.up[i].Store(true)
+	}
+	return h
+}
+
+// Start probes every backend once synchronously (so the router begins
+// with real state, not optimism) and then launches one jittered prober
+// goroutine per backend.
+func (h *health) Start() {
+	for i := range h.backends {
+		h.probe(i)
+	}
+	for i := range h.backends {
+		h.wg.Add(1)
+		go h.loop(i)
+	}
+}
+
+// Stop halts the probers and waits for them to exit. Safe to call more
+// than once.
+func (h *health) Stop() {
+	h.stopOnce.Do(func() { close(h.stopc) })
+	h.wg.Wait()
+}
+
+// loop is one backend's prober: sleep a jittered interval, probe,
+// repeat. The jitter PRNG is per-backend SplitMix64 seeded by index, so
+// probe phases drift apart deterministically without any global state.
+func (h *health) loop(i int) {
+	defer h.wg.Done()
+	rng := splitmix{state: uint64(i)*0x9E3779B97F4A7C15 + 1}
+	timer := time.NewTimer(h.jitter(&rng))
+	defer timer.Stop()
+	for {
+		select {
+		case <-h.stopc:
+			return
+		case <-timer.C:
+			h.probe(i)
+			timer.Reset(h.jitter(&rng))
+		}
+	}
+}
+
+// jitter returns the next probe delay: interval scaled uniformly into
+// [0.7, 1.3).
+func (h *health) jitter(rng *splitmix) time.Duration {
+	return time.Duration(float64(h.interval) * (0.7 + 0.6*rng.float64()))
+}
+
+// probe polls one backend's /readyz: 200 marks it up, anything else
+// (including transport errors and a draining daemon's 503) down.
+func (h *health) probe(i int) {
+	h.probes[i].Add(1)
+	resp, err := h.client.Get(h.backends[i] + "/readyz")
+	if err != nil {
+		h.failures[i].Add(1)
+		h.up[i].Store(false)
+		return
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		h.failures[i].Add(1)
+		h.up[i].Store(false)
+		return
+	}
+	h.up[i].Store(true)
+}
+
+// healthy reports backend i's last known state.
+func (h *health) healthy(i int) bool { return h.up[i].Load() }
+
+// markDown records a passive failure observed by the proxy path.
+func (h *health) markDown(i int) {
+	h.failures[i].Add(1)
+	h.up[i].Store(false)
+}
+
+// index returns the position of a backend URL, -1 if unknown.
+func (h *health) index(backend string) int {
+	for i, b := range h.backends {
+		if b == backend {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,582 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"ascendperf/internal/kernels"
+	"ascendperf/internal/model"
+	"ascendperf/internal/serve"
+)
+
+// LoadConfig configures a cluster load sweep: for each backend count it
+// spawns that many in-process serving stacks behind a router sharing
+// one L2 cache tier, drives Zipf-skewed mixed traffic through the
+// router in a closed loop, optionally kills one backend mid-load, and
+// finishes with a cold-restart pass that measures how much of the
+// working set the shared tier retained.
+type LoadConfig struct {
+	// Counts are the backend counts to sweep, e.g. [1, 2, 4].
+	Counts []int
+	// Attach, when non-empty, runs a single sweep entry against these
+	// pre-existing ascendd base URLs instead of spawning backends. Kill
+	// and the L2 restart pass are skipped — the driver does not own the
+	// processes (or their cache wiring).
+	Attach []string
+	// Chip is the preset named in every request (default training).
+	Chip string
+	// Duration is the measured closed-loop phase per entry (default 2s).
+	Duration time.Duration
+	// Concurrency is the closed-loop worker count (default
+	// 4*GOMAXPROCS). Throughput is whatever those workers achieve;
+	// there is no open-loop pacing because the sweep's question is
+	// capacity, not latency under a fixed rate.
+	Concurrency int
+	// ZipfS is the popularity skew exponent (default 1.1; negative =
+	// uniform).
+	ZipfS float64
+	// ZipfN caps the distinct-request population (0 = the full mix).
+	ZipfN int
+	// Seed feeds the deterministic sampler so request mixes are
+	// reproducible run to run.
+	Seed uint64
+	// Kill, with >= 2 spawned backends, closes one backend at the
+	// half-duration mark and keeps driving load, exercising failover
+	// under fire.
+	Kill bool
+	// Timeout is the per-request client timeout (default 60s).
+	Timeout time.Duration
+	// Out receives progress lines (nil = discard).
+	Out io.Writer
+}
+
+func (c LoadConfig) withDefaults() LoadConfig {
+	if len(c.Counts) == 0 {
+		c.Counts = []int{1, 2}
+	}
+	if c.Chip == "" {
+		c.Chip = "training"
+	}
+	if c.Duration <= 0 {
+		c.Duration = 2 * time.Second
+	}
+	if c.Concurrency <= 0 {
+		c.Concurrency = 4 * runtime.GOMAXPROCS(0)
+	}
+	if c.ZipfS == 0 {
+		c.ZipfS = 1.1
+	} else if c.ZipfS < 0 {
+		c.ZipfS = 0
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 60 * time.Second
+	}
+	if c.Out == nil {
+		c.Out = io.Discard
+	}
+	return c
+}
+
+// SchemaClusterReport identifies the FORMATS.md §9 report format.
+const SchemaClusterReport = "ascendperf/bench-cluster/v1"
+
+// ShardReport is one backend's share of a sweep entry, scraped from its
+// /v1/stats after the measured phase.
+type ShardReport struct {
+	// Routed counts requests the router sent this backend (including
+	// failover retries that landed here).
+	Routed uint64 `json:"routed"`
+	// Killed marks the backend the driver closed mid-load.
+	Killed bool `json:"killed,omitempty"`
+	// RespCacheHitRate is the backend's local response-LRU hit rate.
+	RespCacheHitRate float64 `json:"resp_cache_hit_rate"`
+	// L2Hits/L2Misses are the backend's shared-tier lookups.
+	L2Hits   uint64 `json:"l2_hits"`
+	L2Misses uint64 `json:"l2_misses"`
+}
+
+// EntryReport is one backend count's measurements.
+type EntryReport struct {
+	Backends int `json:"backends"`
+	// Requests/Errors are client-side closed-loop counts. Errors is the
+	// headline correctness number: with failover working it stays 0
+	// even when a backend dies mid-load.
+	Requests int `json:"requests"`
+	Errors   int `json:"errors"`
+	// ThroughputQPS is completed requests per wall second.
+	ThroughputQPS float64 `json:"throughput_qps"`
+	P50NS         int64   `json:"p50_ns"`
+	P99NS         int64   `json:"p99_ns"`
+	// Killed reports whether a backend was closed mid-load; Failovers
+	// and Unavailable are the router's counters at entry end.
+	Killed      bool   `json:"killed"`
+	Failovers   uint64 `json:"failovers"`
+	Unavailable uint64 `json:"unavailable"`
+	// Shards holds per-backend counters (spawned mode).
+	Shards []ShardReport `json:"shards,omitempty"`
+	// L2 is the shared cache server's state at entry end.
+	L2 *CacheServerStats `json:"l2,omitempty"`
+	// L2RestartHitRate is the second cold pass: every distinct request
+	// replayed once against freshly spawned backends (empty local LRUs)
+	// sharing the same L2 directory. The shared tier's retention is
+	// hits/(hits+misses) over that pass.
+	L2RestartHitRate float64 `json:"l2_restart_hit_rate"`
+}
+
+// Report is the committed BENCH_cluster.json (FORMATS.md §9).
+type Report struct {
+	Schema      string  `json:"schema"`
+	Chip        string  `json:"chip"`
+	ZipfS       float64 `json:"zipf_s"`
+	ZipfN       int     `json:"zipf_n"`
+	Seed        uint64  `json:"seed"`
+	DurationMS  float64 `json:"duration_ms"`
+	Concurrency int     `json:"concurrency"`
+	// Cores is runtime.NumCPU at measurement time — the context for
+	// reading Scaling2 honestly. In-process backends share one machine;
+	// below ~4 cores the sweep measures cache behaviour and failover,
+	// not parallel capacity, and the scaling gate auto-disarms.
+	Cores int `json:"cores"`
+	// Scaling2 is throughput at 2 backends over throughput at 1 (0 when
+	// the sweep lacks either entry).
+	Scaling2 float64       `json:"scaling_2"`
+	Entries  []EntryReport `json:"entries"`
+}
+
+// clusterRequest is one replayable request.
+type clusterRequest struct {
+	path string
+	body []byte
+}
+
+// buildMix assembles the mixed-workload population in deterministic
+// popularity-rank order: model analyses first (the expensive whole-net
+// requests), then each registry operator's roofline and simulate
+// bodies. Zipf rank 0 is the first entry, so skewed traffic
+// concentrates on model workloads — the realistic hot set.
+func buildMix(chip string, capN int) ([]clusterRequest, error) {
+	var out []clusterRequest
+	for _, m := range model.All() {
+		body, err := json.Marshal(serve.ModelRequest{Chip: chip, Model: m.Name})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, clusterRequest{path: "/v1/model", body: body})
+	}
+	reg := kernels.Registry()
+	names := make([]string, 0, len(reg))
+	for n := range reg {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		for _, path := range []string{"/v1/roofline", "/v1/simulate"} {
+			body, err := json.Marshal(serve.RooflineRequest{Chip: chip, Op: n})
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, clusterRequest{path: path, body: body})
+		}
+	}
+	if capN > 0 && capN < len(out) {
+		out = out[:capN]
+	}
+	return out, nil
+}
+
+// shardSet is one generation of spawned backends sharing an L2 tier.
+type shardSet struct {
+	servers []*httptest.Server
+	urls    []string
+}
+
+func spawnShards(n int, l2 serve.L2Cache) *shardSet {
+	s := &shardSet{}
+	for i := 0; i < n; i++ {
+		srv := httptest.NewServer(serve.New(serve.Config{L2: l2}))
+		s.servers = append(s.servers, srv)
+		s.urls = append(s.urls, srv.URL)
+	}
+	return s
+}
+
+func (s *shardSet) close() {
+	for _, srv := range s.servers {
+		if srv != nil {
+			srv.Close()
+		}
+	}
+}
+
+// kill closes backend i abruptly (open connections dropped).
+func (s *shardSet) kill(i int) {
+	srv := s.servers[i]
+	s.servers[i] = nil
+	srv.CloseClientConnections()
+	srv.Close()
+}
+
+// driveResult is what the closed-loop phase measured.
+type driveResult struct {
+	requests int
+	errors   int
+	p50, p99 int64
+	elapsed  time.Duration
+}
+
+// drive runs the closed loop: Concurrency workers each draw Zipf ranks
+// from their own deterministically seeded sampler and POST through the
+// front URL until the deadline. killAt > 0 schedules killFn at that
+// offset.
+func drive(cfg LoadConfig, mix []clusterRequest, front string, killAt time.Duration, killFn func()) (*driveResult, error) {
+	client := &http.Client{
+		Timeout: cfg.Timeout,
+		Transport: &http.Transport{
+			MaxIdleConns:        cfg.Concurrency + 4,
+			MaxIdleConnsPerHost: cfg.Concurrency + 4,
+		},
+	}
+	defer client.CloseIdleConnections()
+
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		errs      int
+		wg        sync.WaitGroup
+	)
+	start := time.Now()
+	deadline := start.Add(cfg.Duration)
+	if killFn != nil && killAt > 0 {
+		time.AfterFunc(killAt, killFn)
+	}
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			z, err := NewZipf(len(mix), cfg.ZipfS, cfg.Seed+uint64(w)*0x9E3779B97F4A7C15)
+			if err != nil {
+				return
+			}
+			var local []time.Duration
+			localErrs := 0
+			for time.Now().Before(deadline) {
+				r := mix[z.Next()]
+				t0 := time.Now()
+				resp, err := client.Post(front+r.path, "application/json", bytes.NewReader(r.body))
+				if err != nil {
+					localErrs++
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					localErrs++
+					continue
+				}
+				local = append(local, time.Since(t0))
+			}
+			mu.Lock()
+			latencies = append(latencies, local...)
+			errs += localErrs
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	res := &driveResult{
+		requests: len(latencies) + errs,
+		errors:   errs,
+		elapsed:  elapsed,
+	}
+	res.p50 = pctNS(latencies, 0.5)
+	res.p99 = pctNS(latencies, 0.99)
+	return res, nil
+}
+
+func pctNS(sorted []time.Duration, p float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	return sorted[int(p*float64(len(sorted)-1))].Nanoseconds()
+}
+
+// scrapeShards fills per-backend reports from the router's status view.
+func scrapeShards(rt *Router, killed string) []ShardReport {
+	st := rt.Status()
+	out := make([]ShardReport, 0, len(st.Backends))
+	for _, b := range st.Backends {
+		sr := ShardReport{Routed: b.Routed, Killed: b.URL == killed}
+		if b.Stats != nil {
+			s := b.Stats.Serve
+			if total := s.RespCacheHits + s.RespCacheMisses; total > 0 {
+				sr.RespCacheHitRate = float64(s.RespCacheHits) / float64(total)
+			}
+			sr.L2Hits = s.L2Hits
+			sr.L2Misses = s.L2Misses
+		}
+		out = append(out, sr)
+	}
+	return out
+}
+
+// runSpawned measures one backend count with driver-owned backends.
+func runSpawned(cfg LoadConfig, mix []clusterRequest, n int) (*EntryReport, error) {
+	l2dir, err := os.MkdirTemp("", "ascend-l2-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(l2dir)
+	cacheServer, err := NewCacheServer(l2dir)
+	if err != nil {
+		return nil, err
+	}
+	cacheSrv := httptest.NewServer(cacheServer)
+	defer cacheSrv.Close()
+	l2 := NewL2Client(cacheSrv.URL, cfg.Timeout)
+
+	shards := spawnShards(n, l2)
+	defer shards.close()
+	rt, err := NewRouter(RouterConfig{
+		Backends:      shards.urls,
+		ProbeInterval: 100 * time.Millisecond,
+		ProbeTimeout:  2 * time.Second,
+		Timeout:       cfg.Timeout,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rt.Start()
+	defer rt.Stop()
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	entry := &EntryReport{Backends: n}
+
+	// Fill pass: each distinct request once through the router, priming
+	// per-shard LRUs and the shared tier.
+	client := &http.Client{Timeout: cfg.Timeout}
+	for _, r := range mix {
+		resp, err := client.Post(front.URL+r.path, "application/json", bytes.NewReader(r.body))
+		if err != nil {
+			return nil, fmt.Errorf("cluster: fill pass: %w", err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("cluster: fill pass: %s: HTTP %d", r.path, resp.StatusCode)
+		}
+	}
+
+	// Measured closed loop, optionally killing a backend halfway. The
+	// victim is the last shard so index 0 survives every entry.
+	var killed string
+	var killFn func()
+	if cfg.Kill && n >= 2 {
+		victim := n - 1
+		killed = shards.urls[victim]
+		killFn = func() { shards.kill(victim) }
+		entry.Killed = true
+	}
+	res, err := drive(cfg, mix, front.URL, cfg.Duration/2, killFn)
+	if err != nil {
+		return nil, err
+	}
+	entry.Requests = res.requests
+	entry.Errors = res.errors
+	entry.P50NS = res.p50
+	entry.P99NS = res.p99
+	if res.elapsed > 0 {
+		entry.ThroughputQPS = float64(res.requests-res.errors) / res.elapsed.Seconds()
+	}
+	entry.Failovers = rt.Failovers()
+	entry.Unavailable = rt.Unavailable()
+	entry.Shards = scrapeShards(rt, killed)
+	l2stats := cacheServer.Stats()
+	entry.L2 = &l2stats
+
+	// Cold-restart pass: fresh shards (empty local LRUs), same L2
+	// directory. Replay each distinct request once; every answer the
+	// shared tier retained is an L2 hit instead of a re-simulation.
+	front.Close()
+	rt.Stop()
+	shards.close()
+	fresh := spawnShards(n, l2)
+	defer fresh.close()
+	rt2, err := NewRouter(RouterConfig{
+		Backends:      fresh.urls,
+		ProbeInterval: 100 * time.Millisecond,
+		ProbeTimeout:  2 * time.Second,
+		Timeout:       cfg.Timeout,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rt2.Start()
+	defer rt2.Stop()
+	front2 := httptest.NewServer(rt2.Handler())
+	defer front2.Close()
+	for _, r := range mix {
+		resp, err := client.Post(front2.URL+r.path, "application/json", bytes.NewReader(r.body))
+		if err != nil {
+			return nil, fmt.Errorf("cluster: restart pass: %w", err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	var hits, misses uint64
+	for _, b := range rt2.Status().Backends {
+		if b.Stats != nil {
+			hits += b.Stats.Serve.L2Hits
+			misses += b.Stats.Serve.L2Misses
+		}
+	}
+	if total := hits + misses; total > 0 {
+		entry.L2RestartHitRate = float64(hits) / float64(total)
+	}
+	return entry, nil
+}
+
+// runAttached measures pre-existing backends: no kill, no restart pass.
+func runAttached(cfg LoadConfig, mix []clusterRequest) (*EntryReport, error) {
+	rt, err := NewRouter(RouterConfig{
+		Backends:      cfg.Attach,
+		ProbeInterval: 500 * time.Millisecond,
+		Timeout:       cfg.Timeout,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rt.Start()
+	defer rt.Stop()
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	res, err := drive(cfg, mix, front.URL, 0, nil)
+	if err != nil {
+		return nil, err
+	}
+	entry := &EntryReport{
+		Backends: len(cfg.Attach),
+		Requests: res.requests,
+		Errors:   res.errors,
+		P50NS:    res.p50,
+		P99NS:    res.p99,
+	}
+	if res.elapsed > 0 {
+		entry.ThroughputQPS = float64(res.requests-res.errors) / res.elapsed.Seconds()
+	}
+	entry.Failovers = rt.Failovers()
+	entry.Unavailable = rt.Unavailable()
+	entry.Shards = scrapeShards(rt, "")
+	return entry, nil
+}
+
+// RunCluster executes the sweep and returns the report.
+func RunCluster(cfg LoadConfig) (*Report, error) {
+	cfg = cfg.withDefaults()
+	mix, err := buildMix(cfg.Chip, cfg.ZipfN)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		Schema:      SchemaClusterReport,
+		Chip:        cfg.Chip,
+		ZipfS:       cfg.ZipfS,
+		ZipfN:       len(mix),
+		Seed:        cfg.Seed,
+		DurationMS:  float64(cfg.Duration.Milliseconds()),
+		Concurrency: cfg.Concurrency,
+		Cores:       runtime.NumCPU(),
+	}
+
+	if len(cfg.Attach) > 0 {
+		fmt.Fprintf(cfg.Out, "cluster: attaching to %d backends\n", len(cfg.Attach))
+		entry, err := runAttached(cfg, mix)
+		if err != nil {
+			return nil, err
+		}
+		rep.Entries = append(rep.Entries, *entry)
+		return rep, nil
+	}
+
+	// In-process backends share the engine package's process-wide
+	// caches (simulation LRU, disk tier). Pre-warm them once with the
+	// full mix so every sweep entry measures an equally warm engine —
+	// otherwise the first entry would pay all the cold simulations and
+	// the sweep would overstate scaling. EXPERIMENTS.md documents this.
+	fmt.Fprintf(cfg.Out, "cluster: pre-warming engine caches (%d distinct requests)\n", len(mix))
+	warm := httptest.NewServer(serve.New(serve.Config{}))
+	warmClient := &http.Client{Timeout: cfg.Timeout}
+	for _, r := range mix {
+		resp, err := warmClient.Post(warm.URL+r.path, "application/json", bytes.NewReader(r.body))
+		if err != nil {
+			warm.Close()
+			return nil, fmt.Errorf("cluster: pre-warm: %w", err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	warm.Close()
+
+	for _, n := range cfg.Counts {
+		if n <= 0 {
+			return nil, fmt.Errorf("cluster: invalid backend count %d", n)
+		}
+		fmt.Fprintf(cfg.Out, "cluster: measuring %d backend(s)...\n", n)
+		entry, err := runSpawned(cfg, mix, n)
+		if err != nil {
+			return nil, err
+		}
+		rep.Entries = append(rep.Entries, *entry)
+		fmt.Fprintf(cfg.Out, "cluster:   %d reqs, %d errors, %.0f qps, %d failovers, L2 restart hit rate %.2f\n",
+			entry.Requests, entry.Errors, entry.ThroughputQPS, entry.Failovers, entry.L2RestartHitRate)
+	}
+
+	var t1, t2 float64
+	for _, e := range rep.Entries {
+		switch e.Backends {
+		case 1:
+			t1 = e.ThroughputQPS
+		case 2:
+			t2 = e.ThroughputQPS
+		}
+	}
+	if t1 > 0 && t2 > 0 {
+		rep.Scaling2 = t2 / t1
+	}
+	return rep, nil
+}
+
+// Format renders the report for the terminal.
+func (r *Report) Format() string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "cluster: %d distinct requests, zipf s=%.2f seed=%d, %d workers, %d cores\n",
+		r.ZipfN, r.ZipfS, r.Seed, r.Concurrency, r.Cores)
+	for _, e := range r.Entries {
+		fmt.Fprintf(&b, "  %d backend(s): %6d reqs  %d errors  %8.0f qps  p50 %7.3f ms  p99 %7.3f ms",
+			e.Backends, e.Requests, e.Errors, e.ThroughputQPS,
+			float64(e.P50NS)/1e6, float64(e.P99NS)/1e6)
+		if e.Killed {
+			fmt.Fprintf(&b, "  [killed 1, %d failovers]", e.Failovers)
+		}
+		if e.L2 != nil {
+			fmt.Fprintf(&b, "  L2 restart hit rate %.2f", e.L2RestartHitRate)
+		}
+		fmt.Fprintln(&b)
+	}
+	if r.Scaling2 > 0 {
+		fmt.Fprintf(&b, "  throughput scaling at 2 backends: %.2fx\n", r.Scaling2)
+	}
+	return b.String()
+}

@@ -1,0 +1,91 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRunClusterKillSweep is the cluster smoke in miniature: 2 spawned
+// backends, Zipf traffic through the router, one backend killed at
+// half-duration. The contract under test: zero client-visible errors,
+// at least one recorded failover, and a shared tier that answers after
+// a cold restart.
+func TestRunClusterKillSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns serving stacks and drives load")
+	}
+	rep, err := RunCluster(LoadConfig{
+		Counts:      []int{2},
+		Duration:    500 * time.Millisecond,
+		Concurrency: 4,
+		ZipfN:       16,
+		Seed:        42,
+		Kill:        true,
+		Timeout:     30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Entries) != 1 {
+		t.Fatalf("entries = %d, want 1", len(rep.Entries))
+	}
+	e := rep.Entries[0]
+	if e.Backends != 2 || !e.Killed {
+		t.Fatalf("entry = %+v, want a killed 2-backend entry", e)
+	}
+	if e.Errors != 0 {
+		t.Errorf("%d client-visible errors during failover, want 0", e.Errors)
+	}
+	if e.Requests == 0 {
+		t.Error("closed loop completed no requests")
+	}
+	if e.Failovers == 0 {
+		t.Error("killed a backend mid-load but recorded no failovers")
+	}
+	if e.L2RestartHitRate <= 0 {
+		t.Errorf("L2 restart hit rate %.3f, want > 0: the shared tier retained nothing", e.L2RestartHitRate)
+	}
+	if len(e.Shards) != 2 {
+		t.Fatalf("shard reports = %d, want 2", len(e.Shards))
+	}
+	killed := 0
+	for _, s := range e.Shards {
+		if s.Killed {
+			killed++
+		}
+	}
+	if killed != 1 {
+		t.Errorf("killed shard count = %d, want exactly 1", killed)
+	}
+}
+
+// TestBuildMixDeterministic: the popularity-ranked population must be
+// stable and respect the cap.
+func TestBuildMixDeterministic(t *testing.T) {
+	a, err := buildMix("training", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := buildMix("training", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("mix sizes %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].path != b[i].path || string(a[i].body) != string(b[i].body) {
+			t.Fatalf("mix entry %d differs across builds", i)
+		}
+	}
+	capped, err := buildMix("training", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(capped) != 5 {
+		t.Fatalf("capped mix size %d, want 5", len(capped))
+	}
+	if capped[0].path != "/v1/model" {
+		t.Errorf("rank 0 is %s, want a model request at the head of the popularity order", capped[0].path)
+	}
+}

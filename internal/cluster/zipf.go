@@ -1,0 +1,65 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Zipf is a deterministic Zipf-distributed sampler over [0, n):
+// P(i) ∝ 1/(i+1)^s. It is implemented as inverse-CDF over a
+// precomputed cumulative table driven by a SplitMix64 PRNG, so a fixed
+// seed yields one exact sequence on every platform — the property the
+// cluster bench leans on to make BENCH_cluster.json runs comparable
+// (and what the unit test locks). The standard library's rand.Zipf is
+// deliberately not used: its internals are not covered by the Go 1
+// compatibility promise at the sequence level.
+type Zipf struct {
+	cum []float64 // cum[i] = P(X <= i), cum[n-1] == 1
+	rng splitmix
+}
+
+// splitmix is the SplitMix64 PRNG (Steele, Lea & Flood 2014): tiny,
+// fast, platform-stable and good enough for sampling and probe jitter.
+type splitmix struct{ state uint64 }
+
+func (s *splitmix) next64() uint64 {
+	s.state += 0x9E3779B97F4A7C15
+	x := s.state
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// float64 returns a uniform draw in [0, 1).
+func (s *splitmix) float64() float64 {
+	return float64(s.next64()>>11) / (1 << 53)
+}
+
+// NewZipf builds a sampler over n items with skew s (s = 0 is uniform;
+// the cluster bench defaults to 1.1, a typical web-popularity skew).
+func NewZipf(n int, s float64, seed uint64) (*Zipf, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("cluster: zipf: n must be positive, got %d", n)
+	}
+	if s < 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+		return nil, fmt.Errorf("cluster: zipf: skew must be finite and non-negative, got %v", s)
+	}
+	z := &Zipf{cum: make([]float64, n), rng: splitmix{state: seed}}
+	var total float64
+	for i := 0; i < n; i++ {
+		w := math.Pow(float64(i+1), -s)
+		total += w
+		z.cum[i] = total
+	}
+	for i := range z.cum {
+		z.cum[i] /= total
+	}
+	z.cum[n-1] = 1 // exact, despite rounding
+	return z, nil
+}
+
+// Next draws the next index in [0, n).
+func (z *Zipf) Next() int {
+	return sort.SearchFloat64s(z.cum, z.rng.float64())
+}

@@ -1,0 +1,70 @@
+package cluster
+
+import "testing"
+
+func TestZipfRejectsBadConfigs(t *testing.T) {
+	if _, err := NewZipf(0, 1, 1); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := NewZipf(10, -1, 1); err == nil {
+		t.Error("negative skew accepted")
+	}
+}
+
+// TestZipfExactSequence locks the sampler bit-for-bit: a fixed seed
+// must yield this exact index sequence on every platform and in every
+// future run, which is what makes BENCH_cluster.json request mixes
+// reproducible.
+func TestZipfExactSequence(t *testing.T) {
+	z, err := NewZipf(10, 1.2, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{3, 0, 0, 0, 0, 5, 0, 4, 0, 2, 0, 1, 1, 1, 2, 0, 0, 1, 0, 2, 8, 0, 2, 2}
+	for i, w := range want {
+		if got := z.Next(); got != w {
+			t.Fatalf("draw %d: got %d, want %d", i, got, w)
+		}
+	}
+}
+
+// TestZipfSkew sanity-checks the distribution shape: rank-0 must
+// dominate and frequencies must decay with rank.
+func TestZipfSkew(t *testing.T) {
+	z, err := NewZipf(100, 1.1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const draws = 10000
+	hist := make([]int, 100)
+	for i := 0; i < draws; i++ {
+		idx := z.Next()
+		if idx < 0 || idx >= 100 {
+			t.Fatalf("draw out of range: %d", idx)
+		}
+		hist[idx]++
+	}
+	if hist[0] < draws/8 {
+		t.Errorf("rank 0 drew %d of %d, want a dominant head", hist[0], draws)
+	}
+	if !(hist[0] > hist[1] && hist[1] > hist[2]) {
+		t.Errorf("head not monotone: %v", hist[:3])
+	}
+}
+
+// TestZipfUniform checks s=0 degenerates to the uniform distribution.
+func TestZipfUniform(t *testing.T) {
+	z, err := NewZipf(4, 0, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist := make([]int, 4)
+	for i := 0; i < 8000; i++ {
+		hist[z.Next()]++
+	}
+	for i, n := range hist {
+		if n < 1600 || n > 2400 {
+			t.Errorf("uniform draw skewed: index %d drew %d of 8000", i, n)
+		}
+	}
+}

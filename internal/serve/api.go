@@ -221,6 +221,12 @@ type ServeStats struct {
 	RespCacheHits    uint64 `json:"resp_cache_hits"`
 	RespCacheMisses  uint64 `json:"resp_cache_misses"`
 	RespCacheEntries int    `json:"resp_cache_entries"`
+	// L2Hits counts flights answered from the shared second-level cache
+	// tier; L2Misses flights that consulted it without an answer;
+	// L2Puts successful fills. All zero when no L2 is configured.
+	L2Hits   uint64 `json:"l2_hits"`
+	L2Misses uint64 `json:"l2_misses"`
+	L2Puts   uint64 `json:"l2_puts"`
 	// Shed counts load-shedded requests by reason.
 	Shed map[string]uint64 `json:"shed,omitempty"`
 	// InFlight and Queued are scrape-time gauges.

@@ -373,6 +373,18 @@ func parseModel(body []byte) (*parsedRequest, error) {
 	}, nil
 }
 
+// analysisParsers maps analysis endpoint names to their request
+// parsers. New registers each as a POST handler under /v1/<name>, and
+// CanonicalKey dispatches through the same table, so a cluster router
+// canonicalizes request bodies exactly as the shard it routes them to.
+var analysisParsers = map[string]func(body []byte) (*parsedRequest, error){
+	"simulate": parseSimulate,
+	"roofline": parseRoofline,
+	"optimize": parseOptimize,
+	"trace":    parseTrace,
+	"model":    parseModel,
+}
+
 // distributionJSON keys a cause histogram by figure-legend abbreviation.
 func distributionJSON(d model.Distribution) map[string]float64 {
 	out := make(map[string]float64, len(d))

@@ -99,7 +99,7 @@ func writeCounter(b *strings.Builder, name, labels string, v uint64) {
 // scrape-time process state (in-flight slots, queue length, drain flag,
 // response-cache counters); engine cache and scheduler counters are
 // read directly from engine.Stats().
-func (m *metricsRegistry) Render(inflight, queued int64, draining bool, resp *respCache) string {
+func (m *metricsRegistry) Render(inflight, queued int64, draining bool, resp *respCache, l2Hits, l2Misses, l2Puts uint64) string {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	var b strings.Builder
@@ -168,6 +168,16 @@ func (m *metricsRegistry) Render(inflight, queued int64, draining bool, resp *re
 	b.WriteString("# HELP ascendd_response_cache_entries Encoded responses currently cached.\n")
 	b.WriteString("# TYPE ascendd_response_cache_entries gauge\n")
 	fmt.Fprintf(&b, "ascendd_response_cache_entries %d\n", respEntries)
+
+	b.WriteString("# HELP ascendd_l2_cache_hits_total Flights answered from the shared L2 cache tier.\n")
+	b.WriteString("# TYPE ascendd_l2_cache_hits_total counter\n")
+	fmt.Fprintf(&b, "ascendd_l2_cache_hits_total %d\n", l2Hits)
+	b.WriteString("# HELP ascendd_l2_cache_misses_total Flights that consulted the L2 tier without an answer.\n")
+	b.WriteString("# TYPE ascendd_l2_cache_misses_total counter\n")
+	fmt.Fprintf(&b, "ascendd_l2_cache_misses_total %d\n", l2Misses)
+	b.WriteString("# HELP ascendd_l2_cache_puts_total Successful fills of the L2 tier.\n")
+	b.WriteString("# TYPE ascendd_l2_cache_puts_total counter\n")
+	fmt.Fprintf(&b, "ascendd_l2_cache_puts_total %d\n", l2Puts)
 
 	// Execution-layer counters: the same snapshot ascendbench -json
 	// records, exposed live so cache effectiveness and scheduler

@@ -36,6 +36,25 @@ type Config struct {
 	// completed request skip re-analysis and admission entirely. 0
 	// defaults to 512; negative disables the cache.
 	ResponseCache int
+
+	// L2 is an optional shared second-level response cache (the cluster
+	// tier): consulted on local response-LRU miss before simulating and
+	// filled after a successful analysis. Nil disables the tier.
+	L2 L2Cache
+}
+
+// L2Cache is a shared second-level response cache sitting between the
+// per-shard response LRU and the simulator: encoded 200 bodies keyed by
+// the canonical request key. Lookups and fills happen inside the
+// coalescing flight, so a cold popular key is fetched — or simulated
+// and stored — once per shard no matter how many clients race it; with
+// a consistent-hashing router in front, once cluster-wide.
+// Implementations must be safe for concurrent use. A failed lookup is a
+// miss and a failed store is dropped: the tier is an accelerator, never
+// a correctness dependency.
+type L2Cache interface {
+	Get(key string) ([]byte, bool)
+	Put(key string, body []byte)
 }
 
 // withDefaults resolves zero fields.
@@ -70,8 +89,12 @@ type Server struct {
 	adm      *admission
 	resp     *respCache
 	draining atomic.Bool
-	inflight sync.WaitGroup
+	inflight *inflightGauge
 	errors   atomic.Uint64
+
+	l2Hits   atomic.Uint64
+	l2Misses atomic.Uint64
+	l2Puts   atomic.Uint64
 }
 
 // New builds a server with the given config.
@@ -79,8 +102,9 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:     cfg.withDefaults(),
 		mux:     http.NewServeMux(),
-		metrics: newMetricsRegistry(),
-		flights: newFlightGroup(),
+		metrics:  newMetricsRegistry(),
+		flights:  newFlightGroup(),
+		inflight: newInflightGauge(),
 	}
 	s.adm = newAdmission(s.cfg.Concurrency, s.cfg.QueueDepth)
 	s.resp = newRespCache(s.cfg.ResponseCache)
@@ -92,12 +116,33 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/v1/ops", s.handleOps)
 	s.mux.HandleFunc("/v1/models", s.handleModels)
 	s.mux.HandleFunc("/v1/chips", s.handleChips)
-	s.mux.HandleFunc("/v1/simulate", s.analysis("simulate", parseSimulate))
-	s.mux.HandleFunc("/v1/roofline", s.analysis("roofline", parseRoofline))
-	s.mux.HandleFunc("/v1/optimize", s.analysis("optimize", parseOptimize))
-	s.mux.HandleFunc("/v1/trace", s.analysis("trace", parseTrace))
-	s.mux.HandleFunc("/v1/model", s.analysis("model", parseModel))
+	for name, parse := range analysisParsers {
+		s.mux.HandleFunc("/v1/"+name, s.analysis(name, parse))
+	}
 	return s
+}
+
+// AnalysisEndpoints returns the sorted names of the POST analysis
+// endpoints (each served at /v1/<name>): the request set a cluster
+// router must canonicalize and consistent-hash.
+func AnalysisEndpoints() []string { return sortedKeys(analysisParsers) }
+
+// CanonicalKey parses and canonicalizes an analysis request body for
+// the named endpoint, returning the exact endpoint-qualified key the
+// serving layer coalesces and caches under. Two bodies differing only
+// in JSON field order or whitespace yield equal keys, which is what
+// lets a router hash equal workloads to the same shard. A malformed
+// body returns the same error the shard itself would answer with.
+func CanonicalKey(endpoint string, body []byte) (string, error) {
+	parse, ok := analysisParsers[endpoint]
+	if !ok {
+		return "", fmt.Errorf("serve: unknown analysis endpoint %q", endpoint)
+	}
+	preq, err := parse(body)
+	if err != nil {
+		return "", err
+	}
+	return endpoint + "\x00" + preq.key, nil
 }
 
 // Handler returns the service's HTTP handler.
@@ -130,6 +175,45 @@ func (s *Server) Drain(ctx context.Context) error {
 // Draining reports whether Drain has been initiated.
 func (s *Server) Draining() bool { return s.draining.Load() }
 
+// inflightGauge counts requests in flight and supports waiting for
+// zero while new requests keep arriving. sync.WaitGroup forbids that
+// use (Add concurrent with Wait is misuse); during a drain late
+// requests still enter handlers — to be shed with the draining 503 —
+// so the counter must tolerate Add racing Wait.
+type inflightGauge struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	n    int64
+}
+
+func newInflightGauge() *inflightGauge {
+	g := &inflightGauge{}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+// Add adjusts the counter, waking waiters when it reaches zero.
+func (g *inflightGauge) Add(d int64) {
+	g.mu.Lock()
+	g.n += d
+	if g.n == 0 {
+		g.cond.Broadcast()
+	}
+	g.mu.Unlock()
+}
+
+// Done decrements the counter.
+func (g *inflightGauge) Done() { g.Add(-1) }
+
+// Wait blocks until the counter is zero.
+func (g *inflightGauge) Wait() {
+	g.mu.Lock()
+	for g.n != 0 {
+		g.cond.Wait()
+	}
+	g.mu.Unlock()
+}
+
 // parsedRequest is a validated analysis request: a canonical coalescing
 // key plus the work closure. run returns the already-encoded response
 // body so a coalesced result can be shared between followers without
@@ -137,6 +221,14 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 type parsedRequest struct {
 	key string
 	run func(ctx context.Context) ([]byte, error)
+}
+
+// flightResult is what one analysis flight produces: the encoded body
+// plus whether it came from the shared L2 tier, so leader and followers
+// alike can surface the X-Ascendd-L2 header.
+type flightResult struct {
+	body []byte
+	l2   bool
 }
 
 // analysis wraps one POST endpoint with the serving mechanisms:
@@ -182,11 +274,30 @@ func (s *Server) analysis(endpoint string, parse func(body []byte) (*parsedReque
 		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
 		defer cancel()
 		val, shared, err := s.flights.Do(ctx, fullKey, func(ctx context.Context) (any, error) {
+			// The L2 lookup lives inside the flight: a burst of identical
+			// cold requests pays one shared-cache round trip, and on miss
+			// one simulation, then one fill — cluster-wide, when a
+			// consistent-hashing router pins the key to this shard.
+			if s.cfg.L2 != nil {
+				if body, ok := s.cfg.L2.Get(fullKey); ok {
+					s.l2Hits.Add(1)
+					return flightResult{body: body, l2: true}, nil
+				}
+				s.l2Misses.Add(1)
+			}
 			if err := s.adm.acquire(ctx.Done()); err != nil {
 				return nil, err
 			}
 			defer s.adm.release()
-			return preq.run(ctx)
+			body, err := preq.run(ctx)
+			if err != nil {
+				return nil, err
+			}
+			if s.cfg.L2 != nil {
+				s.cfg.L2.Put(fullKey, body)
+				s.l2Puts.Add(1)
+			}
+			return flightResult{body: body}, nil
 		})
 		if err != nil {
 			if errors.Is(err, errQueueFull) {
@@ -197,13 +308,17 @@ func (s *Server) analysis(endpoint string, parse func(body []byte) (*parsedReque
 			s.writeError(w, endpoint, start, shared, err)
 			return
 		}
-		s.resp.put(fullKey, val.([]byte))
+		res := val.(flightResult)
+		s.resp.put(fullKey, res.body)
 		if shared {
 			w.Header().Set("X-Ascendd-Coalesced", "1")
 		}
+		if res.l2 {
+			w.Header().Set("X-Ascendd-L2", "hit")
+		}
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusOK)
-		w.Write(val.([]byte))
+		w.Write(res.body)
 		s.metrics.observe(endpoint, http.StatusOK, time.Since(start).Seconds(), shared)
 	}
 }
@@ -217,6 +332,10 @@ func (s *Server) writeError(w http.ResponseWriter, endpoint string, start time.T
 		w.Header().Set("Retry-After", "1")
 	case errors.Is(err, errDraining):
 		status, code = http.StatusServiceUnavailable, "draining"
+		// A draining shard is gone for good as far as this process is
+		// concerned: tell clients (and the cluster router) to go
+		// elsewhere rather than hammer the retry.
+		w.Header().Set("Retry-After", "5")
 	case errors.Is(err, errTimeout), errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		status, code = http.StatusServiceUnavailable, "timeout"
 	default:
@@ -254,7 +373,8 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 // handleMetrics renders the Prometheus exposition page.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	io.WriteString(w, s.metrics.Render(int64(s.adm.InFlight()), s.adm.Waiting(), s.draining.Load(), s.resp))
+	io.WriteString(w, s.metrics.Render(int64(s.adm.InFlight()), s.adm.Waiting(), s.draining.Load(), s.resp,
+		s.l2Hits.Load(), s.l2Misses.Load(), s.l2Puts.Load()))
 }
 
 // StatsSnapshot returns the machine-readable counterpart of /metrics.
@@ -284,6 +404,9 @@ func (s *Server) StatsSnapshot() StatsResponse {
 			RespCacheHits:     respHits,
 			RespCacheMisses:   respMisses,
 			RespCacheEntries:  respEntries,
+			L2Hits:            s.l2Hits.Load(),
+			L2Misses:          s.l2Misses.Load(),
+			L2Puts:            s.l2Puts.Load(),
 			Shed:              shed,
 			InFlight:          s.adm.InFlight(),
 			Queued:            s.adm.Waiting(),

@@ -118,4 +118,87 @@ grep -q "shutdown complete" "$servedir/ascendd.log" || {
     exit 1
 }
 
+echo "== docs drift check =="
+# Every CLI's -h flag set must match the README's CLI reference tables.
+scripts/docscheck.sh
+
+echo "== cluster smoke (router + 2 backends, kill one mid-load) =="
+# End-to-end gate on the cluster layer: spawned shards behind the
+# consistent-hash router sharing an L2 tier, Zipf traffic, one backend
+# killed at half-duration. Gates: zero client-visible errors, at least
+# one failover, and an L2 restart hit rate >= 0.5 (fresh shards answer
+# from the shared tier instead of re-simulating). The 2-backend
+# throughput-scaling floor only measures anything real with enough
+# cores for the shards to actually run in parallel, so it arms at >= 4
+# cores and disarms below (BENCH_cluster.json records `cores` for the
+# same reason).
+minscaling2="-1"
+if [ "$(nproc)" -ge 4 ]; then
+    minscaling2=1.7
+fi
+clusterdir="$(mktemp -d)"
+"$servedir/ascendload" -cluster 1,2 -kill -duration 2s \
+    -json "$clusterdir/bench_cluster.json" \
+    -maxerrors 0 -minfailover 1 -minl2 0.5 -minscaling2 "$minscaling2"
+rm -rf "$clusterdir"
+
+echo "== router binary smoke (ascendrouter + 2 daemons) =="
+# The ascendrouter binary end to end: two real daemons, route a request
+# through the router binary, require the X-Ascendd-Route header and a
+# clean SIGTERM shutdown.
+routerdir="$(mktemp -d)"
+go build -o "$routerdir/ascendrouter" ./cmd/ascendrouter
+"$servedir/ascendd" -addr 127.0.0.1:0 > "$routerdir/shard1.log" 2>&1 &
+shard1_pid=$!
+"$servedir/ascendd" -addr 127.0.0.1:0 > "$routerdir/shard2.log" 2>&1 &
+shard2_pid=$!
+cleanup_cluster() {
+    kill "$shard1_pid" "$shard2_pid" "${router_pid:-}" 2> /dev/null || true
+    rm -rf "$tracedir" "$servedir" "$routerdir"
+}
+trap cleanup_cluster EXIT
+shard1=""
+shard2=""
+for _ in $(seq 1 100); do
+    shard1="$(sed -n 's/^ascendd: listening on \(http:.*\)$/\1/p' "$routerdir/shard1.log")"
+    shard2="$(sed -n 's/^ascendd: listening on \(http:.*\)$/\1/p' "$routerdir/shard2.log")"
+    [ -n "$shard1" ] && [ -n "$shard2" ] && break
+    sleep 0.1
+done
+if [ -z "$shard1" ] || [ -z "$shard2" ]; then
+    echo "cluster shards never printed their addresses" >&2
+    exit 1
+fi
+"$routerdir/ascendrouter" -addr 127.0.0.1:0 -backends "$shard1,$shard2" \
+    -probe 250ms > "$routerdir/router.log" 2>&1 &
+router_pid=$!
+router=""
+for _ in $(seq 1 100); do
+    router="$(sed -n 's/^ascendrouter: listening on \(http:[^ ]*\).*$/\1/p' "$routerdir/router.log")"
+    [ -n "$router" ] && break
+    sleep 0.1
+done
+if [ -z "$router" ]; then
+    echo "ascendrouter never printed its address" >&2
+    cat "$routerdir/router.log" >&2
+    exit 1
+fi
+curl -fsS -D "$routerdir/headers.txt" -o /dev/null -X POST "$router/v1/roofline" \
+    -d '{"chip":"training","op":"mul"}'
+grep -qi "^X-Ascendd-Route:" "$routerdir/headers.txt" || {
+    echo "router response lacks X-Ascendd-Route" >&2
+    cat "$routerdir/headers.txt" >&2
+    exit 1
+}
+curl -fsS "$router/readyz" > /dev/null
+kill -TERM "$router_pid"
+wait "$router_pid"
+grep -q "shutdown complete" "$routerdir/router.log" || {
+    echo "ascendrouter did not shut down cleanly" >&2
+    cat "$routerdir/router.log" >&2
+    exit 1
+}
+kill -TERM "$shard1_pid" "$shard2_pid"
+wait "$shard1_pid" "$shard2_pid"
+
 echo "CI OK"
