@@ -28,12 +28,15 @@ import (
 	"strings"
 	"time"
 
+	"ascendperf/internal/check"
 	"ascendperf/internal/cliutil"
 	"ascendperf/internal/engine"
 	"ascendperf/internal/experiments"
 	"ascendperf/internal/hw"
 	"ascendperf/internal/model"
+	"ascendperf/internal/opt"
 	"ascendperf/internal/sim"
+	"ascendperf/internal/surrogate"
 )
 
 var runners = []struct {
@@ -69,6 +72,7 @@ func main() {
 		cacheCap = flag.Int("cache", engine.DefaultCacheCapacity, "simulation cache capacity in entries (0 disables)")
 		cacheDir = flag.String("cachedir", "", "persistent simulation cache directory (default ASCENDPERF_CACHE_DIR); successive invocations warm-start from it")
 		jsonPath = flag.String("json", "", "benchmark the execution engine (worker sweep, parallel and cached passes) and write the timing comparison as JSON to this path")
+		surrPath = flag.String("surrogate", "", "with -json: also evaluate this learned surrogate model over the differential corpus and record learned-vs-exact error stats")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the workload to this path (inspect with go tool pprof)")
 		mtxProf  = flag.String("mutexprofile", "", "write a mutex-contention profile of the workload to this path")
 		minScale = flag.Float64("minscaling", 0, "with -json: fail unless the workers=4 sweep point reaches this speedup over workers=1 (0 disables; the CI parallel-scaling gate)")
@@ -119,7 +123,7 @@ func main() {
 		}()
 	}
 	if *jsonPath != "" {
-		if err := benchEngine(*jsonPath, *minScale); err != nil {
+		if err := benchEngine(*jsonPath, *minScale, *surrPath); err != nil {
 			fmt.Fprintln(os.Stderr, "ascendbench:", err)
 			os.Exit(1)
 		}
@@ -153,6 +157,12 @@ func main() {
 // builds and validations warm once instead of being charged to
 // whichever pass ran first (v2 charged them to the serial pass, which
 // inflated parallel_speedup).
+//
+// Schema v4: adds optimize_deduped (structurally identical optimize
+// candidates coalesced onto one simulation by program fingerprint) and,
+// when -surrogate names a model, the surrogate_* block: learned-vs-exact
+// coverage, MAPE, p99 relative error and mean predict latency over the
+// differential corpus.
 type engineBench struct {
 	Schema          string  `json:"schema"`
 	Chip            string  `json:"chip"`
@@ -177,6 +187,15 @@ type engineBench struct {
 	CacheHitRate    float64 `json:"cache_hit_rate"`
 	OptimizeHits    uint64  `json:"optimize_cache_hits"`
 	OptimizeHitRate float64 `json:"optimize_cache_hit_rate"`
+	OptimizeDeduped uint64  `json:"optimize_deduped"`
+
+	// Learned-surrogate evaluation over the differential corpus (only
+	// with -surrogate; see FORMATS.md §10.3).
+	SurrogateModel     string  `json:"surrogate_model,omitempty"`
+	SurrogateCoverage  float64 `json:"surrogate_coverage,omitempty"`
+	SurrogateMAPE      float64 `json:"surrogate_mape,omitempty"`
+	SurrogateP99       float64 `json:"surrogate_p99_rel_err,omitempty"`
+	SurrogatePredictNS float64 `json:"surrogate_predict_ns,omitempty"`
 
 	// Disk cache counters (zero unless -cachedir/ASCENDPERF_CACHE_DIR
 	// is configured; hits > 0 means this invocation warm-started from a
@@ -210,7 +229,7 @@ type sweepPoint struct {
 // simulation cache — and writes the comparison to path. A positive
 // minScaling turns the sweep into a gate: the workers=4 point must
 // reach that speedup over workers=1.
-func benchEngine(path string, minScaling float64) error {
+func benchEngine(path string, minScaling float64, surrPath string) error {
 	chip := hw.TrainingChip()
 	models := model.All()
 	sim.ResetCounters()
@@ -240,7 +259,7 @@ func benchEngine(path string, minScaling float64) error {
 	}
 
 	rec := engineBench{
-		Schema:    "ascendperf/bench-engine/v3",
+		Schema:    "ascendperf/bench-engine/v4",
 		Chip:      chip.Name,
 		Workloads: len(models),
 	}
@@ -335,6 +354,7 @@ func benchEngine(path string, minScaling float64) error {
 	// every baseline the analyze pass already ran, so its hit count
 	// measures how much the cycle reuses simulations.
 	engine.SetCacheCapacity(engine.DefaultCacheCapacity)
+	opt.ResetDedupCounters()
 	r := model.NewRunner(chip)
 	if _, err := r.Run(models[0]); err != nil {
 		return err
@@ -343,6 +363,7 @@ func benchEngine(path string, minScaling float64) error {
 		return err
 	}
 	optStats := engine.DefaultCache().Stats()
+	rec.OptimizeDeduped, _ = opt.DedupCounters()
 
 	rec.SerialNS = serial.Nanoseconds()
 	rec.ParallelNS = parallel.Nanoseconds()
@@ -371,6 +392,12 @@ func benchEngine(path string, minScaling float64) error {
 	rec.SchedPoolHits = snap.Sched.PoolHits
 	rec.SchedPoolMisses = snap.Sched.PoolMisses
 
+	if surrPath != "" {
+		if err := benchSurrogate(&rec, chip, surrPath); err != nil {
+			return err
+		}
+	}
+
 	out, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {
 		return err
@@ -384,10 +411,74 @@ func benchEngine(path string, minScaling float64) error {
 		fmt.Printf("  workers=%-3d %12s  (%.2fx)\n", pt.Workers, time.Duration(pt.NS), pt.Speedup)
 	}
 	fmt.Printf("  cached   %12s  (%.2fx, hit rate %.1f%%)\n", cached, rec.CachedSpeedup, 100*rec.CacheHitRate)
-	fmt.Printf("  optimize loop cache hit rate %.1f%% (%d hits)\n", 100*rec.OptimizeHitRate, rec.OptimizeHits)
+	fmt.Printf("  optimize loop cache hit rate %.1f%% (%d hits, %d candidates deduplicated)\n",
+		100*rec.OptimizeHitRate, rec.OptimizeHits, rec.OptimizeDeduped)
+	if rec.SurrogateModel != "" {
+		fmt.Printf("  surrogate %s: coverage %.1f%%, MAPE %.4f, p99 %.4f, %.0f ns/predict\n",
+			rec.SurrogateModel, 100*rec.SurrogateCoverage, rec.SurrogateMAPE, rec.SurrogateP99, rec.SurrogatePredictNS)
+	}
 	fmt.Println("  sweep reports byte-identical across worker counts")
 	fmt.Println("wrote", path)
 	return nil
+}
+
+// benchSurrogate fills the surrogate_* block: learned-vs-exact error
+// over the full differential corpus (all three chips, exact makespans
+// through the cached engine) and the mean predict-call latency over the
+// accepted cases.
+func benchSurrogate(rec *engineBench, _ *hw.Chip, surrPath string) error {
+	m, err := surrogate.LoadModel(surrPath)
+	if err != nil {
+		return err
+	}
+	chips := map[string]*hw.Chip{
+		"training":  hw.TrainingChip(),
+		"inference": hw.InferenceChip(),
+		"tpu":       hw.TPUStyleChip(),
+	}
+	cases := check.Corpus(chips)
+	features := make([][]float64, len(cases))
+	var accepted int
+	var sumErr float64
+	var errs []float64
+	for i, c := range cases {
+		exact, err := engine.Simulate(c.Chip, c.Prog, sim.Options{})
+		if err != nil {
+			return fmt.Errorf("surrogate bench %s: %w", c.Name, err)
+		}
+		features[i] = surrogate.Extract(c.Chip, c.Prog)
+		est, ok := m.Predict(features[i])
+		if !ok {
+			continue
+		}
+		accepted++
+		e := absFloat(est-exact.TotalTime) / exact.TotalTime
+		sumErr += e
+		errs = append(errs, e)
+	}
+	rec.SurrogateModel = surrPath
+	rec.SurrogateCoverage = float64(accepted) / float64(len(cases))
+	if accepted > 0 {
+		rec.SurrogateMAPE = sumErr / float64(accepted)
+		sort.Float64s(errs)
+		rec.SurrogateP99 = errs[(len(errs)-1)*99/100]
+	}
+	// Predict latency: every corpus feature vector, round-robin, enough
+	// iterations to dwarf timer granularity.
+	const iters = 50000
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		m.Predict(features[i%len(features)])
+	}
+	rec.SurrogatePredictNS = float64(time.Since(start).Nanoseconds()) / iters
+	return nil
+}
+
+func absFloat(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
 }
 
 func run(exp, svgPath string) error {

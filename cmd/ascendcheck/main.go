@@ -21,6 +21,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"sort"
 	"strings"
@@ -29,6 +30,8 @@ import (
 	"ascendperf/internal/cliutil"
 	"ascendperf/internal/engine"
 	"ascendperf/internal/hw"
+	"ascendperf/internal/sim"
+	"ascendperf/internal/surrogate"
 )
 
 // SchemaReport identifies the JSON report format (FORMATS.md §7).
@@ -92,6 +95,8 @@ func main() {
 		jsonPath    = flag.String("json", "", "write the FORMATS.md §7 JSON report to this file")
 		verbose     = flag.Bool("v", false, "print every case, not just failures")
 		cacheDir    = flag.String("cachedir", "", "persistent simulation cache directory (default ASCENDPERF_CACHE_DIR); successive runs warm-start the production scheduler's side of the diff")
+		surrogateP  = flag.String("surrogate", "", "surrogate model file: replay the corpus through the learned predictor instead of the differential harness, gating accepted-prediction MAPE and gated-case bit-identity")
+		maxMAPE     = flag.Float64("maxmape", 0, "with -surrogate: accepted-prediction MAPE gate (0 = the model's committed bound)")
 		version     = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
@@ -105,10 +110,104 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *surrogateP != "" {
+		if err := runSurrogate(*chipsFlag, *surrogateP, *maxMAPE, *workers, *verbose); err != nil {
+			fmt.Fprintln(os.Stderr, "ascendcheck:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*kernelsFlag, *chipsFlag, *seed, *props, *progLen, *workers, *jsonPath, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "ascendcheck:", err)
 		os.Exit(1)
 	}
+}
+
+// runSurrogate is the learned-predictor accuracy harness: install the
+// model behind engine.SimulateApprox exactly as ascendd serves it,
+// replay every corpus case, and enforce the two-sided contract — every
+// gate-rejected case must be served bit-identical to the exact
+// simulator (same ticks, same aggregates), and accepted predictions
+// must meet the committed MAPE bound.
+func runSurrogate(chipsFlag, modelPath string, maxMAPE float64, workers int, verbose bool) error {
+	chips, err := selectChips(chipsFlag)
+	if err != nil {
+		return err
+	}
+	m, err := surrogate.LoadModel(modelPath)
+	if err != nil {
+		return err
+	}
+	engine.SetPredictor(surrogate.NewPredictor(m, ""))
+	defer engine.SetPredictor(nil)
+
+	cases := check.Corpus(chips)
+	type verdict struct {
+		accepted bool
+		relErr   float64
+	}
+	results, err := engine.ParallelMap(workers, len(cases), func(i int) (verdict, error) {
+		c := cases[i]
+		exact, err := sim.RunOpts(c.Chip, c.Prog, sim.Options{})
+		if err != nil {
+			return verdict{}, fmt.Errorf("%s: exact sim: %w", c.Name, err)
+		}
+		served, err := engine.SimulateApprox(c.Chip, c.Prog, sim.Options{})
+		if err != nil {
+			return verdict{}, fmt.Errorf("%s: serve path: %w", c.Name, err)
+		}
+		if served.Approx {
+			return verdict{accepted: true,
+				relErr: math.Abs(served.TotalTime-exact.TotalTime) / exact.TotalTime}, nil
+		}
+		// Gate rejected: the served result must be the exact simulation,
+		// to the tick.
+		if served.TotalTime != exact.TotalTime {
+			return verdict{}, fmt.Errorf("%s: gated case served TotalTime %v, exact %v",
+				c.Name, served.TotalTime, exact.TotalTime)
+		}
+		for comp, busy := range exact.Busy {
+			if served.Busy[comp] != busy {
+				return verdict{}, fmt.Errorf("%s: gated case served Busy[%d] %v, exact %v",
+					c.Name, comp, served.Busy[comp], busy)
+			}
+		}
+		return verdict{}, nil
+	})
+	if err != nil {
+		return err
+	}
+	accepted, sumErr, worst := 0, 0.0, 0.0
+	for i, v := range results {
+		if !v.accepted {
+			if verbose {
+				fmt.Printf("gated %-40s served exact\n", cases[i].Name)
+			}
+			continue
+		}
+		accepted++
+		sumErr += v.relErr
+		if v.relErr > worst {
+			worst = v.relErr
+		}
+		if verbose {
+			fmt.Printf("ok    %-40s relerr %.4f\n", cases[i].Name, v.relErr)
+		}
+	}
+	if accepted == 0 {
+		return fmt.Errorf("surrogate gate accepted none of %d cases", len(cases))
+	}
+	mape := sumErr / float64(accepted)
+	bound := maxMAPE
+	if bound == 0 {
+		bound = m.MAPEBound
+	}
+	fmt.Printf("ascendcheck: surrogate over %d cases: %d predicted (coverage %.3f), %d served exact; MAPE %.4f, worst %.4f (bound %.4f)\n",
+		len(cases), accepted, float64(accepted)/float64(len(cases)), len(cases)-accepted, mape, worst, bound)
+	if mape > bound {
+		return fmt.Errorf("accepted-prediction MAPE %.4f exceeds bound %.4f", mape, bound)
+	}
+	return nil
 }
 
 // selectChips resolves the -chips flag into named presets.

@@ -10,6 +10,7 @@
 //	ascendd -addr 127.0.0.1:0      # pick a free port, printed on stdout
 //	ascendd -concurrency 4 -queue 128 -timeout 60s
 //	ascendd -l2 http://router:8380  # consult a shared cluster cache tier
+//	ascendd -surrogate MODEL_surrogate.json -surrogatelog train.jsonl
 //
 // SIGINT/SIGTERM drain in-flight requests before exit: /readyz turns
 // 503 (with Retry-After on shed analyses) while in-flight work
@@ -32,6 +33,7 @@ import (
 	"ascendperf/internal/cluster"
 	"ascendperf/internal/engine"
 	"ascendperf/internal/serve"
+	"ascendperf/internal/surrogate"
 )
 
 func main() {
@@ -46,6 +48,8 @@ func main() {
 		cacheCap    = flag.Int("cache", engine.DefaultCacheCapacity, "simulation cache capacity in entries (0 disables)")
 		cacheDir    = flag.String("cachedir", "", "persistent simulation cache directory (default ASCENDPERF_CACHE_DIR); restarts warm-start from it")
 		l2          = flag.String("l2", "", "base URL of a shared L2 cache tier (an ascendrouter -l2dir or cache server); consulted on local cache miss")
+		surrModel   = flag.String("surrogate", "", "learned surrogate model (ascendfit train output); answers /v1/simulate cache misses behind a confidence gate")
+		surrLog     = flag.String("surrogatelog", "", "JSONL training log appended on gated fallbacks (feed back into ascendfit train -log)")
 		version     = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
@@ -60,6 +64,20 @@ func main() {
 			fmt.Fprintln(os.Stderr, "ascendd:", err)
 			os.Exit(1)
 		}
+	}
+	if *surrModel != "" {
+		m, err := surrogate.LoadModel(*surrModel)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ascendd:", err)
+			os.Exit(1)
+		}
+		pred := surrogate.NewPredictor(m, *surrLog)
+		engine.SetPredictor(pred)
+		defer pred.Close()
+		fmt.Printf("ascendd: surrogate %s (MAPE bound %.4f)\n", *surrModel, m.MAPEBound)
+	} else if *surrLog != "" {
+		fmt.Fprintln(os.Stderr, "ascendd: -surrogatelog requires -surrogate")
+		os.Exit(1)
 	}
 	cfg := serve.Config{
 		Concurrency:   *concurrency,

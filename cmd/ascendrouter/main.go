@@ -45,6 +45,7 @@ func main() {
 		probe    = flag.Duration("probe", time.Second, "health-probe interval (jittered per backend)")
 		timeout  = flag.Duration("timeout", 60*time.Second, "per-proxied-request timeout")
 		l2dir    = flag.String("l2dir", "", "host the shared L2 cache tier from this directory (empty disables)")
+		l2max    = flag.Int64("l2maxbytes", 0, "cap the hosted L2 directory at this many bytes, evicting least-recently-used entries (0 = unbounded)")
 		version  = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
@@ -62,6 +63,7 @@ func main() {
 		ProbeInterval: *probe,
 		Timeout:       *timeout,
 		L2Dir:         *l2dir,
+		L2MaxBytes:    *l2max,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ascendrouter:", err)

@@ -9,8 +9,11 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // CacheServer is the shared second-level response cache: a tiny
@@ -25,39 +28,74 @@ import (
 // dependency: any I/O failure is a miss or a dropped store, never an
 // error surfaced to the analysis path.
 //
+// A positive maxBytes caps the directory: PUTs that would push the
+// resident total past the cap evict least-recently-used entries
+// (oldest mtime; GETs touch it) under the same lock that does the
+// size accounting, so concurrent PUTs cannot race the directory past
+// the cap. maxBytes <= 0 means unbounded — the pre-cap behaviour.
+//
 // Protocol (FORMATS.md §9.3):
 //
 //	GET  /l2/{hexkey}  -> 200 + body | 404
 //	PUT  /l2/{hexkey}  -> 204
 //	GET  /l2stats      -> JSON CacheServerStats
 type CacheServer struct {
-	dir    string
-	hits   atomic.Uint64
-	misses atomic.Uint64
-	puts   atomic.Uint64
-	errors atomic.Uint64
+	dir      string
+	maxBytes int64
+
+	// mu serializes PUT size accounting and eviction; GETs stay
+	// lock-free (a concurrently evicted entry is just a miss).
+	mu        sync.Mutex
+	sizeBytes int64
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	puts      atomic.Uint64
+	errors    atomic.Uint64
+	evictions atomic.Uint64
 }
 
 // CacheServerStats is the /l2stats payload.
 type CacheServerStats struct {
-	Dir     string `json:"dir"`
-	Hits    uint64 `json:"hits"`
-	Misses  uint64 `json:"misses"`
-	Puts    uint64 `json:"puts"`
-	Errors  uint64 `json:"errors"`
-	Entries int    `json:"entries"`
+	Dir       string `json:"dir"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Puts      uint64 `json:"puts"`
+	Errors    uint64 `json:"errors"`
+	Entries   int    `json:"entries"`
+	MaxBytes  int64  `json:"max_bytes,omitempty"`
+	SizeBytes int64  `json:"size_bytes"`
+	Evictions uint64 `json:"evictions"`
 }
 
 // maxL2Body bounds stored values; response bodies are JSON documents a
 // few KB to a few hundred KB, so 8 MiB is generous.
 const maxL2Body = 8 << 20
 
-// NewCacheServer opens (creating if needed) a cache store rooted at dir.
-func NewCacheServer(dir string) (*CacheServer, error) {
+// NewCacheServer opens (creating if needed) a cache store rooted at
+// dir, capped at maxBytes of resident entries (<= 0 = unbounded).
+// Entries surviving from a previous run count against the cap from the
+// start: the constructor scans the directory and evicts immediately if
+// a lowered cap is already exceeded.
+func NewCacheServer(dir string, maxBytes int64) (*CacheServer, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("cluster: cache server: %w", err)
 	}
-	return &CacheServer{dir: dir}, nil
+	c := &CacheServer{dir: dir, maxBytes: maxBytes}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if names, err := os.ReadDir(dir); err == nil {
+		for _, n := range names {
+			if !strings.HasSuffix(n.Name(), ".l2") {
+				continue
+			}
+			if info, err := n.Info(); err == nil {
+				c.sizeBytes += info.Size()
+			}
+		}
+	}
+	c.evictLocked()
+	return c, nil
 }
 
 // Stats snapshots the counters and counts resident entries.
@@ -70,13 +108,19 @@ func (c *CacheServer) Stats() CacheServerStats {
 			}
 		}
 	}
+	c.mu.Lock()
+	size := c.sizeBytes
+	c.mu.Unlock()
 	return CacheServerStats{
-		Dir:     c.dir,
-		Hits:    c.hits.Load(),
-		Misses:  c.misses.Load(),
-		Puts:    c.puts.Load(),
-		Errors:  c.errors.Load(),
-		Entries: entries,
+		Dir:       c.dir,
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Puts:      c.puts.Load(),
+		Errors:    c.errors.Load(),
+		Entries:   entries,
+		MaxBytes:  c.maxBytes,
+		SizeBytes: size,
+		Evictions: c.evictions.Load(),
 	}
 }
 
@@ -118,6 +162,11 @@ func (c *CacheServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, "miss", http.StatusNotFound)
 			return
 		}
+		// Touch so eviction order approximates LRU rather than
+		// insertion order. Best-effort: a failed touch only ages the
+		// entry, it cannot corrupt anything.
+		now := time.Now()
+		os.Chtimes(path, now, now)
 		c.hits.Add(1)
 		w.Header().Set("Content-Type", "application/json")
 		w.Write(body)
@@ -128,7 +177,14 @@ func (c *CacheServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, "read body: "+err.Error(), http.StatusBadRequest)
 			return
 		}
-		if err := c.write(path, body); err != nil {
+		if c.maxBytes > 0 && int64(len(body)) > c.maxBytes {
+			// One entry larger than the whole cap: storing it would
+			// evict everything and still violate the cap, so decline.
+			// A dropped store is invisible to callers by design.
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		if err := c.store(path, body); err != nil {
 			c.errors.Add(1)
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
@@ -137,6 +193,71 @@ func (c *CacheServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusNoContent)
 	default:
 		http.Error(w, "GET or PUT required", http.StatusMethodNotAllowed)
+	}
+}
+
+// store lands body at path and settles the size budget. The whole
+// operation — replacement stat, rename, accounting, eviction — runs
+// under mu so concurrent PUTs serialize their budget updates and the
+// directory never overshoots the cap.
+func (c *CacheServer) store(path string, body []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var replaced int64
+	if info, err := os.Stat(path); err == nil {
+		replaced = info.Size()
+	}
+	if err := c.write(path, body); err != nil {
+		return err
+	}
+	c.sizeBytes += int64(len(body)) - replaced
+	c.evictLocked()
+	return nil
+}
+
+// evictLocked removes least-recently-used entries (oldest mtime) until
+// the resident total fits the cap. Caller holds mu.
+func (c *CacheServer) evictLocked() {
+	if c.maxBytes <= 0 || c.sizeBytes <= c.maxBytes {
+		return
+	}
+	type entry struct {
+		name  string
+		size  int64
+		mtime time.Time
+	}
+	names, err := os.ReadDir(c.dir)
+	if err != nil {
+		return
+	}
+	entries := make([]entry, 0, len(names))
+	for _, n := range names {
+		if !strings.HasSuffix(n.Name(), ".l2") {
+			continue
+		}
+		info, err := n.Info()
+		if err != nil {
+			continue
+		}
+		entries = append(entries, entry{n.Name(), info.Size(), info.ModTime()})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].mtime.Before(entries[j].mtime) })
+	// Re-derive the resident total from the scan: counter drift (e.g.
+	// an entry deleted behind our back) must not strand the budget.
+	var total int64
+	for _, e := range entries {
+		total += e.size
+	}
+	c.sizeBytes = total
+	for _, e := range entries {
+		if c.sizeBytes <= c.maxBytes {
+			break
+		}
+		if err := os.Remove(filepath.Join(c.dir, e.name)); err != nil && !os.IsNotExist(err) {
+			continue
+		}
+		c.sizeBytes -= e.size
+		c.evictions.Add(1)
 	}
 }
 

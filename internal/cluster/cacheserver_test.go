@@ -1,12 +1,17 @@
 package cluster
 
 import (
+	"fmt"
 	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
 	"testing"
+	"time"
 )
 
 func TestCacheServerRoundTrip(t *testing.T) {
-	cs, err := NewCacheServer(t.TempDir())
+	cs, err := NewCacheServer(t.TempDir(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,7 +47,7 @@ func TestCacheServerRoundTrip(t *testing.T) {
 // instance stored.
 func TestCacheServerPersistence(t *testing.T) {
 	dir := t.TempDir()
-	first, err := NewCacheServer(dir)
+	first, err := NewCacheServer(dir, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +55,7 @@ func TestCacheServerPersistence(t *testing.T) {
 	NewL2Client(srv.URL, 0).Put("k", []byte("persisted"))
 	srv.Close()
 
-	second, err := NewCacheServer(dir)
+	second, err := NewCacheServer(dir, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,7 +70,7 @@ func TestCacheServerPersistence(t *testing.T) {
 // TestCacheServerRejectsBadKeys keeps arbitrary paths off the
 // filesystem: only 64-char hex wire keys are accepted.
 func TestCacheServerRejectsBadKeys(t *testing.T) {
-	cs, err := NewCacheServer(t.TempDir())
+	cs, err := NewCacheServer(t.TempDir(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,5 +98,140 @@ func TestCacheServerDeadTier(t *testing.T) {
 	c.Put("k", []byte("x")) // must not panic or block
 	if c.Errors() == 0 {
 		t.Error("dead tier produced no error counts")
+	}
+}
+
+// TestCacheServerEviction is the fill-past-cap regression test: the
+// resident directory must never exceed -l2maxbytes after any completed
+// PUT, eviction must shed the least-recently-used entries first (GETs
+// refresh recency), and the budget must survive a warm restart.
+func TestCacheServerEviction(t *testing.T) {
+	dir := t.TempDir()
+	const cap = 4096
+	cs, err := NewCacheServer(dir, cap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(cs)
+	defer srv.Close()
+	c := NewL2Client(srv.URL, 0)
+
+	dirSize := func() int64 {
+		t.Helper()
+		var total int64
+		names, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range names {
+			if !strings.HasSuffix(n.Name(), ".l2") {
+				continue
+			}
+			info, err := n.Info()
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += info.Size()
+		}
+		return total
+	}
+
+	value := make([]byte, 1024)
+	key := func(i int) string { return fmt.Sprintf("key-%03d", i) }
+	// Fill to exactly the cap, then keep going: every completed PUT
+	// must leave the directory within budget.
+	for i := 0; i < 12; i++ {
+		c.Put(key(i), value)
+		if got := dirSize(); got > cap {
+			t.Fatalf("after put %d: directory holds %d bytes, cap %d", i, got, cap)
+		}
+		// Distinct mtimes so LRU order is unambiguous even on coarse
+		// filesystem timestamps.
+		time.Sleep(5 * time.Millisecond)
+		// Touch the first key each round: it must outlive younger but
+		// colder entries.
+		if _, ok := c.Get(key(0)); !ok && i < 3 {
+			t.Fatalf("after put %d: freshly stored %s already gone", i, key(0))
+		}
+	}
+	if _, ok := c.Get(key(0)); !ok {
+		t.Error("LRU eviction dropped the constantly-touched entry")
+	}
+	if _, ok := c.Get(key(5)); ok {
+		t.Error("cold mid-fill entry survived a full wraparound of the budget")
+	}
+	st := cs.Stats()
+	if st.Evictions == 0 {
+		t.Error("fill past cap recorded no evictions")
+	}
+	if st.SizeBytes > cap || st.MaxBytes != cap {
+		t.Errorf("stats budget = %d/%d, want <= cap %d", st.SizeBytes, st.MaxBytes, cap)
+	}
+
+	// A value larger than the whole cap is declined, not stored.
+	c.Put("oversized", make([]byte, cap+1))
+	if got := dirSize(); got > cap {
+		t.Fatalf("oversized put pushed directory to %d bytes, cap %d", got, cap)
+	}
+
+	// Warm restart with a lower cap: surviving entries count against
+	// the new budget immediately.
+	srv.Close()
+	cs2, err := NewCacheServer(dir, 1536)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := dirSize(); got > 1536 {
+		t.Fatalf("restart with lower cap left %d bytes resident", got)
+	}
+	if st := cs2.Stats(); st.SizeBytes > 1536 {
+		t.Errorf("restarted budget %d exceeds cap 1536", st.SizeBytes)
+	}
+}
+
+// TestCacheServerEvictionConcurrent hammers PUTs from many goroutines:
+// size accounting and eviction are serialized, so once the dust
+// settles the directory must be within budget with no entries lost to
+// racy double-counting.
+func TestCacheServerEvictionConcurrent(t *testing.T) {
+	dir := t.TempDir()
+	const cap = 8192
+	cs, err := NewCacheServer(dir, cap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(cs)
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := NewL2Client(srv.URL, 0)
+			value := make([]byte, 512)
+			for i := 0; i < 16; i++ {
+				c.Put(fmt.Sprintf("w%d-i%d", w, i), value)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var total int64
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range names {
+		if strings.HasSuffix(n.Name(), ".l2") {
+			info, _ := n.Info()
+			total += info.Size()
+		}
+	}
+	if total > cap {
+		t.Fatalf("concurrent fill left %d bytes resident, cap %d", total, cap)
+	}
+	if st := cs.Stats(); st.SizeBytes != total {
+		t.Errorf("accounted size %d != resident size %d", st.SizeBytes, total)
 	}
 }

@@ -74,7 +74,7 @@ func TestL2SharedAcrossShards(t *testing.T) {
 
 func mustCacheServer(t *testing.T) *CacheServer {
 	t.Helper()
-	cs, err := NewCacheServer(t.TempDir())
+	cs, err := NewCacheServer(t.TempDir(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}

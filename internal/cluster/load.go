@@ -337,7 +337,7 @@ func runSpawned(cfg LoadConfig, mix []clusterRequest, n int) (*EntryReport, erro
 		return nil, err
 	}
 	defer os.RemoveAll(l2dir)
-	cacheServer, err := NewCacheServer(l2dir)
+	cacheServer, err := NewCacheServer(l2dir, 0)
 	if err != nil {
 		return nil, err
 	}

@@ -32,6 +32,9 @@ type RouterConfig struct {
 	// operate for small clusters. Backends point their -l2 flag at this
 	// router's address.
 	L2Dir string
+	// L2MaxBytes caps the embedded L2 directory's resident bytes; PUTs
+	// past the cap evict least-recently-used entries (0 = unbounded).
+	L2MaxBytes int64
 }
 
 func (c RouterConfig) withDefaults() RouterConfig {
@@ -94,7 +97,7 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 		routed: make([]atomic.Uint64, len(backends)),
 	}
 	if cfg.L2Dir != "" {
-		l2, err := NewCacheServer(cfg.L2Dir)
+		l2, err := NewCacheServer(cfg.L2Dir, cfg.L2MaxBytes)
 		if err != nil {
 			return nil, err
 		}
@@ -174,7 +177,7 @@ func (rt *Router) tryOrder(key string) []string {
 
 // forwardedHeaders are the response headers copied from shard to
 // client; everything else is router-owned.
-var forwardedHeaders = []string{"Content-Type", "X-Ascendd-Cache", "X-Ascendd-Coalesced", "X-Ascendd-L2", "Retry-After"}
+var forwardedHeaders = []string{"Content-Type", "X-Ascendd-Cache", "X-Ascendd-Coalesced", "X-Ascendd-L2", "X-Ascendd-Surrogate", "Retry-After"}
 
 // analysisProxy proxies one POST analysis endpoint with consistent-hash
 // placement and bounded (single-retry) failover.
@@ -368,6 +371,9 @@ func (rt *Router) handleStats(w http.ResponseWriter, _ *http.Request) {
 		agg.Engine.SchedRuns += stats.Engine.SchedRuns
 		agg.Engine.SchedEvents += stats.Engine.SchedEvents
 		agg.Engine.SchedStarts += stats.Engine.SchedStarts
+		agg.Engine.SurrogatePredicted += stats.Engine.SurrogatePredicted
+		agg.Engine.SurrogateGated += stats.Engine.SurrogateGated
+		agg.Engine.SurrogateFallback += stats.Engine.SurrogateFallback
 	}
 	if total := agg.Engine.CacheHits + agg.Engine.CacheMisses; total > 0 {
 		agg.Engine.CacheHitRate = float64(agg.Engine.CacheHits) / float64(total)

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -254,5 +255,63 @@ func TestRouterUnavailable(t *testing.T) {
 	}
 	if !strings.Contains(string(body), `"unavailable"`) {
 		t.Errorf("body %s lacks unavailable code", body)
+	}
+}
+
+// TestProxyFailoverReplaysBody is the body-replay regression test: the
+// first backend to receive the proxied POST kills the connection
+// mid-request (after draining the body, before any response bytes), and
+// the retried attempt on the next ring node must carry the complete
+// JSON body — not a drained reader, not a truncated buffer. This pins
+// the forward() contract that every attempt re-reads the same buffered
+// bytes.
+func TestProxyFailoverReplaysBody(t *testing.T) {
+	// A large body makes partial-buffering bugs visible: pad the
+	// program field well past any internal chunk size.
+	pad := strings.Repeat("# padding line to inflate the request body\n", 4096)
+	body := fmt.Sprintf(`{"chip":"training","program":%q}`, pad)
+
+	var killed atomic.Bool
+	var got atomic.Value // string: body seen by the surviving backend
+	shard := func() *httptest.Server {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+			fmt.Fprintln(w, "ready")
+		})
+		mux.HandleFunc("/v1/", func(w http.ResponseWriter, r *http.Request) {
+			b, err := io.ReadAll(r.Body)
+			if err != nil {
+				t.Errorf("backend read body: %v", err)
+			}
+			if killed.CompareAndSwap(false, true) {
+				// First attempt dies mid-request: abort the connection
+				// with no response bytes, whichever shard owns the key.
+				panic(http.ErrAbortHandler)
+			}
+			got.Store(string(b))
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprint(w, `{"ok":true}`)
+		})
+		return httptest.NewServer(mux)
+	}
+	a, b := shard(), shard()
+	defer a.Close()
+	defer b.Close()
+	rt := newTestRouter(t, []string{a.URL, b.URL})
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	resp := post(t, front.Client(), front.URL+"/v1/simulate", body)
+	respBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("failover request: HTTP %d: %s", resp.StatusCode, respBody)
+	}
+	if resp.Header.Get("X-Ascendd-Failover") != "1" {
+		t.Error("no X-Ascendd-Failover header: the first attempt was not killed")
+	}
+	replayed, _ := got.Load().(string)
+	if replayed != body {
+		t.Fatalf("surviving backend saw %d bytes, want the full %d-byte body", len(replayed), len(body))
 	}
 }

@@ -1,0 +1,92 @@
+package critpath
+
+import (
+	"math"
+	"testing"
+
+	"ascendperf/internal/check"
+	"ascendperf/internal/hw"
+	"ascendperf/internal/isa"
+	"ascendperf/internal/sim"
+)
+
+// proxyBounds computes the invariant bracket for one program: the
+// maximum per-component serial busy time (no schedule can beat running
+// one component's work back to back) and the fully-serial time plus the
+// total front-end latency (no hazard-free schedule can be slower).
+func proxyBounds(chip *hw.Chip, prog *isa.Program) (lo, hi float64) {
+	var busy [hw.NumComponents]float64
+	var serial float64
+	for i := range prog.Instrs {
+		in := &prog.Instrs[i]
+		c, ok := in.Component(chip)
+		if !ok {
+			continue
+		}
+		d := StaticDuration(chip, in)
+		busy[c] += d
+		serial += d
+	}
+	for _, b := range busy {
+		if b > lo {
+			lo = b
+		}
+	}
+	hi = serial + float64(len(prog.Instrs))*Quant(chip.DispatchLatency)
+	return lo, hi
+}
+
+// TestProxyCorpus checks the static proxy over the full differential
+// corpus: finite, deterministic, inside the [max-busy, serial+dispatch]
+// bracket, and within a (very lenient) multiplicative band of the exact
+// simulated makespan. The tight accuracy statement lives in the trained
+// surrogate model's residual bound, not here.
+func TestProxyCorpus(t *testing.T) {
+	chips := map[string]*hw.Chip{
+		"training":  hw.TrainingChip(),
+		"inference": hw.InferenceChip(),
+		"tpu":       hw.TPUStyleChip(),
+	}
+	cases := check.Corpus(chips)
+	if len(cases) == 0 {
+		t.Fatal("empty corpus")
+	}
+	for _, c := range cases {
+		got := Proxy(c.Chip, c.Prog)
+		if math.IsNaN(got) || math.IsInf(got, 0) || got < 0 {
+			t.Fatalf("%s: proxy not finite/non-negative: %v", c.Name, got)
+		}
+		if again := Proxy(c.Chip, c.Prog); again != got {
+			t.Fatalf("%s: proxy not deterministic: %v vs %v", c.Name, got, again)
+		}
+		lo, hi := proxyBounds(c.Chip, c.Prog)
+		const eps = 1e-6
+		if got < lo-eps || got > hi+eps {
+			t.Fatalf("%s: proxy %v outside bracket [%v, %v]", c.Name, got, lo, hi)
+		}
+		p, err := sim.Run(c.Chip, c.Prog)
+		if err != nil {
+			t.Fatalf("%s: sim: %v", c.Name, err)
+		}
+		if p.TotalTime > 0 && got > 0 {
+			if r := math.Abs(math.Log(p.TotalTime / got)); r > math.Log(1000) {
+				t.Fatalf("%s: proxy %v vs exact %v (log ratio %v)", c.Name, got, p.TotalTime, r)
+			}
+		}
+	}
+}
+
+// TestProxyEmptyAndUnroutable: degenerate programs must not panic and
+// must stay finite.
+func TestProxyEmpty(t *testing.T) {
+	chip := hw.TrainingChip()
+	if got := Proxy(chip, &isa.Program{Name: "empty"}); got != 0 {
+		t.Fatalf("empty program proxy = %v, want 0", got)
+	}
+	bad := &isa.Program{Name: "bad"}
+	bad.Append(isa.Instr{Kind: isa.Kind(99)})
+	got := Proxy(chip, bad)
+	if math.IsNaN(got) || math.IsInf(got, 0) || got < 0 {
+		t.Fatalf("unroutable program proxy not finite: %v", got)
+	}
+}

@@ -1,0 +1,130 @@
+package engine
+
+import (
+	"sync/atomic"
+
+	"ascendperf/internal/hw"
+	"ascendperf/internal/isa"
+	"ascendperf/internal/profile"
+	"ascendperf/internal/sim"
+)
+
+// Predictor is the learned-surrogate hook consulted by SimulateApprox
+// between the cache layers and the exact simulator. Predict returns an
+// approximate profile (Approx set, exact aggregates, estimated
+// TotalTime) and true when its confidence gate accepts the case; on
+// false the engine falls back to the exact simulator and hands the
+// result to RecordExact so the miss becomes training data.
+// Implementations must be safe for concurrent use (internal/surrogate
+// provides the production one).
+type Predictor interface {
+	Predict(chip *hw.Chip, prog *isa.Program, opts sim.Options) (*profile.Profile, bool)
+	RecordExact(chip *hw.Chip, prog *isa.Program, p *profile.Profile)
+}
+
+// predictor is the process-wide surrogate hook, nil when not installed.
+var predictor atomic.Pointer[Predictor]
+
+// Surrogate decision counters (process-wide, monotone).
+var (
+	surrPredicted atomic.Uint64 // gate accepted, estimate served
+	surrGated     atomic.Uint64 // gate rejected, exact fallback + training log
+	surrFallback  atomic.Uint64 // total exact fallbacks (gated + ineligible)
+)
+
+// SurrogateStats is the decision-counter snapshot of the surrogate
+// layer.
+type SurrogateStats struct {
+	// Predicted counts estimates served; Gated counts confidence-gate
+	// rejections; Fallback counts every SimulateApprox call answered by
+	// the exact simulator while a predictor was installed (gate
+	// rejections plus ineligible requests, e.g. span-keeping runs).
+	Predicted, Gated, Fallback uint64
+}
+
+// SetPredictor installs (or with nil removes) the process-wide
+// surrogate predictor consulted by SimulateApprox. Daemons wire their
+// -surrogate flag here.
+func SetPredictor(p Predictor) {
+	if p == nil {
+		predictor.Store(nil)
+		return
+	}
+	predictor.Store(&p)
+}
+
+// SimulateApprox is Simulate with the learned surrogate in the loop.
+// The lookup order is: memory cache, disk cache, surrogate predictor,
+// exact simulator. Exact results (cached or fresh) are always preferred
+// over predictions — the surrogate only answers genuine simulation
+// misses. Accepted predictions are returned with Profile.Approx set and
+// are never inserted into any cache tier, so caches serve exact results
+// only; gate rejections simulate exactly, populate the caches as usual
+// and feed the (features, exact) pair back to the predictor's training
+// log. Without an installed predictor it is exactly Simulate.
+func SimulateApprox(chip *hw.Chip, prog *isa.Program, opts sim.Options) (*profile.Profile, error) {
+	pp := predictor.Load()
+	if pp == nil {
+		return Simulate(chip, prog, opts)
+	}
+	pred := *pp
+	if opts.KeepSpans {
+		// Span timelines need the real scheduler; not a surrogate case.
+		surrFallback.Add(1)
+		return Simulate(chip, prog, opts)
+	}
+
+	c := defaultCache.Load()
+	d := diskCache.Load()
+	key, haveKey := cacheKey(chip, prog, opts)
+	if haveKey && c != nil {
+		if p := c.lookup(key); p != nil {
+			return p, nil
+		}
+	}
+	if haveKey && d != nil {
+		if p := d.load(key); p != nil {
+			if c != nil {
+				c.insert(key, p.Clone())
+			}
+			return p, nil
+		}
+	}
+
+	if p, ok := pred.Predict(chip, prog, opts); ok && p != nil {
+		surrPredicted.Add(1)
+		return p, nil
+	}
+	surrGated.Add(1)
+	surrFallback.Add(1)
+
+	p, err := sim.RunOpts(chip, prog, opts)
+	if err != nil {
+		return nil, err
+	}
+	if haveKey && c != nil {
+		c.insert(key, p.Clone())
+	}
+	if haveKey && d != nil {
+		d.store(key, p)
+	}
+	pred.RecordExact(chip, prog, p)
+	return p, nil
+}
+
+// ReadSurrogateStats snapshots the surrogate decision counters.
+func ReadSurrogateStats() SurrogateStats {
+	return SurrogateStats{
+		Predicted: surrPredicted.Load(),
+		Gated:     surrGated.Load(),
+		Fallback:  surrFallback.Load(),
+	}
+}
+
+// ResetSurrogateStats zeroes the surrogate decision counters (tests and
+// benchmark sections).
+func ResetSurrogateStats() {
+	surrPredicted.Store(0)
+	surrGated.Store(0)
+	surrFallback.Store(0)
+}

@@ -17,6 +17,9 @@ type ProcessStats struct {
 	Disk DiskCacheStats
 	// Sched is the scheduler core's counter snapshot.
 	Sched sim.Counters
+	// Surrogate is the learned-predictor decision snapshot; zero when
+	// no predictor is installed.
+	Surrogate SurrogateStats
 }
 
 // Stats returns a snapshot of the engine's process-wide counters.
@@ -29,5 +32,6 @@ func Stats() ProcessStats {
 		s.Disk = d.Stats()
 	}
 	s.Sched = sim.ReadCounters()
+	s.Surrogate = ReadSurrogateStats()
 	return s
 }

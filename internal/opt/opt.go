@@ -10,6 +10,7 @@ import (
 	"reflect"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"ascendperf/internal/core"
 	"ascendperf/internal/engine"
@@ -150,6 +151,44 @@ type Optimizer struct {
 	// memo.
 	buildMu   sync.Mutex
 	buildMemo map[buildKey]buildResult
+
+	// simMu guards simMemo, the structural-dedup layer of the candidate
+	// loop: distinct option sets frequently build byte-identical
+	// programs (a strategy that is a no-op at the current tile size, two
+	// strategies that commute), so simulations are memoized per program
+	// fingerprint. Entries carry a sync.Once so concurrent candidates in
+	// one ParallelMap fan-out coalesce onto a single simulation instead
+	// of racing duplicate work into the engine.
+	simMu   sync.Mutex
+	simMemo map[string]*simEntry
+}
+
+// simEntry is one fingerprint's memoized simulation.
+type simEntry struct {
+	once sync.Once
+	prof *profile.Profile
+	err  error
+}
+
+// Candidate-dedup counters, process-wide (mirrors the engine cache
+// counters): hits are simulations skipped because a structurally
+// identical candidate was already simulated by the same optimizer.
+var (
+	dedupHits   atomic.Uint64
+	dedupMisses atomic.Uint64
+)
+
+// DedupCounters returns the process-wide optimize-loop dedup counters:
+// structurally identical candidates skipped, and unique programs
+// simulated.
+func DedupCounters() (hits, misses uint64) {
+	return dedupHits.Load(), dedupMisses.Load()
+}
+
+// ResetDedupCounters zeroes the dedup counters (tests, benchmarks).
+func ResetDedupCounters() {
+	dedupHits.Store(0)
+	dedupMisses.Store(0)
 }
 
 // buildKey identifies one build: the kernel value and the option set.
@@ -184,7 +223,34 @@ func (o *Optimizer) run(k kernels.Kernel, opts kernels.Options) (*profile.Profil
 	if err != nil {
 		return nil, err
 	}
-	return engine.Simulate(o.Chip, prog, sim.Options{})
+	fp := prog.Fingerprint()
+	if fp == "" {
+		return engine.Simulate(o.Chip, prog, sim.Options{})
+	}
+	o.simMu.Lock()
+	e, hit := o.simMemo[fp]
+	if !hit {
+		if o.simMemo == nil {
+			o.simMemo = make(map[string]*simEntry)
+		}
+		e = &simEntry{}
+		o.simMemo[fp] = e
+	}
+	o.simMu.Unlock()
+	if hit {
+		dedupHits.Add(1)
+	} else {
+		dedupMisses.Add(1)
+	}
+	e.once.Do(func() {
+		e.prof, e.err = engine.Simulate(o.Chip, prog, sim.Options{})
+	})
+	if e.err != nil {
+		return nil, e.err
+	}
+	// The memoized profile is shared between hits; callers get a
+	// private clone, matching engine.Simulate's contract.
+	return e.prof.Clone(), nil
 }
 
 // build is the memoized k.Build. The returned program is shared between

@@ -244,3 +244,38 @@ func TestBuildMemoBuildsEachOptionSetOnce(t *testing.T) {
 		t.Errorf("re-optimize rebuilt programs: %d -> %d builds", before, k.builds)
 	}
 }
+
+// TestOptimizeDedupsStructuralDuplicates: distinct option sets that
+// build byte-identical programs (no-op strategies at the current
+// configuration, commuting strategies) must coalesce onto one
+// simulation per fingerprint. The paper's measurement is a 14.4%
+// duplicate rate across its optimization corpus; this pins the
+// mechanism (a nonzero hit count and an exact per-kernel value) rather
+// than the corpus-wide rate.
+func TestOptimizeDedupsStructuralDuplicates(t *testing.T) {
+	ResetDedupCounters()
+	o := New(hw.TrainingChip())
+	if _, err := o.Optimize(kernels.NewAvgPool()); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := DedupCounters()
+	if hits == 0 {
+		t.Fatalf("optimize loop found no structural duplicates (misses=%d)", misses)
+	}
+	if misses == 0 {
+		t.Fatal("dedup memo recorded no unique simulations")
+	}
+	t.Logf("dedup: %d duplicate candidates coalesced, %d unique programs (%.1f%%)",
+		hits, misses, 100*float64(hits)/float64(hits+misses))
+
+	// Determinism: the same optimization replays the same counts.
+	ResetDedupCounters()
+	o2 := New(hw.TrainingChip())
+	if _, err := o2.Optimize(kernels.NewAvgPool()); err != nil {
+		t.Fatal(err)
+	}
+	h2, m2 := DedupCounters()
+	if h2 != hits || m2 != misses {
+		t.Errorf("dedup counts not deterministic: %d/%d then %d/%d", hits, misses, h2, m2)
+	}
+}

@@ -222,6 +222,13 @@ type Profile struct {
 	// InstrCount is the number of instructions executed per component.
 	InstrCount [hw.NumComponents]int
 
+	// Approx marks a profile whose TotalTime is a learned-surrogate
+	// estimate rather than a simulated makespan (internal/surrogate).
+	// All other aggregates are still exact — they are pure functions of
+	// the program and the chip's deterministic cost model. Approximate
+	// profiles are never written to any cache tier.
+	Approx bool
+
 	// Timeline is the full execution timeline in compact form, ordered
 	// by start time. nil when the simulation did not keep spans. Use
 	// Spans / SpanAt / NumSpans to consume it as materialized Span

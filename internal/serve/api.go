@@ -89,6 +89,11 @@ type SimulateResponse struct {
 	Chip        string          `json:"chip"`
 	TotalTimeNS float64         `json:"total_time_ns"`
 	Components  []ComponentTime `json:"components"`
+	// Approx is set when total_time_ns is a learned-surrogate estimate
+	// rather than an exact simulation (ascendd -surrogate). Component
+	// aggregates are exact either way. Omitted for exact results, so
+	// existing clients and goldens are unaffected.
+	Approx bool `json:"approx,omitempty"`
 }
 
 // RooflineRequest is SimulateRequest for the analysis endpoint.
@@ -246,6 +251,11 @@ type EngineStats struct {
 	SchedRuns      uint64  `json:"sched_runs"`
 	SchedEvents    uint64  `json:"sched_events"`
 	SchedStarts    uint64  `json:"sched_starts"`
+
+	// Learned-surrogate counters (zero unless ascendd -surrogate).
+	SurrogatePredicted uint64 `json:"surrogate_predicted"`
+	SurrogateGated     uint64 `json:"surrogate_gated"`
+	SurrogateFallback  uint64 `json:"surrogate_fallback"`
 }
 
 // StatsResponse is the /v1/stats payload: the serving counters plus the

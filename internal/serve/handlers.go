@@ -132,16 +132,24 @@ func parseSimulate(body []byte) (*parsedRequest, error) {
 	}
 	return &parsedRequest{
 		key: canonicalKey(req),
-		run: func(context.Context) ([]byte, error) {
+		run: func(context.Context) ([]byte, bool, error) {
 			chip, err := chipByPreset(req.Chip)
 			if err != nil {
-				return nil, err
+				return nil, false, err
 			}
-			_, p, err := simulateFor(chip, req, false)
+			prog, err := buildProgram(chip, req)
 			if err != nil {
-				return nil, err
+				return nil, false, err
 			}
-			resp := SimulateResponse{Name: p.Name, Chip: chip.Name, TotalTimeNS: p.TotalTime}
+			// Simulate is the one surrogate-eligible endpoint: a
+			// configured predictor may answer with a learned estimate
+			// (p.Approx) instead of an exact simulation. Approx bodies
+			// bypass the response and L2 caches upstream.
+			p, err := engine.SimulateApprox(chip, prog, sim.Options{DisableHazards: req.DisableHazards})
+			if err != nil {
+				return nil, false, &apiError{status: http.StatusInternalServerError, code: "internal", message: err.Error()}
+			}
+			resp := SimulateResponse{Name: p.Name, Chip: chip.Name, TotalTimeNS: p.TotalTime, Approx: p.Approx}
 			for c := 0; c < int(hw.NumComponents); c++ {
 				if p.Busy[c] == 0 && p.InstrCount[c] == 0 {
 					continue
@@ -152,7 +160,8 @@ func parseSimulate(body []byte) (*parsedRequest, error) {
 					Instrs:    p.InstrCount[c],
 				})
 			}
-			return encode(resp)
+			b, err := encode(resp)
+			return b, p.Approx, err
 		},
 	}, nil
 }
@@ -165,14 +174,14 @@ func parseRoofline(body []byte) (*parsedRequest, error) {
 	}
 	return &parsedRequest{
 		key: canonicalKey(req),
-		run: func(context.Context) ([]byte, error) {
+		run: func(context.Context) ([]byte, bool, error) {
 			chip, err := chipByPreset(req.Chip)
 			if err != nil {
-				return nil, err
+				return nil, false, err
 			}
 			_, p, err := simulateFor(chip, req, false)
 			if err != nil {
-				return nil, err
+				return nil, false, err
 			}
 			a := core.Analyze(p, chip, core.DefaultThresholds())
 			resp := RooflineResponse{
@@ -205,7 +214,8 @@ func parseRoofline(body []byte) (*parsedRequest, error) {
 					TimeRatio:   st.TimeRatio,
 				})
 			}
-			return encode(resp)
+			b, err := encode(resp)
+			return b, false, err
 		},
 	}, nil
 }
@@ -221,18 +231,18 @@ func parseOptimize(body []byte) (*parsedRequest, error) {
 	}
 	return &parsedRequest{
 		key: canonicalKey(req),
-		run: func(context.Context) ([]byte, error) {
+		run: func(context.Context) ([]byte, bool, error) {
 			chip, err := chipByPreset(req.Chip)
 			if err != nil {
-				return nil, err
+				return nil, false, err
 			}
 			k := kernels.Registry()[req.Op]
 			if k == nil {
-				return nil, notFound("unknown operator %q (GET /v1/ops lists them)", req.Op)
+				return nil, false, notFound("unknown operator %q (GET /v1/ops lists them)", req.Op)
 			}
 			res, err := opt.New(chip).Optimize(k)
 			if err != nil {
-				return nil, &apiError{status: http.StatusInternalServerError, code: "internal", message: err.Error()}
+				return nil, false, &apiError{status: http.StatusInternalServerError, code: "internal", message: err.Error()}
 			}
 			resp := OptimizeResponse{
 				Kernel:        res.Kernel,
@@ -254,7 +264,8 @@ func parseOptimize(body []byte) (*parsedRequest, error) {
 				})
 				resp.Applied = append(resp.Applied, st.Applied.String())
 			}
-			return encode(resp)
+			b, err := encode(resp)
+			return b, false, err
 		},
 	}, nil
 }
@@ -269,24 +280,24 @@ func parseTrace(body []byte) (*parsedRequest, error) {
 	}
 	return &parsedRequest{
 		key: canonicalKey(req),
-		run: func(context.Context) ([]byte, error) {
+		run: func(context.Context) ([]byte, bool, error) {
 			chip, err := chipByPreset(req.Chip)
 			if err != nil {
-				return nil, err
+				return nil, false, err
 			}
 			prog, p, err := simulateFor(chip, req, true)
 			if err != nil {
-				return nil, err
+				return nil, false, err
 			}
 			cp, err := critpath.Compute(chip, prog, p)
 			if err != nil {
-				return nil, &apiError{status: http.StatusInternalServerError, code: "internal", message: err.Error()}
+				return nil, false, &apiError{status: http.StatusInternalServerError, code: "internal", message: err.Error()}
 			}
 			var buf bytes.Buffer
 			if err := trace.Write(&buf, chip, prog, p, trace.Options{CritPath: cp}); err != nil {
-				return nil, &apiError{status: http.StatusInternalServerError, code: "internal", message: err.Error()}
+				return nil, false, &apiError{status: http.StatusInternalServerError, code: "internal", message: err.Error()}
 			}
-			return buf.Bytes(), nil
+			return buf.Bytes(), false, nil
 		},
 	}, nil
 }
@@ -306,10 +317,10 @@ func parseModel(body []byte) (*parsedRequest, error) {
 	}
 	return &parsedRequest{
 		key: canonicalKey(req),
-		run: func(context.Context) ([]byte, error) {
+		run: func(context.Context) ([]byte, bool, error) {
 			chip, err := chipByPreset(req.Chip)
 			if err != nil {
-				return nil, err
+				return nil, false, err
 			}
 			var m *model.Model
 			if req.Model != "" {
@@ -320,12 +331,12 @@ func parseModel(body []byte) (*parsedRequest, error) {
 					}
 				}
 				if m == nil {
-					return nil, notFound("unknown model %q (GET /v1/models lists them)", req.Model)
+					return nil, false, notFound("unknown model %q (GET /v1/models lists them)", req.Model)
 				}
 			} else {
 				m, err = model.ReadWorkloadNamed("request workload", bytes.NewReader(req.Workload))
 				if err != nil {
-					return nil, badRequest("%v", err)
+					return nil, false, badRequest("%v", err)
 				}
 			}
 			r := model.NewRunner(chip)
@@ -339,7 +350,7 @@ func parseModel(body []byte) (*parsedRequest, error) {
 				res, err = r.OptimizeTop(m, req.TopN)
 			}
 			if err != nil {
-				return nil, &apiError{status: http.StatusInternalServerError, code: "internal", message: err.Error()}
+				return nil, false, &apiError{status: http.StatusInternalServerError, code: "internal", message: err.Error()}
 			}
 			resp := ModelResponse{
 				Model:                res.Model.Name,
@@ -368,7 +379,8 @@ func parseModel(body []byte) (*parsedRequest, error) {
 				}
 				resp.Ops = append(resp.Ops, row)
 			}
-			return encode(resp)
+			b, err := encode(resp)
+			return b, false, err
 		},
 	}, nil
 }

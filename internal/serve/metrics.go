@@ -201,6 +201,15 @@ func (m *metricsRegistry) Render(inflight, queued int64, draining bool, resp *re
 	b.WriteString("# HELP ascendd_engine_disk_cache_writes_total Disk simulation cache entries persisted.\n")
 	b.WriteString("# TYPE ascendd_engine_disk_cache_writes_total counter\n")
 	fmt.Fprintf(&b, "ascendd_engine_disk_cache_writes_total %d\n", snap.Disk.Writes)
+	b.WriteString("# HELP ascendd_surrogate_predicted_total Cache misses answered by the learned surrogate.\n")
+	b.WriteString("# TYPE ascendd_surrogate_predicted_total counter\n")
+	fmt.Fprintf(&b, "ascendd_surrogate_predicted_total %d\n", snap.Surrogate.Predicted)
+	b.WriteString("# HELP ascendd_surrogate_gated_total Surrogate predictions rejected by the confidence gate.\n")
+	b.WriteString("# TYPE ascendd_surrogate_gated_total counter\n")
+	fmt.Fprintf(&b, "ascendd_surrogate_gated_total %d\n", snap.Surrogate.Gated)
+	b.WriteString("# HELP ascendd_surrogate_fallback_total Requests served by the exact simulator with a predictor configured.\n")
+	b.WriteString("# TYPE ascendd_surrogate_fallback_total counter\n")
+	fmt.Fprintf(&b, "ascendd_surrogate_fallback_total %d\n", snap.Surrogate.Fallback)
 
 	sched := []struct {
 		name, help string

@@ -100,8 +100,8 @@ type Server struct {
 // New builds a server with the given config.
 func New(cfg Config) *Server {
 	s := &Server{
-		cfg:     cfg.withDefaults(),
-		mux:     http.NewServeMux(),
+		cfg:      cfg.withDefaults(),
+		mux:      http.NewServeMux(),
 		metrics:  newMetricsRegistry(),
 		flights:  newFlightGroup(),
 		inflight: newInflightGauge(),
@@ -217,18 +217,21 @@ func (g *inflightGauge) Wait() {
 // parsedRequest is a validated analysis request: a canonical coalescing
 // key plus the work closure. run returns the already-encoded response
 // body so a coalesced result can be shared between followers without
-// any aliasing hazard.
+// any aliasing hazard, plus whether the body carries a learned-surrogate
+// estimate (approx results bypass every response cache tier).
 type parsedRequest struct {
 	key string
-	run func(ctx context.Context) ([]byte, error)
+	run func(ctx context.Context) ([]byte, bool, error)
 }
 
 // flightResult is what one analysis flight produces: the encoded body
-// plus whether it came from the shared L2 tier, so leader and followers
-// alike can surface the X-Ascendd-L2 header.
+// plus whether it came from the shared L2 tier (leader and followers
+// alike surface the X-Ascendd-L2 header) and whether it is a surrogate
+// estimate (X-Ascendd-Surrogate, never cached).
 type flightResult struct {
-	body []byte
-	l2   bool
+	body   []byte
+	l2     bool
+	approx bool
 }
 
 // analysis wraps one POST endpoint with the serving mechanisms:
@@ -289,15 +292,18 @@ func (s *Server) analysis(endpoint string, parse func(body []byte) (*parsedReque
 				return nil, err
 			}
 			defer s.adm.release()
-			body, err := preq.run(ctx)
+			body, approx, err := preq.run(ctx)
 			if err != nil {
 				return nil, err
 			}
-			if s.cfg.L2 != nil {
+			// Surrogate estimates are never written to the shared tier:
+			// every cache layer serves exact results only, so a later
+			// exact request can never be answered with an approximation.
+			if s.cfg.L2 != nil && !approx {
 				s.cfg.L2.Put(fullKey, body)
 				s.l2Puts.Add(1)
 			}
-			return flightResult{body: body}, nil
+			return flightResult{body: body, approx: approx}, nil
 		})
 		if err != nil {
 			if errors.Is(err, errQueueFull) {
@@ -309,12 +315,17 @@ func (s *Server) analysis(endpoint string, parse func(body []byte) (*parsedReque
 			return
 		}
 		res := val.(flightResult)
-		s.resp.put(fullKey, res.body)
+		if !res.approx {
+			s.resp.put(fullKey, res.body)
+		}
 		if shared {
 			w.Header().Set("X-Ascendd-Coalesced", "1")
 		}
 		if res.l2 {
 			w.Header().Set("X-Ascendd-L2", "hit")
+		}
+		if res.approx {
+			w.Header().Set("X-Ascendd-Surrogate", "1")
 		}
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusOK)
@@ -422,6 +433,10 @@ func (s *Server) StatsSnapshot() StatsResponse {
 			SchedRuns:      snap.Sched.Runs,
 			SchedEvents:    snap.Sched.Events,
 			SchedStarts:    snap.Sched.Starts,
+
+			SurrogatePredicted: snap.Surrogate.Predicted,
+			SurrogateGated:     snap.Surrogate.Gated,
+			SurrogateFallback:  snap.Surrogate.Fallback,
 		},
 	}
 }

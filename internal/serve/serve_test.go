@@ -266,21 +266,21 @@ func registerBlocking(s *Server, path string, gate chan struct{}, runs *atomic.I
 		key := string(body)
 		return &parsedRequest{
 			key: key,
-			run: func(ctx context.Context) ([]byte, error) {
+			run: func(ctx context.Context) ([]byte, bool, error) {
 				runs.Add(1)
 				// One real simulation per execution, so the coalescing
 				// test's "one underlying simulation" claim is literal.
 				prog := &isa.Program{Name: "coalesce-proof-" + key}
 				prog.Append(isa.Transfer(hw.PathGMToUB, 0, 0, 4096))
 				if _, err := engine.Simulate(hw.TrainingChip(), prog, sim.Options{}); err != nil {
-					return nil, err
+					return nil, false, err
 				}
 				select {
 				case <-gate:
 				case <-ctx.Done():
-					return nil, ctx.Err()
+					return nil, false, ctx.Err()
 				}
-				return []byte(`{"ok":true}`), nil
+				return []byte(`{"ok":true}`), false, nil
 			},
 		}, nil
 	}))

@@ -1,0 +1,188 @@
+// Package surrogate is the learned performance predictor: a small
+// ridge-regression model over static program features that replaces the
+// exact event-driven simulator for the common serving case, with the
+// simulator as ground truth behind a confidence gate (NeuroScalar's
+// exact-vs-approximate split, PAPERS.md). The package splits into four
+// parts: feature extraction (this file), offline fitting (fit.go), the
+// serialized model with its gate (model.go) and the engine-facing
+// predictor with fallback logging (predictor.go). cmd/ascendfit trains
+// and evaluates models; cmd/ascendcheck -surrogate CI-gates accuracy.
+package surrogate
+
+import (
+	"math"
+	"strings"
+
+	"ascendperf/internal/critpath"
+	"ascendperf/internal/hw"
+	"ascendperf/internal/isa"
+	"ascendperf/internal/profile"
+)
+
+// featurePrecs is the fixed precision order of the ops_* features.
+var featurePrecs = []hw.Precision{hw.INT8, hw.FP16, hw.FP32, hw.FP64, hw.INT32}
+
+// Gate feature names model.go resolves by name, so a model trained on an
+// older feature order still gates on the right columns.
+const (
+	featSerial   = "serial_ns"
+	featMaxBusy  = "max_busy_ns"
+	featDispatch = "dispatch_ns"
+	featCritpath = "critpath_ns"
+)
+
+// featureNames is the canonical feature order, built once.
+var featureNames = buildFeatureNames()
+
+func buildFeatureNames() []string {
+	names := []string{
+		"instrs", "computes", "transfers", "syncs", "barriers",
+		"ops", "bytes", "intensity", "sync_density",
+	}
+	for _, c := range hw.Components() {
+		names = append(names, "busy_"+slug(c.String()))
+	}
+	for _, p := range hw.AllPaths() {
+		names = append(names, "path_ns_"+slug(p.String()))
+	}
+	for _, p := range hw.AllPaths() {
+		names = append(names, "path_bytes_"+slug(p.String()))
+	}
+	for _, p := range featurePrecs {
+		names = append(names, "ops_"+slug(p.String()))
+	}
+	return append(names, featSerial, featMaxBusy, featDispatch, featCritpath)
+}
+
+var slugger = strings.NewReplacer("->", "_to_", "-", "_", " ", "_")
+
+func slug(s string) string { return strings.ToLower(slugger.Replace(s)) }
+
+// FeatureNames returns the canonical feature order (a copy).
+func FeatureNames() []string {
+	return append([]string(nil), featureNames...)
+}
+
+// NumFeatures is the length of every extracted feature vector.
+func NumFeatures() int { return len(featureNames) }
+
+// Static is the full static analysis of one (chip, program) pair: the
+// model's feature vector plus the exact aggregate profile. Every
+// aggregate a profile carries except TotalTime is a pure function of
+// the program text and the chip's deterministic cost model (durations
+// are tick-quantized and summed in program order, exactly as the
+// simulator accumulates them), so Agg is bit-identical to a simulated
+// profile's aggregates — only TotalTime needs the scheduler. The
+// predictor serves Agg with a predicted TotalTime and Approx set.
+type Static struct {
+	// Features is the model input, ordered as FeatureNames().
+	Features []float64
+	// Agg carries the exact static aggregates; TotalTime is zero and
+	// Approx is true.
+	Agg *profile.Profile
+}
+
+// Analyze extracts the feature vector and static aggregates of prog on
+// chip. It never fails: unroutable instructions and unsupported
+// precisions/paths contribute zero cost, and every feature is finite
+// for any program, including fuzz-generated ones.
+func Analyze(chip *hw.Chip, prog *isa.Program) *Static {
+	comps := hw.Components()
+	paths := hw.AllPaths()
+	pathIdx := make(map[hw.Path]int, len(paths))
+	for i, p := range paths {
+		pathIdx[p] = i
+	}
+	precIdx := make(map[hw.Precision]int, len(featurePrecs))
+	for i, p := range featurePrecs {
+		precIdx[p] = i
+	}
+
+	agg := profile.New(prog.Name)
+	agg.Approx = true
+	var (
+		pathNS                               = make([]float64, len(paths))
+		pathB                                = make([]float64, len(paths))
+		precOps                              = make([]float64, len(featurePrecs))
+		serial                               float64
+		computes, transfers, syncs, barriers float64
+		ops, bytes                           float64
+	)
+	for i := range prog.Instrs {
+		in := &prog.Instrs[i]
+		d := critpath.StaticDuration(chip, in)
+		serial += d
+		if c, ok := in.Component(chip); ok {
+			agg.Busy[c] += d
+			agg.InstrCount[c]++
+		}
+		switch in.Kind {
+		case isa.KindCompute:
+			computes++
+			ops += float64(in.Ops)
+			if j, ok := precIdx[in.Prec]; ok {
+				precOps[j] += float64(in.Ops)
+			}
+			up := hw.UnitPrec{Unit: in.Unit, Prec: in.Prec}
+			agg.PrecOps[up] += in.Ops
+			agg.PrecBusy[up] += d
+		case isa.KindTransfer:
+			transfers++
+			bytes += float64(in.Bytes)
+			if j, ok := pathIdx[in.Path]; ok {
+				pathNS[j] += d
+				pathB[j] += float64(in.Bytes)
+			}
+			agg.PathBytes[in.Path] += in.Bytes
+			agg.PathBusy[in.Path] += d
+		case isa.KindSetFlag, isa.KindWaitFlag:
+			syncs++
+		case isa.KindBarrier:
+			barriers++
+		}
+	}
+	n := float64(len(prog.Instrs))
+	var maxBusy float64
+	for _, c := range comps {
+		if agg.Busy[c] > maxBusy {
+			maxBusy = agg.Busy[c]
+		}
+	}
+	syncDensity := 0.0
+	if n > 0 {
+		syncDensity = (syncs + barriers) / n
+	}
+
+	f := make([]float64, 0, len(featureNames))
+	f = append(f, n, computes, transfers, syncs, barriers,
+		ops, bytes, finite(prog.Intensity()), syncDensity)
+	for _, c := range comps {
+		f = append(f, agg.Busy[c])
+	}
+	f = append(f, pathNS...)
+	f = append(f, pathB...)
+	f = append(f, precOps...)
+	f = append(f,
+		serial,
+		maxBusy,
+		n*critpath.Quant(chip.DispatchLatency),
+		critpath.Proxy(chip, prog),
+	)
+	for i, v := range f {
+		f[i] = finite(v)
+	}
+	return &Static{Features: f, Agg: agg}
+}
+
+// Extract returns just the feature vector of prog on chip.
+func Extract(chip *hw.Chip, prog *isa.Program) []float64 {
+	return Analyze(chip, prog).Features
+}
+
+// finite clamps NaN/Inf to 0 so feature vectors are always usable.
+func finite(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return v
+}

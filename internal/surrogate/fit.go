@@ -1,0 +1,268 @@
+package surrogate
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sample is one training observation: the feature vector of a (chip,
+// program) pair plus the exact simulated makespan. It is also the
+// training-log record the predictor appends on every gated fallback
+// (FORMATS.md §10).
+type Sample struct {
+	// Name identifies the program; Chip the preset/fingerprint it ran
+	// on. Both are informational only.
+	Name string `json:"name,omitempty"`
+	Chip string `json:"chip,omitempty"`
+	// Features is the model input, ordered as FeatureNames().
+	Features []float64 `json:"features"`
+	// TotalNS is the exact simulated makespan in nanoseconds.
+	TotalNS float64 `json:"total_ns"`
+}
+
+// Default fitting hyperparameters: the ridge strength, the relative
+// range-gate margin, the multiplicative slack and additive floor on the
+// trained residual bound, and the floor/headroom of the committed MAPE
+// bound. All are recorded in the model file.
+const (
+	DefaultLambda      = 1e-3
+	DefaultRangeMargin = 0.25
+	residualSlack      = 1.25
+	residualFloor      = 0.1
+	mapeFloor          = 0.05
+	mapeHeadroom       = 2.0
+)
+
+// Fit trains a ridge-regression model on samples and evaluates it on a
+// deterministic 80/20 split (every fifth sample, i%5 == 4, is held
+// out). The target is log(TotalNS): makespans span four-plus orders of
+// magnitude across the corpus, so relative error is the quantity worth
+// minimizing. Samples with non-positive makespans or wrong feature
+// arity are rejected. lambda <= 0 selects DefaultLambda.
+func Fit(samples []Sample, lambda float64) (*Model, error) {
+	if lambda <= 0 {
+		lambda = DefaultLambda
+	}
+	d := NumFeatures()
+	var train, eval []Sample
+	for i, s := range samples {
+		if len(s.Features) != d {
+			return nil, fmt.Errorf("surrogate: sample %d (%s): %d features, want %d",
+				i, s.Name, len(s.Features), d)
+		}
+		if s.TotalNS <= 0 || math.IsNaN(s.TotalNS) || math.IsInf(s.TotalNS, 0) {
+			return nil, fmt.Errorf("surrogate: sample %d (%s): bad makespan %v",
+				i, s.Name, s.TotalNS)
+		}
+		if i%5 == 4 {
+			eval = append(eval, s)
+		} else {
+			train = append(train, s)
+		}
+	}
+	if len(train) < d {
+		return nil, fmt.Errorf("surrogate: %d training samples for %d features", len(train), d)
+	}
+
+	// Standardize log1p-transformed features on the training set
+	// (zero-variance columns keep std 1 so they contribute nothing) and
+	// center the log target. The transform matters: features are counts,
+	// bytes and nanoseconds spanning four-plus orders of magnitude, and
+	// the target is a log — log-domain features make the critical-path
+	// proxy a near-unit-weight predictor instead of an outlier lever.
+	// The range gate (Min/Max) stays in raw feature units.
+	n := float64(len(train))
+	mean := make([]float64, d)
+	std := make([]float64, d)
+	min := make([]float64, d)
+	max := make([]float64, d)
+	for j := 0; j < d; j++ {
+		min[j] = math.Inf(1)
+		max[j] = math.Inf(-1)
+	}
+	for _, s := range train {
+		for j, v := range s.Features {
+			mean[j] += transform(v)
+			if v < min[j] {
+				min[j] = v
+			}
+			if v > max[j] {
+				max[j] = v
+			}
+		}
+	}
+	for j := range mean {
+		mean[j] /= n
+	}
+	for _, s := range train {
+		for j, v := range s.Features {
+			dv := transform(v) - mean[j]
+			std[j] += dv * dv
+		}
+	}
+	for j := range std {
+		std[j] = math.Sqrt(std[j] / n)
+		if std[j] == 0 || math.IsNaN(std[j]) {
+			std[j] = 1
+		}
+	}
+	var yMean float64
+	for _, s := range train {
+		yMean += math.Log(s.TotalNS)
+	}
+	yMean /= n
+
+	// Normal equations on standardized features: (Z'Z/n + λI) w = Z'y/n.
+	zrow := make([]float64, d)
+	a := make([][]float64, d)
+	b := make([]float64, d)
+	for j := range a {
+		a[j] = make([]float64, d)
+		a[j][j] = lambda
+	}
+	for _, s := range train {
+		for j, v := range s.Features {
+			zrow[j] = (transform(v) - mean[j]) / std[j]
+		}
+		y := math.Log(s.TotalNS) - yMean
+		for j := 0; j < d; j++ {
+			zj := zrow[j] / n
+			b[j] += zj * y
+			for k := j; k < d; k++ {
+				a[j][k] += zj * zrow[k]
+			}
+		}
+	}
+	for j := 0; j < d; j++ {
+		for k := 0; k < j; k++ {
+			a[j][k] = a[k][j]
+		}
+	}
+	w, err := solve(a, b)
+	if err != nil {
+		return nil, err
+	}
+
+	m := &Model{
+		SchemaName:   Schema,
+		FeatureNames: FeatureNames(),
+		Transform:    TransformLog1p,
+		Mean:         mean,
+		Std:          std,
+		Weights:      w,
+		Intercept:    yMean,
+		Min:          min,
+		Max:          max,
+		RangeMargin:  DefaultRangeMargin,
+		Lambda:       lambda,
+		TrainCount:   len(train),
+		EvalCount:    len(eval),
+	}
+	if err := m.resolve(); err != nil {
+		return nil, err
+	}
+
+	// Trained residual bound: the worst |log(exact/proxy)| seen in
+	// training, with multiplicative slack and an additive floor. At
+	// serve time a prediction farther from the critical-path proxy than
+	// any training program ever was is evidence of an unfamiliar
+	// program shape, and the gate falls back to the simulator.
+	var worst float64
+	for _, s := range train {
+		if r, ok := m.proxyResidual(s.Features, s.TotalNS); ok && r > worst {
+			worst = r
+		}
+	}
+	m.ResidualBound = worst*residualSlack + residualFloor
+
+	m.TrainMAPE = m.mape(train)
+	m.EvalMAPE, m.EvalP99 = m.evalErrors(eval)
+	// The committed accuracy contract ascendcheck -surrogate enforces:
+	// headroom over the observed held-out MAPE, floored so noise-level
+	// improvements cannot ratchet the gate into flakiness.
+	worstMAPE := m.EvalMAPE
+	if m.TrainMAPE > worstMAPE {
+		worstMAPE = m.TrainMAPE
+	}
+	m.MAPEBound = math.Max(mapeFloor, mapeHeadroom*worstMAPE)
+	return m, nil
+}
+
+// proxyResidual returns |log(exact) - log(proxy feature)| for one
+// sample, false when the proxy feature is non-positive.
+func (m *Model) proxyResidual(f []float64, totalNS float64) (float64, bool) {
+	proxy := f[m.critIdx]
+	if proxy <= 0 || totalNS <= 0 {
+		return 0, false
+	}
+	return math.Abs(math.Log(totalNS / proxy)), true
+}
+
+// mape is the mean absolute percentage error of raw (ungated)
+// predictions over samples.
+func (m *Model) mape(samples []Sample) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, s := range samples {
+		sum += math.Abs(m.rawPredict(s.Features)-s.TotalNS) / s.TotalNS
+	}
+	return sum / float64(len(samples))
+}
+
+// evalErrors computes MAPE and p99 relative error of raw predictions.
+func (m *Model) evalErrors(samples []Sample) (mape, p99 float64) {
+	if len(samples) == 0 {
+		return 0, 0
+	}
+	errs := make([]float64, 0, len(samples))
+	var sum float64
+	for _, s := range samples {
+		e := math.Abs(m.rawPredict(s.Features)-s.TotalNS) / s.TotalNS
+		sum += e
+		errs = append(errs, e)
+	}
+	sort.Float64s(errs)
+	return sum / float64(len(errs)), errs[(len(errs)-1)*99/100]
+}
+
+// solve performs in-place Gaussian elimination with partial pivoting on
+// the (symmetric positive definite after ridge) system a·x = b.
+func solve(a [][]float64, b []float64) ([]float64, error) {
+	d := len(b)
+	for col := 0; col < d; col++ {
+		piv := col
+		for r := col + 1; r < d; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(a[piv][col]) < 1e-300 {
+			return nil, fmt.Errorf("surrogate: singular normal equations at column %d", col)
+		}
+		a[col], a[piv] = a[piv], a[col]
+		b[col], b[piv] = b[piv], b[col]
+		inv := 1 / a[col][col]
+		for r := col + 1; r < d; r++ {
+			f := a[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for k := col; k < d; k++ {
+				a[r][k] -= f * a[col][k]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	x := make([]float64, d)
+	for r := d - 1; r >= 0; r-- {
+		s := b[r]
+		for k := r + 1; k < d; k++ {
+			s -= a[r][k] * x[k]
+		}
+		x[r] = s / a[r][r]
+	}
+	return x, nil
+}

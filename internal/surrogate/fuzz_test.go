@@ -1,0 +1,71 @@
+package surrogate
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"ascendperf/internal/check"
+	"ascendperf/internal/hw"
+	"ascendperf/internal/isa"
+	"ascendperf/internal/kernels"
+)
+
+// FuzzExtract: feature extraction must never panic and must return a
+// finite, fixed-arity vector for ANY parseable program — including ones
+// that fail validation or would deadlock the simulator. The serving
+// path consults the predictor before the simulator, so extraction runs
+// on inputs the simulator may later reject. Seeds mix kernel-library
+// programs with generator output (the distribution the metamorphic
+// harness fuzzes the schedulers with).
+func FuzzExtract(f *testing.F) {
+	chips := []*hw.Chip{hw.TrainingChip(), hw.InferenceChip(), hw.TPUStyleChip()}
+	seeded := 0
+	for _, k := range kernels.Registry() {
+		if seeded >= 6 {
+			break
+		}
+		prog, err := k.Build(chips[0], k.Baseline())
+		if err != nil || prog == nil || len(prog.Instrs) > 60 {
+			continue
+		}
+		f.Add(prog.Disassemble())
+		seeded++
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 4; i++ {
+		f.Add(check.GenProgram(chips[i%len(chips)], rng, 20).Disassemble())
+	}
+	f.Add("copy GM->UB bytes=1024\nVector.FP16 ops=100\ncopy UB->GM bytes=1024\n")
+	f.Fuzz(func(t *testing.T, text string) {
+		prog, err := isa.Parse("fuzz", strings.NewReader(text))
+		if err != nil {
+			return
+		}
+		if len(prog.Instrs) > 500 {
+			return
+		}
+		for _, chip := range chips {
+			st := Analyze(chip, prog)
+			if len(st.Features) != NumFeatures() {
+				t.Fatalf("%d features, want %d\nprogram:\n%s", len(st.Features), NumFeatures(), text)
+			}
+			for j, v := range st.Features {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("feature %d (%s) not finite: %v\nprogram:\n%s",
+						j, featureNames[j], v, text)
+				}
+			}
+			if st.Agg == nil || !st.Agg.Approx || st.Agg.TotalTime != 0 {
+				t.Fatalf("bad aggregate template: %+v", st.Agg)
+			}
+			again := Extract(chip, prog)
+			for j := range again {
+				if again[j] != st.Features[j] {
+					t.Fatalf("extraction not deterministic at feature %d", j)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package surrogate
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package surrogate
+
+// raceEnabled reports whether the race detector instruments this build.
+// The latency guard skips under -race: instrumentation multiplies the
+// per-call cost ~10x, which measures the detector, not the predictor.
+const raceEnabled = true

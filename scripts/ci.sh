@@ -27,6 +27,28 @@ echo "== differential & metamorphic harness =="
 # generated programs per chip. Any diff or property violation fails CI.
 go run ./cmd/ascendcheck -kernels all -chips all -seed 1 -props 200
 
+echo "== learned surrogate gate =="
+# The surrogate soundness gate (FORMATS.md §10): replay the corpus
+# through the committed model — every gate-accepted prediction must
+# meet the model's committed MAPE bound, and every gate-rejected case
+# must be served bit-identically to the exact simulator. Then a full
+# train-from-scratch smoke: retrain into a tmpdir and hold the fresh
+# model to the same accuracy it claims for itself, so a feature or
+# corpus change that degrades the fit fails here rather than silently
+# loosening the committed bound on the next retrain.
+go run ./cmd/ascendcheck -surrogate MODEL_surrogate.json
+surrdir="$(mktemp -d)"
+go run ./cmd/ascendfit train -out "$surrdir/model.json"
+go run ./cmd/ascendfit eval -model "$surrdir/model.json"
+rm -rf "$surrdir"
+
+echo "== cluster regression gates (L2 eviction, failover body replay) =="
+# Named explicitly so the two bugfix regression tests of this PR cannot
+# be skipped by a test-filter change: the size-capped L2 directory must
+# hold its -l2maxbytes budget under fill, and a failed-over POST must
+# replay the complete buffered body on the retry attempt.
+go test -run 'TestCacheServerEviction|TestProxyFailoverReplaysBody' ./internal/cluster
+
 echo "== fuzz (short budget) =="
 # A few seconds of coverage-guided fuzzing per target; long enough to
 # shake out parser/scheduler disagreements on mutated corpus programs,
@@ -34,12 +56,13 @@ echo "== fuzz (short budget) =="
 # "interesting" input cannot stall the gate.
 go test -run '^$' -fuzz FuzzVerifySchedule -fuzztime 10s -fuzzminimizetime 5s ./internal/sim
 go test -run '^$' -fuzz FuzzDiff -fuzztime 10s -fuzzminimizetime 5s ./internal/check
+go test -run '^$' -fuzz FuzzExtract -fuzztime 10s -fuzzminimizetime 5s ./internal/surrogate
 
 echo "== benchmark smoke =="
 # Compile and execute every scheduler/engine benchmark for one
 # iteration: catches benchmarks that no longer build or that fail at
 # runtime, without paying for a real measurement.
-go test -run '^$' -bench . -benchtime 1x ./internal/sim ./internal/engine
+go test -run '^$' -bench . -benchtime 1x ./internal/sim ./internal/engine ./internal/surrogate
 
 echo "== parallel scaling smoke =="
 # The engine worker sweep: ascendbench -json errors out by itself if
