@@ -33,6 +33,7 @@ import (
 	"ascendperf/internal/engine"
 	"ascendperf/internal/experiments"
 	"ascendperf/internal/hw"
+	"ascendperf/internal/kernels"
 	"ascendperf/internal/model"
 	"ascendperf/internal/opt"
 	"ascendperf/internal/sim"
@@ -163,6 +164,11 @@ func main() {
 // when -surrogate names a model, the surrogate_* block: learned-vs-exact
 // coverage, MAPE, p99 relative error and mean predict latency over the
 // differential corpus.
+//
+// Schema v5: adds the search_* block — a cold beam search over the full
+// operator registry against the exhaustive joint reference: the exact
+// simulations each issued, the fraction the search saved, and whether
+// every per-kernel best time matched (search_parity).
 type engineBench struct {
 	Schema          string  `json:"schema"`
 	Chip            string  `json:"chip"`
@@ -196,6 +202,15 @@ type engineBench struct {
 	SurrogateMAPE      float64 `json:"surrogate_mape,omitempty"`
 	SurrogateP99       float64 `json:"surrogate_p99_rel_err,omitempty"`
 	SurrogatePredictNS float64 `json:"surrogate_predict_ns,omitempty"`
+
+	// Beam-search evaluation over the full operator registry (schema
+	// v5): the cold search's exact-simulation bill vs the exhaustive
+	// joint reference and whether every per-kernel best time matched.
+	SearchExactSims      int     `json:"search_exact_sims"`
+	SearchExhaustiveSims int     `json:"search_exhaustive_sims"`
+	SearchEvalsSaved     int     `json:"search_evals_saved"`
+	SearchSavedFrac      float64 `json:"search_evals_saved_frac"`
+	SearchParity         bool    `json:"search_parity"`
 
 	// Disk cache counters (zero unless -cachedir/ASCENDPERF_CACHE_DIR
 	// is configured; hits > 0 means this invocation warm-started from a
@@ -259,7 +274,7 @@ func benchEngine(path string, minScaling float64, surrPath string) error {
 	}
 
 	rec := engineBench{
-		Schema:    "ascendperf/bench-engine/v4",
+		Schema:    "ascendperf/bench-engine/v5",
 		Chip:      chip.Name,
 		Workloads: len(models),
 	}
@@ -397,6 +412,9 @@ func benchEngine(path string, minScaling float64, surrPath string) error {
 			return err
 		}
 	}
+	if err := benchSearch(&rec, chip); err != nil {
+		return err
+	}
 
 	out, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {
@@ -417,6 +435,8 @@ func benchEngine(path string, minScaling float64, surrPath string) error {
 		fmt.Printf("  surrogate %s: coverage %.1f%%, MAPE %.4f, p99 %.4f, %.0f ns/predict\n",
 			rec.SurrogateModel, 100*rec.SurrogateCoverage, rec.SurrogateMAPE, rec.SurrogateP99, rec.SurrogatePredictNS)
 	}
+	fmt.Printf("  search %d exact sims vs exhaustive %d (%.1f%% saved, parity %v)\n",
+		rec.SearchExactSims, rec.SearchExhaustiveSims, 100*rec.SearchSavedFrac, rec.SearchParity)
 	fmt.Println("  sweep reports byte-identical across worker counts")
 	fmt.Println("wrote", path)
 	return nil
@@ -471,6 +491,41 @@ func benchSurrogate(rec *engineBench, _ *hw.Chip, surrPath string) error {
 		m.Predict(features[i%len(features)])
 	}
 	rec.SurrogatePredictNS = float64(time.Since(start).Nanoseconds()) / iters
+	return nil
+}
+
+// benchSearch fills the search_* block: a cold beam search over every
+// registry operator at default beam and budget, against the exhaustive
+// joint reference, comparing both the exact-simulation bill and every
+// per-kernel best time.
+func benchSearch(rec *engineBench, chip *hw.Chip) error {
+	reg := kernels.Registry()
+	names := make([]string, 0, len(reg))
+	for n := range reg {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	rec.SearchParity = true
+	for _, n := range names {
+		k := reg[n]
+		got, err := opt.New(chip).Search(k, opt.SearchConfig{})
+		if err != nil {
+			return fmt.Errorf("search bench %s: %w", n, err)
+		}
+		want, err := opt.New(chip).ExhaustiveJoint(k)
+		if err != nil {
+			return fmt.Errorf("search bench %s: %w", n, err)
+		}
+		if got.BestNS != want.BestNS {
+			rec.SearchParity = false
+		}
+		rec.SearchExactSims += got.ExactSims
+		rec.SearchExhaustiveSims += want.ExactSims
+		rec.SearchEvalsSaved += got.EvalsSaved
+	}
+	if rec.SearchExhaustiveSims > 0 {
+		rec.SearchSavedFrac = 1 - float64(rec.SearchExactSims)/float64(rec.SearchExhaustiveSims)
+	}
 	return nil
 }
 

@@ -32,6 +32,7 @@ import (
 	"ascendperf/internal/cliutil"
 	"ascendperf/internal/cluster"
 	"ascendperf/internal/engine"
+	"ascendperf/internal/opt"
 	"ascendperf/internal/serve"
 	"ascendperf/internal/surrogate"
 )
@@ -50,6 +51,7 @@ func main() {
 		l2          = flag.String("l2", "", "base URL of a shared L2 cache tier (an ascendrouter -l2dir or cache server); consulted on local cache miss")
 		surrModel   = flag.String("surrogate", "", "learned surrogate model (ascendfit train output); answers /v1/simulate cache misses behind a confidence gate")
 		surrLog     = flag.String("surrogatelog", "", "JSONL training log appended on gated fallbacks (feed back into ascendfit train -log)")
+		episodes    = flag.String("episodes", "", "episodic-memory directory for /v1/optimize search mode (default ASCENDPERF_EPISODE_DIR); repeat searches warm-start from stored winners")
 		version     = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
@@ -78,6 +80,12 @@ func main() {
 	} else if *surrLog != "" {
 		fmt.Fprintln(os.Stderr, "ascendd: -surrogatelog requires -surrogate")
 		os.Exit(1)
+	}
+	if *episodes != "" {
+		if err := opt.SetEpisodeDir(*episodes); err != nil {
+			fmt.Fprintln(os.Stderr, "ascendd:", err)
+			os.Exit(1)
+		}
 	}
 	cfg := serve.Config{
 		Concurrency:   *concurrency,

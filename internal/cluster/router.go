@@ -374,6 +374,14 @@ func (rt *Router) handleStats(w http.ResponseWriter, _ *http.Request) {
 		agg.Engine.SurrogatePredicted += stats.Engine.SurrogatePredicted
 		agg.Engine.SurrogateGated += stats.Engine.SurrogateGated
 		agg.Engine.SurrogateFallback += stats.Engine.SurrogateFallback
+		agg.Engine.SearchSearches += stats.Engine.SearchSearches
+		agg.Engine.SearchExactSims += stats.Engine.SearchExactSims
+		agg.Engine.SearchSurrogateScored += stats.Engine.SearchSurrogateScored
+		agg.Engine.SearchProxyScored += stats.Engine.SearchProxyScored
+		agg.Engine.SearchEvalsSaved += stats.Engine.SearchEvalsSaved
+		agg.Engine.SearchWarmHits += stats.Engine.SearchWarmHits
+		agg.Engine.SearchWarmMisses += stats.Engine.SearchWarmMisses
+		agg.Engine.SearchEpisodeWrites += stats.Engine.SearchEpisodeWrites
 	}
 	if total := agg.Engine.CacheHits + agg.Engine.CacheMisses; total > 0 {
 		agg.Engine.CacheHitRate = float64(agg.Engine.CacheHits) / float64(total)

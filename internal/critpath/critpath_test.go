@@ -1,6 +1,7 @@
-package critpath
+package critpath_test
 
 import (
+	"ascendperf/internal/critpath"
 	"math"
 	"math/rand"
 	"strings"
@@ -12,13 +13,13 @@ import (
 	"ascendperf/internal/sim"
 )
 
-func run(t *testing.T, chip *hw.Chip, prog *isa.Program) *Analysis {
+func run(t *testing.T, chip *hw.Chip, prog *isa.Program) *critpath.Analysis {
 	t.Helper()
 	p, err := sim.Run(chip, prog)
 	if err != nil {
 		t.Fatal(err)
 	}
-	a, err := Compute(chip, prog, p)
+	a, err := critpath.Compute(chip, prog, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +61,7 @@ func TestSerialChain(t *testing.T) {
 	if math.Abs(exec-a.Makespan) > 1e-6 {
 		t.Errorf("critical path exec %.3f != makespan %.3f", exec, a.Makespan)
 	}
-	if a.EdgeCount()[EdgeFlag] < 2 {
+	if a.EdgeCount()[critpath.EdgeFlag] < 2 {
 		t.Errorf("expected at least 2 flag edges, got %v", a.EdgeCount())
 	}
 	// Steps must be time-ordered and chained.
@@ -85,7 +86,7 @@ func TestHazardDominatedPath(t *testing.T) {
 		isa.Transfer(hw.PathUBToGM, 0, 2<<20, 32000),
 	)
 	a := run(t, chip, prog)
-	if a.EdgeCount()[EdgeHazard] == 0 {
+	if a.EdgeCount()[critpath.EdgeHazard] == 0 {
 		t.Errorf("expected hazard edges, got %v", a.EdgeCount())
 	}
 	if !strings.Contains(a.Report(), "hazard") {
@@ -103,7 +104,7 @@ func TestBarrierOnPath(t *testing.T) {
 		isa.Transfer(hw.PathUBToGM, 65536, 1<<20, 16000),
 	)
 	a := run(t, chip, prog)
-	if a.EdgeCount()[EdgeBarrier] == 0 {
+	if a.EdgeCount()[critpath.EdgeBarrier] == 0 {
 		t.Errorf("expected a barrier edge, got %v", a.EdgeCount())
 	}
 }
@@ -120,7 +121,7 @@ func TestDispatchWaitAccounted(t *testing.T) {
 		isa.Transfer(hw.PathGMToUB, 0, 0, 3200),
 	)
 	a := run(t, chip, prog)
-	if a.WaitTime[EdgeDispatch] <= 0 {
+	if a.WaitTime[critpath.EdgeDispatch] <= 0 {
 		t.Errorf("expected dispatch wait, got %v", a.WaitTime)
 	}
 }
@@ -137,7 +138,7 @@ func TestPathConsistency(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		a, err := Compute(chip, prog, p)
+		a, err := critpath.Compute(chip, prog, p)
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
@@ -145,7 +146,7 @@ func TestPathConsistency(t *testing.T) {
 		for _, v := range a.ExecTime {
 			exec += v
 		}
-		total := exec + a.WaitTime[EdgeDispatch]
+		total := exec + a.WaitTime[critpath.EdgeDispatch]
 		if math.Abs(total-a.Makespan) > 1e-3 {
 			t.Errorf("trial %d: path accounts for %.3f of makespan %.3f", trial, total, a.Makespan)
 		}
@@ -175,11 +176,11 @@ func TestKernelDiagnosis(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ab, err := Compute(chip, base, pb)
+	ab, err := critpath.Compute(chip, base, pb)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ab.EdgeCount()[EdgeHazard] == 0 {
+	if ab.EdgeCount()[critpath.EdgeHazard] == 0 {
 		t.Error("baseline Add_ReLU path should contain hazard edges")
 	}
 
@@ -191,20 +192,20 @@ func TestKernelDiagnosis(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ao, err := Compute(chip, opt, po)
+	ao, err := critpath.Compute(chip, opt, po)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ab.EdgeCount()[EdgeHazard] <= ao.EdgeCount()[EdgeHazard] {
+	if ab.EdgeCount()[critpath.EdgeHazard] <= ao.EdgeCount()[critpath.EdgeHazard] {
 		t.Errorf("RSD should reduce hazard edges: %d -> %d",
-			ab.EdgeCount()[EdgeHazard], ao.EdgeCount()[EdgeHazard])
+			ab.EdgeCount()[critpath.EdgeHazard], ao.EdgeCount()[critpath.EdgeHazard])
 	}
 }
 
 func TestComputeErrors(t *testing.T) {
 	chip := hw.TrainingChip()
 	prog := &isa.Program{Name: "empty"}
-	if _, err := Compute(chip, prog, nil); err == nil {
+	if _, err := critpath.Compute(chip, prog, nil); err == nil {
 		t.Error("expected error for empty program")
 	}
 }
@@ -249,16 +250,16 @@ func randomValidProgram(rng *rand.Rand, n int) *isa.Program {
 }
 
 func TestEdgeKindStrings(t *testing.T) {
-	want := map[EdgeKind]string{
-		EdgeDispatch: "dispatch", EdgeQueue: "queue", EdgeFlag: "flag",
-		EdgeBarrier: "barrier", EdgeHazard: "hazard", EdgeStart: "start",
+	want := map[critpath.EdgeKind]string{
+		critpath.EdgeDispatch: "dispatch", critpath.EdgeQueue: "queue", critpath.EdgeFlag: "flag",
+		critpath.EdgeBarrier: "barrier", critpath.EdgeHazard: "hazard", critpath.EdgeStart: "start",
 	}
 	for k, w := range want {
 		if k.String() != w {
 			t.Errorf("%d = %q, want %q", int(k), k.String(), w)
 		}
 	}
-	if EdgeKind(42).String() != "EdgeKind(42)" {
+	if critpath.EdgeKind(42).String() != "EdgeKind(42)" {
 		t.Error("unknown edge kind formatting")
 	}
 }
@@ -275,7 +276,7 @@ func TestBankClashOnPath(t *testing.T) {
 		isa.Transfer(hw.PathUBToGM, 4096, 1<<20, 1024), // bank 0 again, disjoint bytes
 	)
 	a := run(t, chip, prog)
-	if a.EdgeCount()[EdgeHazard] == 0 {
+	if a.EdgeCount()[critpath.EdgeHazard] == 0 {
 		t.Errorf("expected a bank-clash hazard edge, got %v", a.EdgeCount())
 	}
 }
@@ -293,7 +294,7 @@ func TestReportPercentagesSum(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a, err := Compute(chip, prog, p)
+	a, err := critpath.Compute(chip, prog, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -301,7 +302,7 @@ func TestReportPercentagesSum(t *testing.T) {
 	for _, v := range a.ExecTime {
 		exec += v
 	}
-	total := exec + a.WaitTime[EdgeDispatch]
+	total := exec + a.WaitTime[critpath.EdgeDispatch]
 	if math.Abs(total-a.Makespan) > 1e-3 {
 		t.Errorf("path accounts for %.3f of %.3f", total, a.Makespan)
 	}

@@ -1,6 +1,7 @@
-package critpath
+package critpath_test
 
 import (
+	"ascendperf/internal/critpath"
 	"math"
 	"testing"
 
@@ -23,7 +24,7 @@ func proxyBounds(chip *hw.Chip, prog *isa.Program) (lo, hi float64) {
 		if !ok {
 			continue
 		}
-		d := StaticDuration(chip, in)
+		d := critpath.StaticDuration(chip, in)
 		busy[c] += d
 		serial += d
 	}
@@ -32,7 +33,7 @@ func proxyBounds(chip *hw.Chip, prog *isa.Program) (lo, hi float64) {
 			lo = b
 		}
 	}
-	hi = serial + float64(len(prog.Instrs))*Quant(chip.DispatchLatency)
+	hi = serial + float64(len(prog.Instrs))*critpath.Quant(chip.DispatchLatency)
 	return lo, hi
 }
 
@@ -52,11 +53,11 @@ func TestProxyCorpus(t *testing.T) {
 		t.Fatal("empty corpus")
 	}
 	for _, c := range cases {
-		got := Proxy(c.Chip, c.Prog)
+		got := critpath.Proxy(c.Chip, c.Prog)
 		if math.IsNaN(got) || math.IsInf(got, 0) || got < 0 {
 			t.Fatalf("%s: proxy not finite/non-negative: %v", c.Name, got)
 		}
-		if again := Proxy(c.Chip, c.Prog); again != got {
+		if again := critpath.Proxy(c.Chip, c.Prog); again != got {
 			t.Fatalf("%s: proxy not deterministic: %v vs %v", c.Name, got, again)
 		}
 		lo, hi := proxyBounds(c.Chip, c.Prog)
@@ -80,12 +81,12 @@ func TestProxyCorpus(t *testing.T) {
 // must stay finite.
 func TestProxyEmpty(t *testing.T) {
 	chip := hw.TrainingChip()
-	if got := Proxy(chip, &isa.Program{Name: "empty"}); got != 0 {
+	if got := critpath.Proxy(chip, &isa.Program{Name: "empty"}); got != 0 {
 		t.Fatalf("empty program proxy = %v, want 0", got)
 	}
 	bad := &isa.Program{Name: "bad"}
 	bad.Append(isa.Instr{Kind: isa.Kind(99)})
-	got := Proxy(chip, bad)
+	got := critpath.Proxy(chip, bad)
 	if math.IsNaN(got) || math.IsInf(got, 0) || got < 0 {
 		t.Fatalf("unroutable program proxy not finite: %v", got)
 	}

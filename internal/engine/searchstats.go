@@ -1,0 +1,111 @@
+package engine
+
+import (
+	"sync/atomic"
+
+	"ascendperf/internal/hw"
+	"ascendperf/internal/isa"
+	"ascendperf/internal/sim"
+)
+
+// Search decision counters (process-wide, monotone). The beam-search
+// optimizer (internal/opt) flushes one delta per completed search, so a
+// snapshot mid-search never shows a torn per-kernel count.
+var (
+	searchRuns      atomic.Uint64
+	searchExact     atomic.Uint64
+	searchSurrogate atomic.Uint64
+	searchProxy     atomic.Uint64
+	searchSaved     atomic.Uint64
+	searchWarmHits  atomic.Uint64
+	searchWarmMiss  atomic.Uint64
+	searchEpWrites  atomic.Uint64
+)
+
+// SearchStats is the counter snapshot of the beam-search tuning layer
+// (internal/opt Search). It doubles as the delta type searches flush.
+type SearchStats struct {
+	// Searches counts completed search runs (one per kernel tuned).
+	Searches uint64
+	// ExactSims counts unique exact simulations a search requested
+	// (deduplicated per program fingerprint within each search, counted
+	// whether or not a cache tier answered them — so the number is a
+	// property of the search trajectory, not of cache warmth).
+	ExactSims uint64
+	// SurrogateScored counts beam children ranked by the gated learned
+	// surrogate; ProxyScored counts children the gate declined (or with
+	// no predictor installed) that were ranked by the static critical-
+	// path proxy instead.
+	SurrogateScored uint64
+	ProxyScored     uint64
+	// EvalsSaved counts cheap-scored children that were never confirmed
+	// through the exact engine — the simulations beam pruning avoided
+	// relative to confirming every generated candidate.
+	EvalsSaved uint64
+	// WarmHits counts episodic-memory warm starts that verified
+	// bit-exact and short-circuited the search; WarmMisses counts
+	// episode lookups that missed or failed verification.
+	WarmHits   uint64
+	WarmMisses uint64
+	// EpisodeWrites counts episode records persisted.
+	EpisodeWrites uint64
+}
+
+// AddSearchStats accumulates one search's delta into the process-wide
+// search counters.
+func AddSearchStats(d SearchStats) {
+	searchRuns.Add(d.Searches)
+	searchExact.Add(d.ExactSims)
+	searchSurrogate.Add(d.SurrogateScored)
+	searchProxy.Add(d.ProxyScored)
+	searchSaved.Add(d.EvalsSaved)
+	searchWarmHits.Add(d.WarmHits)
+	searchWarmMiss.Add(d.WarmMisses)
+	searchEpWrites.Add(d.EpisodeWrites)
+}
+
+// ReadSearchStats snapshots the search counters.
+func ReadSearchStats() SearchStats {
+	return SearchStats{
+		Searches:        searchRuns.Load(),
+		ExactSims:       searchExact.Load(),
+		SurrogateScored: searchSurrogate.Load(),
+		ProxyScored:     searchProxy.Load(),
+		EvalsSaved:      searchSaved.Load(),
+		WarmHits:        searchWarmHits.Load(),
+		WarmMisses:      searchWarmMiss.Load(),
+		EpisodeWrites:   searchEpWrites.Load(),
+	}
+}
+
+// ResetSearchStats zeroes the search counters (tests and benchmark
+// sections).
+func ResetSearchStats() {
+	searchRuns.Store(0)
+	searchExact.Store(0)
+	searchSurrogate.Store(0)
+	searchProxy.Store(0)
+	searchSaved.Store(0)
+	searchWarmHits.Store(0)
+	searchWarmMiss.Store(0)
+	searchEpWrites.Store(0)
+}
+
+// PredictOnly asks the installed surrogate predictor for a gated
+// makespan estimate of prog on chip and reports whether the confidence
+// gate accepted. Unlike SimulateApprox it never consults the cache
+// tiers and never falls back to the exact simulator — callers that
+// only need a cheap deterministic ranking signal (the beam search's
+// generation scoring) use it so their decisions are independent of
+// cache warmth. Returns (0, false) when no predictor is installed.
+func PredictOnly(chip *hw.Chip, prog *isa.Program) (float64, bool) {
+	pp := predictor.Load()
+	if pp == nil {
+		return 0, false
+	}
+	p, ok := (*pp).Predict(chip, prog, sim.Options{})
+	if !ok || p == nil {
+		return 0, false
+	}
+	return p.TotalTime, true
+}

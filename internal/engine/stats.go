@@ -20,6 +20,9 @@ type ProcessStats struct {
 	// Surrogate is the learned-predictor decision snapshot; zero when
 	// no predictor is installed.
 	Surrogate SurrogateStats
+	// Search is the beam-search tuning snapshot; zero when no search
+	// has run.
+	Search SearchStats
 }
 
 // Stats returns a snapshot of the engine's process-wide counters.
@@ -33,5 +36,6 @@ func Stats() ProcessStats {
 	}
 	s.Sched = sim.ReadCounters()
 	s.Surrogate = ReadSurrogateStats()
+	s.Search = ReadSearchStats()
 	return s
 }

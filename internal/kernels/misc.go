@@ -84,6 +84,7 @@ func Registry() map[string]Kernel {
 		NewMaxPool(), NewTranspose(), NewConcat(), NewEmbeddingLookup(),
 		NewQuantMatMul(),
 		NewFlashAttention(), NewKVCacheAppend(), NewInt8MatMul(),
+		NewMoEDispatch(),
 	}
 	out := make(map[string]Kernel, len(ks))
 	for _, k := range ks {

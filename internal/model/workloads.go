@@ -314,6 +314,29 @@ func LlamaInference() *Model {
 	}
 }
 
+// MixtralDecode returns the sparse mixture-of-experts decode workload:
+// each layer routes the token batch across experts (moe_dispatch), runs
+// the shared attention path, and only the routed experts' FFNs execute.
+// Like LlamaInference it is outside the paper's Table 2, so the Table 2
+// aggregates over All are unchanged.
+func MixtralDecode() *Model {
+	return &Model{
+		Name: "Mixtral MoE Decode", Type: "LLM", Params: "8x7B",
+		Dataset: "WikiText2", NPUs: 1,
+		OverheadFrac: 0.30,
+		Ops: []OpInstance{
+			{Kernel: kernels.NewFlashAttention(), Count: 32},
+			{Kernel: kernels.NewKVCacheAppend(), Count: 32},
+			{Kernel: kernels.NewMoEDispatch(), Count: 32},
+			{Kernel: kernels.NewInt8MatMul(), Count: 32},
+			{Kernel: ewVariant(kernels.NewLayerNorm(), "rmsnorm", 1, 0, rsdPP), Count: 65},
+			{Kernel: ewVariant(kernels.NewGeLU(), "silu", 1, 0, kernels.NewGeLU().BaselineOpts), Count: 32},
+			{Kernel: kernels.NewAdd(), Count: 64},
+			{Kernel: kernels.NewCast(), Count: 6},
+		},
+	}
+}
+
 // All returns every Table 2 workload in table order.
 func All() []*Model {
 	return []*Model{
@@ -325,9 +348,9 @@ func All() []*Model {
 }
 
 // Extended returns All plus the workloads outside the paper's Table 2
-// (currently the LLM decode workload). Callers that reproduce paper
-// tables stay on All; lookup surfaces (the analysis daemon, workload
-// files) use Extended.
+// (the dense and mixture-of-experts LLM decode workloads). Callers that
+// reproduce paper tables stay on All; lookup surfaces (the analysis
+// daemon, workload files) use Extended.
 func Extended() []*Model {
-	return append(All(), LlamaInference())
+	return append(All(), LlamaInference(), MixtralDecode())
 }

@@ -19,6 +19,7 @@ package passes
 
 import (
 	"fmt"
+	"sort"
 
 	"ascendperf/internal/hw"
 	"ascendperf/internal/isa"
@@ -120,7 +121,16 @@ func MinimalSync(chip *hw.Chip, prog *isa.Program) (*isa.Program, error) {
 				}
 			}
 		}
-		for from, i := range lastProducer {
+		// Iterate producers in a fixed order: map range order varies
+		// per process and would emit flag pairs nondeterministically,
+		// making otherwise-identical programs diverge byte-for-byte.
+		producers := make([]hw.Component, 0, len(lastProducer))
+		for from := range lastProducer {
+			producers = append(producers, from)
+		}
+		sort.Slice(producers, func(a, b int) bool { return producers[a] < producers[b] })
+		for _, from := range producers {
+			i := lastProducer[from]
 			key := pair{from, comps[j]}
 			if idx, ok := covered[key]; ok && idx >= i {
 				// An earlier wait on this queue already covers the

@@ -21,6 +21,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+
+	"ascendperf/internal/opt"
 )
 
 // apiError is an error with an HTTP status and a stable machine code;
@@ -136,10 +138,21 @@ type RooflineResponse struct {
 }
 
 // OptimizeRequest runs the advisor-driven optimization loop on one
-// operator.
+// operator — or, with Search, the surrogate-guided beam search. The
+// search fields may also arrive as query parameters
+// (?search=1&beam=N&budget=M); the server folds them into the body
+// before parsing so the coalescing key covers them.
 type OptimizeRequest struct {
 	Chip string `json:"chip"`
 	Op   string `json:"op"`
+	// Search tunes by beam search over the joint strategy × tile space
+	// instead of the greedy advisor loop.
+	Search bool `json:"search,omitempty"`
+	// Beam is the search beam width (0 = default); Budget caps the
+	// exact simulations one search may issue (0 = unlimited) — the
+	// request's evaluation budget.
+	Beam   int `json:"beam,omitempty"`
+	Budget int `json:"budget,omitempty"`
 }
 
 // OptimizeStep is one accepted loop iteration.
@@ -151,7 +164,10 @@ type OptimizeStep struct {
 	AfterNS   float64 `json:"after_ns"`
 }
 
-// OptimizeResponse is the outcome of the optimization loop.
+// OptimizeResponse is the outcome of the optimization loop. In search
+// mode the loop fields describe the search outcome (baseline, best,
+// winning strategies; no advisor steps or causes) and Search carries
+// the full §11 search result.
 type OptimizeResponse struct {
 	Kernel        string         `json:"kernel"`
 	Chip          string         `json:"chip"`
@@ -162,6 +178,9 @@ type OptimizeResponse struct {
 	FinalCause    string         `json:"final_cause"`
 	Steps         []OptimizeStep `json:"steps"`
 	Applied       []string       `json:"applied"`
+	// Search is the beam-search result (FORMATS.md §11); set only for
+	// search-mode requests.
+	Search *opt.SearchResult `json:"search,omitempty"`
 }
 
 // TraceRequest exports the Perfetto timeline of one simulation
@@ -256,6 +275,16 @@ type EngineStats struct {
 	SurrogatePredicted uint64 `json:"surrogate_predicted"`
 	SurrogateGated     uint64 `json:"surrogate_gated"`
 	SurrogateFallback  uint64 `json:"surrogate_fallback"`
+
+	// Beam-search counters (zero until a search-mode optimize runs).
+	SearchSearches        uint64 `json:"search_searches"`
+	SearchExactSims       uint64 `json:"search_exact_sims"`
+	SearchSurrogateScored uint64 `json:"search_surrogate_scored"`
+	SearchProxyScored     uint64 `json:"search_proxy_scored"`
+	SearchEvalsSaved      uint64 `json:"search_evals_saved"`
+	SearchWarmHits        uint64 `json:"search_warm_hits"`
+	SearchWarmMisses      uint64 `json:"search_warm_misses"`
+	SearchEpisodeWrites   uint64 `json:"search_episode_writes"`
 }
 
 // StatsResponse is the /v1/stats payload: the serving counters plus the

@@ -240,6 +240,24 @@ func parseOptimize(body []byte) (*parsedRequest, error) {
 			if k == nil {
 				return nil, false, notFound("unknown operator %q (GET /v1/ops lists them)", req.Op)
 			}
+			if req.Search {
+				sr, err := opt.New(chip).Search(k, opt.SearchConfig{Beam: req.Beam, Budget: req.Budget})
+				if err != nil {
+					return nil, false, &apiError{status: http.StatusInternalServerError, code: "internal", message: err.Error()}
+				}
+				resp := OptimizeResponse{
+					Kernel:        sr.Kernel,
+					Chip:          chip.Name,
+					InitialTimeNS: sr.BaselineNS,
+					FinalTimeNS:   sr.BestNS,
+					Speedup:       sr.Speedup,
+					Steps:         []OptimizeStep{},
+					Applied:       append([]string{}, sr.Strategies...),
+					Search:        sr,
+				}
+				b, err := encode(resp)
+				return b, false, err
+			}
 			res, err := opt.New(chip).Optimize(k)
 			if err != nil {
 				return nil, false, &apiError{status: http.StatusInternalServerError, code: "internal", message: err.Error()}

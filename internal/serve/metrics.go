@@ -211,6 +211,23 @@ func (m *metricsRegistry) Render(inflight, queued int64, draining bool, resp *re
 	b.WriteString("# TYPE ascendd_surrogate_fallback_total counter\n")
 	fmt.Fprintf(&b, "ascendd_surrogate_fallback_total %d\n", snap.Surrogate.Fallback)
 
+	search := []struct {
+		name, help string
+		v          uint64
+	}{
+		{"ascendd_search_searches_total", "Beam searches completed (optimize with search).", snap.Search.Searches},
+		{"ascendd_search_exact_sims_total", "Exact simulations issued by searches.", snap.Search.ExactSims},
+		{"ascendd_search_surrogate_scored_total", "Beam candidates scored by the learned surrogate.", snap.Search.SurrogateScored},
+		{"ascendd_search_proxy_scored_total", "Beam candidates scored by the static critical-path proxy.", snap.Search.ProxyScored},
+		{"ascendd_search_evals_saved_total", "Scored candidates never confirmed exactly.", snap.Search.EvalsSaved},
+		{"ascendd_search_warm_hits_total", "Searches answered from the episodic memory.", snap.Search.WarmHits},
+		{"ascendd_search_warm_misses_total", "Searches that found no usable episode.", snap.Search.WarmMisses},
+		{"ascendd_search_episode_writes_total", "Episodes persisted after cold searches.", snap.Search.EpisodeWrites},
+	}
+	for _, s := range search {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", s.name, s.help, s.name, s.name, s.v)
+	}
+
 	sched := []struct {
 		name, help string
 		v          uint64

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -8,6 +9,7 @@ import (
 	"io"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -117,9 +119,71 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/v1/models", s.handleModels)
 	s.mux.HandleFunc("/v1/chips", s.handleChips)
 	for name, parse := range analysisParsers {
-		s.mux.HandleFunc("/v1/"+name, s.analysis(name, parse))
+		h := s.analysis(name, parse)
+		if name == "optimize" {
+			h = mergeSearchQuery(h)
+		}
+		s.mux.HandleFunc("/v1/"+name, h)
 	}
 	return s
+}
+
+// mergeSearchQuery folds /v1/optimize's search query parameters
+// (?search=1&beam=N&budget=M) into the JSON body before the analysis
+// wrapper reads it, so the coalescing key — computed from the body
+// alone, here and in the cluster router — covers the search mode.
+func mergeSearchQuery(next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		if q.Get("search") == "" && q.Get("beam") == "" && q.Get("budget") == "" {
+			next(w, r)
+			return
+		}
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+		if err != nil {
+			http.Error(w, "read body: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		merged := map[string]json.RawMessage{}
+		if len(bytes.TrimSpace(body)) > 0 {
+			if err := json.Unmarshal(body, &merged); err != nil {
+				http.Error(w, "body is not a JSON object: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+		}
+		set := func(key, val string, numeric bool) bool {
+			if val == "" {
+				return true
+			}
+			if numeric {
+				if _, err := strconv.Atoi(val); err != nil {
+					return false
+				}
+				merged[key] = json.RawMessage(val)
+				return true
+			}
+			on, err := strconv.ParseBool(val)
+			if err != nil {
+				return false
+			}
+			merged[key] = json.RawMessage(strconv.FormatBool(on))
+			return true
+		}
+		if !set("search", q.Get("search"), false) ||
+			!set("beam", q.Get("beam"), true) ||
+			!set("budget", q.Get("budget"), true) {
+			http.Error(w, "search/beam/budget query parameters must be boolean/integer", http.StatusBadRequest)
+			return
+		}
+		out, err := json.Marshal(merged)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		r.Body = io.NopCloser(bytes.NewReader(out))
+		r.ContentLength = int64(len(out))
+		next(w, r)
+	}
 }
 
 // AnalysisEndpoints returns the sorted names of the POST analysis
@@ -437,6 +501,15 @@ func (s *Server) StatsSnapshot() StatsResponse {
 			SurrogatePredicted: snap.Surrogate.Predicted,
 			SurrogateGated:     snap.Surrogate.Gated,
 			SurrogateFallback:  snap.Surrogate.Fallback,
+
+			SearchSearches:        snap.Search.Searches,
+			SearchExactSims:       snap.Search.ExactSims,
+			SearchSurrogateScored: snap.Search.SurrogateScored,
+			SearchProxyScored:     snap.Search.ProxyScored,
+			SearchEvalsSaved:      snap.Search.EvalsSaved,
+			SearchWarmHits:        snap.Search.WarmHits,
+			SearchWarmMisses:      snap.Search.WarmMisses,
+			SearchEpisodeWrites:   snap.Search.EpisodeWrites,
 		},
 	}
 }

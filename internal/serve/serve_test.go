@@ -137,6 +137,39 @@ Vector.FP16 ops=2048 repeat=1 reads=UB[0:4096) writes=UB[4096:8192) ; relu
 			t.Fatalf("degenerate optimize response: %+v", out)
 		}
 	})
+	t.Run("optimize search", func(t *testing.T) {
+		// The search mode via query parameters; the body carries the rest.
+		resp, body := postJSON(t, ts.URL+"/v1/optimize?search=1&beam=2", `{"chip":"training","op":"add_relu"}`)
+		if resp.StatusCode != 200 {
+			t.Fatalf("optimize?search=1 = %d: %s", resp.StatusCode, body)
+		}
+		var out OptimizeResponse
+		if err := json.Unmarshal(body, &out); err != nil {
+			t.Fatal(err)
+		}
+		if out.Search == nil || out.Search.ExactSims == 0 || out.Speedup < 1 {
+			t.Fatalf("degenerate search response: %s", body)
+		}
+		if len(out.Applied) == 0 || out.FinalTimeNS != out.Search.BestNS {
+			t.Fatalf("search block disagrees with loop fields: %s", body)
+		}
+		// Equivalent body-only request must hit the response cache: the
+		// query parameters were folded into the canonical key.
+		resp2, _ := postJSON(t, ts.URL+"/v1/optimize", `{"chip":"training","op":"add_relu","search":true,"beam":2}`)
+		if resp2.Header.Get("X-Ascendd-Cache") != "hit" {
+			t.Fatalf("body-form search request missed the response cache")
+		}
+		// Stats must now report the search counters.
+		statsResp, statsBody := postJSON(t, ts.URL+"/v1/stats", "")
+		_ = statsResp
+		var st StatsResponse
+		if err := json.Unmarshal(statsBody, &st); err != nil {
+			t.Fatal(err)
+		}
+		if st.Engine.SearchSearches == 0 || st.Engine.SearchExactSims == 0 {
+			t.Fatalf("search counters missing from stats: %+v", st.Engine)
+		}
+	})
 	t.Run("trace", func(t *testing.T) {
 		resp, body := postJSON(t, ts.URL+"/v1/trace", `{"chip":"training","op":"mul"}`)
 		if resp.StatusCode != 200 {

@@ -1,0 +1,107 @@
+package surrogate
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ascendperf/internal/check"
+	"ascendperf/internal/hw"
+	"ascendperf/internal/sim"
+)
+
+// TestRecordExactDedups: repeated gate-rejected simulations of the
+// same (chip, program) pair must log exactly one training sample, and
+// distinct programs must each get their line.
+func TestRecordExactDedups(t *testing.T) {
+	m := trainedModel(t)
+	chip := hw.TrainingChip()
+	cases := check.Corpus(map[string]*hw.Chip{"training": chip})[:4]
+	logPath := filepath.Join(t.TempDir(), "train.jsonl")
+	pr := NewPredictor(m, logPath)
+	defer pr.Close()
+
+	for round := 0; round < 5; round++ {
+		for _, c := range cases {
+			p, err := sim.RunOpts(chip, c.Prog, sim.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			pr.RecordExact(chip, c.Prog, p)
+		}
+	}
+	if err := pr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadTrainingLog(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(cases) {
+		t.Fatalf("log has %d samples after 5 identical rounds, want %d", len(got), len(cases))
+	}
+	seen := map[string]bool{}
+	for _, s := range got {
+		if seen[s.Name] {
+			t.Fatalf("duplicate sample for %s", s.Name)
+		}
+		seen[s.Name] = true
+	}
+}
+
+// TestTrainingLogRotation: once an append would push the log past
+// LogMaxBytes, the file must rotate to <path>.1 and a fresh log must
+// continue accumulating, keeping the pair bounded.
+func TestTrainingLogRotation(t *testing.T) {
+	m := trainedModel(t)
+	chip := hw.TrainingChip()
+	cases := check.Corpus(map[string]*hw.Chip{"training": chip})
+	if len(cases) < 8 {
+		t.Fatalf("corpus too small: %d", len(cases))
+	}
+	logPath := filepath.Join(t.TempDir(), "train.jsonl")
+	pr := NewPredictor(m, logPath)
+	defer pr.Close()
+	// One sample line is roughly a kilobyte of JSON (40 features); cap
+	// the log at ~2 lines so a handful of records forces rotation.
+	pr.LogMaxBytes = 2048
+
+	for _, c := range cases[:8] {
+		p, err := sim.RunOpts(chip, c.Prog, sim.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pr.RecordExact(chip, c.Prog, p)
+	}
+	if err := pr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	cur, err := os.Stat(logPath)
+	if err != nil {
+		t.Fatalf("current log missing: %v", err)
+	}
+	rot, err := os.Stat(logPath + ".1")
+	if err != nil {
+		t.Fatalf("rotated log missing after cap overflow: %v", err)
+	}
+	if cur.Size() > pr.LogMaxBytes+2048 {
+		t.Errorf("current log %d bytes, cap %d: rotation did not bound it", cur.Size(), pr.LogMaxBytes)
+	}
+	if rot.Size() == 0 {
+		t.Error("rotated log is empty")
+	}
+	// Both generations must still parse; together they hold all eight
+	// unique samples exactly once.
+	a, err := LoadTrainingLog(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadTrainingLog(logPath + ".1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a)+len(b) != 8 {
+		t.Fatalf("rotated+current hold %d samples, want 8", len(a)+len(b))
+	}
+}

@@ -19,6 +19,17 @@ import (
 // working set re-warms in a few requests.
 const memoCap = 8192
 
+// DefaultLogMaxBytes is the training-log rotation threshold: when an
+// append would grow the log past this size, the log is rotated to
+// <path>.1 (replacing any previous rotation) and a fresh file started,
+// so a long-lived daemon's log is bounded by ~2x this value.
+const DefaultLogMaxBytes = 4 << 20
+
+// logSeenCap bounds the per-process dedup set of logged (chip,
+// program) fingerprints; like the feature memo it is simply reset when
+// full.
+const logSeenCap = 1 << 16
+
 // Predictor adapts a trained Model to the engine's Predictor hook:
 // memoized feature extraction, the confidence gate, approximate-profile
 // assembly on acceptance, and training-log appends on fallback. Safe
@@ -34,6 +45,12 @@ type Predictor struct {
 	logPath string
 	logFile *os.File
 	logErrs int
+	logSize int64
+	logSeen map[string]bool
+
+	// LogMaxBytes overrides DefaultLogMaxBytes when positive; set it
+	// before the first RecordExact.
+	LogMaxBytes int64
 }
 
 // NewPredictor wraps a trained model. logPath, when non-empty, is the
@@ -46,14 +63,17 @@ func NewPredictor(m *Model, logPath string) *Predictor {
 		memo:    make(map[string]*Static),
 		chipFPs: make(map[*hw.Chip]string),
 		logPath: logPath,
+		logSeen: make(map[string]bool),
 	}
 }
 
 // Model returns the wrapped model.
 func (p *Predictor) Model() *Model { return p.model }
 
-// static returns the memoized static analysis for (chip, prog).
-func (p *Predictor) static(chip *hw.Chip, prog *isa.Program) *Static {
+// static returns the memoized static analysis for (chip, prog) along
+// with the (chip fingerprint, program fingerprint) memo key, which
+// doubles as the training-log dedup key.
+func (p *Predictor) static(chip *hw.Chip, prog *isa.Program) (*Static, string) {
 	p.mu.Lock()
 	fp, ok := p.chipFPs[chip]
 	if !ok {
@@ -70,7 +90,7 @@ func (p *Predictor) static(chip *hw.Chip, prog *isa.Program) *Static {
 	key := fp + "|" + prog.Fingerprint()
 	if st, ok := p.memo[key]; ok {
 		p.mu.Unlock()
-		return st
+		return st, key
 	}
 	p.mu.Unlock()
 
@@ -81,7 +101,7 @@ func (p *Predictor) static(chip *hw.Chip, prog *isa.Program) *Static {
 	}
 	p.memo[key] = st
 	p.mu.Unlock()
-	return st
+	return st, key
 }
 
 // Predict implements engine.Predictor: a gated makespan estimate
@@ -93,7 +113,7 @@ func (p *Predictor) Predict(chip *hw.Chip, prog *isa.Program, opts sim.Options) 
 	if opts != (sim.Options{}) {
 		return nil, false
 	}
-	st := p.static(chip, prog)
+	st, _ := p.static(chip, prog)
 	est, ok := p.model.Predict(st.Features)
 	if !ok {
 		return nil, false
@@ -106,18 +126,21 @@ func (p *Predictor) Predict(chip *hw.Chip, prog *isa.Program, opts sim.Options) 
 // RecordExact implements engine.Predictor: called with the exact
 // simulation result of a case the gate rejected, it appends the
 // (features, exact makespan) pair to the training log for the next
-// ascendfit run. Without a configured log it is a no-op beyond warming
-// the feature memo.
+// ascendfit run. Each (chip, program) fingerprint pair is logged at
+// most once per process — a serving loop that repeatedly re-simulates
+// the same gate-rejected program used to append a duplicate line per
+// repeat — and the log rotates to <path>.1 when an append would grow
+// it past LogMaxBytes. Without a configured log it is a no-op beyond
+// warming the feature memo.
 func (p *Predictor) RecordExact(chip *hw.Chip, prog *isa.Program, prof *profile.Profile) {
 	if prof == nil || prof.TotalTime <= 0 {
 		return
 	}
-	st := p.static(chip, prog)
+	st, key := p.static(chip, prog)
 	if p.logPath == "" {
 		return
 	}
-	chipName := chip.Name
-	s := Sample{Name: prog.Name, Chip: chipName, Features: st.Features, TotalNS: prof.TotalTime}
+	s := Sample{Name: prog.Name, Chip: chip.Name, Features: st.Features, TotalNS: prof.TotalTime}
 	line, err := json.Marshal(s)
 	if err != nil {
 		return
@@ -125,6 +148,9 @@ func (p *Predictor) RecordExact(chip *hw.Chip, prog *isa.Program, prof *profile.
 	line = append(line, '\n')
 	p.logMu.Lock()
 	defer p.logMu.Unlock()
+	if p.logSeen[key] {
+		return
+	}
 	if p.logFile == nil {
 		f, err := os.OpenFile(p.logPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
@@ -132,9 +158,52 @@ func (p *Predictor) RecordExact(chip *hw.Chip, prog *isa.Program, prof *profile.
 			return
 		}
 		p.logFile = f
+		if fi, err := f.Stat(); err == nil {
+			p.logSize = fi.Size()
+		}
 	}
-	if _, err := p.logFile.Write(line); err != nil {
+	max := p.LogMaxBytes
+	if max <= 0 {
+		max = DefaultLogMaxBytes
+	}
+	if p.logSize > 0 && p.logSize+int64(len(line)) > max {
+		p.rotateLocked()
+		if p.logFile == nil {
+			return
+		}
+	}
+	if len(p.logSeen) >= logSeenCap {
+		p.logSeen = make(map[string]bool)
+	}
+	p.logSeen[key] = true
+	if n, err := p.logFile.Write(line); err != nil {
 		p.logErrs++
+	} else {
+		p.logSize += int64(n)
+	}
+}
+
+// rotateLocked rotates the training log: the current file moves to
+// <path>.1 (replacing any previous rotation) and a fresh file is
+// opened. Called with logMu held and logFile non-nil; failures leave
+// the current file in place and are counted.
+func (p *Predictor) rotateLocked() {
+	if err := p.logFile.Close(); err != nil {
+		p.logErrs++
+	}
+	p.logFile = nil
+	if err := os.Rename(p.logPath, p.logPath+".1"); err != nil {
+		p.logErrs++
+	}
+	f, err := os.OpenFile(p.logPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		p.logErrs++
+		return
+	}
+	p.logFile = f
+	p.logSize = 0
+	if fi, err := f.Stat(); err == nil {
+		p.logSize = fi.Size()
 	}
 }
 
