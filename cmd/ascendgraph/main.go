@@ -1,0 +1,162 @@
+// Command ascendgraph compiles a whole workload into an operator
+// dependency graph and schedules it across multiple AICores: list
+// scheduling with per-edge GM transfer costs and shared-link
+// contention, reported against the serial operator sum the single-core
+// tools compute.
+//
+// Usage:
+//
+//	ascendgraph -model "Llama 2 Decode" -cores 4       # schedule one workload
+//	ascendgraph -workload wl.json -cores 8 -json       # graph-report/v1 JSON
+//	ascendgraph -model Bert -trace graph.json          # Perfetto per-core timeline
+//	ascendgraph -all -cores 1 -parity                  # CI: 1-core == serial sum
+//	ascendgraph -all -cores 4 -minoverlap 1.0          # CI: overlap really pays
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ascendperf/internal/cliutil"
+	"ascendperf/internal/engine"
+	"ascendperf/internal/graph"
+	"ascendperf/internal/hw"
+	"ascendperf/internal/model"
+	"ascendperf/internal/trace"
+)
+
+func main() {
+	var (
+		chipName   = flag.String("chip", "training", "chip preset (training, inference, tpu) or spec file")
+		modelName  = flag.String("model", "", "built-in workload to schedule")
+		workload   = flag.String("workload", "", "schedule a custom workload file instead of a named model")
+		all        = flag.Bool("all", false, "schedule every built-in workload")
+		cores      = flag.Int("cores", 4, "AICores to schedule across")
+		workers    = flag.Int("workers", 0, "parallel analysis workers (0 = ASCENDPERF_WORKERS or GOMAXPROCS)")
+		jsonOut    = flag.Bool("json", false, "emit graph-report/v1 JSON (FORMATS.md §12) instead of the table")
+		tracePath  = flag.String("trace", "", "write the per-core Perfetto timeline to this file (- = stdout)")
+		parity     = flag.Bool("parity", false, "fail unless every makespan is bit-exact to the serial operator sum (use with -cores 1; the CI parity gate)")
+		minOverlap = flag.Float64("minoverlap", 0, "fail unless every scheduled workload's overlap efficiency strictly exceeds this (0 disables; the CI overlap gate)")
+		version    = flag.Bool("version", false, "print build information and exit")
+	)
+	flag.Parse()
+	if *version {
+		fmt.Println(cliutil.BuildInfo("ascendgraph"))
+		return
+	}
+	engine.SetWorkers(*workers)
+	if err := run(*chipName, *modelName, *workload, *all, *cores, *workers, *jsonOut, *tracePath, *parity, *minOverlap); err != nil {
+		fmt.Fprintln(os.Stderr, "ascendgraph:", err)
+		os.Exit(1)
+	}
+}
+
+// targets resolves the workloads one invocation schedules.
+func targets(modelName, workload string, all bool) ([]*model.Model, error) {
+	switch {
+	case all && (modelName != "" || workload != ""):
+		return nil, fmt.Errorf("-all is mutually exclusive with -model/-workload")
+	case modelName != "" && workload != "":
+		return nil, fmt.Errorf("-model and -workload are mutually exclusive")
+	case all:
+		return model.Extended(), nil
+	case modelName != "":
+		m, err := cliutil.ModelByName(modelName)
+		if err != nil {
+			return nil, err
+		}
+		return []*model.Model{m}, nil
+	case workload != "":
+		f, err := os.Open(workload)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		m, err := model.ReadWorkloadNamed(workload, f)
+		if err != nil {
+			return nil, err
+		}
+		return []*model.Model{m}, nil
+	default:
+		return nil, fmt.Errorf("one of -model, -workload or -all is required")
+	}
+}
+
+func run(chipName, modelName, workload string, all bool, cores, workers int, jsonOut bool, tracePath string, parity bool, minOverlap float64) error {
+	chip, err := cliutil.ChipByName(chipName)
+	if err != nil {
+		return err
+	}
+	ms, err := targets(modelName, workload, all)
+	if err != nil {
+		return err
+	}
+	if tracePath != "" && len(ms) != 1 {
+		return fmt.Errorf("-trace needs exactly one workload")
+	}
+	for _, m := range ms {
+		s, err := graph.Run(chip, m, graph.Options{Cores: cores, Workers: workers})
+		if err != nil {
+			return fmt.Errorf("%s: %w", m.Name, err)
+		}
+		if err := emit(s, jsonOut, tracePath); err != nil {
+			return err
+		}
+		if err := gate(chip, s, parity, minOverlap); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// emit writes one schedule in the selected form.
+func emit(s *graph.Schedule, jsonOut bool, tracePath string) error {
+	switch {
+	case tracePath == "-":
+		return trace.WriteGraph(os.Stdout, s)
+	case tracePath != "":
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		if err := trace.WriteGraph(f, s); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", tracePath)
+		return nil
+	case jsonOut:
+		return graph.NewReport(s).WriteJSON(os.Stdout)
+	default:
+		fmt.Print(s.Text())
+		return nil
+	}
+}
+
+// gate enforces the CI invariants on one schedule.
+func gate(chip *hw.Chip, s *graph.Schedule, parity bool, minOverlap float64) error {
+	name := s.Graph.Model.Name
+	if parity {
+		rr, err := model.NewRunner(chip).Run(s.Graph.Model)
+		if err != nil {
+			return fmt.Errorf("%s: parity reference: %w", name, err)
+		}
+		if s.MakespanNS != rr.BaselineComputeTime {
+			return fmt.Errorf("%s: parity gate: makespan %v != serial operator sum %v",
+				name, s.MakespanNS, rr.BaselineComputeTime)
+		}
+	}
+	if s.MakespanNS > s.SerialNS {
+		return fmt.Errorf("%s: makespan %v exceeds serial sum %v", name, s.MakespanNS, s.SerialNS)
+	}
+	if minOverlap > 0 {
+		if eff := s.OverlapEfficiency(); eff <= minOverlap {
+			return fmt.Errorf("%s: overlap gate: efficiency %.3f not above %.3f", name, eff, minOverlap)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ascendperf/internal/graph"
+	"ascendperf/internal/model"
+)
+
+func TestRunNamedModel(t *testing.T) {
+	if err := run("training", "Llama 2 Decode", "", false, 4, 0, false, "", false, 1.0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunParityGate(t *testing.T) {
+	if err := run("training", "VGG16", "", false, 1, 0, false, "", true, 0); err != nil {
+		t.Fatalf("1-core parity gate failed: %v", err)
+	}
+}
+
+func TestRunWorkloadFileWithEdges(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wl.json")
+	wl := `{
+		"name": "cli-diamond",
+		"ops": [
+			{"op": "matmul", "count": 1},
+			{"op": "add", "count": 1},
+			{"op": "softmax", "count": 1}
+		],
+		"edges": [
+			{"from": "matmul", "to": "add"},
+			{"from": "add", "to": "softmax"}
+		]
+	}`
+	if err := os.WriteFile(path, []byte(wl), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("training", "", path, false, 2, 0, false, "", false, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTraceOutput(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "graph_trace.json")
+	if err := run("training", "DeepFM", "", false, 2, 0, false, path, false, 0); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		OtherData map[string]any `json:"otherData"`
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v", err)
+	}
+	if doc.OtherData["schema"] != "ascendperf/graphtrace/v1" {
+		t.Errorf("trace schema = %v", doc.OtherData["schema"])
+	}
+}
+
+func TestTargetErrors(t *testing.T) {
+	if _, err := targets("", "", false); err == nil {
+		t.Error("no selection accepted")
+	}
+	if _, err := targets("Bert", "wl.json", false); err == nil {
+		t.Error("-model with -workload accepted")
+	}
+	if _, err := targets("Bert", "", true); err == nil {
+		t.Error("-all with -model accepted")
+	}
+	if _, err := targets("No Such Model", "", false); err == nil {
+		t.Error("unknown model accepted")
+	}
+}
+
+func TestGateCatchesRegressions(t *testing.T) {
+	// A schedule claiming to beat its own serial sum must be rejected.
+	s := &graph.Schedule{MakespanNS: 10, SerialNS: 20}
+	s.Graph = &graph.Graph{Model: &model.Model{Name: "synthetic"}}
+	if err := gate(nil, s, false, 4.0); err == nil || !strings.Contains(err.Error(), "overlap gate") {
+		t.Errorf("overlap gate passed at 2.0x against a 4.0 floor: %v", err)
+	}
+	s.MakespanNS = 30
+	if err := gate(nil, s, false, 0); err == nil || !strings.Contains(err.Error(), "exceeds serial") {
+		t.Errorf("makespan > serial accepted: %v", err)
+	}
+}

@@ -1,0 +1,152 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestRouterDedupSingleUpstreamCall gates a slow shard behind a
+// channel, fires N identical requests, and proves the router made
+// exactly one upstream call: the followers attached to the leader's
+// flight and replayed its buffered response.
+func TestRouterDedupSingleUpstreamCall(t *testing.T) {
+	const clients = 8
+	var upstreamCalls atomic.Int64
+	arrived := make(chan struct{}) // closed by the shard once the leader is in
+	release := make(chan struct{}) // gate: the shard holds the flight open
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ready")
+	})
+	mux.HandleFunc("/v1/", func(w http.ResponseWriter, _ *http.Request) {
+		if upstreamCalls.Add(1) == 1 {
+			close(arrived)
+		}
+		<-release
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"answer": 42}`)
+	})
+	shard := httptest.NewServer(mux)
+	defer shard.Close()
+
+	rt := newTestRouter(t, []string{shard.URL})
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	body := `{"chip":"training","op":"matmul"}`
+	type result struct {
+		status  int
+		deduped string
+		payload string
+	}
+	results := make([]result, clients)
+	var wg sync.WaitGroup
+
+	// The leader goes first and is held inside the shard before the
+	// followers fire, so all of them are guaranteed to find its flight
+	// in the table.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp := post(t, front.Client(), front.URL+"/v1/simulate", body)
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		results[0] = result{resp.StatusCode, resp.Header.Get("X-Ascendd-Deduped"), string(b)}
+	}()
+	select {
+	case <-arrived:
+	case <-time.After(5 * time.Second):
+		t.Fatal("leader request never reached the shard")
+	}
+	for i := 1; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp := post(t, front.Client(), front.URL+"/v1/simulate", body)
+			b, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			results[i] = result{resp.StatusCode, resp.Header.Get("X-Ascendd-Deduped"), string(b)}
+		}(i)
+	}
+	// Wait until every follower has joined the flight, then open the
+	// gate. Deduped counts joins, so polling it is race-free.
+	deadline := time.Now().Add(5 * time.Second)
+	for rt.Deduped() < clients-1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d followers joined the flight", rt.Deduped(), clients-1)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	if n := upstreamCalls.Load(); n != 1 {
+		t.Fatalf("%d identical requests made %d upstream calls, want 1", clients, n)
+	}
+	deduped := 0
+	for i, r := range results {
+		if r.status != 200 {
+			t.Errorf("client %d: HTTP %d", i, r.status)
+		}
+		if r.payload != `{"answer": 42}` {
+			t.Errorf("client %d: payload %q", i, r.payload)
+		}
+		if r.deduped == "1" {
+			deduped++
+		}
+	}
+	if deduped != clients-1 {
+		t.Errorf("%d responses carried X-Ascendd-Deduped, want %d", deduped, clients-1)
+	}
+	if rt.Deduped() != clients-1 {
+		t.Errorf("Deduped() = %d, want %d", rt.Deduped(), clients-1)
+	}
+
+	// The flight is released: a later identical request starts a fresh
+	// upstream call instead of replaying the stale one.
+	resp := post(t, front.Client(), front.URL+"/v1/simulate", body)
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if n := upstreamCalls.Load(); n != 2 {
+		t.Errorf("post-flight request reused the finished flight (%d upstream calls, want 2)", n)
+	}
+}
+
+// TestRouterDedupDistinctKeys: requests with different canonical keys
+// never share a flight.
+func TestRouterDedupDistinctKeys(t *testing.T) {
+	var upstreamCalls atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ready")
+	})
+	mux.HandleFunc("/v1/", func(w http.ResponseWriter, _ *http.Request) {
+		upstreamCalls.Add(1)
+		fmt.Fprint(w, `{}`)
+	})
+	shard := httptest.NewServer(mux)
+	defer shard.Close()
+	rt := newTestRouter(t, []string{shard.URL})
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	for _, op := range []string{"matmul", "softmax", "relu"} {
+		resp := post(t, front.Client(), front.URL+"/v1/simulate",
+			fmt.Sprintf(`{"chip":"training","op":%q}`, op))
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	if n := upstreamCalls.Load(); n != 3 {
+		t.Errorf("3 distinct requests made %d upstream calls", n)
+	}
+	if rt.Deduped() != 0 {
+		t.Errorf("Deduped() = %d for distinct keys, want 0", rt.Deduped())
+	}
+}

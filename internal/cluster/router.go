@@ -72,9 +72,12 @@ type Router struct {
 	mux    *http.ServeMux
 	l2     *CacheServer
 
-	routed      []atomic.Uint64 // responses served, per backend
+	flights proxyFlights // in-flight dedup on canonical key
+
+	routed      []atomic.Uint64 // upstream responses obtained, per backend
 	failovers   atomic.Uint64   // responses served by a non-primary backend
 	unavailable atomic.Uint64   // requests no backend could answer
+	deduped     atomic.Uint64   // requests served by attaching to an identical in-flight one
 }
 
 // NewRouter builds a router over cfg.Backends.
@@ -141,6 +144,10 @@ func (rt *Router) Failovers() uint64 { return rt.failovers.Load() }
 // envelope.
 func (rt *Router) Unavailable() uint64 { return rt.unavailable.Load() }
 
+// Deduped returns the count of requests served by attaching to an
+// identical in-flight request instead of calling a backend.
+func (rt *Router) Deduped() uint64 { return rt.deduped.Load() }
+
 // writeEnvelope mirrors the shard error envelope (FORMATS.md §8.3) so
 // clients see one error shape whether a response came from a shard or
 // from the router itself.
@@ -202,58 +209,100 @@ func (rt *Router) analysisProxy(endpoint string) http.HandlerFunc {
 			key = endpoint + "\x00" + string(body)
 		}
 
-		order := rt.tryOrder(key)
-		attempts := len(order)
-		if attempts > 2 {
-			attempts = 2 // primary plus a single bounded retry
-		}
-		var lastErr error
-		for i := 0; i < attempts; i++ {
-			backend := order[i]
-			status, hdr, respBody, err := rt.forward(r, backend, body)
-			if err != nil {
-				// Transport failure: the shard never answered. Mark it
-				// down now (failover must not wait out a probe
-				// interval) and try the next ring node.
-				rt.health.markDown(rt.health.index(backend))
-				lastErr = err
-				continue
+		// Deduplicate identical concurrent requests before spending a
+		// backend attempt on each: the first arrival leads and forwards,
+		// later ones attach to the same flight and replay its response.
+		call, leader := rt.flights.join(key)
+		if !leader {
+			rt.deduped.Add(1)
+			select {
+			case <-call.done:
+			case <-r.Context().Done():
+				return // client gone; the leader's flight continues
 			}
-			if status == http.StatusServiceUnavailable && isDraining(respBody) {
-				// A draining shard rejected the work before starting
-				// it; re-running elsewhere is safe and invisible.
-				rt.health.markDown(rt.health.index(backend))
-				lastErr = fmt.Errorf("%s is draining", backend)
-				continue
-			}
-			// Any other status — including the shard's own 4xx/5xx — is
-			// authoritative: the owner answered, so replaying elsewhere
-			// would only duplicate work or mask real errors.
-			for _, h := range forwardedHeaders {
-				if v := hdr.Get(h); v != "" {
-					w.Header().Set(h, v)
-				}
-			}
-			w.Header().Set("X-Ascendd-Route", backend)
-			if i > 0 {
-				w.Header().Set("X-Ascendd-Failover", "1")
-				rt.failovers.Add(1)
-			}
-			w.WriteHeader(status)
-			w.Write(respBody)
-			rt.routed[rt.health.index(backend)].Add(1)
+			rt.writeResult(w, call.res, true)
 			return
 		}
-		rt.unavailable.Add(1)
-		writeEnvelope(w, http.StatusServiceUnavailable, "unavailable",
-			"no backend available for %s: %v", endpoint, lastErr)
+		res := rt.attempt(endpoint, r.URL.Path, key, body)
+		rt.flights.finish(key, call, res)
+		rt.writeResult(w, res, false)
 	}
+}
+
+// attempt runs the bounded failover loop for one deduplicated flight
+// and buffers the outcome. It deliberately runs detached from the
+// initiating request's context: other clients may be attached to this
+// flight, so the leader's disconnect must not abort their answer (the
+// client timeout still bounds each upstream call).
+func (rt *Router) attempt(endpoint, path, key string, body []byte) *proxyResult {
+	order := rt.tryOrder(key)
+	attempts := len(order)
+	if attempts > 2 {
+		attempts = 2 // primary plus a single bounded retry
+	}
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		backend := order[i]
+		status, hdr, respBody, err := rt.forward(path, backend, body)
+		if err != nil {
+			// Transport failure: the shard never answered. Mark it
+			// down now (failover must not wait out a probe
+			// interval) and try the next ring node.
+			rt.health.markDown(rt.health.index(backend))
+			lastErr = err
+			continue
+		}
+		if status == http.StatusServiceUnavailable && isDraining(respBody) {
+			// A draining shard rejected the work before starting
+			// it; re-running elsewhere is safe and invisible.
+			rt.health.markDown(rt.health.index(backend))
+			lastErr = fmt.Errorf("%s is draining", backend)
+			continue
+		}
+		// Any other status — including the shard's own 4xx/5xx — is
+		// authoritative: the owner answered, so replaying elsewhere
+		// would only duplicate work or mask real errors.
+		res := &proxyResult{ok: true, status: status, header: map[string]string{},
+			body: respBody, backend: backend, failover: i > 0}
+		for _, h := range forwardedHeaders {
+			if v := hdr.Get(h); v != "" {
+				res.header[h] = v
+			}
+		}
+		if res.failover {
+			rt.failovers.Add(1)
+		}
+		rt.routed[rt.health.index(backend)].Add(1)
+		return res
+	}
+	rt.unavailable.Add(1)
+	return &proxyResult{errMsg: fmt.Sprintf("no backend available for %s: %v", endpoint, lastErr)}
+}
+
+// writeResult replays a buffered flight outcome to one client.
+func (rt *Router) writeResult(w http.ResponseWriter, res *proxyResult, deduped bool) {
+	if !res.ok {
+		writeEnvelope(w, http.StatusServiceUnavailable, "unavailable", "%s", res.errMsg)
+		return
+	}
+	for h, v := range res.header {
+		w.Header().Set(h, v)
+	}
+	w.Header().Set("X-Ascendd-Route", res.backend)
+	if res.failover {
+		w.Header().Set("X-Ascendd-Failover", "1")
+	}
+	if deduped {
+		w.Header().Set("X-Ascendd-Deduped", "1")
+	}
+	w.WriteHeader(res.status)
+	w.Write(res.body)
 }
 
 // forward sends one buffered request attempt to backend and buffers the
 // response, so a failed attempt can be retried from the same bytes.
-func (rt *Router) forward(r *http.Request, backend string, body []byte) (int, http.Header, []byte, error) {
-	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, backend+r.URL.Path, bytes.NewReader(body))
+func (rt *Router) forward(path, backend string, body []byte) (int, http.Header, []byte, error) {
+	req, err := http.NewRequest(http.MethodPost, backend+path, bytes.NewReader(body))
 	if err != nil {
 		return 0, nil, nil, err
 	}
@@ -382,6 +431,11 @@ func (rt *Router) handleStats(w http.ResponseWriter, _ *http.Request) {
 		agg.Engine.SearchWarmHits += stats.Engine.SearchWarmHits
 		agg.Engine.SearchWarmMisses += stats.Engine.SearchWarmMisses
 		agg.Engine.SearchEpisodeWrites += stats.Engine.SearchEpisodeWrites
+		agg.Engine.GraphSchedules += stats.Engine.GraphSchedules
+		agg.Engine.GraphNodes += stats.Engine.GraphNodes
+		agg.Engine.GraphEdges += stats.Engine.GraphEdges
+		agg.Engine.GraphTransfers += stats.Engine.GraphTransfers
+		agg.Engine.GraphSerialFallbacks += stats.Engine.GraphSerialFallbacks
 	}
 	if total := agg.Engine.CacheHits + agg.Engine.CacheMisses; total > 0 {
 		agg.Engine.CacheHitRate = float64(agg.Engine.CacheHits) / float64(total)
@@ -410,6 +464,7 @@ type ClusterStatus struct {
 	Replicas    int               `json:"replicas"`
 	Failovers   uint64            `json:"failovers"`
 	Unavailable uint64            `json:"unavailable"`
+	Deduped     uint64            `json:"deduped"`
 	L2          *CacheServerStats `json:"l2,omitempty"`
 }
 
@@ -419,6 +474,7 @@ func (rt *Router) Status() ClusterStatus {
 		Replicas:    rt.ring.replicas,
 		Failovers:   rt.failovers.Load(),
 		Unavailable: rt.unavailable.Load(),
+		Deduped:     rt.deduped.Load(),
 	}
 	for i, b := range rt.ring.Nodes() {
 		row := BackendStatus{
@@ -481,6 +537,9 @@ func (rt *Router) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	b.WriteString("# HELP ascendrouter_unavailable_total Requests no backend could answer.\n")
 	b.WriteString("# TYPE ascendrouter_unavailable_total counter\n")
 	fmt.Fprintf(&b, "ascendrouter_unavailable_total %d\n", rt.unavailable.Load())
+	b.WriteString("# HELP ascendrouter_deduped_total Requests served by attaching to an identical in-flight request.\n")
+	b.WriteString("# TYPE ascendrouter_deduped_total counter\n")
+	fmt.Fprintf(&b, "ascendrouter_deduped_total %d\n", rt.deduped.Load())
 	b.WriteString("# HELP ascendrouter_backend_healthy Last known backend health (1 up, 0 down).\n")
 	b.WriteString("# TYPE ascendrouter_backend_healthy gauge\n")
 	for i, backend := range rt.ring.Nodes() {

@@ -1,0 +1,63 @@
+package engine
+
+import "sync/atomic"
+
+// Graph scheduling counters (process-wide, monotone). The graph
+// scheduler (internal/graph) flushes one delta per completed schedule,
+// so a snapshot mid-run never shows a torn per-graph count.
+var (
+	graphRuns      atomic.Uint64
+	graphNodes     atomic.Uint64
+	graphEdges     atomic.Uint64
+	graphTransfers atomic.Uint64
+	graphFallbacks atomic.Uint64
+)
+
+// GraphStats is the counter snapshot of the whole-graph scheduling
+// layer (internal/graph). It doubles as the delta type schedules flush.
+type GraphStats struct {
+	// Schedules counts completed graph schedules (one per workload
+	// scheduled, whatever the core count).
+	Schedules uint64
+	// Nodes and Edges count DAG nodes and dependency edges scheduled.
+	Nodes uint64
+	Edges uint64
+	// CrossCoreTransfers counts edges whose producer and consumer landed
+	// on different cores and therefore paid a GM transfer.
+	CrossCoreTransfers uint64
+	// SerialFallbacks counts schedules where the overlapped placement
+	// lost to the serial order (contention ate the parallelism) and the
+	// scheduler kept the serial schedule instead.
+	SerialFallbacks uint64
+}
+
+// AddGraphStats accumulates one schedule's delta into the process-wide
+// graph counters.
+func AddGraphStats(d GraphStats) {
+	graphRuns.Add(d.Schedules)
+	graphNodes.Add(d.Nodes)
+	graphEdges.Add(d.Edges)
+	graphTransfers.Add(d.CrossCoreTransfers)
+	graphFallbacks.Add(d.SerialFallbacks)
+}
+
+// ReadGraphStats snapshots the graph counters.
+func ReadGraphStats() GraphStats {
+	return GraphStats{
+		Schedules:          graphRuns.Load(),
+		Nodes:              graphNodes.Load(),
+		Edges:              graphEdges.Load(),
+		CrossCoreTransfers: graphTransfers.Load(),
+		SerialFallbacks:    graphFallbacks.Load(),
+	}
+}
+
+// ResetGraphStats zeroes the graph counters (tests and benchmark
+// sections).
+func ResetGraphStats() {
+	graphRuns.Store(0)
+	graphNodes.Store(0)
+	graphEdges.Store(0)
+	graphTransfers.Store(0)
+	graphFallbacks.Store(0)
+}

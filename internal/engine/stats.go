@@ -23,6 +23,9 @@ type ProcessStats struct {
 	// Search is the beam-search tuning snapshot; zero when no search
 	// has run.
 	Search SearchStats
+	// Graph is the whole-graph scheduling snapshot; zero when no graph
+	// has been scheduled.
+	Graph GraphStats
 }
 
 // Stats returns a snapshot of the engine's process-wide counters.
@@ -37,5 +40,6 @@ func Stats() ProcessStats {
 	s.Sched = sim.ReadCounters()
 	s.Surrogate = ReadSurrogateStats()
 	s.Search = ReadSearchStats()
+	s.Graph = ReadGraphStats()
 	return s
 }

@@ -1,0 +1,69 @@
+package graph
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ascendperf/internal/hw"
+	"ascendperf/internal/model"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// goldenWorkload is the pinned small workload: a diamond with one
+// explicit edge list, scheduled on 2 cores. Small enough to eyeball,
+// rich enough to exercise layers, transfers and occupancy.
+const goldenWorkload = `{
+	"name": "golden-diamond",
+	"ops": [
+		{"op": "matmul", "count": 1},
+		{"op": "add", "count": 2},
+		{"op": "mul", "count": 2},
+		{"op": "softmax", "count": 1}
+	],
+	"edges": [
+		{"from": "matmul", "to": "add"},
+		{"from": "matmul", "to": "mul"},
+		{"from": "add", "to": "softmax"},
+		{"from": "mul", "to": "softmax"}
+	]
+}`
+
+// TestGoldenSchedule locks the full graph-report/v1 document for one
+// small workload, byte for byte. Any change to the derivation, the
+// scheduler, the contention model or the report encoding shows up as a
+// diff here — re-bless deliberately with `go test -run Golden -update`.
+func TestGoldenSchedule(t *testing.T) {
+	m, err := model.ReadWorkload(strings.NewReader(goldenWorkload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Run(hw.TrainingChip(), m, Options{Cores: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := NewReport(s).WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "golden_diamond.golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to bless): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("report drifted from golden %s;\n got: %s\nwant: %s\nre-bless with -update if intended", path, buf.Bytes(), want)
+	}
+}

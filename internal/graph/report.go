@@ -1,0 +1,127 @@
+package graph
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// SchemaReport is the versioned tag stamped into every JSON report
+// (FORMATS.md §12); consumers reject any other tag.
+const SchemaReport = "ascendperf/graph-report/v1"
+
+// ReportCore is one core's row of a report.
+type ReportCore struct {
+	Core        int     `json:"core"`
+	BusyNS      float64 `json:"busy_ns"`
+	Utilization float64 `json:"utilization"`
+	Nodes       int     `json:"nodes"`
+}
+
+// ReportSlot is one node's placement row.
+type ReportSlot struct {
+	Node      string  `json:"node"`
+	Op        string  `json:"op"`
+	Layer     int     `json:"layer"`
+	Mult      int     `json:"mult"`
+	Core      int     `json:"core"`
+	StartNS   float64 `json:"start_ns"`
+	EndNS     float64 `json:"end_ns"`
+	Occupancy int     `json:"occupancy"`
+}
+
+// Report is the graph-report/v1 document: the schedule's headline
+// quantities plus the full placement, stable enough for golden files.
+type Report struct {
+	Schema            string       `json:"schema"`
+	Model             string       `json:"model"`
+	Chip              string       `json:"chip"`
+	Cores             int          `json:"cores"`
+	Nodes             int          `json:"nodes"`
+	Edges             int          `json:"edges"`
+	Layers            int          `json:"layers"`
+	MakespanNS        float64      `json:"makespan_ns"`
+	SerialNS          float64      `json:"serial_ns"`
+	OverlapEfficiency float64      `json:"overlap_efficiency"`
+	TransferNS        float64      `json:"transfer_ns"`
+	TransferShare     float64      `json:"transfer_share"`
+	CrossCoreEdges    int          `json:"cross_core_edges"`
+	PeakLiveBytes     int64        `json:"peak_live_bytes"`
+	SerialFallback    bool         `json:"serial_fallback"`
+	PerCore           []ReportCore `json:"per_core"`
+	Schedule          []ReportSlot `json:"schedule"`
+}
+
+// NewReport assembles the report document of a schedule.
+func NewReport(s *Schedule) *Report {
+	r := &Report{
+		Schema:            SchemaReport,
+		Model:             s.Graph.Model.Name,
+		Chip:              s.Chip,
+		Cores:             s.Cores,
+		Nodes:             len(s.Graph.Nodes),
+		Edges:             len(s.Graph.Edges),
+		Layers:            s.Graph.Layers,
+		MakespanNS:        s.MakespanNS,
+		SerialNS:          s.SerialNS,
+		OverlapEfficiency: s.OverlapEfficiency(),
+		TransferNS:        s.TransferNS,
+		TransferShare:     s.TransferShare(),
+		CrossCoreEdges:    s.CrossCoreEdges,
+		PeakLiveBytes:     s.PeakLiveBytes,
+		SerialFallback:    s.SerialFallback,
+		PerCore:           []ReportCore{},
+		Schedule:          []ReportSlot{},
+	}
+	for c := 0; c < s.Cores; c++ {
+		r.PerCore = append(r.PerCore, ReportCore{
+			Core:        c,
+			BusyNS:      s.PerCoreBusyNS[c],
+			Utilization: s.Utilization(c),
+			Nodes:       s.PerCoreNodes[c],
+		})
+	}
+	for _, p := range s.Placements {
+		n := s.Graph.Nodes[p.Node]
+		r.Schedule = append(r.Schedule, ReportSlot{
+			Node:      n.Name,
+			Op:        s.Graph.Model.Ops[n.Op].Kernel.Name(),
+			Layer:     n.Layer,
+			Mult:      n.Mult,
+			Core:      p.Core,
+			StartNS:   p.StartNS,
+			EndNS:     p.EndNS,
+			Occupancy: p.Occupancy,
+		})
+	}
+	return r
+}
+
+// WriteJSON emits the report as indented JSON (byte-identical across
+// runs and worker counts).
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Text renders the schedule as a human-readable summary.
+func (s *Schedule) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "graph %s on %s: %d nodes, %d edges, %d layers, %d cores\n",
+		s.Graph.Model.Name, s.Chip, len(s.Graph.Nodes), len(s.Graph.Edges), s.Graph.Layers, s.Cores)
+	fmt.Fprintf(&b, "makespan %.3f us vs serial %.3f us  overlap %.3fx",
+		s.MakespanNS/1000, s.SerialNS/1000, s.OverlapEfficiency())
+	if s.SerialFallback {
+		b.WriteString("  (serial fallback)")
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "transfers: %d cross-core edges, %.3f us (%.2f%% of scheduled time); peak live %d bytes\n",
+		s.CrossCoreEdges, s.TransferNS/1000, 100*s.TransferShare(), s.PeakLiveBytes)
+	for c := 0; c < s.Cores; c++ {
+		fmt.Fprintf(&b, "  core %2d: %3d nodes  busy %10.3f us  util %5.1f%%\n",
+			c, s.PerCoreNodes[c], s.PerCoreBusyNS[c]/1000, 100*s.Utilization(c))
+	}
+	return b.String()
+}

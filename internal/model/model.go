@@ -17,6 +17,7 @@ package model
 
 import (
 	"fmt"
+	"strings"
 
 	"ascendperf/internal/kernels"
 )
@@ -50,6 +51,13 @@ type Model struct {
 	// Ops is the operator inventory per iteration.
 	Ops []OpInstance
 
+	// Edges optionally declares explicit producer→consumer dependencies
+	// between inventory rows as [from, to] index pairs into Ops. An
+	// empty list means the model is a plain inventory; internal/graph
+	// then derives a layered DAG from the counts instead. Populated by
+	// the workload file's "edges" field.
+	Edges [][2]int
+
 	// OverheadFrac is the non-compute share of an iteration
 	// (communication, I/O, preprocessing) expressed as a fraction of the
 	// baseline computation time. It stays constant in absolute terms
@@ -81,6 +89,71 @@ func (m *Model) Validate() error {
 	}
 	if m.OverheadFrac < 0 {
 		return fmt.Errorf("model %s: negative overhead", m.Name)
+	}
+	for _, e := range m.Edges {
+		if e[0] < 0 || e[0] >= len(m.Ops) || e[1] < 0 || e[1] >= len(m.Ops) {
+			return fmt.Errorf("model %s: edge [%d %d] out of range (have %d ops)", m.Name, e[0], e[1], len(m.Ops))
+		}
+		if e[0] == e[1] {
+			return fmt.Errorf("model %s: self-edge on %s", m.Name, m.Ops[e[0]].Kernel.Name())
+		}
+	}
+	if cyc := FindCycle(len(m.Ops), m.Edges); cyc != nil {
+		names := make([]string, len(cyc))
+		for i, idx := range cyc {
+			names[i] = m.Ops[idx].Kernel.Name()
+		}
+		return fmt.Errorf("model %s: dependency cycle: %s", m.Name, strings.Join(names, " -> "))
+	}
+	return nil
+}
+
+// FindCycle looks for a directed cycle in the edge list over n
+// vertices. It returns the cycle's vertices in walk order, closing back
+// to the first (so [a b a] denotes a↔b), or nil when the graph is
+// acyclic. Traversal order is deterministic: vertices and their
+// out-edges are visited in declaration order.
+func FindCycle(n int, edges [][2]int) []int {
+	adj := make([][]int, n)
+	for _, e := range edges {
+		adj[e[0]] = append(adj[e[0]], e[1])
+	}
+	const (
+		unseen = 0
+		open   = 1
+		closed = 2
+	)
+	state := make([]int, n)
+	var stack []int
+	var cycle []int
+	var visit func(v int) bool
+	visit = func(v int) bool {
+		state[v] = open
+		stack = append(stack, v)
+		for _, w := range adj[v] {
+			switch state[w] {
+			case open:
+				// Walk the stack back to w: that suffix is the cycle.
+				for i, u := range stack {
+					if u == w {
+						cycle = append(append(cycle, stack[i:]...), w)
+						return true
+					}
+				}
+			case unseen:
+				if visit(w) {
+					return true
+				}
+			}
+		}
+		stack = stack[:len(stack)-1]
+		state[v] = closed
+		return false
+	}
+	for v := 0; v < n; v++ {
+		if state[v] == unseen && visit(v) {
+			return cycle
+		}
 	}
 	return nil
 }

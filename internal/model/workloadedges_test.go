@@ -1,0 +1,147 @@
+package model
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const edgeWorkloadOps = `"ops": [
+	{"op": "matmul", "count": 1},
+	{"op": "add", "count": 2},
+	{"op": "mul", "count": 2, "rename": "mul_gate"}
+]`
+
+func TestWorkloadEdgesParse(t *testing.T) {
+	m, err := ReadWorkload(strings.NewReader(`{
+		"name": "edged", ` + edgeWorkloadOps + `,
+		"edges": [
+			{"from": "matmul", "to": "add"},
+			{"from": "add", "to": "mul_gate"}
+		]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][2]int{{0, 1}, {1, 2}}
+	if len(m.Edges) != len(want) {
+		t.Fatalf("got %d edges, want %d", len(m.Edges), len(want))
+	}
+	for i, e := range want {
+		if m.Edges[i] != e {
+			t.Errorf("edge %d = %v, want %v", i, m.Edges[i], e)
+		}
+	}
+	// Round trip: WriteWorkload emits the edges, ReadWorkload re-resolves
+	// them. (Renamed rows round-trip by instance name, which for renamed
+	// elementwise ops is also the op the registry can't resolve — so the
+	// round trip covers plain names only.)
+	var buf bytes.Buffer
+	m2, err := ReadWorkload(strings.NewReader(`{
+		"name": "rt", "ops": [{"op": "matmul", "count": 1}, {"op": "add", "count": 1}],
+		"edges": [{"from": "matmul", "to": "add"}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteWorkload(m2, &buf); err != nil {
+		t.Fatal(err)
+	}
+	m3, err := ReadWorkload(&buf)
+	if err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if len(m3.Edges) != 1 || m3.Edges[0] != [2]int{0, 1} {
+		t.Errorf("round-tripped edges = %v", m3.Edges)
+	}
+}
+
+// TestWorkloadEdgeErrors locks the positional error contract for every
+// malformed-edge class, matching the ops[i] row-error style.
+func TestWorkloadEdgeErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		edges string
+		want  string
+	}{
+		{
+			"unknown name",
+			`[{"from": "matmul", "to": "conv9"}]`,
+			`model: workload: edges[0] ("matmul" -> "conv9"): unknown operator "conv9" (edges name ops rows, post-rename)`,
+		},
+		{
+			"pre-rename name rejected",
+			`[{"from": "mul", "to": "add"}]`,
+			`model: workload: edges[0] ("mul" -> "add"): unknown operator "mul" (edges name ops rows, post-rename)`,
+		},
+		{
+			"missing field",
+			`[{"from": "matmul"}]`,
+			`model: workload: edges[0] ("matmul" -> ""): both "from" and "to" are required`,
+		},
+		{
+			"self dependency",
+			`[{"from": "add", "to": "add"}]`,
+			`model: workload: edges[0] ("add" -> "add"): self-dependency`,
+		},
+		{
+			"duplicate",
+			`[{"from": "matmul", "to": "add"}, {"from": "matmul", "to": "add"}]`,
+			`model: workload: edges[1] ("matmul" -> "add"): duplicate of edges[0]`,
+		},
+		{
+			"cycle names the closing edge",
+			`[{"from": "matmul", "to": "add"}, {"from": "add", "to": "mul_gate"}, {"from": "mul_gate", "to": "matmul"}]`,
+			`model: workload: edges[2] ("mul_gate" -> "matmul"): closes dependency cycle matmul -> add -> mul_gate -> matmul`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadWorkload(strings.NewReader(`{"name": "bad", ` + edgeWorkloadOps + `, "edges": ` + tc.edges + `}`))
+			if err == nil {
+				t.Fatal("parse succeeded, want error")
+			}
+			if err.Error() != tc.want {
+				t.Errorf("error = %q,\n want %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestFindCycle covers the detector directly: acyclic, 2-cycle,
+// self-contained larger cycle, determinism.
+func TestFindCycle(t *testing.T) {
+	if c := FindCycle(3, [][2]int{{0, 1}, {1, 2}}); c != nil {
+		t.Errorf("acyclic graph reported cycle %v", c)
+	}
+	c := FindCycle(2, [][2]int{{0, 1}, {1, 0}})
+	if len(c) != 3 || c[0] != c[len(c)-1] {
+		t.Errorf("2-cycle = %v, want closed walk of length 3", c)
+	}
+	c = FindCycle(4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 1}})
+	if len(c) != 4 || c[0] != 1 || c[len(c)-1] != 1 {
+		t.Errorf("cycle = %v, want [1 2 3 1]", c)
+	}
+}
+
+// TestModelValidateEdges: Validate rejects out-of-range and self
+// edges, and cycles, on programmatically built models too.
+func TestModelValidateEdges(t *testing.T) {
+	base, err := ReadWorkload(strings.NewReader(`{"name": "v", "ops": [{"op": "matmul", "count": 1}, {"op": "add", "count": 1}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := *base
+	m.Edges = [][2]int{{0, 5}}
+	if err := m.Validate(); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Errorf("out-of-range edge: %v", err)
+	}
+	m.Edges = [][2]int{{1, 1}}
+	if err := m.Validate(); err == nil || !strings.Contains(err.Error(), "self-edge") {
+		t.Errorf("self edge: %v", err)
+	}
+	m.Edges = [][2]int{{0, 1}, {1, 0}}
+	if err := m.Validate(); err == nil || !strings.Contains(err.Error(), "dependency cycle") {
+		t.Errorf("cycle: %v", err)
+	}
+}

@@ -29,6 +29,17 @@ type jsonWorkload struct {
 	NPUs         int              `json:"npus,omitempty"`
 	OverheadFrac float64          `json:"overhead_frac,omitempty"`
 	Ops          []jsonWorkloadOp `json:"ops"`
+	// Edges optionally declares explicit producer→consumer dependencies
+	// between ops rows by instance name (the rename when one is set).
+	// Without edges the workload is a plain inventory and internal/graph
+	// derives a layered DAG from the counts.
+	Edges []jsonWorkloadEdge `json:"edges,omitempty"`
+}
+
+type jsonWorkloadEdge struct {
+	// From and To name ops rows (post-rename instance names).
+	From string `json:"from"`
+	To   string `json:"to"`
 }
 
 type jsonWorkloadOp struct {
@@ -247,10 +258,68 @@ func ReadWorkloadNamed(src string, r io.Reader) (*Model, error) {
 		}
 		m.Ops = append(m.Ops, OpInstance{Kernel: k, Count: row.Count})
 	}
+	if err := readEdges(src, in, m); err != nil {
+		return nil, err
+	}
 	if err := m.Validate(); err != nil {
 		return nil, fmt.Errorf("model: %s: %w", src, err)
 	}
 	return m, nil
+}
+
+// readEdges resolves and validates the explicit-edge list of a workload
+// document, attributing every error to its edge row the way op errors
+// name their ops row: "model: <src>: edges[i] (x -> y): msg".
+func readEdges(src string, in jsonWorkload, m *Model) error {
+	if len(in.Edges) == 0 {
+		return nil
+	}
+	edgeErr := func(i int, e jsonWorkloadEdge, format string, args ...any) error {
+		loc := fmt.Sprintf("model: %s: edges[%d]", src, i)
+		if e.From != "" || e.To != "" {
+			loc += fmt.Sprintf(" (%q -> %q)", e.From, e.To)
+		}
+		return fmt.Errorf("%s: %s", loc, fmt.Sprintf(format, args...))
+	}
+	index := make(map[string]int, len(m.Ops))
+	for i, op := range m.Ops {
+		index[op.Kernel.Name()] = i
+	}
+	type pair [2]int
+	seen := make(map[pair]int, len(in.Edges))
+	for i, e := range in.Edges {
+		if strings.TrimSpace(e.From) == "" || strings.TrimSpace(e.To) == "" {
+			return edgeErr(i, e, "both \"from\" and \"to\" are required")
+		}
+		from, ok := index[e.From]
+		if !ok {
+			return edgeErr(i, e, "unknown operator %q (edges name ops rows, post-rename)", e.From)
+		}
+		to, ok := index[e.To]
+		if !ok {
+			return edgeErr(i, e, "unknown operator %q (edges name ops rows, post-rename)", e.To)
+		}
+		if from == to {
+			return edgeErr(i, e, "self-dependency")
+		}
+		if j, dup := seen[pair{from, to}]; dup {
+			return edgeErr(i, e, "duplicate of edges[%d]", j)
+		}
+		seen[pair{from, to}] = i
+		m.Edges = append(m.Edges, [2]int{from, to})
+	}
+	// Reject cycles here, positionally: name the edge row that closes
+	// the cycle and the full walk, so the user can fix one line instead
+	// of re-deriving the cycle by hand.
+	if cyc := FindCycle(len(m.Ops), m.Edges); cyc != nil {
+		names := make([]string, len(cyc))
+		for i, idx := range cyc {
+			names[i] = m.Ops[idx].Kernel.Name()
+		}
+		closing := seen[pair{cyc[len(cyc)-2], cyc[len(cyc)-1]}]
+		return edgeErr(closing, in.Edges[closing], "closes dependency cycle %s", strings.Join(names, " -> "))
+	}
+	return nil
 }
 
 // WriteWorkload serializes a model's inventory (without shape detail
@@ -262,6 +331,11 @@ func WriteWorkload(m *Model, w io.Writer) error {
 	}
 	for _, op := range m.Ops {
 		out.Ops = append(out.Ops, jsonWorkloadOp{Op: op.Kernel.Name(), Count: op.Count})
+	}
+	for _, e := range m.Edges {
+		out.Edges = append(out.Edges, jsonWorkloadEdge{
+			From: m.Ops[e[0]].Kernel.Name(), To: m.Ops[e[1]].Kernel.Name(),
+		})
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

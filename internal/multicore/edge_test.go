@@ -1,0 +1,115 @@
+package multicore
+
+import (
+	"strings"
+	"testing"
+
+	"ascendperf/internal/hw"
+	"ascendperf/internal/kernels"
+)
+
+// TestPartitionUnitsSmallerThanCores pins the error message for the
+// too-many-cores case: schedulers branch on it, so the wording is part
+// of the contract.
+func TestPartitionUnitsSmallerThanCores(t *testing.T) {
+	chip := hw.TrainingChip()
+	k := kernels.NewAvgPool() // 4 tiles
+	if units := k.PartitionUnits(); units >= 8 {
+		t.Fatalf("avgpool has %d units; test needs < 8", units)
+	}
+	_, err := Run(chip, k, k.Baseline(), 8, nil)
+	if err == nil {
+		t.Fatal("8 cores over 4 units accepted")
+	}
+	want := "multicore: 4 units cannot occupy 8 cores"
+	if err.Error() != want {
+		t.Errorf("error = %q, want %q", err, want)
+	}
+}
+
+// TestZeroUnitCoresIdle: a share vector can starve a core even when
+// total units >= cores. The starved core must come back as a nil
+// profile and an idle Summary row, not an error — and the busy cores
+// still process every unit.
+func TestZeroUnitCoresIdle(t *testing.T) {
+	chip := hw.TrainingChip()
+	k := kernels.NewMatMul()
+	// Core 1's share rounds to zero units; the remainder rule hands
+	// everything left to the last core.
+	r, err := Run(chip, k, k.Baseline(), 3, []float64{1, 1e-9, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PerCore[1] != nil {
+		t.Errorf("starved core 1 got a profile (share %.3f)", r.Shares[1])
+	}
+	if r.PerCore[0] == nil || r.PerCore[2] == nil {
+		t.Fatal("busy cores missing profiles")
+	}
+	var total int64
+	for i := range r.Shares {
+		total += int64(r.Shares[i]*float64(k.PartitionUnits()) + 0.5)
+	}
+	if total != k.PartitionUnits() {
+		t.Errorf("shares sum to %d units, want %d", total, k.PartitionUnits())
+	}
+	// MeanTime averages busy cores only, so a starved core must not
+	// dilute the imbalance statistic.
+	if r.MeanTime <= 0 || r.Makespan < r.MeanTime {
+		t.Errorf("mean %v, makespan %v inconsistent with busy-core averaging", r.MeanTime, r.Makespan)
+	}
+	if !strings.Contains(r.Summary(), "idle") {
+		t.Errorf("summary does not mark the starved core idle:\n%s", r.Summary())
+	}
+}
+
+// TestImbalanceSingleCore: one core is trivially balanced — makespan
+// equals the mean, so Imbalance() is exactly 1.
+func TestImbalanceSingleCore(t *testing.T) {
+	chip := hw.TrainingChip()
+	k := kernels.NewLayerNorm()
+	r, err := Run(chip, k, k.Baseline(), 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Makespan != r.MeanTime {
+		t.Errorf("single core: makespan %v != mean %v", r.Makespan, r.MeanTime)
+	}
+	if got := r.Imbalance(); got != 1 {
+		t.Errorf("single-core imbalance = %v, want exactly 1", got)
+	}
+	// And the degenerate zero-work result reports 0, not NaN.
+	if got := (&Result{}).Imbalance(); got != 0 {
+		t.Errorf("empty result imbalance = %v, want 0", got)
+	}
+}
+
+// TestPerCoreChipNonGMPathsUntouched sweeps every path on the chip:
+// only GM-attached links may lose bandwidth; all on-chip paths and
+// every non-bandwidth field must be byte-identical at any core count.
+func TestPerCoreChipNonGMPathsUntouched(t *testing.T) {
+	chip := hw.TrainingChip()
+	for _, cores := range []int{2, 8, 32} {
+		per := PerCoreChip(chip, cores)
+		for path, spec := range chip.Paths {
+			got := per.Paths[path]
+			if path.Src == hw.GM || path.Dst == hw.GM {
+				if want := spec.Bandwidth / float64(cores); got.Bandwidth != want {
+					t.Errorf("@%d cores: GM path %v bandwidth %v, want %v", cores, path, got.Bandwidth, want)
+				}
+			} else if got.Bandwidth != spec.Bandwidth {
+				t.Errorf("@%d cores: non-GM path %v bandwidth changed %v -> %v", cores, path, spec.Bandwidth, got.Bandwidth)
+			}
+			got.Bandwidth = spec.Bandwidth
+			if got != spec {
+				t.Errorf("@%d cores: path %v non-bandwidth fields changed", cores, path)
+			}
+		}
+		if len(per.Paths) != len(chip.Paths) {
+			t.Errorf("@%d cores: path count changed %d -> %d", cores, len(chip.Paths), len(per.Paths))
+		}
+		if err := per.Validate(); err != nil {
+			t.Errorf("@%d cores: derived chip invalid: %v", cores, err)
+		}
+	}
+}

@@ -229,6 +229,23 @@ type ModelResponse struct {
 	Ops                  []ModelOp          `json:"ops"`
 }
 
+// GraphRequest schedules a whole workload as a dependency graph across
+// multiple AICores (FORMATS.md §12); the 200 response body is the
+// graph-report/v1 document itself, exactly as `ascendgraph -json`
+// emits it.
+type GraphRequest struct {
+	Chip string `json:"chip"`
+	// Model names a built-in workload (mutually exclusive with
+	// Workload).
+	Model string `json:"model,omitempty"`
+	// Workload is an inline workload JSON document (FORMATS.md §3),
+	// optionally carrying explicit edges.
+	Workload json.RawMessage `json:"workload,omitempty"`
+	// Cores is the number of AICores to schedule across (default 4,
+	// max 64).
+	Cores int `json:"cores,omitempty"`
+}
+
 // ServeStats is the serving-layer counter snapshot inside
 // StatsResponse.
 type ServeStats struct {
@@ -285,6 +302,14 @@ type EngineStats struct {
 	SearchWarmHits        uint64 `json:"search_warm_hits"`
 	SearchWarmMisses      uint64 `json:"search_warm_misses"`
 	SearchEpisodeWrites   uint64 `json:"search_episode_writes"`
+
+	// Whole-graph scheduling counters (zero until a /v1/graph or
+	// ascendgraph run).
+	GraphSchedules       uint64 `json:"graph_schedules"`
+	GraphNodes           uint64 `json:"graph_nodes"`
+	GraphEdges           uint64 `json:"graph_edges"`
+	GraphTransfers       uint64 `json:"graph_transfers"`
+	GraphSerialFallbacks uint64 `json:"graph_serial_fallbacks"`
 }
 
 // StatsResponse is the /v1/stats payload: the serving counters plus the

@@ -1,0 +1,107 @@
+package serve
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestGraphEndpoint covers POST /v1/graph end to end: the response is
+// the graph-report/v1 document and the graph_* counters surface
+// through /v1/stats.
+func TestGraphEndpoint(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+
+	resp, body := postJSON(t, ts.URL+"/v1/graph", `{"chip":"training","model":"DeepFM","cores":4}`)
+	if resp.StatusCode != 200 {
+		t.Fatalf("HTTP %d: %s", resp.StatusCode, body)
+	}
+	var rep struct {
+		Schema            string  `json:"schema"`
+		Model             string  `json:"model"`
+		Cores             int     `json:"cores"`
+		MakespanNS        float64 `json:"makespan_ns"`
+		SerialNS          float64 `json:"serial_ns"`
+		OverlapEfficiency float64 `json:"overlap_efficiency"`
+	}
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != "ascendperf/graph-report/v1" {
+		t.Errorf("schema = %q", rep.Schema)
+	}
+	if rep.Model != "DeepFM" || rep.Cores != 4 {
+		t.Errorf("model/cores = %q/%d", rep.Model, rep.Cores)
+	}
+	if rep.MakespanNS > rep.SerialNS || rep.OverlapEfficiency < 1 {
+		t.Errorf("makespan %v vs serial %v (eff %v) violates the fallback invariant",
+			rep.MakespanNS, rep.SerialNS, rep.OverlapEfficiency)
+	}
+
+	stats := s.StatsSnapshot()
+	if stats.Engine.GraphSchedules == 0 {
+		t.Error("graph_schedules counter did not move")
+	}
+	if stats.Engine.GraphNodes == 0 || stats.Engine.GraphEdges == 0 {
+		t.Error("graph node/edge counters did not move")
+	}
+}
+
+// TestGraphEndpointInlineWorkload schedules an inline workload with
+// explicit edges.
+func TestGraphEndpointInlineWorkload(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, body := postJSON(t, ts.URL+"/v1/graph", `{
+		"chip": "training",
+		"cores": 2,
+		"workload": {
+			"name": "inline-chain",
+			"ops": [
+				{"op": "matmul", "count": 1},
+				{"op": "relu", "count": 1}
+			],
+			"edges": [{"from": "matmul", "to": "relu"}]
+		}
+	}`)
+	if resp.StatusCode != 200 {
+		t.Fatalf("HTTP %d: %s", resp.StatusCode, body)
+	}
+	var rep struct {
+		Nodes  int `json:"nodes"`
+		Edges  int `json:"edges"`
+		Layers int `json:"layers"`
+	}
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Nodes != 2 || rep.Edges != 1 || rep.Layers != 2 {
+		t.Errorf("nodes/edges/layers = %d/%d/%d, want 2/1/2", rep.Nodes, rep.Edges, rep.Layers)
+	}
+}
+
+// TestGraphEndpointErrors locks the request validation.
+func TestGraphEndpointErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	cases := []struct {
+		name, body string
+		status     int
+	}{
+		{"neither model nor workload", `{"chip":"training"}`, 400},
+		{"both model and workload", `{"chip":"training","model":"Bert","workload":{"name":"x","ops":[]}}`, 400},
+		{"cores out of range", `{"chip":"training","model":"Bert","cores":65}`, 400},
+		{"negative cores", `{"chip":"training","model":"Bert","cores":-1}`, 400},
+		{"unknown model", `{"chip":"training","model":"No Such"}`, 404},
+		{"unknown chip", `{"chip":"quantum","model":"Bert"}`, 404},
+		{"cyclic workload", `{"chip":"training","cores":2,"workload":{
+			"name":"cyc",
+			"ops":[{"op":"matmul","count":1},{"op":"relu","count":1}],
+			"edges":[{"from":"matmul","to":"relu"},{"from":"relu","to":"matmul"}]}}`, 400},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, body := postJSON(t, ts.URL+"/v1/graph", tc.body)
+			if resp.StatusCode != tc.status {
+				t.Errorf("HTTP %d, want %d: %s", resp.StatusCode, tc.status, body)
+			}
+		})
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"ascendperf/internal/core"
 	"ascendperf/internal/critpath"
 	"ascendperf/internal/engine"
+	"ascendperf/internal/graph"
 	"ascendperf/internal/hw"
 	"ascendperf/internal/isa"
 	"ascendperf/internal/kernels"
@@ -340,22 +341,9 @@ func parseModel(body []byte) (*parsedRequest, error) {
 			if err != nil {
 				return nil, false, err
 			}
-			var m *model.Model
-			if req.Model != "" {
-				for _, cand := range model.Extended() {
-					if cand.Name == req.Model {
-						m = cand
-						break
-					}
-				}
-				if m == nil {
-					return nil, false, notFound("unknown model %q (GET /v1/models lists them)", req.Model)
-				}
-			} else {
-				m, err = model.ReadWorkloadNamed("request workload", bytes.NewReader(req.Workload))
-				if err != nil {
-					return nil, false, badRequest("%v", err)
-				}
+			m, err := resolveModel(req.Model, req.Workload)
+			if err != nil {
+				return nil, false, err
 			}
 			r := model.NewRunner(chip)
 			var res *model.RunResult
@@ -403,6 +391,68 @@ func parseModel(body []byte) (*parsedRequest, error) {
 	}, nil
 }
 
+// resolveModel looks up a built-in workload by name or parses an
+// inline one — the shared (model, workload) half of the model and
+// graph endpoints.
+func resolveModel(name string, workload json.RawMessage) (*model.Model, error) {
+	if name != "" {
+		for _, cand := range model.Extended() {
+			if cand.Name == name {
+				return cand, nil
+			}
+		}
+		return nil, notFound("unknown model %q (GET /v1/models lists them)", name)
+	}
+	m, err := model.ReadWorkloadNamed("request workload", bytes.NewReader(workload))
+	if err != nil {
+		return nil, badRequest("%v", err)
+	}
+	return m, nil
+}
+
+// parseGraph handles POST /v1/graph: whole-graph multi-core
+// scheduling, the service form of `ascendgraph -json`. The 200
+// response body is the graph-report/v1 document (FORMATS.md §12).
+func parseGraph(body []byte) (*parsedRequest, error) {
+	var req GraphRequest
+	if err := decodeStrict(body, &req); err != nil {
+		return nil, err
+	}
+	switch {
+	case req.Model != "" && len(req.Workload) > 0:
+		return nil, badRequest("model and workload are mutually exclusive")
+	case req.Model == "" && len(req.Workload) == 0:
+		return nil, badRequest("one of model or workload is required")
+	case req.Cores < 0 || req.Cores > 64:
+		return nil, badRequest("cores must be in 1..64 (got %d)", req.Cores)
+	}
+	if req.Cores == 0 {
+		req.Cores = 4
+	}
+	return &parsedRequest{
+		key: canonicalKey(req),
+		run: func(context.Context) ([]byte, bool, error) {
+			chip, err := chipByPreset(req.Chip)
+			if err != nil {
+				return nil, false, err
+			}
+			m, err := resolveModel(req.Model, req.Workload)
+			if err != nil {
+				return nil, false, err
+			}
+			s, err := graph.Run(chip, m, graph.Options{Cores: req.Cores})
+			if err != nil {
+				return nil, false, &apiError{status: http.StatusInternalServerError, code: "internal", message: err.Error()}
+			}
+			var buf bytes.Buffer
+			if err := graph.NewReport(s).WriteJSON(&buf); err != nil {
+				return nil, false, &apiError{status: http.StatusInternalServerError, code: "internal", message: err.Error()}
+			}
+			return buf.Bytes(), false, nil
+		},
+	}, nil
+}
+
 // analysisParsers maps analysis endpoint names to their request
 // parsers. New registers each as a POST handler under /v1/<name>, and
 // CanonicalKey dispatches through the same table, so a cluster router
@@ -413,6 +463,7 @@ var analysisParsers = map[string]func(body []byte) (*parsedRequest, error){
 	"optimize": parseOptimize,
 	"trace":    parseTrace,
 	"model":    parseModel,
+	"graph":    parseGraph,
 }
 
 // distributionJSON keys a cause histogram by figure-legend abbreviation.

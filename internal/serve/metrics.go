@@ -228,6 +228,20 @@ func (m *metricsRegistry) Render(inflight, queued int64, draining bool, resp *re
 		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", s.name, s.help, s.name, s.name, s.v)
 	}
 
+	graphs := []struct {
+		name, help string
+		v          uint64
+	}{
+		{"ascendd_graph_schedules_total", "Whole-graph schedules computed.", snap.Graph.Schedules},
+		{"ascendd_graph_nodes_total", "Graph nodes scheduled.", snap.Graph.Nodes},
+		{"ascendd_graph_edges_total", "Graph dependency edges scheduled.", snap.Graph.Edges},
+		{"ascendd_graph_transfers_total", "Cross-core edges that paid a GM transfer.", snap.Graph.CrossCoreTransfers},
+		{"ascendd_graph_serial_fallbacks_total", "Schedules that fell back to serial order.", snap.Graph.SerialFallbacks},
+	}
+	for _, s := range graphs {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", s.name, s.help, s.name, s.name, s.v)
+	}
+
 	sched := []struct {
 		name, help string
 		v          uint64

@@ -510,6 +510,12 @@ func (s *Server) StatsSnapshot() StatsResponse {
 			SearchWarmHits:        snap.Search.WarmHits,
 			SearchWarmMisses:      snap.Search.WarmMisses,
 			SearchEpisodeWrites:   snap.Search.EpisodeWrites,
+
+			GraphSchedules:       snap.Graph.Schedules,
+			GraphNodes:           snap.Graph.Nodes,
+			GraphEdges:           snap.Graph.Edges,
+			GraphTransfers:       snap.Graph.CrossCoreTransfers,
+			GraphSerialFallbacks: snap.Graph.SerialFallbacks,
 		},
 	}
 }

@@ -1,0 +1,73 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"ascendperf/internal/graph"
+	"ascendperf/internal/hw"
+	"ascendperf/internal/model"
+)
+
+func TestGraphTrace(t *testing.T) {
+	chip := hw.TrainingChip()
+	var m *model.Model
+	for _, c := range model.Extended() {
+		if c.Name == "Llama 2 Decode" {
+			m = c
+		}
+	}
+	if m == nil {
+		t.Fatal("Llama 2 Decode not in registry")
+	}
+	s, err := graph.Run(chip, m, graph.Options{Cores: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := NewGraph(s)
+	if doc.OtherData["schema"] != SchemaGraphTrace {
+		t.Errorf("schema = %v", doc.OtherData["schema"])
+	}
+
+	// One X event per placement, on the track of its assigned core.
+	xByTID := map[int]int{}
+	flows := 0
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			if ev.TID < 1 || ev.TID > s.Cores {
+				t.Errorf("X event %q on track %d, want 1..%d", ev.Name, ev.TID, s.Cores)
+			}
+			xByTID[ev.TID]++
+		case "s":
+			flows++
+		}
+	}
+	total := 0
+	for c := 0; c < s.Cores; c++ {
+		if xByTID[c+1] != s.PerCoreNodes[c] {
+			t.Errorf("core %d track has %d spans, schedule says %d", c, xByTID[c+1], s.PerCoreNodes[c])
+		}
+		total += xByTID[c+1]
+	}
+	if total != len(s.Placements) {
+		t.Errorf("%d spans, want %d placements", total, len(s.Placements))
+	}
+	if flows != s.CrossCoreEdges {
+		t.Errorf("%d flow arrows, want %d cross-core edges", flows, s.CrossCoreEdges)
+	}
+
+	// The document round-trips as JSON.
+	var buf bytes.Buffer
+	if err := WriteGraph(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	var back Document
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("emitted trace is not valid JSON: %v", err)
+	}
+	if len(back.TraceEvents) != len(doc.TraceEvents) {
+		t.Errorf("round trip lost events: %d != %d", len(back.TraceEvents), len(doc.TraceEvents))
+	}
+}

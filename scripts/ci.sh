@@ -154,6 +154,16 @@ grep -q "shutdown complete" "$servedir/ascendd.log" || {
     exit 1
 }
 
+echo "== graph scheduling gates (serial parity + overlap smoke) =="
+# The whole-graph scheduler's two invariants (FORMATS.md §12.3): at one
+# core the graph makespan must be bit-exact to the serial operator sum
+# for every built-in workload (the scheduler adds no cost when there is
+# nothing to overlap), and at four cores the multi-core schedule must
+# strictly beat serial on a wide decode workload (overlap really pays,
+# not just "does not lose" via the serial fallback).
+go run ./cmd/ascendgraph -all -cores 1 -parity > /dev/null
+go run ./cmd/ascendgraph -model "Llama 2 Decode" -cores 4 -minoverlap 1.0 > /dev/null
+
 echo "== docs drift check =="
 # Every CLI's -h flag set must match the README's CLI reference tables.
 scripts/docscheck.sh
